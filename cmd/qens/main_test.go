@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"qens/internal/experiments"
+)
+
+// tinyOpts keeps CLI-path integration runs fast.
+func tinyOpts() experiments.Options {
+	return experiments.Options{
+		Seed: 3, Nodes: 4, SamplesPerNode: 200, Queries: 6,
+		ClusterK: 4, Epsilon: 0.6, TopL: 2, LocalEpochs: 2,
+	}
+}
+
+// TestRunExperiments drives the CLI dispatcher end to end for every
+// simulated experiment (printing to stdout is fine under go test).
+func TestRunExperiments(t *testing.T) {
+	for _, name := range []string{
+		"table1", "table2", "fig6", "fig7", "fig8", "fig9",
+		"pretest", "drift", "sweep", "comm", "reuse", "temporal",
+		"multifeature", "robustness", "explain",
+		"ablation-k", "ablation-eps", "ablation-l", "ablation-psi",
+		"ablation-agg", "ablation-quantizer", "adaptive",
+	} {
+		opts := tinyOpts()
+		if name == "drift" {
+			opts.Heterogeneity = 1
+			opts.FlipFraction = 0.3
+			opts.Queries = 15
+		}
+		if err := run(name, opts); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

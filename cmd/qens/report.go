@@ -1,0 +1,18 @@
+package main
+
+import (
+	"fmt"
+
+	"qens/internal/experiments"
+)
+
+// runReport regenerates every experiment and prints one markdown
+// document (the evidence behind EXPERIMENTS.md).
+func runReport(opts experiments.Options) error {
+	out, err := experiments.Report(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

@@ -1,0 +1,119 @@
+// Command qensd runs one participant edge node as a TCP daemon. The
+// leader (cmd/qens or any program using internal/federation over
+// internal/transport) connects to it, fetches its cluster summary, and
+// drives per-query training rounds. Raw data never leaves the daemon.
+//
+// Usage:
+//
+//	qensd -addr :7001 -id node-0 -data data/node-00.csv -k 5
+//
+// or with a self-generated synthetic shard (no CSV needed):
+//
+//	qensd -addr :7001 -synthetic 0 -nodes 10 -samples 2000 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"qens/internal/dataset"
+	"qens/internal/federation"
+	"qens/internal/rng"
+	"qens/internal/transport"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7001", "listen address")
+		id        = flag.String("id", "", "node id (defaults to node-<synthetic> or the data file name)")
+		dataPath  = flag.String("data", "", "CSV file with this node's local data")
+		k         = flag.Int("k", 5, "k-means clusters (paper: 5)")
+		seed      = flag.Uint64("seed", 1, "node RNG seed")
+		synthetic = flag.Int("synthetic", -1, "generate the i-th synthetic shard instead of loading a CSV")
+		nodes     = flag.Int("nodes", 10, "total synthetic shards (with -synthetic)")
+		samples   = flag.Int("samples", 2000, "samples per synthetic shard (with -synthetic)")
+	)
+	flag.Parse()
+
+	data, nodeID, err := loadData(*dataPath, *synthetic, *nodes, *samples, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *id != "" {
+		nodeID = *id
+	}
+
+	node, err := federation.NewNode(nodeID, data, *k, rng.New(*seed))
+	if err != nil {
+		fatal("build node: %v", err)
+	}
+	srv, err := transport.Serve(node, *addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("qensd: node %s serving %d samples (K=%d) on %s\n", nodeID, data.Len(), *k, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("qensd: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal("close: %v", err)
+	}
+}
+
+// loadData resolves the node's dataset from a CSV or the synthetic
+// corpus.
+func loadData(path string, shard, nodes, samples int, seed uint64) (*dataset.Dataset, string, error) {
+	switch {
+	case path != "" && shard >= 0:
+		return nil, "", fmt.Errorf("qensd: -data and -synthetic are mutually exclusive")
+	case path != "":
+		d, err := dataset.LoadFile(path)
+		if err != nil {
+			return nil, "", fmt.Errorf("qensd: load %s: %w", path, err)
+		}
+		return d, trimExt(path), nil
+	case shard >= 0:
+		if shard >= nodes {
+			return nil, "", fmt.Errorf("qensd: shard %d out of range (%d nodes)", shard, nodes)
+		}
+		sets, err := dataset.PaperNodeDatasets(dataset.Config{
+			Nodes: nodes, SamplesPerNode: samples, Seed: seed,
+		})
+		if err != nil {
+			return nil, "", fmt.Errorf("qensd: generate shard: %w", err)
+		}
+		return sets[shard], fmt.Sprintf("node-%d", shard), nil
+	default:
+		return nil, "", fmt.Errorf("qensd: need -data or -synthetic")
+	}
+}
+
+func trimExt(path string) string {
+	base := path
+	if i := lastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := lastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return base
+}
+
+func lastIndexByte(s string, b byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qensd: "+format+"\n", args...)
+	os.Exit(1)
+}

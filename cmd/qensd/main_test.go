@@ -1,0 +1,63 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"qens/internal/dataset"
+)
+
+func TestLoadDataMutuallyExclusive(t *testing.T) {
+	if _, _, err := loadData("file.csv", 0, 10, 100, 1); err == nil {
+		t.Fatal("accepted both -data and -synthetic")
+	}
+	if _, _, err := loadData("", -1, 10, 100, 1); err == nil {
+		t.Fatal("accepted neither source")
+	}
+}
+
+func TestLoadDataSynthetic(t *testing.T) {
+	d, id, err := loadData("", 2, 4, 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "node-2" || d.Len() != 120 || d.Dims() != 2 {
+		t.Fatalf("shard %s: %d rows, %d dims", id, d.Len(), d.Dims())
+	}
+	if _, _, err := loadData("", 9, 4, 120, 7); err == nil {
+		t.Fatal("accepted out-of-range shard")
+	}
+}
+
+func TestLoadDataCSV(t *testing.T) {
+	src := dataset.MustNew([]string{"x", "y"}, "y")
+	src.MustAppend([]float64{1, 2})
+	path := filepath.Join(t.TempDir(), "edge-7.csv")
+	if err := src.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d, id, err := loadData(path, -1, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "edge-7" || d.Len() != 1 {
+		t.Fatalf("loaded %s with %d rows", id, d.Len())
+	}
+	if _, _, err := loadData(filepath.Join(t.TempDir(), "missing.csv"), -1, 0, 0, 1); err == nil {
+		t.Fatal("loaded missing file")
+	}
+}
+
+func TestTrimExt(t *testing.T) {
+	cases := map[string]string{
+		"data/node-00.csv": "node-00",
+		"plain":            "plain",
+		"a/b/c.tar.gz":     "c.tar",
+		".hidden":          ".hidden",
+	}
+	for in, want := range cases {
+		if got := trimExt(in); got != want {
+			t.Errorf("trimExt(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

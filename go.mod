@@ -1,0 +1,3 @@
+module qens
+
+go 1.22

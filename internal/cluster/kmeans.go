@@ -1,0 +1,260 @@
+// Package cluster implements the k-means quantization each edge node
+// applies to its local data space (paper §III-C, Eq. 1): Lloyd's
+// algorithm with k-means++ seeding, the quantization loss (inertia),
+// and the cluster summaries — bounding rectangles, representatives and
+// sizes — that nodes ship to the leader. Shipping only these summaries
+// is what gives the paper its O(1) communication claim.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"qens/internal/geometry"
+	"qens/internal/matrix"
+	"qens/internal/rng"
+)
+
+// Config controls a k-means run.
+type Config struct {
+	// K is the number of clusters (the paper fixes K = 5 for all
+	// nodes "to avoid biases", §V-A).
+	K int
+	// MaxIterations bounds Lloyd's algorithm (default 100).
+	MaxIterations int
+	// Tolerance stops iteration when no centroid moves farther than
+	// this Euclidean distance (default 1e-6).
+	Tolerance float64
+	// Restarts runs the algorithm this many times with different
+	// seedings and keeps the lowest-inertia result (default 1).
+	Restarts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 100
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 1e-6
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 1
+	}
+	return c
+}
+
+// Validate checks the configuration against a dataset of n points.
+func (c Config) Validate(n int) error {
+	if c.K < 1 {
+		return fmt.Errorf("cluster: K must be positive, got %d", c.K)
+	}
+	if n < c.K {
+		return fmt.Errorf("%w: %d points for K=%d", ErrTooFewPoints, n, c.K)
+	}
+	return nil
+}
+
+// ErrTooFewPoints reports fewer points than clusters.
+var ErrTooFewPoints = errors.New("cluster: fewer points than clusters")
+
+// Cluster is one quantization cell: its representative (the paper's
+// u_k), the tight bounding rectangle of its members (the paper's
+// boundary vector k), the member indices into the clustered data, and
+// the member count.
+type Cluster struct {
+	Centroid []float64
+	Bounds   geometry.Rect
+	Members  []int
+	Size     int
+}
+
+// Result is the outcome of a k-means run.
+type Result struct {
+	Clusters []Cluster
+	// Inertia is the quantization loss of Eq. 1: the sum of squared
+	// distances from every point to its assigned representative.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+	// Assignments maps each input point to its cluster index.
+	Assignments []int
+}
+
+// KMeans clusters points (each a d-dimensional sample, the paper's ξ)
+// into cfg.K cells.
+func KMeans(points [][]float64, cfg Config, src *rng.Source) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(len(points)); err != nil {
+		return nil, err
+	}
+	d := len(points[0])
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("cluster: point %d has %d dims, want %d", i, len(p), d)
+		}
+	}
+
+	var best *Result
+	for r := 0; r < cfg.Restarts; r++ {
+		res := lloyd(points, cfg, src)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// lloyd runs one seeded Lloyd optimization.
+func lloyd(points [][]float64, cfg Config, src *rng.Source) *Result {
+	centroids := seedPlusPlus(points, cfg.K, src)
+	d := len(points[0])
+	assign := make([]int, len(points))
+	counts := make([]int, cfg.K)
+	sums := make([][]float64, cfg.K)
+	for k := range sums {
+		sums[k] = make([]float64, d)
+	}
+
+	iterations := 0
+	for ; iterations < cfg.MaxIterations; iterations++ {
+		// Assignment step.
+		for i, p := range points {
+			assign[i] = nearest(p, centroids)
+		}
+		// Update step.
+		for k := range sums {
+			counts[k] = 0
+			for j := range sums[k] {
+				sums[k][j] = 0
+			}
+		}
+		for i, p := range points {
+			k := assign[i]
+			counts[k]++
+			matrix.AxpyVec(sums[k], 1, p)
+		}
+		moved := 0.0
+		for k := range centroids {
+			if counts[k] == 0 {
+				// Empty cluster: reseed at the point farthest from
+				// its current centroid, a standard Lloyd repair.
+				far := farthestPoint(points, centroids, assign)
+				copy(centroids[k], points[far])
+				assign[far] = k
+				moved = math.Inf(1)
+				continue
+			}
+			inv := 1 / float64(counts[k])
+			for j := range centroids[k] {
+				next := sums[k][j] * inv
+				moved = math.Max(moved, math.Abs(next-centroids[k][j]))
+				centroids[k][j] = next
+			}
+		}
+		if moved <= cfg.Tolerance {
+			iterations++
+			break
+		}
+	}
+
+	// Final assignment with the settled centroids.
+	for i, p := range points {
+		assign[i] = nearest(p, centroids)
+	}
+	return buildResult(points, centroids, assign, iterations)
+}
+
+// seedPlusPlus performs k-means++ initialization.
+func seedPlusPlus(points [][]float64, k int, src *rng.Source) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := src.Intn(len(points))
+	centroids = append(centroids, matrix.CloneVec(points[first]))
+
+	dist := make([]float64, len(points))
+	for i, p := range points {
+		dist[i] = matrix.SqDist(p, centroids[0])
+	}
+	for len(centroids) < k {
+		idx := src.Choice(dist)
+		centroids = append(centroids, matrix.CloneVec(points[idx]))
+		for i, p := range points {
+			if d2 := matrix.SqDist(p, centroids[len(centroids)-1]); d2 < dist[i] {
+				dist[i] = d2
+			}
+		}
+	}
+	return centroids
+}
+
+// nearest returns the index of the centroid closest to p.
+func nearest(p []float64, centroids [][]float64) int {
+	best, bestDist := 0, math.Inf(1)
+	for k, c := range centroids {
+		if d2 := matrix.SqDist(p, c); d2 < bestDist {
+			best, bestDist = k, d2
+		}
+	}
+	return best
+}
+
+// farthestPoint returns the index of the point farthest from its
+// assigned centroid, used to repair empty clusters.
+func farthestPoint(points [][]float64, centroids [][]float64, assign []int) int {
+	best, bestDist := 0, -1.0
+	for i, p := range points {
+		if d2 := matrix.SqDist(p, centroids[assign[i]]); d2 > bestDist {
+			best, bestDist = i, d2
+		}
+	}
+	return best
+}
+
+// buildResult assembles clusters, bounds and inertia.
+func buildResult(points [][]float64, centroids [][]float64, assign []int, iterations int) *Result {
+	k := len(centroids)
+	clusters := make([]Cluster, k)
+	for c := range clusters {
+		clusters[c].Centroid = matrix.CloneVec(centroids[c])
+	}
+	inertia := 0.0
+	for i, p := range points {
+		c := assign[i]
+		clusters[c].Members = append(clusters[c].Members, i)
+		inertia += matrix.SqDist(p, centroids[c])
+	}
+	for c := range clusters {
+		clusters[c].Size = len(clusters[c].Members)
+		memberPoints := make([][]float64, 0, clusters[c].Size)
+		for _, idx := range clusters[c].Members {
+			memberPoints = append(memberPoints, points[idx])
+		}
+		if rect, ok := geometry.BoundingRect(memberPoints); ok {
+			clusters[c].Bounds = rect
+		} else {
+			// Empty cluster (possible only at K > distinct points):
+			// degenerate rectangle at the centroid.
+			clusters[c].Bounds = geometry.Rect{
+				Min: matrix.CloneVec(clusters[c].Centroid),
+				Max: matrix.CloneVec(clusters[c].Centroid),
+			}
+		}
+	}
+	out := &Result{
+		Clusters:    clusters,
+		Inertia:     inertia,
+		Iterations:  iterations,
+		Assignments: append([]int(nil), assign...),
+	}
+	return out
+}
+
+// Inertia recomputes Eq. 1 for a given assignment; exposed for tests
+// and diagnostics.
+func Inertia(points [][]float64, clusters []Cluster, assign []int) float64 {
+	total := 0.0
+	for i, p := range points {
+		total += matrix.SqDist(p, clusters[assign[i]].Centroid)
+	}
+	return total
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"qens/internal/matrix"
+	"qens/internal/rng"
+)
+
+// Clustering-quality utilities. The paper fixes K = 5 "to avoid
+// biases"; these functions support the K ablation by quantifying what
+// other choices would do — the elbow heuristic over the Eq. 1
+// quantization loss, and the silhouette coefficient.
+
+// InertiaCurve runs k-means for each K in ks and returns the
+// corresponding inertias (Eq. 1 losses).
+func InertiaCurve(points [][]float64, ks []int, cfg Config, src *rng.Source) ([]float64, error) {
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		c := cfg
+		c.K = k
+		res, err := KMeans(points, c, src.Split())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: inertia curve at K=%d: %w", k, err)
+		}
+		out[i] = res.Inertia
+	}
+	return out, nil
+}
+
+// ChooseKElbow picks K by the maximum-curvature (elbow) heuristic over
+// the inertia curve for K = 1..maxK: the K whose point is farthest
+// from the line joining the curve's endpoints.
+func ChooseKElbow(points [][]float64, maxK int, cfg Config, src *rng.Source) (int, error) {
+	if maxK < 2 {
+		return 0, fmt.Errorf("cluster: elbow needs maxK >= 2, got %d", maxK)
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	ks := make([]int, maxK)
+	for i := range ks {
+		ks[i] = i + 1
+	}
+	inertias, err := InertiaCurve(points, ks, cfg, src)
+	if err != nil {
+		return 0, err
+	}
+	// Distance from each curve point to the endpoint chord, in a
+	// normalized coordinate system so scale does not dominate.
+	x0, y0 := float64(ks[0]), inertias[0]
+	x1, y1 := float64(ks[len(ks)-1]), inertias[len(ks)-1]
+	spanX, spanY := x1-x0, y0-y1
+	if spanY <= 0 {
+		// Inertia did not decrease: the data is degenerate
+		// (duplicate points); a single cluster describes it.
+		return 1, nil
+	}
+	best, bestDist := ks[0], -1.0
+	for i, k := range ks {
+		nx := (float64(k) - x0) / spanX
+		ny := (y0 - inertias[i]) / spanY
+		// Distance to the y = x chord in normalized space.
+		d := math.Abs(ny-nx) / math.Sqrt2
+		if ny >= nx && d > bestDist { // above the chord = convex side
+			best, bestDist = k, d
+		}
+	}
+	return best, nil
+}
+
+// Silhouette returns the mean silhouette coefficient of an assignment
+// in [-1, 1]; higher is better-separated. Points in singleton clusters
+// contribute 0, matching the standard convention. O(n²) — intended for
+// node-scale datasets, not corpora.
+func Silhouette(points [][]float64, assign []int, k int) (float64, error) {
+	if len(points) != len(assign) {
+		return 0, fmt.Errorf("cluster: %d points, %d assignments", len(points), len(assign))
+	}
+	if len(points) < 2 || k < 2 {
+		return 0, fmt.Errorf("cluster: silhouette needs >= 2 points and >= 2 clusters")
+	}
+	counts := make([]int, k)
+	for i, a := range assign {
+		if a < 0 || a >= k {
+			return 0, fmt.Errorf("cluster: assignment %d out of range at point %d", a, i)
+		}
+		counts[a]++
+	}
+	total := 0.0
+	for i, p := range points {
+		// Mean distance to every cluster.
+		sums := make([]float64, k)
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			sums[assign[j]] += matrix.Dist(p, q)
+		}
+		own := assign[i]
+		if counts[own] <= 1 {
+			continue // convention: silhouette 0 for singletons
+		}
+		a := sums[own] / float64(counts[own]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // only one non-empty cluster
+		}
+		if m := math.Max(a, b); m > 0 {
+			total += (b - a) / m
+		}
+	}
+	return total / float64(len(points)), nil
+}
+
+// MiniBatchKMeans is the web-scale variant (Sculley 2010): each
+// iteration samples batchSize points and moves their nearest centroids
+// by a per-centroid decaying learning rate. It trades a slightly worse
+// Eq. 1 loss for an order-of-magnitude less work on large nodes; the
+// result carries full assignments and bounds like KMeans.
+func MiniBatchKMeans(points [][]float64, cfg Config, batchSize int, src *rng.Source) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(len(points)); err != nil {
+		return nil, err
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("cluster: batch size %d < 1", batchSize)
+	}
+	if batchSize > len(points) {
+		batchSize = len(points)
+	}
+	centroids := seedPlusPlus(points, cfg.K, src)
+	counts := make([]float64, cfg.K)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		for b := 0; b < batchSize; b++ {
+			p := points[src.Intn(len(points))]
+			k := nearest(p, centroids)
+			counts[k]++
+			eta := 1 / counts[k]
+			for j := range centroids[k] {
+				centroids[k][j] += eta * (p[j] - centroids[k][j])
+			}
+		}
+	}
+	assign := make([]int, len(points))
+	for i, p := range points {
+		assign[i] = nearest(p, centroids)
+	}
+	return buildResult(points, centroids, assign, cfg.MaxIterations), nil
+}
+
+// ChooseKSilhouette picks K in [2, maxK] maximizing the mean
+// silhouette coefficient. It is O(maxK · n²); intended for node-scale
+// data. Returns the best K and its silhouette.
+func ChooseKSilhouette(points [][]float64, maxK int, cfg Config, src *rng.Source) (int, float64, error) {
+	if maxK < 2 {
+		return 0, 0, fmt.Errorf("cluster: silhouette chooser needs maxK >= 2, got %d", maxK)
+	}
+	if maxK > len(points) {
+		maxK = len(points)
+	}
+	bestK, bestScore := 0, -2.0
+	for k := 2; k <= maxK; k++ {
+		res, err := KMeans(points, withK(cfg, k), src.Split())
+		if err != nil {
+			return 0, 0, err
+		}
+		score, err := Silhouette(points, res.Assignments, k)
+		if err != nil {
+			return 0, 0, err
+		}
+		if score > bestScore {
+			bestK, bestScore = k, score
+		}
+	}
+	return bestK, bestScore, nil
+}
+
+func withK(cfg Config, k int) Config {
+	cfg.K = k
+	return cfg
+}

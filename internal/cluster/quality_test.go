@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"qens/internal/rng"
+)
+
+func TestInertiaCurveMonotone(t *testing.T) {
+	src := rng.New(41)
+	points, _ := threeBlobs(300, src)
+	curve, err := InertiaCurve(points, []int{1, 2, 3, 4}, Config{Restarts: 5}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]*1.01 {
+			t.Fatalf("inertia curve rose at index %d: %v", i, curve)
+		}
+	}
+}
+
+func TestChooseKElbowFindsBlobs(t *testing.T) {
+	src := rng.New(42)
+	points, _ := threeBlobs(450, src)
+	k, err := ChooseKElbow(points, 8, Config{Restarts: 5}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three well-separated blobs: the elbow must land on or next to 3.
+	if k < 2 || k > 4 {
+		t.Fatalf("elbow chose K=%d for 3 blobs", k)
+	}
+}
+
+func TestChooseKElbowValidation(t *testing.T) {
+	src := rng.New(43)
+	points, _ := threeBlobs(30, src)
+	if _, err := ChooseKElbow(points, 1, Config{}, src); err == nil {
+		t.Fatal("accepted maxK=1")
+	}
+}
+
+func TestChooseKElbowDegenerate(t *testing.T) {
+	// All-identical points: inertia never decreases; K=1 is right.
+	points := make([][]float64, 20)
+	for i := range points {
+		points[i] = []float64{5, 5}
+	}
+	k, err := ChooseKElbow(points, 5, Config{}, rng.New(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("degenerate data chose K=%d, want 1", k)
+	}
+}
+
+func TestSilhouetteSeparatedVsMixed(t *testing.T) {
+	src := rng.New(45)
+	points, labels := threeBlobs(150, src)
+	good, err := Silhouette(points, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good < 0.7 {
+		t.Fatalf("separated blobs silhouette %v, want > 0.7", good)
+	}
+	// A random assignment must score much worse.
+	bad := make([]int, len(points))
+	for i := range bad {
+		bad[i] = src.Intn(3)
+	}
+	worse, err := Silhouette(points, bad, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worse > good-0.5 {
+		t.Fatalf("random assignment silhouette %v not clearly below %v", worse, good)
+	}
+}
+
+func TestSilhouetteValidation(t *testing.T) {
+	pts := [][]float64{{0}, {1}}
+	if _, err := Silhouette(pts, []int{0}, 2); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := Silhouette(pts, []int{0, 5}, 2); err == nil {
+		t.Fatal("accepted out-of-range assignment")
+	}
+	if _, err := Silhouette(pts, []int{0, 1}, 1); err == nil {
+		t.Fatal("accepted k=1")
+	}
+}
+
+func TestSilhouetteBounded(t *testing.T) {
+	src := rng.New(46)
+	points, _ := threeBlobs(90, src)
+	res, err := KMeans(points, Config{K: 4}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Silhouette(points, res.Assignments, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < -1 || s > 1 {
+		t.Fatalf("silhouette %v outside [-1,1]", s)
+	}
+}
+
+func TestMiniBatchKMeans(t *testing.T) {
+	src := rng.New(47)
+	points, labels := threeBlobs(600, src)
+	res, err := MiniBatchKMeans(points, Config{K: 3, MaxIterations: 60}, 64, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("%d clusters", len(res.Clusters))
+	}
+	// Compare against exact Lloyd: mini-batch inertia should be within
+	// 2x (usually much closer) for well-separated blobs.
+	exact, err := KMeans(points, Config{K: 3, Restarts: 3}, rng.New(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > exact.Inertia*2 {
+		t.Fatalf("mini-batch inertia %v vs exact %v", res.Inertia, exact.Inertia)
+	}
+	// Blob purity: majority label per cluster should dominate.
+	for c := range res.Clusters {
+		counts := map[int]int{}
+		for _, m := range res.Clusters[c].Members {
+			counts[labels[m]]++
+		}
+		best, total := 0, 0
+		for _, n := range counts {
+			total += n
+			if n > best {
+				best = n
+			}
+		}
+		if total > 0 && float64(best)/float64(total) < 0.9 {
+			t.Fatalf("cluster %d impure: %v", c, counts)
+		}
+	}
+}
+
+func TestMiniBatchKMeansValidation(t *testing.T) {
+	pts := [][]float64{{0}, {1}, {2}}
+	if _, err := MiniBatchKMeans(pts, Config{K: 2}, 0, rng.New(1)); err == nil {
+		t.Fatal("accepted batch size 0")
+	}
+	if _, err := MiniBatchKMeans(pts, Config{K: 5}, 2, rng.New(1)); err == nil {
+		t.Fatal("accepted K > n")
+	}
+	// Oversized batch clamps rather than failing.
+	if _, err := MiniBatchKMeans(pts, Config{K: 2, MaxIterations: 5}, 100, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMiniBatchBoundsContainMembers(t *testing.T) {
+	src := rng.New(49)
+	points, _ := threeBlobs(300, src)
+	res, err := MiniBatchKMeans(points, Config{K: 4, MaxIterations: 40}, 32, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci, c := range res.Clusters {
+		for _, m := range c.Members {
+			if !c.Bounds.Contains(points[m]) {
+				t.Fatalf("cluster %d bounds exclude member %d", ci, m)
+			}
+		}
+	}
+	if math.IsNaN(res.Inertia) {
+		t.Fatal("NaN inertia")
+	}
+}
+
+func TestChooseKSilhouette(t *testing.T) {
+	src := rng.New(50)
+	points, _ := threeBlobs(240, src)
+	k, score, err := ChooseKSilhouette(points, 6, Config{Restarts: 4}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 3 {
+		t.Fatalf("silhouette chose K=%d for 3 blobs (score %v)", k, score)
+	}
+	if score < 0.6 {
+		t.Fatalf("best silhouette %v suspiciously low", score)
+	}
+	if _, _, err := ChooseKSilhouette(points, 1, Config{}, src); err == nil {
+		t.Fatal("accepted maxK=1")
+	}
+}

@@ -1,0 +1,219 @@
+package cluster
+
+import (
+	"testing"
+
+	"qens/internal/dataset"
+	"qens/internal/geometry"
+	"qens/internal/rng"
+)
+
+func testDataset(t *testing.T, n int, seed uint64) *dataset.Dataset {
+	t.Helper()
+	src := rng.New(seed)
+	d := dataset.MustNew([]string{"x", "y"}, "y")
+	for i := 0; i < n; i++ {
+		x := src.Uniform(0, 100)
+		d.MustAppend([]float64{x, 2*x + src.Normal(0, 1)})
+	}
+	return d
+}
+
+func TestQuantize(t *testing.T) {
+	d := testDataset(t, 200, 1)
+	q, err := Quantize(d, Config{K: 5}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Result.Clusters) != 5 {
+		t.Fatalf("%d clusters", len(q.Result.Clusters))
+	}
+	total := 0
+	for _, c := range q.Result.Clusters {
+		total += c.Size
+	}
+	if total != 200 {
+		t.Fatalf("cluster members sum to %d", total)
+	}
+}
+
+func TestQuantizeEmpty(t *testing.T) {
+	d := dataset.MustNew([]string{"x", "y"}, "y")
+	if _, err := Quantize(d, Config{K: 2}, rng.New(1)); err == nil {
+		t.Fatal("quantized empty dataset")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	d := testDataset(t, 150, 3)
+	q, err := Quantize(d, Config{K: 4}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Summarize("node-7")
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeID != "node-7" || s.K() != 4 || s.TotalSamples != 150 {
+		t.Fatalf("summary %+v", s)
+	}
+	sum := 0
+	for _, c := range s.Clusters {
+		if c.Bounds.Dims() != 2 {
+			t.Fatalf("bounds dims %d", c.Bounds.Dims())
+		}
+		if len(c.Centroid) != 2 {
+			t.Fatalf("centroid dims %d", len(c.Centroid))
+		}
+		sum += c.Size
+	}
+	if sum != 150 {
+		t.Fatalf("summary sizes sum to %d", sum)
+	}
+}
+
+func TestSummarizeIndependentOfSource(t *testing.T) {
+	d := testDataset(t, 100, 5)
+	q, _ := Quantize(d, Config{K: 3}, rng.New(6))
+	s := q.Summarize("n")
+	// Mutating the summary must not corrupt the quantization.
+	s.Clusters[0].Bounds.Min[0] = -1e9
+	s.Clusters[0].Centroid[0] = -1e9
+	if q.Result.Clusters[0].Bounds.Min[0] == -1e9 || q.Result.Clusters[0].Centroid[0] == -1e9 {
+		t.Fatal("Summarize aliases internal state")
+	}
+}
+
+func TestClusterData(t *testing.T) {
+	d := testDataset(t, 120, 7)
+	q, _ := Quantize(d, Config{K: 3}, rng.New(8))
+	for k := 0; k < 3; k++ {
+		cd, err := q.ClusterData(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cd.Len() != q.Result.Clusters[k].Size {
+			t.Fatalf("cluster %d data len %d, size %d", k, cd.Len(), q.Result.Clusters[k].Size)
+		}
+		// Every row must fall inside the cluster bounds.
+		for i := 0; i < cd.Len(); i++ {
+			if !q.Result.Clusters[k].Bounds.Contains(cd.Row(i)) {
+				t.Fatalf("cluster %d row %d outside bounds", k, i)
+			}
+		}
+	}
+	if _, err := q.ClusterData(99); err == nil {
+		t.Fatal("accepted out-of-range cluster")
+	}
+	if _, err := q.ClusterData(-1); err == nil {
+		t.Fatal("accepted negative cluster")
+	}
+}
+
+func TestNodeSummaryValidate(t *testing.T) {
+	good := NodeSummary{
+		NodeID: "n",
+		Clusters: []Summary{{
+			Bounds: geometry.MustRect([]float64{0}, []float64{1}),
+			Size:   5,
+		}},
+		TotalSamples: 5,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []NodeSummary{
+		{}, // missing everything
+		{NodeID: "n"},
+		{NodeID: "n", Clusters: []Summary{{Bounds: geometry.MustRect([]float64{0}, []float64{1}), Size: -1}}, TotalSamples: 5},
+		{NodeID: "n", Clusters: []Summary{{Bounds: geometry.MustRect([]float64{0}, []float64{1}), Size: 10}}, TotalSamples: 5},
+		{NodeID: "n", Clusters: []Summary{
+			{Bounds: geometry.MustRect([]float64{0}, []float64{1}), Size: 1},
+			{Bounds: geometry.MustRect([]float64{0, 0}, []float64{1, 1}), Size: 1},
+		}, TotalSamples: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad summary %d accepted", i)
+		}
+	}
+}
+
+func TestSummaryDriftIdentical(t *testing.T) {
+	d := testDataset(t, 150, 20)
+	q, _ := Quantize(d, Config{K: 4}, rng.New(21))
+	s := q.Summarize("n")
+	drift, err := SummaryDrift(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift > 1e-12 {
+		t.Fatalf("identical summaries drift %v", drift)
+	}
+}
+
+func TestSummaryDriftDisjoint(t *testing.T) {
+	mk := func(offset float64) NodeSummary {
+		return NodeSummary{
+			NodeID: "n",
+			Clusters: []Summary{{
+				Bounds: geometry.MustRect([]float64{offset}, []float64{offset + 1}),
+				Size:   10,
+			}},
+			TotalSamples: 10,
+		}
+	}
+	drift, err := SummaryDrift(mk(0), mk(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift != 1 {
+		t.Fatalf("disjoint summaries drift %v, want 1", drift)
+	}
+}
+
+func TestSummaryDriftPartial(t *testing.T) {
+	// Data grows slightly: drift must be strictly between 0 and 1.
+	d := testDataset(t, 200, 22)
+	q1, _ := Quantize(d, Config{K: 4}, rng.New(23))
+	before := q1.Summarize("n")
+	grown := d.Clone()
+	for i := 0; i < 40; i++ {
+		grown.MustAppend([]float64{150 + float64(i), 300 + float64(i)})
+	}
+	q2, _ := Quantize(grown, Config{K: 4}, rng.New(23))
+	after := q2.Summarize("n")
+	drift, err := SummaryDrift(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift <= 0 || drift >= 1 {
+		t.Fatalf("partial drift %v, want in (0,1)", drift)
+	}
+}
+
+func TestSummaryDriftErrors(t *testing.T) {
+	good := NodeSummary{
+		NodeID: "n",
+		Clusters: []Summary{{
+			Bounds: geometry.MustRect([]float64{0}, []float64{1}), Size: 1,
+		}},
+		TotalSamples: 1,
+	}
+	if _, err := SummaryDrift(NodeSummary{}, good); err == nil {
+		t.Fatal("accepted invalid old summary")
+	}
+	if _, err := SummaryDrift(good, NodeSummary{}); err == nil {
+		t.Fatal("accepted invalid new summary")
+	}
+	other := NodeSummary{
+		NodeID: "n",
+		Clusters: []Summary{{
+			Bounds: geometry.MustRect([]float64{0, 0}, []float64{1, 1}), Size: 1,
+		}},
+		TotalSamples: 1,
+	}
+	if _, err := SummaryDrift(good, other); err == nil {
+		t.Fatal("accepted dims mismatch")
+	}
+}

@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ColumnStats summarizes one column.
+type ColumnStats struct {
+	Name   string
+	Min    float64
+	Max    float64
+	Mean   float64
+	StdDev float64
+	// Quartiles holds the 25th/50th/75th percentiles.
+	Quartiles [3]float64
+}
+
+// Describe computes per-column summary statistics, in column order.
+func (d *Dataset) Describe() ([]ColumnStats, error) {
+	if d.Len() == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]ColumnStats, len(d.columns))
+	n := float64(d.Len())
+	for j, name := range d.columns {
+		vals := make([]float64, d.Len())
+		sum := 0.0
+		for i, row := range d.rows {
+			vals[i] = row[j]
+			sum += row[j]
+		}
+		sort.Float64s(vals)
+		mean := sum / n
+		sq := 0.0
+		for _, v := range vals {
+			dv := v - mean
+			sq += dv * dv
+		}
+		out[j] = ColumnStats{
+			Name:   name,
+			Min:    vals[0],
+			Max:    vals[len(vals)-1],
+			Mean:   mean,
+			StdDev: math.Sqrt(sq / n),
+			Quartiles: [3]float64{
+				percentile(vals, 0.25),
+				percentile(vals, 0.50),
+				percentile(vals, 0.75),
+			},
+		}
+	}
+	return out, nil
+}
+
+// percentile interpolates the p-quantile of sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// DescribeString renders Describe as an aligned table.
+func (d *Dataset) DescribeString() (string, error) {
+	stats, err := d.Describe()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s %10s %10s %10s\n",
+		"column", "min", "p25", "median", "p75", "max", "mean", "stddev")
+	for _, s := range stats {
+		name := s.Name
+		if name == d.TargetName() {
+			name += "*"
+		}
+		fmt.Fprintf(&b, "%-12s %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			name, s.Min, s.Quartiles[0], s.Quartiles[1], s.Quartiles[2], s.Max, s.Mean, s.StdDev)
+	}
+	return b.String(), nil
+}

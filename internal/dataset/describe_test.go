@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	d := MustNew([]string{"x", "y"}, "y")
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		d.MustAppend([]float64{v, 10 * v})
+	}
+	stats, err := d.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := stats[0]
+	if x.Name != "x" || x.Min != 1 || x.Max != 5 || x.Mean != 3 {
+		t.Fatalf("x stats %+v", x)
+	}
+	if math.Abs(x.StdDev-math.Sqrt2) > 1e-12 {
+		t.Fatalf("x stddev %v", x.StdDev)
+	}
+	if x.Quartiles[1] != 3 {
+		t.Fatalf("x median %v", x.Quartiles[1])
+	}
+	if x.Quartiles[0] != 2 || x.Quartiles[2] != 4 {
+		t.Fatalf("x quartiles %v", x.Quartiles)
+	}
+	y := stats[1]
+	if y.Min != 10 || y.Max != 50 {
+		t.Fatalf("y stats %+v", y)
+	}
+}
+
+func TestDescribeEmpty(t *testing.T) {
+	d := MustNew([]string{"x"}, "x")
+	if _, err := d.Describe(); err == nil {
+		t.Fatal("described empty dataset")
+	}
+}
+
+func TestDescribeSingleRow(t *testing.T) {
+	d := MustNew([]string{"x"}, "x")
+	d.MustAppend([]float64{7})
+	stats, err := d.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats[0]
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.StdDev != 0 {
+		t.Fatalf("single-row stats %+v", s)
+	}
+	for _, q := range s.Quartiles {
+		if q != 7 {
+			t.Fatalf("single-row quartiles %v", s.Quartiles)
+		}
+	}
+}
+
+func TestDescribeString(t *testing.T) {
+	d := MustNew([]string{"TEMP", "PM2.5"}, "PM2.5")
+	d.MustAppend([]float64{10, 80})
+	d.MustAppend([]float64{20, 120})
+	out, err := d.DescribeString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "TEMP") || !strings.Contains(out, "PM2.5*") {
+		t.Fatalf("rendering missing columns/target marker:\n%s", out)
+	}
+	if !strings.Contains(out, "median") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := percentile(sorted, 0.5); got != 5 {
+		t.Fatalf("p50 of {0,10} = %v", got)
+	}
+	if got := percentile(sorted, 1.0); got != 10 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := percentile(sorted, 0); got != 0 {
+		t.Fatalf("p0 = %v", got)
+	}
+}

@@ -1,0 +1,50 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the codec against malformed inputs: whatever the
+// bytes, ReadCSV must either return an error or a structurally valid
+// dataset that round-trips.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("x,y*\n1,2\n3,4\n")
+	f.Add("x,y\n1,2\n")
+	f.Add("a*,b\n-1e300,0.5\n")
+	f.Add("")
+	f.Add("x,y\n1\n")
+	f.Add("x,y*,z*\n1,2,3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		if d.Dims() == 0 {
+			t.Fatal("accepted dataset with no columns")
+		}
+		if d.TargetIndex() < 0 || d.TargetIndex() >= d.Dims() {
+			t.Fatalf("target index %d out of range", d.TargetIndex())
+		}
+		// Round-trip: what we write must read back equal.
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-read own output: %v", err)
+		}
+		if !d.SameSchema(back) || back.Len() != d.Len() {
+			t.Fatal("round-trip changed the dataset")
+		}
+		for i := 0; i < d.Len(); i++ {
+			for j, v := range d.Row(i) {
+				if back.Row(i)[j] != v {
+					t.Fatalf("round-trip changed row %d col %d", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+)
+
+// Scalers normalize feature matrices before model training, mirroring
+// the preprocessing the paper's Keras pipeline applies. Both scalers
+// are fitted on training data only and then applied to any matrix with
+// the same width, so test data never leaks into the fit.
+
+// StandardScaler transforms each column to zero mean and unit
+// variance. Columns with zero variance are left centered but unscaled.
+type StandardScaler struct {
+	Mean   []float64
+	StdDev []float64
+}
+
+// ErrNotFitted reports use of a scaler before fitting.
+var ErrNotFitted = errors.New("dataset: scaler not fitted")
+
+// FitStandard computes column statistics from x.
+func FitStandard(x [][]float64) (*StandardScaler, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	d := len(x[0])
+	s := &StandardScaler{Mean: make([]float64, d), StdDev: make([]float64, d)}
+	for _, row := range x {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.StdDev[j] += dv * dv
+		}
+	}
+	for j := range s.StdDev {
+		s.StdDev[j] = math.Sqrt(s.StdDev[j] / n)
+	}
+	return s, nil
+}
+
+// Transform returns a scaled copy of x.
+func (s *StandardScaler) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = v - s.Mean[j]
+			if s.StdDev[j] > 0 {
+				o[j] /= s.StdDev[j]
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Inverse undoes the transform on a scaled copy of x.
+func (s *StandardScaler) Inverse(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = v
+			if s.StdDev[j] > 0 {
+				o[j] *= s.StdDev[j]
+			}
+			o[j] += s.Mean[j]
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// MinMaxScaler rescales each column into [0, 1] using the fitted
+// min/max. Constant columns map to 0.
+type MinMaxScaler struct {
+	Min []float64
+	Max []float64
+}
+
+// FitMinMax computes column ranges from x.
+func FitMinMax(x [][]float64) (*MinMaxScaler, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	d := len(x[0])
+	s := &MinMaxScaler{Min: make([]float64, d), Max: make([]float64, d)}
+	copy(s.Min, x[0])
+	copy(s.Max, x[0])
+	for _, row := range x[1:] {
+		for j, v := range row {
+			if v < s.Min[j] {
+				s.Min[j] = v
+			}
+			if v > s.Max[j] {
+				s.Max[j] = v
+			}
+		}
+	}
+	return s, nil
+}
+
+// Transform returns a rescaled copy of x.
+func (s *MinMaxScaler) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			span := s.Max[j] - s.Min[j]
+			if span > 0 {
+				o[j] = (v - s.Min[j]) / span
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Inverse undoes the transform on a rescaled copy of x.
+func (s *MinMaxScaler) Inverse(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = v*(s.Max[j]-s.Min[j]) + s.Min[j]
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// ScaleVector applies a fitted StandardScaler to a single vector.
+func (s *StandardScaler) ScaleVector(v []float64) []float64 {
+	return s.Transform([][]float64{v})[0]
+}
+
+// ScaleTarget standardizes a target vector and returns the transform
+// plus its inverse, used when models train on standardized labels.
+func ScaleTarget(y []float64) (scaled []float64, inverse func(float64) float64, err error) {
+	if len(y) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	mean, sd := 0.0, 0.0
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	for _, v := range y {
+		d := v - mean
+		sd += d * d
+	}
+	sd = math.Sqrt(sd / float64(len(y)))
+	scaled = make([]float64, len(y))
+	for i, v := range y {
+		scaled[i] = v - mean
+		if sd > 0 {
+			scaled[i] /= sd
+		}
+	}
+	inverse = func(v float64) float64 {
+		if sd > 0 {
+			v *= sd
+		}
+		return v + mean
+	}
+	return scaled, inverse, nil
+}

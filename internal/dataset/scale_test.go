@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardScaler(t *testing.T) {
+	x := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	s, err := FitStandard(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean[0] != 2 || s.Mean[1] != 20 {
+		t.Fatalf("means %v", s.Mean)
+	}
+	out := s.Transform(x)
+	// Column means of the transformed data should be ~0 and the
+	// population variances ~1.
+	for j := 0; j < 2; j++ {
+		mean, sq := 0.0, 0.0
+		for i := range out {
+			mean += out[i][j]
+		}
+		mean /= 3
+		for i := range out {
+			d := out[i][j] - mean
+			sq += d * d
+		}
+		variance := sq / 3
+		if math.Abs(mean) > 1e-12 || math.Abs(variance-1) > 1e-12 {
+			t.Fatalf("col %d: mean %v variance %v", j, mean, variance)
+		}
+	}
+	back := s.Inverse(out)
+	for i := range x {
+		for j := range x[i] {
+			if math.Abs(back[i][j]-x[i][j]) > 1e-9 {
+				t.Fatalf("inverse mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestStandardScalerConstantColumn(t *testing.T) {
+	x := [][]float64{{5, 1}, {5, 2}}
+	s, err := FitStandard(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Transform(x)
+	if out[0][0] != 0 || out[1][0] != 0 {
+		t.Fatalf("constant column should map to 0: %v", out)
+	}
+	back := s.Inverse(out)
+	if back[0][0] != 5 {
+		t.Fatalf("inverse of constant column: %v", back)
+	}
+}
+
+func TestStandardScalerEmpty(t *testing.T) {
+	if _, err := FitStandard(nil); err == nil {
+		t.Fatal("expected error on empty fit")
+	}
+}
+
+func TestMinMaxScaler(t *testing.T) {
+	x := [][]float64{{0, -10}, {10, 10}, {5, 0}}
+	s, err := FitMinMax(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Transform(x)
+	for i := range out {
+		for j := range out[i] {
+			if out[i][j] < 0 || out[i][j] > 1 {
+				t.Fatalf("value %v outside [0,1]", out[i][j])
+			}
+		}
+	}
+	if out[0][0] != 0 || out[1][0] != 1 || out[2][0] != 0.5 {
+		t.Fatalf("minmax col0 = %v %v %v", out[0][0], out[1][0], out[2][0])
+	}
+	back := s.Inverse(out)
+	for i := range x {
+		for j := range x[i] {
+			if math.Abs(back[i][j]-x[i][j]) > 1e-9 {
+				t.Fatalf("inverse mismatch")
+			}
+		}
+	}
+}
+
+func TestMinMaxConstantColumn(t *testing.T) {
+	x := [][]float64{{7}, {7}}
+	s, _ := FitMinMax(x)
+	out := s.Transform(x)
+	if out[0][0] != 0 {
+		t.Fatalf("constant minmax = %v", out[0][0])
+	}
+}
+
+func TestScaleVector(t *testing.T) {
+	s, _ := FitStandard([][]float64{{0}, {10}})
+	v := s.ScaleVector([]float64{5})
+	if v[0] != 0 {
+		t.Fatalf("ScaleVector = %v", v)
+	}
+}
+
+func TestScaleTarget(t *testing.T) {
+	y := []float64{10, 20, 30}
+	scaled, inv, err := ScaleTarget(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(scaled[0]+scaled[2]) > 1e-12 || scaled[1] != 0 {
+		t.Fatalf("scaled = %v", scaled)
+	}
+	for i := range y {
+		if math.Abs(inv(scaled[i])-y[i]) > 1e-9 {
+			t.Fatalf("inverse target mismatch at %d", i)
+		}
+	}
+	if _, _, err := ScaleTarget(nil); err == nil {
+		t.Fatal("expected error for empty target")
+	}
+}
+
+func TestScaleTargetConstant(t *testing.T) {
+	scaled, inv, err := ScaleTarget([]float64{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled[0] != 0 || inv(0) != 4 {
+		t.Fatalf("constant target scaling: %v, inv(0)=%v", scaled, inv(0))
+	}
+}
+
+// Property: standard scaling round-trips arbitrary finite matrices.
+func TestStandardScalerRoundTrip(t *testing.T) {
+	f := func(raw [4][3]float64) bool {
+		x := make([][]float64, len(raw))
+		for i, r := range raw {
+			for _, v := range r {
+				if math.IsNaN(v) || math.Abs(v) > 1e100 {
+					return true
+				}
+			}
+			x[i] = []float64{r[0], r[1], r[2]}
+		}
+		s, err := FitStandard(x)
+		if err != nil {
+			return false
+		}
+		back := s.Inverse(s.Transform(x))
+		for i := range x {
+			for j := range x[i] {
+				tol := 1e-6 * math.Max(1, math.Abs(x[i][j]))
+				if math.Abs(back[i][j]-x[i][j]) > tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

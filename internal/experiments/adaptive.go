@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"qens/internal/federation"
+	"qens/internal/selection"
+)
+
+// Adaptive-selector experiment: §II prescribes a decision procedure —
+// pre-test the federation, use cheap Random selection when nodes are
+// homogeneous, the query-driven mechanism when they are not.
+// selection.Adaptive encodes it; this experiment verifies the
+// procedure end-to-end on both corpus regimes: the classifier must
+// pick the right branch, and the adaptive loss must track the branch
+// it picked (not the other one).
+
+// AdaptiveArm is one regime's outcome.
+type AdaptiveArm struct {
+	Corpus string
+	// Branch is the mechanism the adaptive selector committed to.
+	Branch string
+	// AdaptiveLoss / RandomLoss / QueryDrivenLoss are mean
+	// per-query test MSEs of the three selectors on this corpus.
+	AdaptiveLoss    float64
+	RandomLoss      float64
+	QueryDrivenLoss float64
+}
+
+// AdaptiveResult covers both regimes.
+type AdaptiveResult struct {
+	Arms []AdaptiveArm
+}
+
+// String renders the comparison.
+func (r AdaptiveResult) String() string {
+	var b strings.Builder
+	b.WriteString("Adaptive selection (§II decision procedure end-to-end)\n")
+	for _, a := range r.Arms {
+		fmt.Fprintf(&b, "%-14s branch=%-13s adaptive=%-10.2f random=%-10.2f query-driven=%.2f\n",
+			a.Corpus, a.Branch, a.AdaptiveLoss, a.RandomLoss, a.QueryDrivenLoss)
+	}
+	return b.String()
+}
+
+// Adaptive runs the experiment on a homogeneous and a heterogeneous
+// corpus.
+func Adaptive(opts Options) (*AdaptiveResult, error) {
+	opts = opts.WithDefaults()
+	out := &AdaptiveResult{}
+	for _, regime := range []struct {
+		name          string
+		heterogeneity float64
+		flip          float64
+	}{
+		{"homogeneous", 0.02, 0},
+		{"heterogeneous", 1, 0.3},
+	} {
+		o := opts
+		o.Heterogeneity = regime.heterogeneity
+		o.FlipFraction = regime.flip
+		env, err := NewEnvironment(o)
+		if err != nil {
+			return nil, err
+		}
+		arm := AdaptiveArm{Corpus: regime.name}
+
+		adaptive := &selection.Adaptive{Epsilon: o.Epsilon, TopL: o.TopL}
+		loss, _, err := env.meanLoss(adaptive, federation.WeightedAveraging)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: adaptive arm on %s: %w", regime.name, err)
+		}
+		arm.AdaptiveLoss = loss
+		if r, ok := adaptive.Regime(); ok {
+			if r == selection.RegimeHomogeneous {
+				arm.Branch = "random"
+			} else {
+				arm.Branch = "query-driven"
+			}
+		}
+
+		if arm.RandomLoss, _, err = env.meanLoss(selection.Random{L: o.TopL}, federation.ModelAveraging); err != nil {
+			return nil, err
+		}
+		qd := selection.QueryDriven{Epsilon: o.Epsilon, TopL: o.TopL}
+		if arm.QueryDrivenLoss, _, err = env.meanLoss(qd, federation.WeightedAveraging); err != nil {
+			return nil, err
+		}
+		out.Arms = append(out.Arms, arm)
+	}
+	return out, nil
+}

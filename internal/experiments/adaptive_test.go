@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdaptiveExperiment(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 12
+	res, err := Adaptive(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Arms) != 2 {
+		t.Fatalf("%d arms", len(res.Arms))
+	}
+	homo, hetero := res.Arms[0], res.Arms[1]
+	// The §II decision: random on homogeneous fleets, query-driven on
+	// heterogeneous ones.
+	if homo.Branch != "random" {
+		t.Fatalf("homogeneous branch %q, want random", homo.Branch)
+	}
+	if hetero.Branch != "query-driven" {
+		t.Fatalf("heterogeneous branch %q, want query-driven", hetero.Branch)
+	}
+	// On the heterogeneous corpus the adaptive loss must track the
+	// query-driven arm, far from the random arm.
+	if hetero.AdaptiveLoss >= hetero.RandomLoss {
+		t.Fatalf("adaptive %v not below random %v on heterogeneous corpus",
+			hetero.AdaptiveLoss, hetero.RandomLoss)
+	}
+	if !strings.Contains(res.String(), "Adaptive") {
+		t.Fatal("rendering broken")
+	}
+}

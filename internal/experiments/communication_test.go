@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCommunicationCost(t *testing.T) {
+	res, err := CommunicationCost(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 || res.Queries == 0 {
+		t.Fatalf("result %+v", res)
+	}
+	byName := map[string]CommPoint{}
+	for _, p := range res.Points {
+		byName[p.Mechanism] = p
+	}
+	qd, gt, raw := byName["query-driven"], byName["game-theory"], byName["centralized"]
+	// The O(1) claim: query-driven setup exists but is tiny, and its
+	// per-query traffic is below GT (which adds a pre-test round over
+	// all nodes) and far below shipping raw data.
+	if qd.SetupBytes <= 0 {
+		t.Fatal("query-driven setup bytes missing")
+	}
+	if qd.PerQueryBytes >= gt.PerQueryBytes {
+		t.Fatalf("query-driven per-query %d not below GT %d", qd.PerQueryBytes, gt.PerQueryBytes)
+	}
+	if qd.PerQueryBytes >= raw.PerQueryBytes {
+		t.Fatalf("query-driven per-query %d not below centralized %d", qd.PerQueryBytes, raw.PerQueryBytes)
+	}
+	// Setup is amortized: it should be smaller than a handful of
+	// centralized queries.
+	if qd.SetupBytes > 3*raw.PerQueryBytes {
+		t.Fatalf("summary exchange %d suspiciously large vs raw %d", qd.SetupBytes, raw.PerQueryBytes)
+	}
+	if !strings.Contains(res.String(), "Communication") {
+		t.Fatal("rendering broken")
+	}
+}

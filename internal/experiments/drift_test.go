@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func driftOpts() Options {
+	o := quickOpts()
+	o.Heterogeneity = 1
+	o.FlipFraction = 0.3 // guarantee an adversarial node on the naive path
+	o.Queries = 20       // more chances to find a suitable query
+	return o
+}
+
+func TestDrift(t *testing.T) {
+	res, err := Drift(driftOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.QueryDrivenPath) < 2 {
+		t.Fatalf("query-driven path too short: %v", res.QueryDrivenPath)
+	}
+	if len(res.NaivePath) != 6 { // all nodes
+		t.Fatalf("naive path visited %d nodes, want 6", len(res.NaivePath))
+	}
+	if len(res.QueryDrivenLoss) != len(res.QueryDrivenPath) ||
+		len(res.NaiveLoss) != len(res.NaivePath) {
+		t.Fatal("loss/path length mismatch")
+	}
+	// The motivating claim: training on irrelevant data drags the
+	// final model down relative to the query-driven path.
+	qd, naive := res.FinalLosses()
+	if qd >= naive {
+		t.Fatalf("query-driven final loss %v not below naive %v", qd, naive)
+	}
+	if !strings.Contains(res.String(), "drift") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestDriftNaiveRegression(t *testing.T) {
+	res, err := Drift(driftOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With sign-flipped nodes on the naive path there must be at
+	// least one visit that increases the loss (the forgetting jump).
+	if res.MaxNaiveRegression() <= 0 {
+		t.Fatalf("no forgetting jump on the naive path: %v", res.NaiveLoss)
+	}
+}
+
+func TestDriftDeterministic(t *testing.T) {
+	a, err := Drift(driftOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Drift(driftOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.QueryID != b.QueryID || len(a.NaiveLoss) != len(b.NaiveLoss) {
+		t.Fatal("drift experiment not deterministic")
+	}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps the federated runs fast while preserving the
+// qualitative shape of the paper's results.
+func quickOpts() Options {
+	return Options{
+		Seed:           7,
+		Nodes:          6,
+		SamplesPerNode: 400,
+		Queries:        12,
+		ClusterK:       5,
+		Epsilon:        0.6,
+		TopL:           2,
+		LocalEpochs:    4,
+	}
+}
+
+func TestNewEnvironment(t *testing.T) {
+	env, err := NewEnvironment(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Queries) != 12 {
+		t.Fatalf("%d queries", len(env.Queries))
+	}
+	if len(env.Fleet.Nodes) != 6 {
+		t.Fatalf("%d nodes", len(env.Fleet.Nodes))
+	}
+	if env.Fleet.Test.Len() == 0 {
+		t.Fatal("no test data")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.WithDefaults()
+	if o.Nodes != 10 || o.SamplesPerNode != 2000 || o.Queries != 200 || o.ClusterK != 5 {
+		t.Fatalf("paper defaults wrong: %+v", o)
+	}
+	if o.Model != "linear" {
+		t.Fatalf("default model %s", o.Model)
+	}
+}
+
+func TestBadModel(t *testing.T) {
+	o := quickOpts()
+	o.Model = "forest"
+	if _, err := NewEnvironment(o); err == nil {
+		t.Fatal("accepted unknown model")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	res, err := TableI(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != "homogeneous" {
+		t.Fatalf("regime %s", res.Regime)
+	}
+	// Homogeneous regime: random selection must be competitive with
+	// all-node selection (paper: 24.45 vs 24.70).
+	ratio := res.RandomLoss / res.AllNodeLoss
+	if ratio > 2.5 || ratio < 0.4 {
+		t.Fatalf("homogeneous losses diverge: all=%v random=%v", res.AllNodeLoss, res.RandomLoss)
+	}
+	if !strings.Contains(res.String(), "All-node") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	res, err := TableII(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != "heterogeneous" {
+		t.Fatalf("regime %s", res.Regime)
+	}
+	// Heterogeneous regime: random selection must be clearly worse
+	// (paper: 178.10 vs 9.70 — an ~18x blowup; we require >1.5x).
+	if res.RandomLoss < res.AllNodeLoss*1.5 {
+		t.Fatalf("heterogeneous regime not visible: all=%v random=%v", res.AllNodeLoss, res.RandomLoss)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	res, err := Figure6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("%d nodes, want 3", len(res.Nodes))
+	}
+	for _, n := range res.Nodes {
+		if len(n.Clusters) != 5 {
+			t.Fatalf("node %s has %d clusters", n.NodeID, len(n.Clusters))
+		}
+		if n.NeededSamples > n.TotalSamples {
+			t.Fatalf("node %s needs more than it has", n.NodeID)
+		}
+		// Supporting flags must be consistent with overlaps.
+		for _, c := range n.Clusters {
+			if c.Supporting && c.Overlap < 0.6 {
+				t.Fatalf("supporting cluster with overlap %v < ε", c.Overlap)
+			}
+			if !c.Supporting && c.Overlap >= 0.6 {
+				t.Fatalf("non-supporting cluster with overlap %v >= ε", c.Overlap)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 6") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	res, err := Figure7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Figure7Mechanisms {
+		if _, ok := res.Losses[m]; !ok {
+			t.Fatalf("missing mechanism %s", m)
+		}
+		if res.Executed[m] == 0 {
+			t.Fatalf("mechanism %s executed no queries", m)
+		}
+	}
+	// The paper's headline shape: the query-driven arms beat random.
+	if res.Losses["weighted"] >= res.Losses["random"] {
+		t.Fatalf("weighted %v not better than random %v", res.Losses["weighted"], res.Losses["random"])
+	}
+	if res.Losses["averaging"] >= res.Losses["random"] {
+		t.Fatalf("averaging %v not better than random %v", res.Losses["averaging"], res.Losses["random"])
+	}
+	if !strings.Contains(res.String(), "Figure 7") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	res, err := Figure8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// Query-driven training touches strictly less data; that is the
+	// deterministic quantity behind the paper's timing gap. Wall-clock
+	// speedup at this toy scale is overhead-dominated, so the timing
+	// itself is only checked for sanity here; the bench regenerates
+	// the figure at paper scale.
+	if r := res.DataReduction(); r <= 1 {
+		t.Fatalf("data reduction %v, want > 1", r)
+	}
+	for _, p := range res.Points {
+		if p.QueryDriven <= 0 || p.WholeData <= 0 {
+			t.Fatalf("query %s has non-positive timings", p.QueryID)
+		}
+		if p.SamplesQueryDriven > p.SamplesWhole {
+			t.Fatalf("query %s trained on more data than the whole-data arm", p.QueryID)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 8") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	res, err := Figure9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, whole := res.MeanFractions()
+	if qd <= 0 || whole <= 0 {
+		t.Fatalf("fractions %v/%v", qd, whole)
+	}
+	if qd >= whole {
+		t.Fatalf("query-driven fraction %v not below whole-data %v", qd, whole)
+	}
+	if whole > 1.0001 {
+		t.Fatalf("whole-data fraction %v above 1", whole)
+	}
+	for _, p := range res.Points {
+		if p.QueryDrivenFraction > p.WholeDataFraction+1e-9 {
+			t.Fatalf("query %s uses more data than whole-data arm", p.QueryID)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 9") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestAblationK(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 8
+	res, err := AblationK(opts, []int{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// The §IV-A Remark: K=1 gives one whole-node cluster, so data
+	// selectivity vanishes — K=5 must use less data.
+	if res.Points[1].DataFraction >= res.Points[0].DataFraction {
+		t.Fatalf("K=5 data %v not below K=1 %v",
+			res.Points[1].DataFraction, res.Points[0].DataFraction)
+	}
+}
+
+func TestAblationEpsilon(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 8
+	res, err := AblationEpsilon(opts, []float64{0.1, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stricter ε admits fewer clusters, so data usage must not rise.
+	if res.Points[1].DataFraction > res.Points[0].DataFraction+1e-9 {
+		t.Fatalf("ε=0.6 uses more data (%v) than ε=0.1 (%v)",
+			res.Points[1].DataFraction, res.Points[0].DataFraction)
+	}
+}
+
+func TestAblationTopL(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 8
+	res, err := AblationTopL(opts, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// More participants -> more data used.
+	if res.Points[1].DataFraction < res.Points[0].DataFraction {
+		t.Fatalf("ℓ=3 uses less data than ℓ=1")
+	}
+}
+
+func TestAblationPsi(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 8
+	res, err := AblationPsi(opts, []float64{0.05, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	if !strings.Contains(res.String(), "Ablation") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestAblationAggregation(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 8
+	res, err := AblationAggregation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	names := map[string]bool{}
+	for _, p := range res.Points {
+		names[p.Setting] = true
+	}
+	if !names["averaging"] || !names["weighted"] {
+		t.Fatalf("missing paper aggregations: %v", names)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMultiFeature(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 15
+	res, err := MultiFeature(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dims != 4 {
+		t.Fatalf("dims %d, want 4", res.Dims)
+	}
+	if res.Executed == 0 {
+		t.Fatal("no queries executed")
+	}
+	if res.Losses["weighted"] <= 0 || res.Losses["random"] <= 0 {
+		t.Fatalf("losses %+v", res.Losses)
+	}
+	// The mechanism's advantage must survive in higher dimensions.
+	if res.Losses["weighted"] >= res.Losses["random"] {
+		t.Fatalf("weighted %v not below random %v in 4-d",
+			res.Losses["weighted"], res.Losses["random"])
+	}
+	// Data selectivity must remain real.
+	if res.DataFraction <= 0 || res.DataFraction >= 0.9 {
+		t.Fatalf("data fraction %v", res.DataFraction)
+	}
+	if !strings.Contains(res.String(), "Multi-feature") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestMultiFeatureCustomColumns(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 10
+	res, err := MultiFeature(opts, []string{"TEMP", "PRES", "PM2.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dims != 3 {
+		t.Fatalf("dims %d", res.Dims)
+	}
+}
+
+func TestMultiFeatureRequiresTarget(t *testing.T) {
+	if _, err := MultiFeature(quickOpts(), []string{"TEMP", "PRES"}); err == nil {
+		t.Fatal("accepted columns without the target")
+	}
+}
+
+func TestFigure7NN(t *testing.T) {
+	opts := quickOpts()
+	opts.Model = "nn"
+	opts.Nodes = 4
+	opts.SamplesPerNode = 250
+	opts.Queries = 5
+	opts.LocalEpochs = 3
+	res, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range Figure7Mechanisms {
+		if res.Executed[m] == 0 {
+			t.Fatalf("NN arm %s executed no queries", m)
+		}
+	}
+	// The headline ordering must hold for the NN too.
+	if res.Losses["weighted"] >= res.Losses["random"] {
+		t.Fatalf("NN weighted %v not below random %v", res.Losses["weighted"], res.Losses["random"])
+	}
+}

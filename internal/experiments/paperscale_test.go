@@ -1,0 +1,67 @@
+package experiments
+
+import "testing"
+
+// TestPaperScaleShapes runs the headline experiments at (reduced)
+// paper scale and asserts every shape EXPERIMENTS.md records. It is
+// the regression guard for the reproduction as a whole; skip with
+// -short.
+func TestPaperScaleShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped in -short mode")
+	}
+	opts := Options{
+		Seed:           1,
+		Nodes:          10,
+		SamplesPerNode: 1500,
+		Queries:        25,
+		ClusterK:       5,
+		Epsilon:        0.6,
+		TopL:           3,
+		LocalEpochs:    5,
+	}
+
+	t1, err := TableI(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := t1.RandomLoss / t1.AllNodeLoss; ratio > 2 || ratio < 0.5 {
+		t.Errorf("Table I shape broken: ratio %v", ratio)
+	}
+
+	t2, err := TableII(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.RandomLoss < t2.AllNodeLoss*1.3 {
+		t.Errorf("Table II shape broken: %v vs %v", t2.RandomLoss, t2.AllNodeLoss)
+	}
+
+	f7, err := Figure7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.Losses["weighted"] >= f7.Losses["gt"] || f7.Losses["averaging"] >= f7.Losses["gt"] {
+		t.Errorf("Fig 7 shape broken: query-driven arms not below GT: %v", f7.Losses)
+	}
+	if f7.Losses["gt"] >= f7.Losses["random"]*1.5 {
+		t.Errorf("Fig 7 shape broken: GT %v not competitive with random %v", f7.Losses["gt"], f7.Losses["random"])
+	}
+
+	f8, err := Figure8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f8.DataReduction() <= 1.2 {
+		t.Errorf("Fig 8 shape broken: data reduction %v", f8.DataReduction())
+	}
+
+	f9, err := Figure9(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd, whole := f9.MeanFractions()
+	if qd >= whole || qd > 0.35 {
+		t.Errorf("Fig 9 shape broken: %v vs %v", qd, whole)
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuantizerAblation(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 12
+	res, err := QuantizerAblation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	byName := map[string]QuantizerPoint{}
+	for _, p := range res.Points {
+		if p.Executed == 0 {
+			t.Fatalf("%s executed no queries", p.Quantizer)
+		}
+		if p.MeanClusters <= 0 {
+			t.Fatalf("%s advertised no clusters", p.Quantizer)
+		}
+		if p.DataFraction <= 0 || p.DataFraction >= 1 {
+			t.Fatalf("%s data fraction %v", p.Quantizer, p.DataFraction)
+		}
+		byName[p.Quantizer] = p
+	}
+	if _, ok := byName["kmeans"]; !ok {
+		t.Fatal("missing kmeans arm")
+	}
+	if _, ok := byName["grid"]; !ok {
+		t.Fatal("missing grid arm")
+	}
+	// Both synopses must produce usable federations; neither arm may
+	// be catastrophically broken relative to the other.
+	k, g := byName["kmeans"].Loss, byName["grid"].Loss
+	if k > g*20 || g > k*20 {
+		t.Fatalf("quantizer losses wildly apart: kmeans=%v grid=%v", k, g)
+	}
+	if !strings.Contains(res.String(), "Quantizer") {
+		t.Fatal("rendering broken")
+	}
+}

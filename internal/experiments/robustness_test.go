@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoiseRobustness(t *testing.T) {
+	opts := quickOpts()
+	opts.Queries = 12
+	res, err := NoiseRobustness(opts, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	clean, noisy := res.Points[0], res.Points[1]
+	if clean.CorruptFraction != 0 || noisy.CorruptFraction != 0.3 {
+		t.Fatalf("fractions %v/%v", clean.CorruptFraction, noisy.CorruptFraction)
+	}
+	// At zero corruption nothing corrupted can be selected.
+	if clean.CorruptSelected != 0 {
+		t.Fatalf("clean run selected corrupted nodes: %v", clean.CorruptSelected)
+	}
+	// Under corruption, the query-driven mechanism must stay ahead of
+	// random selection (which samples corrupted nodes at their base
+	// rate).
+	if noisy.QueryDrivenLoss >= noisy.RandomLoss {
+		t.Fatalf("query-driven %v not below random %v under noise",
+			noisy.QueryDrivenLoss, noisy.RandomLoss)
+	}
+	// The selection behaviour is reported, not assumed: the measured
+	// rate must be a valid fraction, and the experiment must not
+	// pretend corrupted nodes are never picked (k-means slabs can
+	// satisfy ε — see the package comment).
+	if noisy.CorruptSelected < 0 || noisy.CorruptSelected > 1 {
+		t.Fatalf("corrupt-selected fraction %v out of range", noisy.CorruptSelected)
+	}
+	if !strings.Contains(res.String(), "robustness") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestNoiseRobustnessValidation(t *testing.T) {
+	if _, err := NoiseRobustness(quickOpts(), []float64{1.5}); err == nil {
+		t.Fatal("accepted fraction > 1")
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"qens/internal/federation"
+	"qens/internal/selection"
+)
+
+// Heterogeneity sweep: where does node selection matter? The §II
+// narrative says random selection suffices on homogeneous data
+// (Table I) and fails on heterogeneous data (Table II); this
+// experiment traces the transition by sweeping the corpus
+// heterogeneity knob and recording the loss of random selection
+// relative to the query-driven mechanism at each point.
+
+// SweepPoint is one heterogeneity setting's outcome.
+type SweepPoint struct {
+	Heterogeneity float64
+	// QueryDrivenLoss and RandomLoss are mean per-query test MSEs.
+	QueryDrivenLoss float64
+	RandomLoss      float64
+	// Advantage is RandomLoss / QueryDrivenLoss — how much the
+	// mechanism buys at this heterogeneity level.
+	Advantage float64
+	// Regime is the §II pre-test classification at this level.
+	Regime string
+}
+
+// SweepResult is the full trace.
+type SweepResult struct {
+	Points []SweepPoint
+}
+
+// String renders the trace.
+func (r SweepResult) String() string {
+	var b strings.Builder
+	b.WriteString("Heterogeneity sweep — when does selection matter?\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "h=%.2f  query-driven=%-10.2f random=%-10.2f advantage=%5.2fx  pretest=%s\n",
+			p.Heterogeneity, p.QueryDrivenLoss, p.RandomLoss, p.Advantage, p.Regime)
+	}
+	return b.String()
+}
+
+// HeterogeneitySweep runs the trace over the given heterogeneity
+// levels (defaults to 0.02, 0.25, 0.5, 0.75, 1.0).
+func HeterogeneitySweep(opts Options, levels []float64) (*SweepResult, error) {
+	opts = opts.WithDefaults()
+	if len(levels) == 0 {
+		levels = []float64{0.02, 0.25, 0.5, 0.75, 1.0}
+	}
+	out := &SweepResult{}
+	for _, h := range levels {
+		if h < 0 || h > 1 {
+			return nil, fmt.Errorf("experiments: heterogeneity %v outside [0,1]", h)
+		}
+		o := opts
+		o.Heterogeneity = h
+		if h > 0.5 {
+			o.FlipFraction = 0.2
+		} else {
+			o.FlipFraction = 0
+		}
+		env, err := NewEnvironment(o)
+		if err != nil {
+			return nil, err
+		}
+		qd, _, err := env.meanLoss(
+			selection.QueryDriven{Epsilon: o.Epsilon, TopL: o.TopL},
+			federation.WeightedAveraging)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep h=%v query-driven arm: %w", h, err)
+		}
+		rnd, _, err := env.meanLoss(selection.Random{L: o.TopL}, federation.ModelAveraging)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep h=%v random arm: %w", h, err)
+		}
+		pre, err := env.Fleet.Leader.PreTest(0)
+		if err != nil {
+			return nil, err
+		}
+		adv := 0.0
+		if qd > 0 {
+			adv = rnd / qd
+		}
+		out.Points = append(out.Points, SweepPoint{
+			Heterogeneity:   h,
+			QueryDrivenLoss: qd,
+			RandomLoss:      rnd,
+			Advantage:       adv,
+			Regime:          pre.Regime.String(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"qens/internal/ml"
+)
+
+// Aggregation selects how the leader combines the local models'
+// predictions (§IV-B).
+type Aggregation int
+
+const (
+	// ModelAveraging is Eq. 6: the unweighted mean of the local
+	// models' predictions.
+	ModelAveraging Aggregation = iota
+	// WeightedAveraging is Eq. 7: predictions weighted by each
+	// participant's relative ranking λ_i = r_i / Σ r_k.
+	WeightedAveraging
+)
+
+// String implements fmt.Stringer.
+func (a Aggregation) String() string {
+	switch a {
+	case ModelAveraging:
+		return "averaging"
+	case WeightedAveraging:
+		return "weighted"
+	default:
+		return fmt.Sprintf("Aggregation(%d)", int(a))
+	}
+}
+
+// Ensemble is the leader-side global predictor: the ℓ local models
+// plus their aggregation weights. It satisfies the prediction part of
+// ml.Model usage (Predict / PredictBatch) without being trainable.
+type Ensemble struct {
+	models  []ml.Model
+	weights []float64
+}
+
+// NewEnsemble builds an ensemble from local model parameters. ranks
+// supplies the per-participant r_i used by WeightedAveraging; for
+// ModelAveraging every model gets weight 1/ℓ regardless of rank.
+func NewEnsemble(spec ml.Spec, params []ml.Params, ranks []float64, agg Aggregation) (*Ensemble, error) {
+	if len(params) == 0 {
+		return nil, errors.New("federation: ensemble needs at least one model")
+	}
+	if len(ranks) != len(params) {
+		return nil, fmt.Errorf("federation: %d ranks for %d models", len(ranks), len(params))
+	}
+	e := &Ensemble{
+		models:  make([]ml.Model, len(params)),
+		weights: make([]float64, len(params)),
+	}
+	for i, p := range params {
+		m, err := spec.New()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.SetParams(p); err != nil {
+			return nil, fmt.Errorf("federation: ensemble model %d: %w", i, err)
+		}
+		e.models[i] = m
+	}
+	switch agg {
+	case ModelAveraging:
+		w := 1 / float64(len(params))
+		for i := range e.weights {
+			e.weights[i] = w
+		}
+	case WeightedAveraging:
+		total := 0.0
+		for _, r := range ranks {
+			if r < 0 {
+				return nil, fmt.Errorf("federation: negative rank %v", r)
+			}
+			total += r
+		}
+		if total <= 0 {
+			// All-zero ranks degrade to plain averaging.
+			w := 1 / float64(len(params))
+			for i := range e.weights {
+				e.weights[i] = w
+			}
+			break
+		}
+		for i, r := range ranks {
+			e.weights[i] = r / total
+		}
+	default:
+		return nil, fmt.Errorf("federation: unknown aggregation %d", agg)
+	}
+	return e, nil
+}
+
+// Weights returns the λ_i aggregation weights (a copy).
+func (e *Ensemble) Weights() []float64 { return append([]float64(nil), e.weights...) }
+
+// Size returns the number of member models (the paper's ℓ).
+func (e *Ensemble) Size() int { return len(e.models) }
+
+// Predict returns the aggregated prediction ŷ(q) for one input.
+func (e *Ensemble) Predict(x []float64) float64 {
+	out := 0.0
+	for i, m := range e.models {
+		out += e.weights[i] * m.Predict(x)
+	}
+	return out
+}
+
+// PredictBatch returns aggregated predictions for many inputs.
+func (e *Ensemble) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = e.Predict(row)
+	}
+	return out
+}
+
+// PredictWithSpread returns the aggregated prediction together with
+// the weighted standard deviation of the member models' predictions —
+// a cheap uncertainty signal: members trained on well-matched data
+// agree, members stretched outside their data space diverge. A spread
+// of 0 is returned for single-model ensembles.
+func (e *Ensemble) PredictWithSpread(x []float64) (prediction, spread float64) {
+	if len(e.models) == 1 {
+		return e.models[0].Predict(x), 0
+	}
+	preds := make([]float64, len(e.models))
+	for i, m := range e.models {
+		preds[i] = m.Predict(x)
+		prediction += e.weights[i] * preds[i]
+	}
+	variance := 0.0
+	for i, p := range preds {
+		d := p - prediction
+		variance += e.weights[i] * d * d
+	}
+	return prediction, math.Sqrt(variance)
+}
+
+// FedAvgParams computes a parameter-space weighted average of local
+// models (classic FedAvg), provided as an ablation against the paper's
+// prediction-space aggregation. Weights are normalized internally;
+// all snapshots must be architecture-compatible.
+func FedAvgParams(params []ml.Params, weights []float64) (ml.Params, error) {
+	if len(params) == 0 {
+		return ml.Params{}, errors.New("federation: fedavg needs at least one model")
+	}
+	if len(weights) != len(params) {
+		return ml.Params{}, fmt.Errorf("federation: %d weights for %d models", len(weights), len(params))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return ml.Params{}, fmt.Errorf("federation: negative weight %v", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		total = float64(len(params))
+		weights = make([]float64, len(params))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	out := params[0].Clone()
+	for i := range out.Values {
+		out.Values[i] = 0
+	}
+	for m, p := range params {
+		if !p.Compatible(out) {
+			return ml.Params{}, fmt.Errorf("federation: model %d incompatible with model 0", m)
+		}
+		w := weights[m] / total
+		for i, v := range p.Values {
+			out.Values[i] += w * v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"qens/internal/geometry"
+)
+
+// Audit logging: one JSON line per executed query, capturing what the
+// leader decided and what it cost — the operational record an edge
+// deployment needs for capacity planning and debugging selection
+// behaviour after the fact. Raw data and model parameters are never
+// logged.
+
+// AuditRecord is one query's audit entry.
+type AuditRecord struct {
+	Time         time.Time     `json:"time"`
+	QueryID      string        `json:"query_id"`
+	Bounds       geometry.Rect `json:"bounds"`
+	Selector     string        `json:"selector"`
+	Aggregation  string        `json:"aggregation"`
+	Participants []string      `json:"participants"`
+	Failed       []string      `json:"failed,omitempty"`
+	SamplesUsed  int           `json:"samples_used"`
+	DataFraction float64       `json:"data_fraction"`
+	TrainTimeMS  float64       `json:"train_time_ms"`
+	WallTimeMS   float64       `json:"wall_time_ms"`
+	BytesUp      int64         `json:"bytes_up"`
+	BytesDown    int64         `json:"bytes_down"`
+}
+
+// AuditLog writes query audit records as JSON lines. It is safe for
+// concurrent use.
+type AuditLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+	n   int
+}
+
+// NewAuditLog writes records to w.
+func NewAuditLog(w io.Writer) *AuditLog {
+	return &AuditLog{w: w, now: time.Now}
+}
+
+// Record appends one result to the log.
+func (a *AuditLog) Record(res *Result) error {
+	if res == nil {
+		return fmt.Errorf("federation: audit of nil result")
+	}
+	ids := make([]string, len(res.Participants))
+	for i, p := range res.Participants {
+		ids[i] = p.NodeID
+	}
+	rec := AuditRecord{
+		Time:         a.now(),
+		QueryID:      res.Query.ID,
+		Bounds:       res.Query.Bounds,
+		Selector:     res.Selector,
+		Aggregation:  res.Aggregation.String(),
+		Participants: ids,
+		Failed:       res.Failed,
+		SamplesUsed:  res.Stats.SamplesUsed,
+		DataFraction: res.Stats.DataFraction(),
+		TrainTimeMS:  float64(res.Stats.TrainTime) / float64(time.Millisecond),
+		WallTimeMS:   float64(res.Stats.WallTime) / float64(time.Millisecond),
+		BytesUp:      res.Stats.BytesUp,
+		BytesDown:    res.Stats.BytesDown,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("federation: audit encode: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, err := a.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("federation: audit write: %w", err)
+	}
+	a.n++
+	return nil
+}
+
+// Len returns the number of records written.
+func (a *AuditLog) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// ReadAuditLog parses a JSONL audit stream back into records.
+func ReadAuditLog(r io.Reader) ([]AuditRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []AuditRecord
+	for {
+		var rec AuditRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("federation: audit decode at record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,112 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+
+	"qens/internal/geometry"
+	"qens/internal/query"
+	"qens/internal/selection"
+)
+
+// Query-result reuse, following the knowledge-reuse idea of Long et
+// al. (the paper's reference [5]): analytics workloads are bursty and
+// self-similar, so a model trained for one query rectangle often
+// answers the next. ReuseCache keeps recently built ensembles keyed by
+// their query rectangles; a new query whose IoU with a cached
+// rectangle reaches MinIoU is served from the cache, skipping
+// selection and training entirely.
+
+// ReuseCache is a bounded FIFO cache of query results. It is safe for
+// concurrent use.
+type ReuseCache struct {
+	mu      sync.Mutex
+	minIoU  float64
+	cap     int
+	entries []*Result
+	hits    int
+	misses  int
+}
+
+// NewReuseCache builds a cache serving queries whose rectangle IoU
+// with a cached query is at least minIoU (in (0, 1]; higher is
+// stricter), holding at most capacity results.
+func NewReuseCache(minIoU float64, capacity int) (*ReuseCache, error) {
+	if minIoU <= 0 || minIoU > 1 {
+		return nil, fmt.Errorf("federation: reuse IoU threshold %v outside (0,1]", minIoU)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("federation: reuse capacity %d < 1", capacity)
+	}
+	return &ReuseCache{minIoU: minIoU, cap: capacity}, nil
+}
+
+// Lookup returns the best cached result whose query rectangle matches
+// q at or above the IoU threshold.
+func (c *ReuseCache) Lookup(q query.Query) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *Result
+	bestIoU := 0.0
+	for _, r := range c.entries {
+		if r.Query.Dims() != q.Dims() {
+			continue
+		}
+		if iou := geometry.IoU(q.Bounds, r.Query.Bounds); iou >= c.minIoU && iou > bestIoU {
+			best, bestIoU = r, iou
+		}
+	}
+	if best == nil {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return best, true
+}
+
+// Store records a freshly built result, evicting the oldest entry at
+// capacity.
+func (c *ReuseCache) Store(res *Result) {
+	if res == nil || res.Ensemble == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) == c.cap {
+		copy(c.entries, c.entries[1:])
+		c.entries = c.entries[:len(c.entries)-1]
+	}
+	c.entries = append(c.entries, res)
+}
+
+// Stats reports cache effectiveness.
+func (c *ReuseCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the current number of cached results.
+func (c *ReuseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// ExecuteWithReuse answers the query from the cache when possible and
+// otherwise runs the normal Execute, storing the fresh result. reused
+// reports which path was taken.
+func (l *Leader) ExecuteWithReuse(cache *ReuseCache, q query.Query, sel selection.Selector, agg Aggregation) (res *Result, reused bool, err error) {
+	if cache == nil {
+		return nil, false, fmt.Errorf("federation: nil reuse cache")
+	}
+	if hit, ok := cache.Lookup(q); ok {
+		return hit, true, nil
+	}
+	res, err = l.Execute(q, sel, agg)
+	if err != nil {
+		return nil, false, err
+	}
+	cache.Store(res)
+	return res, false, nil
+}

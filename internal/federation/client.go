@@ -1,0 +1,35 @@
+package federation
+
+import "qens/internal/cluster"
+
+// Client is the leader's view of a participant node. The in-process
+// implementation below wraps *Node directly; internal/transport
+// provides a TCP-backed implementation with the same semantics, so the
+// leader's orchestration is agnostic to where participants run.
+type Client interface {
+	// ID returns the participant's node id.
+	ID() string
+	// Summary fetches the cluster advertisement.
+	Summary() (cluster.NodeSummary, error)
+	// Train runs a local training round.
+	Train(TrainRequest) (TrainResponse, error)
+	// Evaluate scores a model on the node's local data.
+	Evaluate(EvalRequest) (EvalResponse, error)
+}
+
+// LocalClient adapts an in-process Node to the Client interface.
+type LocalClient struct {
+	Node *Node
+}
+
+// ID implements Client.
+func (c LocalClient) ID() string { return c.Node.ID() }
+
+// Summary implements Client.
+func (c LocalClient) Summary() (cluster.NodeSummary, error) { return c.Node.Summary(), nil }
+
+// Train implements Client.
+func (c LocalClient) Train(req TrainRequest) (TrainResponse, error) { return c.Node.Train(req) }
+
+// Evaluate implements Client.
+func (c LocalClient) Evaluate(req EvalRequest) (EvalResponse, error) { return c.Node.Evaluate(req) }

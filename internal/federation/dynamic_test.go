@@ -1,0 +1,80 @@
+package federation
+
+import (
+	"testing"
+
+	"qens/internal/ml"
+	"qens/internal/rng"
+)
+
+func TestNodeAddSamplesRequantizes(t *testing.T) {
+	d := lineDataset(100, 1, 0, 0, 10, 50)
+	n, err := NewNode("n", d, 4, rng.New(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := n.Summary()
+	if before.TotalSamples != 100 {
+		t.Fatalf("before total %d", before.TotalSamples)
+	}
+	// New data in a previously unseen region must widen the
+	// advertised space.
+	var rows [][]float64
+	for i := 0; i < 50; i++ {
+		x := 100 + float64(i)
+		rows = append(rows, []float64{x, x})
+	}
+	if err := n.AddSamples(rows); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Summary()
+	if after.TotalSamples != 150 {
+		t.Fatalf("after total %d", after.TotalSamples)
+	}
+	hi := 0.0
+	for _, c := range after.Clusters {
+		if c.Bounds.Max[0] > hi {
+			hi = c.Bounds.Max[0]
+		}
+	}
+	if hi < 149 {
+		t.Fatalf("advertised space not widened: max x %v", hi)
+	}
+}
+
+func TestNodeAddSamplesValidation(t *testing.T) {
+	d := lineDataset(50, 1, 0, 0, 10, 51)
+	n, _ := NewNode("n", d, 3, rng.New(51))
+	if err := n.AddSamples([][]float64{{1}}); err == nil {
+		t.Fatal("accepted wrong-width row")
+	}
+}
+
+func TestLeaderSeesRequantizedData(t *testing.T) {
+	d := lineDataset(100, 1, 0, 0, 10, 52)
+	n, _ := NewNode("n", d, 3, rng.New(52))
+	leader, err := NewLeader(Config{Spec: pLR(), Seed: 1}, nil, []Client{LocalClient{n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := leader.Summaries()
+	if s1[0].TotalSamples != 100 {
+		t.Fatal("bad initial summary")
+	}
+	if err := n.AddSamples([][]float64{{50, 50}, {51, 51}}); err != nil {
+		t.Fatal(err)
+	}
+	// Cached summaries are stale until invalidated — by design.
+	s2, _ := leader.Summaries()
+	if s2[0].TotalSamples != 100 {
+		t.Fatal("cache unexpectedly refreshed")
+	}
+	leader.InvalidateSummaries()
+	s3, _ := leader.Summaries()
+	if s3[0].TotalSamples != 102 {
+		t.Fatalf("refreshed total %d, want 102", s3[0].TotalSamples)
+	}
+}
+
+// pLR is a shorthand for the Table III LR spec used in these tests.
+func pLR() ml.Spec { return ml.PaperLR(1) }

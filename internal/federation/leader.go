@@ -1,0 +1,365 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"qens/internal/cluster"
+	"qens/internal/dataset"
+	"qens/internal/geometry"
+	"qens/internal/ml"
+	"qens/internal/query"
+	"qens/internal/rng"
+	"qens/internal/selection"
+)
+
+// Config parameterizes a federation.
+type Config struct {
+	// Spec is the model architecture and hyper-parameters every
+	// participant trains (Table III).
+	Spec ml.Spec
+	// ClusterK is the per-node k-means K (the paper fixes 5).
+	ClusterK int
+	// LocalEpochs is the paper's E: local iterations per supporting
+	// cluster (default 5).
+	LocalEpochs int
+	// TolerateFailures makes Execute skip participants whose
+	// training round fails (network drop, bad state) instead of
+	// aborting the query, as long as at least one participant
+	// succeeds. The failed node ids are recorded in Result.Failed.
+	TolerateFailures bool
+	// Seed drives the leader's stochastic choices (random
+	// selection, model init).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClusterK == 0 {
+		c.ClusterK = 5
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 5
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.Spec.Validate(); err != nil {
+		return fmt.Errorf("federation: %w", err)
+	}
+	if c.ClusterK < 1 {
+		return fmt.Errorf("federation: cluster K %d < 1", c.ClusterK)
+	}
+	if c.LocalEpochs < 1 {
+		return fmt.Errorf("federation: local epochs %d < 1", c.LocalEpochs)
+	}
+	return nil
+}
+
+// Leader orchestrates per-query distributed learning (§III-A): it
+// holds the participant roster, collects their cluster advertisements
+// once, ranks and selects participants per incoming query, distributes
+// the global model, and aggregates the returned local models.
+type Leader struct {
+	cfg     Config
+	data    *dataset.Dataset // the leader's own local data (§II pre-test)
+	clients []Client
+	src     *rng.Source
+
+	summaries []cluster.NodeSummary // cached advertisements
+	warmup    *ml.Params            // cached §II warm-up model
+}
+
+// NewLeader builds a leader over the given participants. leaderData is
+// the leader's own local dataset, used only for the §II warm-up
+// pre-test (GameTheory selection and PreTest); it may be nil if those
+// are never used.
+func NewLeader(cfg Config, leaderData *dataset.Dataset, clients []Client) (*Leader, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(clients) == 0 {
+		return nil, errors.New("federation: leader needs at least one participant")
+	}
+	seen := map[string]bool{}
+	for _, c := range clients {
+		if seen[c.ID()] {
+			return nil, fmt.Errorf("federation: duplicate participant id %q", c.ID())
+		}
+		seen[c.ID()] = true
+	}
+	return &Leader{cfg: cfg, data: leaderData, clients: clients, src: rng.New(cfg.Seed)}, nil
+}
+
+// Config returns the leader's configuration (with defaults applied).
+func (l *Leader) Config() Config { return l.cfg }
+
+// NodeIDs returns the participant ids in roster order.
+func (l *Leader) NodeIDs() []string {
+	out := make([]string, len(l.clients))
+	for i, c := range l.clients {
+		out[i] = c.ID()
+	}
+	return out
+}
+
+// Summaries fetches (and caches) every participant's cluster
+// advertisement — the one-off O(1)-per-node communication of §III-C.
+func (l *Leader) Summaries() ([]cluster.NodeSummary, error) {
+	if l.summaries != nil {
+		return l.summaries, nil
+	}
+	out := make([]cluster.NodeSummary, 0, len(l.clients))
+	for _, c := range l.clients {
+		s, err := c.Summary()
+		if err != nil {
+			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
+		}
+		out = append(out, s)
+	}
+	l.summaries = out
+	return out, nil
+}
+
+// InvalidateSummaries drops the cached advertisements (call after node
+// data changes).
+func (l *Leader) InvalidateSummaries() { l.summaries = nil }
+
+// client looks up a participant by id.
+func (l *Leader) client(id string) (Client, error) {
+	for _, c := range l.clients {
+		if c.ID() == id {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("federation: unknown participant %q", id)
+}
+
+// warmupParams lazily trains the leader's local warm-up model used by
+// the §II pre-test and GameTheory selection.
+func (l *Leader) warmupParams() (ml.Params, error) {
+	if l.warmup != nil {
+		return *l.warmup, nil
+	}
+	if l.data == nil || l.data.Len() == 0 {
+		return ml.Params{}, errors.New("federation: leader has no local data for the pre-test warm-up")
+	}
+	spec := l.cfg.Spec
+	spec.Seed = uint64(l.src.Int63())
+	model, err := spec.New()
+	if err != nil {
+		return ml.Params{}, err
+	}
+	x, y := l.data.XY()
+	if err := model.Fit(x, y); err != nil {
+		return ml.Params{}, fmt.Errorf("federation: warm-up fit: %w", err)
+	}
+	p := model.Params()
+	l.warmup = &p
+	return p, nil
+}
+
+// evaluateWarmup scores the warm-up model on one node's local data.
+func (l *Leader) evaluateWarmup(nodeID string) (float64, error) {
+	params, err := l.warmupParams()
+	if err != nil {
+		return 0, err
+	}
+	c, err := l.client(nodeID)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Evaluate(EvalRequest{Spec: l.cfg.Spec, Params: params})
+	if err != nil {
+		return 0, err
+	}
+	return resp.MSE, nil
+}
+
+// SelectionContext builds the Context handed to selectors: the
+// leader's RNG plus the warm-up evaluator.
+func (l *Leader) SelectionContext() *selection.Context {
+	return &selection.Context{
+		RNG:      l.src,
+		Evaluate: l.evaluateWarmup,
+	}
+}
+
+// PreTest runs the §II heterogeneity pre-test across all participants.
+func (l *Leader) PreTest(ratioThreshold float64) (*selection.PreTestResult, error) {
+	return selection.PreTest(l.NodeIDs(), l.evaluateWarmup, ratioThreshold)
+}
+
+// Stats accounts for one query execution.
+type Stats struct {
+	// SelectionTime is the leader-side time to rank and select.
+	SelectionTime time.Duration
+	// TrainTime is the summed node-reported training time.
+	TrainTime time.Duration
+	// WallTime is the end-to-end execution time.
+	WallTime time.Duration
+	// SamplesUsed is the number of samples trained on across the
+	// selected participants.
+	SamplesUsed int
+	// SamplesSelectedNodes is the total data held by the selected
+	// participants (the denominator for the Fig. 9 selectivity
+	// accounting at node scope).
+	SamplesSelectedNodes int
+	// SamplesAllNodes is the total data across all participants.
+	SamplesAllNodes int
+	// BytesUp estimates bytes sent leader->nodes (model params).
+	BytesUp int64
+	// BytesDown estimates bytes received nodes->leader.
+	BytesDown int64
+}
+
+// DataFraction returns SamplesUsed / SamplesAllNodes, the Fig. 9
+// quantity.
+func (s Stats) DataFraction() float64 {
+	if s.SamplesAllNodes == 0 {
+		return 0
+	}
+	return float64(s.SamplesUsed) / float64(s.SamplesAllNodes)
+}
+
+// Result is the outcome of executing one query.
+type Result struct {
+	Query        query.Query
+	Selector     string
+	Aggregation  Aggregation
+	Participants []selection.Participant
+	LocalParams  []ml.Params
+	Ensemble     *Ensemble
+	// Failed lists participants that were selected but whose
+	// training round failed (only populated with
+	// Config.TolerateFailures; their models are excluded from the
+	// ensemble).
+	Failed []string
+	Stats  Stats
+}
+
+// Execute runs the full §IV-B loop for one query: select participants,
+// send the initial global model, let each participant train over its
+// supporting clusters, and build the aggregated predictor.
+func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation) (*Result, error) {
+	start := time.Now()
+	summaries, err := l.Summaries()
+	if err != nil {
+		return nil, err
+	}
+
+	selStart := time.Now()
+	participants, err := sel.Select(q, summaries, l.SelectionContext())
+	if err != nil {
+		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
+	}
+	selectionTime := time.Since(selStart)
+
+	// Initial global model w.
+	spec := l.cfg.Spec
+	spec.Seed = uint64(l.src.Int63())
+	global, err := spec.New()
+	if err != nil {
+		return nil, err
+	}
+	initial := global.Params()
+	paramBytes := int64(8 * len(initial.Values))
+
+	res := &Result{
+		Query:        q,
+		Selector:     sel.Name(),
+		Aggregation:  agg,
+		Participants: participants,
+	}
+	ranks := make([]float64, 0, len(participants))
+	totalAll := 0
+	for _, s := range summaries {
+		totalAll += s.TotalSamples
+	}
+	res.Stats.SamplesAllNodes = totalAll
+
+	for _, p := range participants {
+		resp, err := l.trainOn(p, initial)
+		if err != nil {
+			if l.cfg.TolerateFailures {
+				res.Failed = append(res.Failed, p.NodeID)
+				continue
+			}
+			return nil, fmt.Errorf("federation: training on %s: %w", p.NodeID, err)
+		}
+		res.LocalParams = append(res.LocalParams, resp.Params)
+		ranks = append(ranks, p.Rank)
+		res.Stats.TrainTime += resp.TrainTime
+		res.Stats.SamplesUsed += resp.SamplesUsed
+		res.Stats.SamplesSelectedNodes += resp.TotalSamples
+		res.Stats.BytesUp += paramBytes
+		res.Stats.BytesDown += int64(8 * len(resp.Params.Values))
+	}
+	if len(res.LocalParams) == 0 {
+		return nil, fmt.Errorf("federation: every selected participant failed for %s", q.ID)
+	}
+
+	ensemble, err := NewEnsemble(l.cfg.Spec, res.LocalParams, ranks, agg)
+	if err != nil {
+		return nil, err
+	}
+	res.Ensemble = ensemble
+	res.Stats.SelectionTime = selectionTime
+	res.Stats.WallTime = time.Since(start)
+	return res, nil
+}
+
+// EvaluateGlobal scores a single global model (e.g. the FedAvg output
+// of ExecuteRounds) against the federation's own data restricted to
+// bounds, without any raw data reaching the leader: every participant
+// reports its local (MSE, sample count) and the leader pools them by
+// sample weight. ok is false when no participant holds in-bounds data.
+func (l *Leader) EvaluateGlobal(params ml.Params, bounds geometry.Rect) (mse float64, samples int, err error) {
+	totalSq := 0.0
+	for _, c := range l.clients {
+		resp, err := c.Evaluate(EvalRequest{Spec: l.cfg.Spec, Params: params, Bounds: &bounds})
+		if err != nil {
+			return 0, 0, fmt.Errorf("federation: evaluate on %s: %w", c.ID(), err)
+		}
+		totalSq += resp.MSE * float64(resp.Samples)
+		samples += resp.Samples
+	}
+	if samples == 0 {
+		return 0, 0, nil
+	}
+	return totalSq / float64(samples), samples, nil
+}
+
+// trainOn runs one participant's training round.
+func (l *Leader) trainOn(p selection.Participant, initial ml.Params) (TrainResponse, error) {
+	c, err := l.client(p.NodeID)
+	if err != nil {
+		return TrainResponse{}, err
+	}
+	return c.Train(TrainRequest{
+		Spec:        l.cfg.Spec,
+		Params:      initial,
+		Clusters:    p.Clusters,
+		LocalEpochs: l.cfg.LocalEpochs,
+	})
+}
+
+// EvaluateResult scores a result's ensemble against test data
+// restricted to the query's subspace, returning the MSE and the number
+// of test samples that fell inside the query. When no test samples
+// fall inside the query rectangle, ok is false.
+func EvaluateResult(res *Result, test *dataset.Dataset) (mse float64, samples int, ok bool) {
+	sub := test.FilterInRect(res.Query.Bounds)
+	if sub.Len() == 0 {
+		return 0, 0, false
+	}
+	x, y := sub.XY()
+	return ml.MSE(y, res.Ensemble.PredictBatch(x)), sub.Len(), true
+}

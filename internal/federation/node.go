@@ -1,0 +1,234 @@
+// Package federation implements the distributed-learning mechanics of
+// §III-A and §IV: participant nodes that quantize their local data and
+// train models incrementally over query-supporting clusters, a leader
+// that ranks and selects participants per query, and the two
+// prediction-aggregation rules (Model Averaging, Eq. 6, and ranking-
+// Weighted Averaging, Eq. 7).
+//
+// The leader talks to participants through the Client interface, so
+// the same orchestration code runs over in-process nodes (LocalClient,
+// used by the experiments) and over TCP (internal/transport).
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"qens/internal/cluster"
+	"qens/internal/dataset"
+	"qens/internal/geometry"
+	"qens/internal/ml"
+	"qens/internal/rng"
+)
+
+// Node is a participant edge node: it owns a local dataset, a k-means
+// quantization of that dataset, and the compute to train models on
+// request. It never ships raw data — only cluster summaries, model
+// parameters and scalar losses.
+type Node struct {
+	id    string
+	data  *dataset.Dataset
+	quant *cluster.Quantization
+	k     int
+	src   *rng.Source
+}
+
+// NewNode quantizes data into k clusters and returns the participant.
+func NewNode(id string, data *dataset.Dataset, k int, src *rng.Source) (*Node, error) {
+	if id == "" {
+		return nil, errors.New("federation: empty node id")
+	}
+	if data == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("federation: node %s has no data", id)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("federation: node %s: invalid cluster count %d", id, k)
+	}
+	quant, err := cluster.Quantize(data, cluster.Config{K: k}, src.Split())
+	if err != nil {
+		return nil, fmt.Errorf("federation: node %s: %w", id, err)
+	}
+	return &Node{id: id, data: data, quant: quant, k: k, src: src}, nil
+}
+
+// NewNodeFromQuantization builds a participant around a pre-computed
+// quantization (e.g. cluster.GridQuantize), for deployments that use a
+// synopsis other than k-means. Requantize on such a node re-runs
+// k-means with K equal to the current cluster count.
+func NewNodeFromQuantization(id string, quant *cluster.Quantization, src *rng.Source) (*Node, error) {
+	if id == "" {
+		return nil, errors.New("federation: empty node id")
+	}
+	if quant == nil || quant.Data == nil || quant.Data.Len() == 0 {
+		return nil, fmt.Errorf("federation: node %s has no quantization", id)
+	}
+	return &Node{
+		id:    id,
+		data:  quant.Data,
+		quant: quant,
+		k:     len(quant.Result.Clusters),
+		src:   src,
+	}, nil
+}
+
+// AddSamples appends newly collected rows to the node's local dataset
+// and re-runs the quantization so the next advertisement reflects the
+// fresh data space (the leader must InvalidateSummaries to pick it
+// up). Rows must match the node's schema.
+func (n *Node) AddSamples(rows [][]float64) error {
+	for i, r := range rows {
+		if err := n.data.Append(r); err != nil {
+			return fmt.Errorf("federation: node %s row %d: %w", n.id, i, err)
+		}
+	}
+	return n.Requantize()
+}
+
+// Requantize recomputes the node's k-means quantization over the
+// current local dataset.
+func (n *Node) Requantize() error {
+	quant, err := cluster.Quantize(n.data, cluster.Config{K: n.k}, n.src.Split())
+	if err != nil {
+		return fmt.Errorf("federation: node %s: %w", n.id, err)
+	}
+	n.quant = quant
+	return nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.id }
+
+// Data exposes the local dataset for in-process test evaluation; the
+// federation protocol itself never reads it remotely.
+func (n *Node) Data() *dataset.Dataset { return n.data }
+
+// Summary returns the cluster advertisement sent to the leader.
+func (n *Node) Summary() cluster.NodeSummary { return n.quant.Summarize(n.id) }
+
+// TrainRequest asks a node to continue training a model locally.
+type TrainRequest struct {
+	// Spec describes the model architecture (must match Params).
+	Spec ml.Spec `json:"spec"`
+	// Params is the current global model w sent by the leader.
+	Params ml.Params `json:"params"`
+	// Clusters lists the supporting clusters to train on, in order;
+	// nil means train on the whole local dataset (baseline
+	// behaviour).
+	Clusters []int `json:"clusters,omitempty"`
+	// LocalEpochs is the paper's E: rounds of local iterations per
+	// supporting cluster (or over the whole dataset when Clusters
+	// is nil).
+	LocalEpochs int `json:"local_epochs"`
+}
+
+// TrainResponse carries the updated local model and accounting.
+type TrainResponse struct {
+	// Params is the locally updated model w_i^E.
+	Params ml.Params `json:"params"`
+	// SamplesUsed is how many local samples participated.
+	SamplesUsed int `json:"samples_used"`
+	// TotalSamples is the node's |D_i|.
+	TotalSamples int `json:"total_samples"`
+	// TrainTime is the wall-clock training duration on the node.
+	TrainTime time.Duration `json:"train_time"`
+}
+
+// Train implements the §IV-B participant step: load the global model,
+// then run E epochs over each requested supporting cluster in turn
+// (each cluster acting as a mini-batch per the §IV-A Remark), or over
+// the whole dataset when no clusters are specified.
+func (n *Node) Train(req TrainRequest) (TrainResponse, error) {
+	if req.LocalEpochs < 1 {
+		return TrainResponse{}, fmt.Errorf("federation: node %s: local epochs %d < 1", n.id, req.LocalEpochs)
+	}
+	model, err := n.buildModel(req.Spec, req.Params)
+	if err != nil {
+		return TrainResponse{}, err
+	}
+	start := time.Now()
+	used := 0
+	if len(req.Clusters) == 0 {
+		x, y := n.data.XY()
+		if err := model.PartialFit(x, y, req.LocalEpochs); err != nil {
+			return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
+		}
+		used = n.data.Len()
+	} else {
+		for _, c := range req.Clusters {
+			cd, err := n.quant.ClusterData(c)
+			if err != nil {
+				return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
+			}
+			if cd.Len() == 0 {
+				continue
+			}
+			x, y := cd.XY()
+			if err := model.PartialFit(x, y, req.LocalEpochs); err != nil {
+				return TrainResponse{}, fmt.Errorf("federation: node %s cluster %d: %w", n.id, c, err)
+			}
+			used += cd.Len()
+		}
+		if used == 0 {
+			return TrainResponse{}, fmt.Errorf("federation: node %s: no data in requested clusters %v", n.id, req.Clusters)
+		}
+	}
+	return TrainResponse{
+		Params:       model.Params(),
+		SamplesUsed:  used,
+		TotalSamples: n.data.Len(),
+		TrainTime:    time.Since(start),
+	}, nil
+}
+
+// EvalRequest asks a node to score a model against its local data.
+type EvalRequest struct {
+	Spec   ml.Spec   `json:"spec"`
+	Params ml.Params `json:"params"`
+	// Bounds optionally restricts evaluation to local samples
+	// falling inside the rectangle (used to score per-query loss
+	// on the query's data subspace). Nil evaluates on everything.
+	Bounds *geometry.Rect `json:"bounds,omitempty"`
+}
+
+// EvalResponse carries the local loss.
+type EvalResponse struct {
+	// MSE is the mean squared error over the evaluated samples.
+	MSE float64 `json:"mse"`
+	// Samples is how many local samples were evaluated.
+	Samples int `json:"samples"`
+}
+
+// Evaluate implements the pre-test and scoring step: the node runs the
+// provided model over (a subspace of) its local data and reports the
+// loss — the data itself never leaves the node.
+func (n *Node) Evaluate(req EvalRequest) (EvalResponse, error) {
+	model, err := n.buildModel(req.Spec, req.Params)
+	if err != nil {
+		return EvalResponse{}, err
+	}
+	data := n.data
+	if req.Bounds != nil {
+		data = n.data.FilterInRect(*req.Bounds)
+	}
+	if data.Len() == 0 {
+		return EvalResponse{Samples: 0}, nil
+	}
+	x, y := data.XY()
+	return EvalResponse{MSE: ml.MSE(y, model.PredictBatch(x)), Samples: data.Len()}, nil
+}
+
+// buildModel instantiates the spec and loads params into it.
+func (n *Node) buildModel(spec ml.Spec, params ml.Params) (ml.Model, error) {
+	spec.Seed = uint64(n.src.Int63())
+	model, err := spec.New()
+	if err != nil {
+		return nil, fmt.Errorf("federation: node %s: %w", n.id, err)
+	}
+	if len(params.Values) > 0 {
+		if err := model.SetParams(params); err != nil {
+			return nil, fmt.Errorf("federation: node %s: %w", n.id, err)
+		}
+	}
+	return model, nil
+}

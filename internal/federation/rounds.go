@@ -1,0 +1,229 @@
+package federation
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"qens/internal/ml"
+	"qens/internal/query"
+	"qens/internal/selection"
+)
+
+// Multi-round federated training — the classic FedAvg communication
+// loop ([6], [15], [16]) layered on top of the paper's per-query
+// selection. The paper itself performs a single round per query
+// (select, train locally, aggregate predictions); ExecuteRounds is the
+// extension where the leader re-distributes the parameter average
+// between rounds, letting local models converge toward a single global
+// model instead of an ensemble.
+
+// RoundsResult extends Result with per-round convergence history.
+type RoundsResult struct {
+	Result
+	// Rounds is the number of communication rounds executed.
+	Rounds int
+	// RoundDeltas records the L2 distance between consecutive
+	// global parameter vectors; a shrinking sequence indicates
+	// convergence.
+	RoundDeltas []float64
+	// GlobalParams is the final FedAvg parameter vector.
+	GlobalParams ml.Params
+}
+
+// ExecuteRounds runs `rounds` communication rounds: participants are
+// selected once per query (selection is query-scoped, not
+// round-scoped), then each round every participant trains from the
+// current global parameters over its supporting clusters, and the
+// leader replaces the global parameters with the rank-weighted FedAvg.
+// The returned ensemble holds the single converged global model.
+func (l *Leader) ExecuteRounds(q query.Query, sel selection.Selector, rounds int) (*RoundsResult, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("federation: rounds %d < 1", rounds)
+	}
+	start := time.Now()
+	summaries, err := l.Summaries()
+	if err != nil {
+		return nil, err
+	}
+	selStart := time.Now()
+	participants, err := sel.Select(q, summaries, l.SelectionContext())
+	if err != nil {
+		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
+	}
+	selectionTime := time.Since(selStart)
+
+	spec := l.cfg.Spec
+	spec.Seed = uint64(l.src.Int63())
+	global, err := spec.New()
+	if err != nil {
+		return nil, err
+	}
+	current := global.Params()
+	paramBytes := int64(8 * len(current.Values))
+
+	out := &RoundsResult{Rounds: rounds}
+	out.Query = q
+	out.Selector = sel.Name()
+	out.Aggregation = WeightedAveraging
+	out.Participants = participants
+	for _, s := range summaries {
+		out.Stats.SamplesAllNodes += s.TotalSamples
+	}
+
+	weights := make([]float64, len(participants))
+	for i, p := range participants {
+		weights[i] = p.Rank
+	}
+
+	for r := 0; r < rounds; r++ {
+		locals := make([]ml.Params, len(participants))
+		for i, p := range participants {
+			c, err := l.client(p.NodeID)
+			if err != nil {
+				return nil, err
+			}
+			resp, err := c.Train(TrainRequest{
+				Spec:        l.cfg.Spec,
+				Params:      current,
+				Clusters:    p.Clusters,
+				LocalEpochs: l.cfg.LocalEpochs,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("federation: round %d on %s: %w", r, p.NodeID, err)
+			}
+			locals[i] = resp.Params
+			out.Stats.TrainTime += resp.TrainTime
+			out.Stats.SamplesUsed += resp.SamplesUsed
+			if r == 0 {
+				out.Stats.SamplesSelectedNodes += resp.TotalSamples
+			}
+			out.Stats.BytesUp += paramBytes
+			out.Stats.BytesDown += int64(8 * len(resp.Params.Values))
+		}
+		next, err := FedAvgParams(locals, weights)
+		if err != nil {
+			return nil, fmt.Errorf("federation: round %d aggregation: %w", r, err)
+		}
+		out.RoundDeltas = append(out.RoundDeltas, paramDelta(current, next))
+		current = next
+		out.LocalParams = locals
+	}
+
+	ensemble, err := NewEnsemble(l.cfg.Spec, []ml.Params{current}, []float64{1}, ModelAveraging)
+	if err != nil {
+		return nil, err
+	}
+	out.Ensemble = ensemble
+	out.GlobalParams = current
+	out.Stats.SelectionTime = selectionTime
+	out.Stats.WallTime = time.Since(start)
+	return out, nil
+}
+
+// paramDelta returns the L2 distance between two parameter vectors
+// (architecture-compatible by construction).
+func paramDelta(a, b ml.Params) float64 {
+	s := 0.0
+	for i := range a.Values {
+		d := a.Values[i] - b.Values[i]
+		s += d * d
+	}
+	return sqrt(s)
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// ExecuteParallel is Execute with the training fan-out running
+// concurrently across participants — the deployment-realistic mode for
+// TCP clients, where each node trains on its own hardware. Results are
+// identical to Execute modulo the nodes' own RNG interleaving.
+func (l *Leader) ExecuteParallel(q query.Query, sel selection.Selector, agg Aggregation) (*Result, error) {
+	start := time.Now()
+	summaries, err := l.Summaries()
+	if err != nil {
+		return nil, err
+	}
+	selStart := time.Now()
+	participants, err := sel.Select(q, summaries, l.SelectionContext())
+	if err != nil {
+		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
+	}
+	selectionTime := time.Since(selStart)
+
+	spec := l.cfg.Spec
+	spec.Seed = uint64(l.src.Int63())
+	global, err := spec.New()
+	if err != nil {
+		return nil, err
+	}
+	initial := global.Params()
+	paramBytes := int64(8 * len(initial.Values))
+
+	res := &Result{
+		Query:        q,
+		Selector:     sel.Name(),
+		Aggregation:  agg,
+		Participants: participants,
+		LocalParams:  make([]ml.Params, len(participants)),
+	}
+	for _, s := range summaries {
+		res.Stats.SamplesAllNodes += s.TotalSamples
+	}
+
+	type trainOut struct {
+		idx  int
+		resp TrainResponse
+		err  error
+	}
+	var wg sync.WaitGroup
+	outs := make([]trainOut, len(participants))
+	for i, p := range participants {
+		wg.Add(1)
+		go func(i int, p selection.Participant) {
+			defer wg.Done()
+			c, err := l.client(p.NodeID)
+			if err != nil {
+				outs[i] = trainOut{idx: i, err: err}
+				return
+			}
+			resp, err := c.Train(TrainRequest{
+				Spec:        l.cfg.Spec,
+				Params:      initial,
+				Clusters:    p.Clusters,
+				LocalEpochs: l.cfg.LocalEpochs,
+			})
+			outs[i] = trainOut{idx: i, resp: resp, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+
+	ranks := make([]float64, len(participants))
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("federation: training on %s: %w", participants[i].NodeID, o.err)
+		}
+		res.LocalParams[i] = o.resp.Params
+		ranks[i] = participants[i].Rank
+		res.Stats.TrainTime += o.resp.TrainTime
+		res.Stats.SamplesUsed += o.resp.SamplesUsed
+		res.Stats.SamplesSelectedNodes += o.resp.TotalSamples
+		res.Stats.BytesUp += paramBytes
+		res.Stats.BytesDown += int64(8 * len(o.resp.Params.Values))
+	}
+
+	ensemble, err := NewEnsemble(l.cfg.Spec, res.LocalParams, ranks, agg)
+	if err != nil {
+		return nil, err
+	}
+	res.Ensemble = ensemble
+	res.Stats.SelectionTime = selectionTime
+	res.Stats.WallTime = time.Since(start)
+	return res, nil
+}

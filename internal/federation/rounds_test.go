@@ -1,0 +1,151 @@
+package federation
+
+import (
+	"math"
+	"testing"
+
+	"qens/internal/cluster"
+	"qens/internal/geometry"
+	"qens/internal/query"
+	"qens/internal/selection"
+)
+
+func TestExecuteRounds(t *testing.T) {
+	fleet := testFleet(t)
+	q := midQuery(t)
+	sel := selection.QueryDriven{Epsilon: 0.6, TopL: 2}
+	res, err := fleet.Leader.ExecuteRounds(q, sel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 3 || len(res.RoundDeltas) != 3 {
+		t.Fatalf("rounds %d deltas %d", res.Rounds, len(res.RoundDeltas))
+	}
+	// The converged single global model must predict the line.
+	if res.Ensemble.Size() != 1 {
+		t.Fatalf("ensemble size %d, want 1", res.Ensemble.Size())
+	}
+	got := res.Ensemble.Predict([]float64{25})
+	if math.Abs(got-51) > 10 {
+		t.Fatalf("fedavg model predicts %v at x=25, want ~51", got)
+	}
+	// Parameter movement should not blow up over rounds.
+	if res.RoundDeltas[2] > res.RoundDeltas[0]*10 {
+		t.Fatalf("rounds diverging: deltas %v", res.RoundDeltas)
+	}
+	// Accounting scales with rounds.
+	if res.Stats.SamplesUsed <= 0 || res.Stats.BytesUp <= res.Stats.BytesDown/10 {
+		t.Fatalf("stats look wrong: %+v", res.Stats)
+	}
+}
+
+func TestExecuteRoundsValidation(t *testing.T) {
+	fleet := testFleet(t)
+	sel := selection.QueryDriven{Epsilon: 0.6, TopL: 2}
+	if _, err := fleet.Leader.ExecuteRounds(midQuery(t), sel, 0); err == nil {
+		t.Fatal("accepted 0 rounds")
+	}
+}
+
+func TestExecuteRoundsImprovesOverOneRound(t *testing.T) {
+	fleet := testFleet(t)
+	q := midQuery(t)
+	sel := selection.QueryDriven{Epsilon: 0.6, TopL: 2}
+	one, err := fleet.Leader.ExecuteRounds(q, sel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := fleet.Leader.ExecuteRounds(q, sel, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse1, _, ok1 := EvaluateResult(&one.Result, fleet.Test)
+	mse5, _, ok5 := EvaluateResult(&five.Result, fleet.Test)
+	if !ok1 || !ok5 {
+		t.Fatal("no test data in query")
+	}
+	// Five rounds must not be dramatically worse than one (usually
+	// better); a 2x regression indicates a broken aggregation loop.
+	if mse5 > mse1*2 {
+		t.Fatalf("5 rounds (%v) much worse than 1 (%v)", mse5, mse1)
+	}
+}
+
+func TestExecuteParallelMatchesSequentialSelection(t *testing.T) {
+	fleet := testFleet(t)
+	q := midQuery(t)
+	sel := selection.QueryDriven{Epsilon: 0.6, TopL: 2}
+	res, err := fleet.Leader.ExecuteParallel(q, sel, WeightedAveraging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Participants) == 0 || res.Ensemble == nil {
+		t.Fatal("parallel execute incomplete")
+	}
+	for _, p := range res.Participants {
+		if p.NodeID == "node-3" {
+			t.Fatal("parallel execute selected the adversarial node")
+		}
+	}
+	if res.Stats.SamplesUsed == 0 || res.Stats.TrainTime <= 0 {
+		t.Fatalf("stats missing: %+v", res.Stats)
+	}
+	// Quality parity with the sequential path.
+	seq, err := fleet.Execute(q, sel, WeightedAveraging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseP, _, _ := EvaluateResult(res, fleet.Test)
+	mseS, _, _ := EvaluateResult(seq, fleet.Test)
+	if mseP > mseS*3 && mseP > mseS+20 {
+		t.Fatalf("parallel quality %v far from sequential %v", mseP, mseS)
+	}
+}
+
+func TestExecuteParallelErrorPropagates(t *testing.T) {
+	fleet := testFleet(t)
+	// A selector that demands a nonexistent cluster index triggers a
+	// node-side training error, which must surface.
+	bad := badClusterSelector{}
+	if _, err := fleet.Leader.ExecuteParallel(midQuery(t), bad, ModelAveraging); err == nil {
+		t.Fatal("parallel execute swallowed a node error")
+	}
+}
+
+// badClusterSelector selects node-0 with an out-of-range cluster.
+type badClusterSelector struct{}
+
+func (badClusterSelector) Name() string { return "bad" }
+
+func (badClusterSelector) Select(_ query.Query, _ []cluster.NodeSummary, _ *selection.Context) ([]selection.Participant, error) {
+	return []selection.Participant{{NodeID: "node-0", Rank: 1, Clusters: []int{99}}}, nil
+}
+
+func TestEvaluateGlobal(t *testing.T) {
+	fleet := testFleet(t)
+	q := midQuery(t)
+	sel := selection.QueryDriven{Epsilon: 0.6, TopL: 2}
+	res, err := fleet.Leader.ExecuteRounds(q, sel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, n, err := fleet.Leader.EvaluateGlobal(res.GlobalParams, q.Bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no in-query samples across the federation")
+	}
+	if mse <= 0 || mse > 200 {
+		t.Fatalf("pooled MSE %v", mse)
+	}
+	// Bounds with no data anywhere: zero samples, no error.
+	far := geometry.MustRect([]float64{1e6, 1e6}, []float64{2e6, 2e6})
+	mse, n, err = fleet.Leader.EvaluateGlobal(res.GlobalParams, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || mse != 0 {
+		t.Fatalf("far bounds gave mse=%v n=%d", mse, n)
+	}
+}

@@ -1,0 +1,70 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets complement the property tests: Go's mutation engine
+// explores the numeric edge cases (denormals, signed zeros, huge
+// magnitudes) that quick.Check's generator rarely emits. Seeds run as
+// part of the normal test suite.
+
+func FuzzIntervalOverlap(f *testing.F) {
+	f.Add(0.0, 10.0, 2.0, 4.0)
+	f.Add(5.0, 15.0, 0.0, 10.0)
+	f.Add(-5.0, 5.0, 0.0, 10.0)
+	f.Add(11.0, 20.0, 0.0, 10.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(math.SmallestNonzeroFloat64, 1.0, 0.0, math.MaxFloat64/4)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		for _, v := range []float64{a, b, c, d} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip()
+			}
+		}
+		qmin, qmax := math.Min(a, b), math.Max(a, b)
+		kmin, kmax := math.Min(c, d), math.Max(c, d)
+		h, oc := IntervalOverlap(qmin, qmax, kmin, kmax)
+		if h < 0 || h > 1 || math.IsNaN(h) {
+			t.Fatalf("overlap %v outside [0,1] for q=[%v,%v] k=[%v,%v]", h, qmin, qmax, kmin, kmax)
+		}
+		// Zero cases must coincide with disjointness.
+		disjoint := qmin > kmax || qmax < kmin
+		if disjoint && h != 0 {
+			t.Fatalf("disjoint intervals scored %v", h)
+		}
+		if (oc == CaseZeroLeft || oc == CaseZeroRight) != disjoint {
+			t.Fatalf("case %v inconsistent with disjoint=%v", oc, disjoint)
+		}
+	})
+}
+
+func FuzzIoU(f *testing.F) {
+	f.Add(0.0, 0.0, 10.0, 10.0, 5.0, 5.0, 15.0, 15.0)
+	f.Add(0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64) {
+		for _, v := range []float64{ax, ay, bx, by, cx, cy, dx, dy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				t.Skip()
+			}
+		}
+		a := MustRect(
+			[]float64{math.Min(ax, bx), math.Min(ay, by)},
+			[]float64{math.Max(ax, bx), math.Max(ay, by)})
+		b := MustRect(
+			[]float64{math.Min(cx, dx), math.Min(cy, dy)},
+			[]float64{math.Max(cx, dx), math.Max(cy, dy)})
+		iou := IoU(a, b)
+		if iou < 0 || iou > 1 || math.IsNaN(iou) {
+			t.Fatalf("IoU %v outside [0,1]", iou)
+		}
+		// Symmetry.
+		if rev := IoU(b, a); math.Abs(rev-iou) > 1e-12 {
+			t.Fatalf("IoU asymmetric: %v vs %v", iou, rev)
+		}
+		if !a.Intersects(b) && iou != 0 {
+			t.Fatalf("disjoint rects IoU %v", iou)
+		}
+	})
+}

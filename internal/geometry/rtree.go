@@ -1,0 +1,201 @@
+package geometry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// A bulk-loaded R-tree over rectangles, used by the leader to index
+// cluster advertisements when federations grow to hundreds or
+// thousands of nodes: intersection search prunes the disjoint clusters
+// without scanning every advertisement. Loading uses the
+// Sort-Tile-Recursive (STR) algorithm (Leutenegger et al., 1997),
+// which packs static entry sets into near-minimal trees — the right
+// trade-off here because advertisements change rarely (only on node
+// requantization) while queries arrive continuously.
+
+// Entry pairs a rectangle with an opaque payload identifier.
+type Entry struct {
+	Rect Rect
+	ID   int
+}
+
+// RTree is an immutable, bulk-loaded R-tree.
+type RTree struct {
+	root *rtreeNode
+	size int
+	dims int
+}
+
+type rtreeNode struct {
+	bounds   Rect
+	children []*rtreeNode // nil for leaves
+	entries  []Entry      // nil for internal nodes
+}
+
+// DefaultRTreeFill is the default node fan-out.
+const DefaultRTreeFill = 16
+
+// BuildRTree bulk-loads the entries. maxFill is the node fan-out
+// (0 uses DefaultRTreeFill). All rectangles must share a
+// dimensionality.
+func BuildRTree(entries []Entry, maxFill int) (*RTree, error) {
+	if maxFill == 0 {
+		maxFill = DefaultRTreeFill
+	}
+	if maxFill < 2 {
+		return nil, fmt.Errorf("geometry: rtree fill %d < 2", maxFill)
+	}
+	if len(entries) == 0 {
+		return nil, errors.New("geometry: rtree needs at least one entry")
+	}
+	dims := entries[0].Rect.Dims()
+	for i, e := range entries {
+		if err := e.Rect.Validate(); err != nil {
+			return nil, fmt.Errorf("geometry: rtree entry %d: %w", i, err)
+		}
+		if e.Rect.Dims() != dims {
+			return nil, fmt.Errorf("geometry: rtree entry %d has %d dims, want %d", i, e.Rect.Dims(), dims)
+		}
+	}
+	own := append([]Entry(nil), entries...)
+	leaves := strPack(own, maxFill, 0, dims)
+	root := buildUpward(leaves, maxFill, dims)
+	return &RTree{root: root, size: len(entries), dims: dims}, nil
+}
+
+// strPack recursively sort-tiles entries into leaf nodes.
+func strPack(entries []Entry, maxFill, dim, dims int) []*rtreeNode {
+	if len(entries) <= maxFill || dim >= dims {
+		// Emit leaves of at most maxFill entries in current order.
+		var leaves []*rtreeNode
+		for start := 0; start < len(entries); start += maxFill {
+			end := start + maxFill
+			if end > len(entries) {
+				end = len(entries)
+			}
+			chunk := entries[start:end]
+			leaf := &rtreeNode{entries: chunk, bounds: boundsOfEntries(chunk)}
+			leaves = append(leaves, leaf)
+		}
+		return leaves
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		ci := (entries[i].Rect.Min[dim] + entries[i].Rect.Max[dim]) / 2
+		cj := (entries[j].Rect.Min[dim] + entries[j].Rect.Max[dim]) / 2
+		return ci < cj
+	})
+	// Number of vertical slabs: ceil((n/maxFill)^(1/(dims-dim))) is
+	// the textbook choice; a simple square-ish split works well at
+	// our scales.
+	slabCount := intSqrtCeil((len(entries) + maxFill - 1) / maxFill)
+	if slabCount < 1 {
+		slabCount = 1
+	}
+	slabSize := (len(entries) + slabCount - 1) / slabCount
+	var leaves []*rtreeNode
+	for start := 0; start < len(entries); start += slabSize {
+		end := start + slabSize
+		if end > len(entries) {
+			end = len(entries)
+		}
+		leaves = append(leaves, strPack(entries[start:end], maxFill, dim+1, dims)...)
+	}
+	return leaves
+}
+
+// buildUpward groups nodes level by level until one root remains.
+func buildUpward(nodes []*rtreeNode, maxFill, dims int) *rtreeNode {
+	for len(nodes) > 1 {
+		var next []*rtreeNode
+		for start := 0; start < len(nodes); start += maxFill {
+			end := start + maxFill
+			if end > len(nodes) {
+				end = len(nodes)
+			}
+			children := append([]*rtreeNode(nil), nodes[start:end]...)
+			parent := &rtreeNode{children: children, bounds: boundsOfNodes(children)}
+			next = append(next, parent)
+		}
+		nodes = next
+	}
+	return nodes[0]
+}
+
+func boundsOfEntries(entries []Entry) Rect {
+	b := entries[0].Rect.Clone()
+	for _, e := range entries[1:] {
+		b = b.Union(e.Rect)
+	}
+	return b
+}
+
+func boundsOfNodes(nodes []*rtreeNode) Rect {
+	b := nodes[0].bounds.Clone()
+	for _, n := range nodes[1:] {
+		b = b.Union(n.bounds)
+	}
+	return b
+}
+
+func intSqrtCeil(n int) int {
+	if n <= 1 {
+		return n
+	}
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+// Len returns the number of indexed entries.
+func (t *RTree) Len() int { return t.size }
+
+// Dims returns the indexed dimensionality.
+func (t *RTree) Dims() int { return t.dims }
+
+// Search visits every entry whose rectangle intersects probe; fn
+// returning false stops the walk early. The probe must match the
+// tree's dimensionality.
+func (t *RTree) Search(probe Rect, fn func(Entry) bool) error {
+	if probe.Dims() != t.dims {
+		return fmt.Errorf("geometry: probe has %d dims, tree has %d", probe.Dims(), t.dims)
+	}
+	t.search(t.root, probe, fn)
+	return nil
+}
+
+// search returns false when the walk was stopped.
+func (t *RTree) search(n *rtreeNode, probe Rect, fn func(Entry) bool) bool {
+	if !n.bounds.Intersects(probe) {
+		return true
+	}
+	if n.entries != nil {
+		for _, e := range n.entries {
+			if e.Rect.Intersects(probe) {
+				if !fn(e) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.search(c, probe, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Depth returns the tree height (1 for a single leaf), a diagnostics
+// aid for the packing tests.
+func (t *RTree) Depth() int {
+	d := 1
+	for n := t.root; n.children != nil; n = n.children[0] {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,355 @@
+// Package matrix implements the small dense linear-algebra kernel used
+// by the ML and clustering substrates: row-major dense matrices,
+// vectors, and the handful of BLAS-like operations back-propagation and
+// Lloyd's algorithm need. The package is dependency-free and favours
+// clarity plus bounds-checked correctness over vectorized throughput;
+// hot loops still avoid per-element interface dispatch and allocation.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape reports an operation on incompatibly shaped operands.
+var ErrShape = errors.New("matrix: incompatible shapes")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a rows x cols zero matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic("matrix: negative dimension")
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewDenseData wraps data (length rows*cols, row-major) without copying.
+func NewDenseData(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("matrix: data length %d != %d x %d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}
+}
+
+// FromRows builds a matrix from row slices, which must share a length.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewDense(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic("matrix: ragged rows")
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Rows returns the row count.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic("matrix: row out of range")
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Data returns the backing slice (row-major). Mutating it mutates m.
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (m *Dense) Zero() { m.Fill(0) }
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range ri {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Mul returns a * b. It panics with ErrShape on dimension mismatch.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(ErrShape)
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulInto computes dst = a * b, reusing dst's storage. dst must be
+// a.rows x b.cols and must not alias a or b.
+func MulInto(dst, a, b *Dense) {
+	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
+		panic(ErrShape)
+	}
+	dst.Zero()
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MulTransA returns aᵀ * b without materializing the transpose.
+func MulTransA(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic(ErrShape)
+	}
+	out := NewDense(a.cols, b.cols)
+	for r := 0; r < a.rows; r++ {
+		arow := a.data[r*a.cols : (r+1)*a.cols]
+		brow := b.data[r*b.cols : (r+1)*b.cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulTransB returns a * bᵀ without materializing the transpose.
+func MulTransB(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic(ErrShape)
+	}
+	out := NewDense(a.rows, b.rows)
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*out.cols : (i+1)*out.cols]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			sum := 0.0
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			orow[j] = sum
+		}
+	}
+	return out
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Dense) *Dense {
+	sameShape(a, b)
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] += v
+	}
+	return out
+}
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Dense) *Dense {
+	sameShape(a, b)
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] -= v
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func AddInPlace(a, b *Dense) {
+	sameShape(a, b)
+	for i, v := range b.data {
+		a.data[i] += v
+	}
+}
+
+// SubInPlace subtracts b from a.
+func SubInPlace(a, b *Dense) {
+	sameShape(a, b)
+	for i, v := range b.data {
+		a.data[i] -= v
+	}
+}
+
+// AxpyInPlace computes a += alpha * b.
+func AxpyInPlace(a *Dense, alpha float64, b *Dense) {
+	sameShape(a, b)
+	for i, v := range b.data {
+		a.data[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of m by alpha in place.
+func (m *Dense) Scale(alpha float64) {
+	for i := range m.data {
+		m.data[i] *= alpha
+	}
+}
+
+// Apply replaces every element x with f(x) in place.
+func (m *Dense) Apply(f func(float64) float64) {
+	for i, v := range m.data {
+		m.data[i] = f(v)
+	}
+}
+
+// Hadamard returns the element-wise product a ⊙ b.
+func Hadamard(a, b *Dense) *Dense {
+	sameShape(a, b)
+	out := a.Clone()
+	for i, v := range b.data {
+		out.data[i] *= v
+	}
+	return out
+}
+
+// AddRowVector adds vector v (length cols) to every row of m in place.
+func (m *Dense) AddRowVector(v []float64) {
+	if len(v) != m.cols {
+		panic(ErrShape)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j := range row {
+			row[j] += v[j]
+		}
+	}
+}
+
+// ColSums returns the per-column sum of m.
+func (m *Dense) ColSums() []float64 {
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Norm returns the Frobenius norm of m.
+func (m *Dense) Norm() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element value, or 0 if empty.
+func (m *Dense) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equal reports whether a and b have identical shape and all elements
+// within tol of each other.
+func Equal(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func sameShape(a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(ErrShape)
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	s := fmt.Sprintf("Dense(%dx%d)[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}

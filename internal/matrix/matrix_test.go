@@ -1,0 +1,257 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZero(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("non-zero element at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Set(1, 0, -1)
+	if m.At(0, 1) != 3.5 || m.At(1, 0) != -1 {
+		t.Fatal("Set/At mismatch")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows produced %v", m)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatal("empty FromRows should be 0x0")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	id := FromRows([][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	if !Equal(Mul(a, id), a, 0) {
+		t.Fatal("a * I != a")
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulInto(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	dst := NewDense(2, 2)
+	dst.Fill(99) // must be overwritten
+	MulInto(dst, a, b)
+	want := FromRows([][]float64{{2, 1}, {4, 3}})
+	if !Equal(dst, want, 1e-12) {
+		t.Fatalf("MulInto = %v, want %v", dst, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 0) != 3 || at.At(0, 1) != 4 {
+		t.Fatalf("transpose wrong: %v", at)
+	}
+	if !Equal(at.T(), a, 0) {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestMulTransA(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	b := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	got := MulTransA(a, b)
+	want := Mul(a.T(), b)
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("MulTransA = %v, want %v", got, want)
+	}
+}
+
+func TestMulTransB(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{1, 1, 1}, {2, 0, 2}})
+	got := MulTransB(a, b)
+	want := Mul(a, b.T())
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("MulTransB = %v, want %v", got, want)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	if got := Add(a, b); !Equal(got, FromRows([][]float64{{11, 22}, {33, 44}}), 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); !Equal(got, FromRows([][]float64{{9, 18}, {27, 36}}), 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}})
+	b := FromRows([][]float64{{2, 3}})
+	AddInPlace(a, b)
+	if a.At(0, 0) != 3 || a.At(0, 1) != 4 {
+		t.Fatalf("AddInPlace = %v", a)
+	}
+	SubInPlace(a, b)
+	if a.At(0, 0) != 1 || a.At(0, 1) != 1 {
+		t.Fatalf("SubInPlace = %v", a)
+	}
+	AxpyInPlace(a, 2, b)
+	if a.At(0, 0) != 5 || a.At(0, 1) != 7 {
+		t.Fatalf("AxpyInPlace = %v", a)
+	}
+}
+
+func TestScaleApplyHadamard(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {3, -4}})
+	a.Scale(2)
+	if a.At(1, 1) != -8 {
+		t.Fatalf("Scale: %v", a)
+	}
+	a.Apply(math.Abs)
+	if a.At(1, 1) != 8 || a.At(0, 1) != 4 {
+		t.Fatalf("Apply: %v", a)
+	}
+	h := Hadamard(a, a)
+	if h.At(1, 1) != 64 {
+		t.Fatalf("Hadamard: %v", h)
+	}
+}
+
+func TestAddRowVectorColSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.AddRowVector([]float64{10, 20})
+	want := FromRows([][]float64{{11, 22}, {13, 24}})
+	if !Equal(m, want, 0) {
+		t.Fatalf("AddRowVector: %v", m)
+	}
+	sums := m.ColSums()
+	if sums[0] != 24 || sums[1] != 46 {
+		t.Fatalf("ColSums: %v", sums)
+	}
+}
+
+func TestNormMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}})
+	if m.Norm() != 5 {
+		t.Fatalf("Norm = %v", m.Norm())
+	}
+	if m.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 30
+	if m.At(1, 0) != 30 {
+		t.Fatal("Row should alias storage")
+	}
+}
+
+// Property: matrix multiplication distributes over addition,
+// A*(B+C) == A*B + A*C.
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomMatrix(seed, 3, 4)
+		b := randomMatrix(seed+1, 4, 2)
+		c := randomMatrix(seed+2, 4, 2)
+		left := Mul(a, Add(b, c))
+		right := Add(Mul(a, b), Mul(a, c))
+		return Equal(left, right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A*B)ᵀ == Bᵀ*Aᵀ.
+func TestMulTransposeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomMatrix(seed, 3, 5)
+		b := randomMatrix(seed+7, 5, 2)
+		return Equal(Mul(a, b).T(), Mul(b.T(), a.T()), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomMatrix(seed int64, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range m.data {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		m.data[i] = float64(int64(x%2000)-1000) / 100
+	}
+	return m
+}

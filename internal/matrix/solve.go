@@ -1,0 +1,91 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular reports a (numerically) singular linear system.
+var ErrSingular = errors.New("matrix: singular system")
+
+// SolveLinear solves A·x = b by Gaussian elimination with partial
+// pivoting, for a square matrix A. A and b are not modified.
+func SolveLinear(a *Dense, b []float64) ([]float64, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("%w: %dx%d not square", ErrShape, a.Rows(), a.Cols())
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d for %dx%d system", ErrShape, len(b), n, n)
+	}
+	// Augmented working copy.
+	work := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n+1)
+		copy(row, a.Row(i))
+		row[n] = b[i]
+		work[i] = row
+	}
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(work[r][col]) > math.Abs(work[pivot][col]) {
+				pivot = r
+			}
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		if math.Abs(work[col][col]) < 1e-14 {
+			return nil, ErrSingular
+		}
+		inv := 1 / work[col][col]
+		for c := col; c <= n; c++ {
+			work[col][c] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for c := col; c <= n; c++ {
+				work[r][c] -= f * work[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = work[i][n]
+	}
+	return x, nil
+}
+
+// SolveNormalEquations solves the least-squares problem min ||X·w - y||
+// via the ridge-damped normal equations (XᵀX + λI)·w = Xᵀy, where each
+// row of x is one observation. lambda >= 0 stabilizes near-singular
+// designs (pass 0 for plain OLS).
+func SolveNormalEquations(x [][]float64, y []float64, lambda float64) ([]float64, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d observations for %d targets", ErrShape, len(x), len(y))
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("matrix: negative ridge %v", lambda)
+	}
+	d := len(x[0])
+	ata := NewDense(d, d)
+	atb := make([]float64, d)
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: observation %d has %d features, want %d", ErrShape, i, len(row), d)
+		}
+		for r := 0; r < d; r++ {
+			for c := 0; c < d; c++ {
+				ata.Set(r, c, ata.At(r, c)+row[r]*row[c])
+			}
+			atb[r] += row[r] * y[i]
+		}
+	}
+	for r := 0; r < d; r++ {
+		ata.Set(r, r, ata.At(r, r)+lambda)
+	}
+	return SolveLinear(ata, atb)
+}

@@ -1,0 +1,140 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearExact(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	// x = (1, 2): b = (4, 7).
+	x, err := SolveLinear(a, []float64{4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal: only solvable with pivoting.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{5, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 5 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	if _, err := SolveLinear(NewDense(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("accepted non-square")
+	}
+	if _, err := SolveLinear(NewDense(2, 2), []float64{1}); err == nil {
+		t.Fatal("accepted rhs mismatch")
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	a := FromRows([][]float64{{3, 1}, {1, 2}})
+	b := []float64{5, 5}
+	orig := a.Clone()
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, orig, 0) || b[0] != 5 || b[1] != 5 {
+		t.Fatal("inputs mutated")
+	}
+}
+
+func TestSolveNormalEquations(t *testing.T) {
+	// Exact line through points: y = 2a - b.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	var y []float64
+	for _, r := range x {
+		y = append(y, 2*r[0]-r[1])
+	}
+	w, err := SolveNormalEquations(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-2) > 1e-9 || math.Abs(w[1]+1) > 1e-9 {
+		t.Fatalf("w = %v", w)
+	}
+}
+
+func TestSolveNormalEquationsRidge(t *testing.T) {
+	// Collinear design: OLS is singular, ridge is not.
+	x := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	y := []float64{1, 2, 3}
+	if _, err := SolveNormalEquations(x, y, 0); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected singular at λ=0, got %v", err)
+	}
+	w, err := SolveNormalEquations(x, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ridge solution must still fit the data well.
+	for i, r := range x {
+		pred := w[0]*r[0] + w[1]*r[1]
+		if math.Abs(pred-y[i]) > 1e-3 {
+			t.Fatalf("ridge fit off at %d: %v vs %v", i, pred, y[i])
+		}
+	}
+}
+
+func TestSolveNormalEquationsErrors(t *testing.T) {
+	if _, err := SolveNormalEquations(nil, nil, 0); err == nil {
+		t.Fatal("accepted empty")
+	}
+	if _, err := SolveNormalEquations([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := SolveNormalEquations([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("accepted ragged rows")
+	}
+	if _, err := SolveNormalEquations([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Fatal("accepted negative ridge")
+	}
+}
+
+// Property: for random well-conditioned systems, A·x ≈ b.
+func TestSolveLinearResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a := randomMatrix(seed, 4, 4)
+		// Diagonal dominance guarantees conditioning.
+		for i := 0; i < 4; i++ {
+			a.Set(i, i, a.At(i, i)+50)
+		}
+		b := randomMatrix(seed+3, 4, 1).Data()
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			sum := 0.0
+			for j := 0; j < 4; j++ {
+				sum += a.At(i, j) * x[j]
+			}
+			if math.Abs(sum-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+}
+
+func TestDotShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestDistances(t *testing.T) {
+	a, b := []float64{0, 0}, []float64{3, 4}
+	if SqDist(a, b) != 25 {
+		t.Fatalf("SqDist = %v", SqDist(a, b))
+	}
+	if Dist(a, b) != 5 {
+		t.Fatalf("Dist = %v", Dist(a, b))
+	}
+	if Dist(a, a) != 0 {
+		t.Fatal("self distance should be zero")
+	}
+}
+
+func TestAxpyScale(t *testing.T) {
+	y := []float64{1, 1}
+	AxpyVec(y, 3, []float64{2, -1})
+	if y[0] != 7 || y[1] != -2 {
+		t.Fatalf("AxpyVec = %v", y)
+	}
+	ScaleVec(y, 0.5)
+	if y[0] != 3.5 || y[1] != -1 {
+		t.Fatalf("ScaleVec = %v", y)
+	}
+}
+
+func TestStats(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if MeanVec(v) != 5 {
+		t.Fatalf("Mean = %v", MeanVec(v))
+	}
+	if VarianceVec(v) != 4 {
+		t.Fatalf("Variance = %v", VarianceVec(v))
+	}
+	if StdDevVec(v) != 2 {
+		t.Fatalf("StdDev = %v", StdDevVec(v))
+	}
+}
+
+func TestStatsDegenerate(t *testing.T) {
+	if MeanVec(nil) != 0 || VarianceVec(nil) != 0 || VarianceVec([]float64{5}) != 0 {
+		t.Fatal("degenerate stats should be zero")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMaxVec([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = %v,%v", lo, hi)
+	}
+}
+
+func TestMinMaxPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MinMaxVec(nil)
+}
+
+func TestArgMinMax(t *testing.T) {
+	v := []float64{3, -1, 7, 2}
+	if ArgMin(v) != 1 || ArgMax(v) != 2 {
+		t.Fatalf("ArgMin/ArgMax = %d/%d", ArgMin(v), ArgMax(v))
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Fatal("empty arg ops should return -1")
+	}
+}
+
+func TestCloneVec(t *testing.T) {
+	a := []float64{1, 2}
+	b := CloneVec(a)
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("CloneVec aliases input")
+	}
+}
+
+// Property: Cauchy-Schwarz |a·b| <= |a||b|.
+func TestCauchySchwarz(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		av, bv := a[:], b[:]
+		for _, s := range [][]float64{av, bv} {
+			for _, x := range s {
+				if math.IsNaN(x) || math.Abs(x) > 1e150 {
+					return true // skip inputs that overflow float64
+				}
+			}
+		}
+		lhs := math.Abs(Dot(av, bv))
+		rhs := math.Sqrt(Dot(av, av)) * math.Sqrt(Dot(bv, bv))
+		return lhs <= rhs*(1+1e-12)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangle inequality for Dist.
+func TestTriangleInequality(t *testing.T) {
+	f := func(a, b, c [3]float64) bool {
+		av, bv, cv := a[:], b[:], c[:]
+		for _, s := range [][]float64{av, bv, cv} {
+			for _, x := range s {
+				if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+					return true // skip pathological inputs
+				}
+			}
+		}
+		return Dist(av, cv) <= Dist(av, bv)+Dist(bv, cv)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation names accepted by Spec.Activation. The paper's Table III
+// uses relu for both models; tanh and sigmoid are provided for the
+// extension experiments.
+const (
+	ActivationRelu    = "relu"
+	ActivationTanh    = "tanh"
+	ActivationSigmoid = "sigmoid"
+	ActivationLinear  = "linear"
+)
+
+// activation bundles a function and its derivative expressed in terms
+// of the *output* value (all three supported nonlinearities admit
+// that form, which lets backprop avoid storing pre-activations).
+type activation struct {
+	name string
+	fn   func(float64) float64
+	// dFromOutput returns f'(z) given y = f(z).
+	dFromOutput func(float64) float64
+}
+
+var activations = map[string]activation{
+	ActivationRelu: {
+		name: ActivationRelu,
+		fn: func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		},
+		dFromOutput: func(y float64) float64 {
+			if y > 0 {
+				return 1
+			}
+			return 0
+		},
+	},
+	ActivationTanh: {
+		name:        ActivationTanh,
+		fn:          math.Tanh,
+		dFromOutput: func(y float64) float64 { return 1 - y*y },
+	},
+	ActivationSigmoid: {
+		name:        ActivationSigmoid,
+		fn:          func(v float64) float64 { return 1 / (1 + math.Exp(-v)) },
+		dFromOutput: func(y float64) float64 { return y * (1 - y) },
+	},
+	ActivationLinear: {
+		name:        ActivationLinear,
+		fn:          func(v float64) float64 { return v },
+		dFromOutput: func(float64) float64 { return 1 },
+	},
+}
+
+// lookupActivation resolves a name ("" defaults to relu, matching
+// Table III).
+func lookupActivation(name string) (activation, error) {
+	if name == "" {
+		name = ActivationRelu
+	}
+	a, ok := activations[name]
+	if !ok {
+		return activation{}, fmt.Errorf("ml: unknown activation %q", name)
+	}
+	return a, nil
+}

@@ -1,0 +1,205 @@
+package ml
+
+import (
+	"fmt"
+
+	"qens/internal/matrix"
+	"qens/internal/rng"
+)
+
+// linear is the paper's LR model: a single dense unit, y = w·x + b,
+// trained with mini-batch gradient descent under MSE loss (Table III).
+// Inputs and targets are standardized with streaming statistics; the
+// learned weights therefore live in standardized space and predictions
+// are mapped back to the raw target scale.
+type linear struct {
+	spec    Spec
+	weights []float64 // len inputDim
+	bias    float64
+	stats   *runningStats
+	opt     optimizer
+	src     *rng.Source
+	history History
+}
+
+func newLinear(spec Spec, src *rng.Source) *linear {
+	m := &linear{
+		spec:    spec,
+		weights: make([]float64, spec.InputDim),
+		stats:   newRunningStats(spec.InputDim),
+		src:     src,
+	}
+	// Small symmetric init, matching a Keras Dense(1) glorot-ish start.
+	for i := range m.weights {
+		m.weights[i] = src.Uniform(-0.05, 0.05)
+	}
+	m.opt = newOptimizer(spec.Optimizer, spec.LearningRate, spec.InputDim+1)
+	return m
+}
+
+// Fit trains for the configured epochs with a validation split.
+func (m *linear) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y, m.spec.InputDim); err != nil {
+		return err
+	}
+	m.history = History{}
+	tx, ty, vx, vy := splitTrainVal(x, y, m.spec.ValidationSplit, m.src)
+	if len(tx) == 0 {
+		tx, ty = x, y
+	}
+	m.stats.observe(tx, ty)
+	for epoch := 0; epoch < m.spec.Epochs; epoch++ {
+		m.runEpoch(tx, ty)
+		m.history.TrainLoss = append(m.history.TrainLoss, MSE(ty, m.PredictBatch(tx)))
+		if len(vx) > 0 {
+			m.history.ValLoss = append(m.history.ValLoss, MSE(vy, m.PredictBatch(vx)))
+		}
+		if stopEarly(m.history.ValLoss, m.spec.Patience) {
+			break
+		}
+		m.applyDecay()
+	}
+	return nil
+}
+
+// PartialFit continues training on a batch without resetting weights.
+func (m *linear) PartialFit(x [][]float64, y []float64, epochs int) error {
+	if err := checkXY(x, y, m.spec.InputDim); err != nil {
+		return err
+	}
+	if epochs < 1 {
+		return fmt.Errorf("ml: partial fit epochs %d < 1", epochs)
+	}
+	m.stats.observe(x, y)
+	for e := 0; e < epochs; e++ {
+		m.runEpoch(x, y)
+		m.applyDecay()
+	}
+	return nil
+}
+
+// runEpoch performs one pass of shuffled mini-batch updates.
+func (m *linear) runEpoch(x [][]float64, y []float64) {
+	perm := m.src.Perm(len(x))
+	grad := make([]float64, m.spec.InputDim+1)
+	params := make([]float64, m.spec.InputDim+1)
+	xn := make([]float64, m.spec.InputDim)
+	for start := 0; start < len(perm); start += m.spec.BatchSize {
+		end := start + m.spec.BatchSize
+		if end > len(perm) {
+			end = len(perm)
+		}
+		for i := range grad {
+			grad[i] = 0
+		}
+		batch := perm[start:end]
+		invN := 1 / float64(len(batch))
+		for _, idx := range batch {
+			m.stats.normX(xn, x[idx])
+			pred := m.bias
+			for j, w := range m.weights {
+				pred += w * xn[j]
+			}
+			err := pred - m.stats.normY(y[idx])
+			for j := range m.weights {
+				grad[j] += 2 * err * xn[j] * invN
+			}
+			grad[m.spec.InputDim] += 2 * err * invN
+		}
+		if m.spec.L2 > 0 {
+			for j, w := range m.weights {
+				grad[j] += m.spec.L2 * w
+			}
+		}
+		clipGradient(grad, 10)
+		copy(params, m.weights)
+		params[m.spec.InputDim] = m.bias
+		m.opt.step(params, grad)
+		copy(m.weights, params[:m.spec.InputDim])
+		m.bias = params[m.spec.InputDim]
+	}
+}
+
+// Predict returns the raw-scale prediction for one input.
+func (m *linear) Predict(x []float64) float64 {
+	xn := make([]float64, m.spec.InputDim)
+	m.stats.normX(xn, x)
+	out := m.bias
+	for j, w := range m.weights {
+		out += w * xn[j]
+	}
+	return m.stats.denormY(out)
+}
+
+// PredictBatch returns raw-scale predictions for many inputs.
+func (m *linear) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = m.Predict(row)
+	}
+	return out
+}
+
+// Params exports weights, bias and normalization state.
+func (m *linear) Params() Params {
+	values := make([]float64, 0, len(m.weights)+1+statsFlatLen(m.spec.InputDim))
+	values = append(values, m.weights...)
+	values = append(values, m.bias)
+	values = append(values, m.stats.flatten()...)
+	return Params{Kind: KindLinear, Dims: []int{m.spec.InputDim, 1}, Values: values}
+}
+
+// SetParams loads an exported snapshot.
+func (m *linear) SetParams(p Params) error {
+	want := m.Params()
+	if !p.Compatible(want) {
+		return fmt.Errorf("ml: incompatible params (kind %q dims %v) for linear model dims %v", p.Kind, p.Dims, want.Dims)
+	}
+	copy(m.weights, p.Values[:m.spec.InputDim])
+	m.bias = p.Values[m.spec.InputDim]
+	m.stats.unflatten(p.Values[m.spec.InputDim+1:])
+	m.opt.reset()
+	return nil
+}
+
+// Clone returns an independent copy.
+func (m *linear) Clone() Model {
+	out := &linear{
+		spec:    m.spec,
+		weights: append([]float64(nil), m.weights...),
+		bias:    m.bias,
+		stats:   m.stats.clone(),
+		opt:     m.opt.clone(),
+		src:     m.src.Split(),
+		history: History{
+			TrainLoss: append([]float64(nil), m.history.TrainLoss...),
+			ValLoss:   append([]float64(nil), m.history.ValLoss...),
+		},
+	}
+	return out
+}
+
+// History returns the last Fit's loss curves.
+func (m *linear) History() History { return m.history }
+
+// FitOLS solves ordinary least squares in closed form (ridge-damped
+// normal equations over an intercept-augmented design); used by tests
+// as a ground-truth reference for the gradient-trained model.
+func FitOLS(x [][]float64, y []float64) (w []float64, b float64, err error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, 0, fmt.Errorf("ml: bad OLS inputs (%d x, %d y)", len(x), len(y))
+	}
+	d := len(x[0])
+	augmented := make([][]float64, len(x))
+	for i, row := range x {
+		augmented[i] = append(append(make([]float64, 0, d+1), row...), 1)
+	}
+	coef, err := matrix.SolveNormalEquations(augmented, y, 1e-9)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ml: OLS: %w", err)
+	}
+	return coef[:d], coef[d], nil
+}
+
+// applyDecay applies the spec's per-epoch learning-rate decay.
+func (m *linear) applyDecay() { applyDecay(m.opt, m.spec.LRDecay) }

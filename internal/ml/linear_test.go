@@ -1,0 +1,219 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"qens/internal/rng"
+)
+
+// syntheticLinear draws y = slope*x + intercept + noise.
+func syntheticLinear(n int, slope, intercept, noise float64, seed uint64) (x [][]float64, y []float64) {
+	src := rng.New(seed)
+	for i := 0; i < n; i++ {
+		xv := src.Uniform(-10, 30)
+		x = append(x, []float64{xv})
+		y = append(y, slope*xv+intercept+src.Normal(0, noise))
+	}
+	return x, y
+}
+
+func TestLinearLearnsLine(t *testing.T) {
+	x, y := syntheticLinear(500, 2.5, -7, 0.5, 1)
+	m := PaperLR(1).MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Check predictions at known points.
+	for _, xi := range []float64{-5, 0, 10, 25} {
+		want := 2.5*xi - 7
+		got := m.Predict([]float64{xi})
+		if math.Abs(got-want) > 2 {
+			t.Fatalf("Predict(%v) = %v, want ~%v", xi, got, want)
+		}
+	}
+}
+
+func TestLinearMultiFeature(t *testing.T) {
+	src := rng.New(2)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 800; i++ {
+		a, b := src.Uniform(0, 10), src.Uniform(-5, 5)
+		x = append(x, []float64{a, b})
+		y = append(y, 3*a-2*b+1+src.Normal(0, 0.2))
+	}
+	spec := PaperLR(2)
+	spec.Epochs = 200
+	m := spec.MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictBatch(x)
+	if r2 := R2(y, pred); r2 < 0.97 {
+		t.Fatalf("R2 = %v, want > 0.97", r2)
+	}
+}
+
+func TestLinearHistory(t *testing.T) {
+	x, y := syntheticLinear(200, 1, 0, 0.1, 3)
+	m := PaperLR(1).MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	h := m.History()
+	if len(h.TrainLoss) != 100 {
+		t.Fatalf("train history len %d", len(h.TrainLoss))
+	}
+	if len(h.ValLoss) != 100 {
+		t.Fatalf("val history len %d", len(h.ValLoss))
+	}
+	// Training should improve substantially.
+	if h.TrainLoss[99] > h.TrainLoss[0]*0.5 {
+		t.Fatalf("loss did not improve: %v -> %v", h.TrainLoss[0], h.TrainLoss[99])
+	}
+}
+
+func TestLinearPartialFitIncremental(t *testing.T) {
+	// Two mini-batches from the same line must converge to the line.
+	x1, y1 := syntheticLinear(300, 2, 5, 0.3, 4)
+	x2, y2 := syntheticLinear(300, 2, 5, 0.3, 5)
+	m := PaperLR(1).MustNew()
+	if err := m.PartialFit(x1, y1, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PartialFit(x2, y2, 60); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{10})
+	if math.Abs(got-25) > 3 {
+		t.Fatalf("incremental fit predicts %v at x=10, want ~25", got)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	m := PaperLR(2).MustNew()
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("fit accepted empty batch")
+	}
+	if err := m.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("fit accepted wrong width")
+	}
+	if err := m.Fit([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("fit accepted length mismatch")
+	}
+	if err := m.PartialFit([][]float64{{1, 2}}, []float64{1}, 0); err == nil {
+		t.Fatal("partial fit accepted zero epochs")
+	}
+}
+
+func TestLinearParamsRoundTrip(t *testing.T) {
+	x, y := syntheticLinear(300, -1.5, 3, 0.2, 6)
+	m := PaperLR(1).MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p := m.Params()
+	fresh := PaperLR(1).MustNew()
+	if err := fresh.SetParams(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, xi := range []float64{-3, 0, 12} {
+		a, b := m.Predict([]float64{xi}), fresh.Predict([]float64{xi})
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("round-tripped model diverges at %v: %v vs %v", xi, a, b)
+		}
+	}
+}
+
+func TestLinearSetParamsIncompatible(t *testing.T) {
+	m1 := PaperLR(1).MustNew()
+	m2 := PaperLR(2).MustNew()
+	if err := m2.SetParams(m1.Params()); err == nil {
+		t.Fatal("accepted incompatible params")
+	}
+	nn := PaperNN(1).MustNew()
+	if err := m1.SetParams(nn.Params()); err == nil {
+		t.Fatal("accepted params of different kind")
+	}
+}
+
+func TestLinearCloneIndependent(t *testing.T) {
+	x, y := syntheticLinear(200, 1, 1, 0.1, 7)
+	m := PaperLR(1).MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	before := m.Predict([]float64{5})
+	// Training the clone must not affect the original.
+	x2, y2 := syntheticLinear(200, -10, 0, 0.1, 8)
+	if err := c.PartialFit(x2, y2, 50); err != nil {
+		t.Fatal(err)
+	}
+	if after := m.Predict([]float64{5}); after != before {
+		t.Fatalf("training clone changed original: %v -> %v", before, after)
+	}
+}
+
+func TestLinearDeterministicTraining(t *testing.T) {
+	x, y := syntheticLinear(150, 2, 0, 0.5, 9)
+	mk := func() float64 {
+		spec := PaperLR(1)
+		spec.Seed = 42
+		m := spec.MustNew()
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return m.Predict([]float64{3})
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("same-seed training differs: %v vs %v", a, b)
+	}
+}
+
+func TestFitOLSExact(t *testing.T) {
+	// Noiseless data: OLS must recover the coefficients exactly.
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 3}, {-1, 2}}
+	var y []float64
+	for _, r := range x {
+		y = append(y, 4*r[0]-3*r[1]+2)
+	}
+	w, b, err := FitOLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-4) > 1e-6 || math.Abs(w[1]+3) > 1e-6 || math.Abs(b-2) > 1e-6 {
+		t.Fatalf("OLS = %v, %v", w, b)
+	}
+}
+
+func TestFitOLSErrors(t *testing.T) {
+	if _, _, err := FitOLS(nil, nil); err == nil {
+		t.Fatal("accepted empty")
+	}
+	if _, _, err := FitOLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("accepted mismatch")
+	}
+}
+
+func TestSGDMatchesOLSOnCleanData(t *testing.T) {
+	x, y := syntheticLinear(1000, 3, -2, 0.01, 10)
+	w, b, err := FitOLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := PaperLR(1)
+	spec.Epochs = 300
+	m := spec.MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, xi := range []float64{-8, 0, 20} {
+		ols := w[0]*xi + b
+		sgd := m.Predict([]float64{xi})
+		if math.Abs(ols-sgd) > 1.0 {
+			t.Fatalf("SGD %v vs OLS %v at x=%v", sgd, ols, xi)
+		}
+	}
+}

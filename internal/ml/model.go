@@ -1,0 +1,309 @@
+// Package ml is the machine-learning substrate replacing the paper's
+// Keras usage: linear regression and dense neural networks with
+// mini-batch gradient training, MSE loss, relu activations, validation
+// splits and the Table III hyper-parameters, plus regression metrics.
+//
+// Models train incrementally (PartialFit) so that a node can feed each
+// supporting cluster as a mini-batch in turn, exactly the incremental
+// per-cluster training loop of §IV-B, and their parameters serialize
+// to flat vectors so local models can travel to the leader.
+package ml
+
+import (
+	"errors"
+	"fmt"
+
+	"qens/internal/rng"
+)
+
+// Model is a trainable regression model.
+type Model interface {
+	// Fit trains from scratch for the spec's configured number of
+	// epochs, using the spec's validation split for held-out loss
+	// tracking.
+	Fit(x [][]float64, y []float64) error
+	// PartialFit continues training on a batch for the given number
+	// of local epochs without resetting parameters — the paper's
+	// per-cluster incremental step (each supporting cluster is a
+	// mini-batch, §IV-A Remark).
+	PartialFit(x [][]float64, y []float64, epochs int) error
+	// Predict returns the model output for a single input.
+	Predict(x []float64) float64
+	// PredictBatch returns outputs for many inputs.
+	PredictBatch(x [][]float64) []float64
+	// Params exports the parameters for transport or aggregation.
+	Params() Params
+	// SetParams loads previously exported parameters.
+	SetParams(Params) error
+	// Clone returns an independent copy with identical parameters.
+	Clone() Model
+	// History returns per-epoch losses from the most recent Fit.
+	History() History
+}
+
+// Params is a flat, serializable snapshot of model parameters.
+type Params struct {
+	Kind   string    `json:"kind"`
+	Dims   []int     `json:"dims"` // architecture fingerprint for compatibility checks
+	Values []float64 `json:"values"`
+}
+
+// Compatible reports whether two parameter snapshots describe the same
+// architecture.
+func (p Params) Compatible(other Params) bool {
+	if p.Kind != other.Kind || len(p.Dims) != len(other.Dims) || len(p.Values) != len(other.Values) {
+		return false
+	}
+	for i, d := range p.Dims {
+		if other.Dims[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the snapshot.
+func (p Params) Clone() Params {
+	return Params{
+		Kind:   p.Kind,
+		Dims:   append([]int(nil), p.Dims...),
+		Values: append([]float64(nil), p.Values...),
+	}
+}
+
+// History records per-epoch training progress.
+type History struct {
+	TrainLoss []float64 `json:"train_loss"`
+	ValLoss   []float64 `json:"val_loss"`
+}
+
+// Spec describes a model architecture and its training
+// hyper-parameters; it is the factory for Model values.
+type Spec struct {
+	// Kind selects the model family: "linear" or "nn".
+	Kind string
+	// InputDim is the number of features.
+	InputDim int
+	// Hidden lists hidden-layer widths (nn only).
+	Hidden []int
+	// LearningRate for gradient descent.
+	LearningRate float64
+	// Epochs for a full Fit (Table III: 100).
+	Epochs int
+	// BatchSize for mini-batch SGD (default 32).
+	BatchSize int
+	// ValidationSplit holds out this fraction during Fit for
+	// validation-loss tracking (Table III: 0.2).
+	ValidationSplit float64
+	// Optimizer selects the update rule: "sgd" (default),
+	// "momentum" or "adam".
+	Optimizer string
+	// Activation names the hidden-layer nonlinearity for nn models:
+	// "relu" (default, Table III), "tanh", "sigmoid" or "linear".
+	Activation string
+	// L2 is the weight-decay coefficient added to the gradient of
+	// every weight (not biases); 0 disables regularization.
+	L2 float64
+	// LRDecay multiplies the learning rate after every epoch when
+	// in (0, 1); 0 (or 1) disables decay.
+	LRDecay float64
+	// Patience enables early stopping during Fit: training stops
+	// once the validation loss has not improved for Patience
+	// consecutive epochs (requires ValidationSplit > 0; 0 disables).
+	Patience int
+	// Seed makes weight initialization and batch shuffling
+	// deterministic.
+	Seed uint64
+}
+
+// Model kinds.
+const (
+	KindLinear = "linear"
+	KindNN     = "nn"
+)
+
+// PaperLR returns the paper's LR hyper-parameters (Table III: one
+// dense unit, learning rate 0.03, 100 epochs, validation split 0.2,
+// MSE loss) for the given input dimensionality.
+func PaperLR(inputDim int) Spec {
+	return Spec{
+		Kind:            KindLinear,
+		InputDim:        inputDim,
+		LearningRate:    0.03,
+		Epochs:          100,
+		ValidationSplit: 0.2,
+	}
+}
+
+// PaperNN returns the paper's NN hyper-parameters (Table III: 64 dense
+// units, relu, learning rate 0.001, 100 epochs, validation split 0.2,
+// MSE loss) for the given input dimensionality.
+func PaperNN(inputDim int) Spec {
+	return Spec{
+		Kind:            KindNN,
+		InputDim:        inputDim,
+		Hidden:          []int{64},
+		LearningRate:    0.001,
+		Epochs:          100,
+		ValidationSplit: 0.2,
+		Optimizer:       "adam",
+	}
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.BatchSize == 0 {
+		s.BatchSize = 32
+	}
+	if s.Epochs == 0 {
+		s.Epochs = 100
+	}
+	if s.LearningRate == 0 {
+		s.LearningRate = 0.01
+	}
+	if s.Optimizer == "" {
+		s.Optimizer = "sgd"
+	}
+	return s
+}
+
+// Validate checks the specification.
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if s.Kind != KindLinear && s.Kind != KindNN {
+		return fmt.Errorf("ml: unknown model kind %q", s.Kind)
+	}
+	if s.InputDim < 1 {
+		return fmt.Errorf("ml: input dim %d < 1", s.InputDim)
+	}
+	if s.Kind == KindNN && len(s.Hidden) == 0 {
+		return errors.New("ml: nn spec needs at least one hidden layer")
+	}
+	for _, h := range s.Hidden {
+		if h < 1 {
+			return fmt.Errorf("ml: hidden width %d < 1", h)
+		}
+	}
+	if s.LearningRate <= 0 {
+		return fmt.Errorf("ml: learning rate %v <= 0", s.LearningRate)
+	}
+	if s.Epochs < 1 {
+		return fmt.Errorf("ml: epochs %d < 1", s.Epochs)
+	}
+	if s.BatchSize < 1 {
+		return fmt.Errorf("ml: batch size %d < 1", s.BatchSize)
+	}
+	if s.ValidationSplit < 0 || s.ValidationSplit >= 1 {
+		return fmt.Errorf("ml: validation split %v outside [0,1)", s.ValidationSplit)
+	}
+	switch s.Optimizer {
+	case "sgd", "momentum", "adam":
+	default:
+		return fmt.Errorf("ml: unknown optimizer %q", s.Optimizer)
+	}
+	if _, err := lookupActivation(s.Activation); err != nil {
+		return err
+	}
+	if s.L2 < 0 {
+		return fmt.Errorf("ml: negative L2 coefficient %v", s.L2)
+	}
+	if s.Patience < 0 {
+		return fmt.Errorf("ml: negative patience %d", s.Patience)
+	}
+	if s.LRDecay < 0 || s.LRDecay > 1 {
+		return fmt.Errorf("ml: LR decay %v outside [0,1]", s.LRDecay)
+	}
+	if s.Patience > 0 && s.ValidationSplit == 0 {
+		return fmt.Errorf("ml: early stopping (patience %d) requires a validation split", s.Patience)
+	}
+	return nil
+}
+
+// stopEarly reports whether the validation-loss history justifies
+// stopping: the best value is at least patience epochs old.
+func stopEarly(valLoss []float64, patience int) bool {
+	if patience <= 0 || len(valLoss) <= patience {
+		return false
+	}
+	best := 0
+	for i, v := range valLoss {
+		if v < valLoss[best] {
+			best = i
+		}
+	}
+	return len(valLoss)-1-best >= patience
+}
+
+// New instantiates a model from the spec.
+func (s Spec) New() (Model, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(s.Seed)
+	switch s.Kind {
+	case KindLinear:
+		return newLinear(s, src), nil
+	case KindNN:
+		return newNeuralNet(s, src), nil
+	}
+	return nil, fmt.Errorf("ml: unknown model kind %q", s.Kind)
+}
+
+// MustNew is New that panics on error, for tests and examples.
+func (s Spec) MustNew() Model {
+	m, err := s.New()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// checkXY validates a training batch against the expected input
+// dimensionality.
+func checkXY(x [][]float64, y []float64, inputDim int) error {
+	if len(x) == 0 {
+		return errors.New("ml: empty training batch")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("ml: %d inputs vs %d targets", len(x), len(y))
+	}
+	for i, row := range x {
+		if len(row) != inputDim {
+			return fmt.Errorf("ml: input %d has %d features, want %d", i, len(row), inputDim)
+		}
+	}
+	return nil
+}
+
+// splitTrainVal carves a validation tail off a shuffled copy of the
+// batch, matching Keras's validation_split semantics.
+func splitTrainVal(x [][]float64, y []float64, fraction float64, src *rng.Source) (tx [][]float64, ty []float64, vx [][]float64, vy []float64) {
+	n := len(x)
+	perm := src.Perm(n)
+	nVal := int(fraction * float64(n))
+	if nVal >= n {
+		nVal = n - 1
+	}
+	tx = make([][]float64, 0, n-nVal)
+	ty = make([]float64, 0, n-nVal)
+	vx = make([][]float64, 0, nVal)
+	vy = make([]float64, 0, nVal)
+	for i, idx := range perm {
+		if i < nVal {
+			vx = append(vx, x[idx])
+			vy = append(vy, y[idx])
+		} else {
+			tx = append(tx, x[idx])
+			ty = append(ty, y[idx])
+		}
+	}
+	return tx, ty, vx, vy
+}
+
+// applyDecay is shared by both model families: multiply the
+// optimizer's learning rate by the configured per-epoch decay.
+func applyDecay(opt optimizer, decay float64) {
+	if decay > 0 && decay < 1 {
+		opt.scaleLR(decay)
+	}
+}

@@ -1,0 +1,335 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"qens/internal/matrix"
+	"qens/internal/rng"
+)
+
+// neuralNet is the paper's NN model: a dense multi-layer perceptron
+// with relu hidden activations and a linear output unit, trained with
+// mini-batch gradient descent under MSE loss (Table III: one hidden
+// layer of 64 units, lr 0.001, 100 epochs, validation split 0.2).
+// Like the linear model it standardizes inputs/targets with streaming
+// statistics.
+type neuralNet struct {
+	spec    Spec
+	act     activation
+	layers  []denseLayer
+	stats   *runningStats
+	opt     optimizer
+	src     *rng.Source
+	history History
+}
+
+// denseLayer holds weights (in x out) and biases (out). hidden marks
+// layers followed by the nonlinearity; the output layer is linear.
+type denseLayer struct {
+	w      *matrix.Dense
+	b      []float64
+	hidden bool
+}
+
+func newNeuralNet(spec Spec, src *rng.Source) *neuralNet {
+	act, err := lookupActivation(spec.Activation)
+	if err != nil {
+		// Spec.Validate runs before construction; this is a
+		// programming error, not a data condition.
+		panic(err)
+	}
+	widths := append([]int{spec.InputDim}, spec.Hidden...)
+	widths = append(widths, 1)
+	layers := make([]denseLayer, len(widths)-1)
+	for l := range layers {
+		in, out := widths[l], widths[l+1]
+		w := matrix.NewDense(in, out)
+		// He initialization for relu layers.
+		scale := math.Sqrt(2 / float64(in))
+		for i := 0; i < in; i++ {
+			for j := 0; j < out; j++ {
+				w.Set(i, j, src.Normal(0, scale))
+			}
+		}
+		layers[l] = denseLayer{w: w, b: make([]float64, out), hidden: l < len(layers)-1}
+	}
+	m := &neuralNet{
+		spec:   spec,
+		act:    act,
+		layers: layers,
+		stats:  newRunningStats(spec.InputDim),
+		src:    src,
+	}
+	m.opt = newOptimizer(spec.Optimizer, spec.LearningRate, m.paramCount())
+	return m
+}
+
+func (m *neuralNet) paramCount() int {
+	n := 0
+	for _, l := range m.layers {
+		n += l.w.Rows()*l.w.Cols() + len(l.b)
+	}
+	return n
+}
+
+// Fit trains for the configured epochs with a validation split.
+func (m *neuralNet) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y, m.spec.InputDim); err != nil {
+		return err
+	}
+	m.history = History{}
+	tx, ty, vx, vy := splitTrainVal(x, y, m.spec.ValidationSplit, m.src)
+	if len(tx) == 0 {
+		tx, ty = x, y
+	}
+	m.stats.observe(tx, ty)
+	for epoch := 0; epoch < m.spec.Epochs; epoch++ {
+		m.runEpoch(tx, ty)
+		m.history.TrainLoss = append(m.history.TrainLoss, MSE(ty, m.PredictBatch(tx)))
+		if len(vx) > 0 {
+			m.history.ValLoss = append(m.history.ValLoss, MSE(vy, m.PredictBatch(vx)))
+		}
+		if stopEarly(m.history.ValLoss, m.spec.Patience) {
+			break
+		}
+		m.applyDecay()
+	}
+	return nil
+}
+
+// PartialFit continues training on a batch without resetting weights.
+func (m *neuralNet) PartialFit(x [][]float64, y []float64, epochs int) error {
+	if err := checkXY(x, y, m.spec.InputDim); err != nil {
+		return err
+	}
+	if epochs < 1 {
+		return fmt.Errorf("ml: partial fit epochs %d < 1", epochs)
+	}
+	m.stats.observe(x, y)
+	for e := 0; e < epochs; e++ {
+		m.runEpoch(x, y)
+		m.applyDecay()
+	}
+	return nil
+}
+
+// runEpoch performs one shuffled pass of mini-batch backprop.
+func (m *neuralNet) runEpoch(x [][]float64, y []float64) {
+	perm := m.src.Perm(len(x))
+	for start := 0; start < len(perm); start += m.spec.BatchSize {
+		end := start + m.spec.BatchSize
+		if end > len(perm) {
+			end = len(perm)
+		}
+		m.trainBatch(x, y, perm[start:end])
+	}
+}
+
+// trainBatch runs forward + backward on one mini-batch and applies the
+// optimizer step.
+func (m *neuralNet) trainBatch(x [][]float64, y []float64, batch []int) {
+	n := len(batch)
+	input := matrix.NewDense(n, m.spec.InputDim)
+	target := make([]float64, n)
+	for i, idx := range batch {
+		m.stats.normX(input.Row(i), x[idx])
+		target[i] = m.stats.normY(y[idx])
+	}
+
+	// Forward pass, keeping activation outputs per layer.
+	acts := make([]*matrix.Dense, len(m.layers)+1)
+	acts[0] = input
+	for l, layer := range m.layers {
+		z := matrix.Mul(acts[l], layer.w)
+		z.AddRowVector(layer.b)
+		if layer.hidden {
+			z.Apply(m.act.fn)
+		}
+		acts[l+1] = z
+	}
+
+	// Output delta: dL/dz = 2(pred - target)/n for MSE.
+	out := acts[len(m.layers)]
+	delta := matrix.NewDense(n, 1)
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		delta.Set(i, 0, 2*(out.At(i, 0)-target[i])*invN)
+	}
+
+	// Backward pass accumulating a flat gradient.
+	grad := make([]float64, m.paramCount())
+	offset := len(grad)
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		layer := m.layers[l]
+		wRows, wCols := layer.w.Rows(), layer.w.Cols()
+		offset -= wRows*wCols + wCols
+
+		// Gradient wrt weights: actsᵀ · delta.
+		gw := matrix.MulTransA(acts[l], delta)
+		copy(grad[offset:offset+wRows*wCols], gw.Data())
+		// Gradient wrt biases: column sums of delta.
+		gb := delta.ColSums()
+		copy(grad[offset+wRows*wCols:offset+wRows*wCols+wCols], gb)
+
+		if l > 0 {
+			// Propagate: delta_prev = (delta · wᵀ) ⊙ f'(acts[l]),
+			// with f' expressed in terms of the activation output.
+			next := matrix.MulTransB(delta, layer.w)
+			prevAct := acts[l]
+			for i := 0; i < next.Rows(); i++ {
+				row := next.Row(i)
+				actRow := prevAct.Row(i)
+				for j := range row {
+					row[j] *= m.act.dFromOutput(actRow[j])
+				}
+			}
+			delta = next
+		}
+	}
+
+	// L2 weight decay: applies to weights, not biases.
+	if m.spec.L2 > 0 {
+		offset := 0
+		for _, layer := range m.layers {
+			n := layer.w.Rows() * layer.w.Cols()
+			wdata := layer.w.Data()
+			for i := 0; i < n; i++ {
+				grad[offset+i] += m.spec.L2 * wdata[i]
+			}
+			offset += n + len(layer.b)
+		}
+	}
+
+	clipGradient(grad, 50)
+	params := m.flattenParams()
+	m.opt.step(params, grad)
+	m.loadParams(params)
+}
+
+// forward computes the standardized output for one input vector.
+func (m *neuralNet) forward(x []float64) float64 {
+	cur := make([]float64, len(x))
+	m.stats.normX(cur, x)
+	for _, layer := range m.layers {
+		next := make([]float64, layer.w.Cols())
+		for j := range next {
+			sum := layer.b[j]
+			for i, v := range cur {
+				sum += v * layer.w.At(i, j)
+			}
+			if layer.hidden {
+				sum = m.act.fn(sum)
+			}
+			next[j] = sum
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// Predict returns the raw-scale prediction for one input.
+func (m *neuralNet) Predict(x []float64) float64 {
+	return m.stats.denormY(m.forward(x))
+}
+
+// PredictBatch returns raw-scale predictions for many inputs. Batches
+// run through the matrix forward pass, which amortizes the layer loops
+// far better than per-sample prediction.
+func (m *neuralNet) PredictBatch(x [][]float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	input := matrix.NewDense(len(x), m.spec.InputDim)
+	for i, row := range x {
+		if len(row) != m.spec.InputDim {
+			panic(fmt.Sprintf("ml: input %d has %d features, want %d", i, len(row), m.spec.InputDim))
+		}
+		m.stats.normX(input.Row(i), row)
+	}
+	cur := input
+	for _, layer := range m.layers {
+		z := matrix.Mul(cur, layer.w)
+		z.AddRowVector(layer.b)
+		if layer.hidden {
+			z.Apply(m.act.fn)
+		}
+		cur = z
+	}
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = m.stats.denormY(cur.At(i, 0))
+	}
+	return out
+}
+
+// flattenParams serializes weights+biases layer by layer.
+func (m *neuralNet) flattenParams() []float64 {
+	out := make([]float64, 0, m.paramCount())
+	for _, l := range m.layers {
+		out = append(out, l.w.Data()...)
+		out = append(out, l.b...)
+	}
+	return out
+}
+
+// loadParams restores weights+biases from a flat vector.
+func (m *neuralNet) loadParams(v []float64) {
+	offset := 0
+	for _, l := range m.layers {
+		n := l.w.Rows() * l.w.Cols()
+		copy(l.w.Data(), v[offset:offset+n])
+		offset += n
+		copy(l.b, v[offset:offset+len(l.b)])
+		offset += len(l.b)
+	}
+}
+
+// Params exports weights, biases and normalization state.
+func (m *neuralNet) Params() Params {
+	dims := []int{m.spec.InputDim}
+	dims = append(dims, m.spec.Hidden...)
+	dims = append(dims, 1)
+	values := m.flattenParams()
+	values = append(values, m.stats.flatten()...)
+	return Params{Kind: KindNN, Dims: dims, Values: values}
+}
+
+// SetParams loads an exported snapshot.
+func (m *neuralNet) SetParams(p Params) error {
+	want := m.Params()
+	if !p.Compatible(want) {
+		return fmt.Errorf("ml: incompatible params (kind %q dims %v) for nn dims %v", p.Kind, p.Dims, want.Dims)
+	}
+	n := m.paramCount()
+	m.loadParams(p.Values[:n])
+	m.stats.unflatten(p.Values[n:])
+	m.opt.reset()
+	return nil
+}
+
+// Clone returns an independent copy.
+func (m *neuralNet) Clone() Model {
+	layers := make([]denseLayer, len(m.layers))
+	for i, l := range m.layers {
+		layers[i] = denseLayer{w: l.w.Clone(), b: append([]float64(nil), l.b...), hidden: l.hidden}
+	}
+	return &neuralNet{
+		spec:   m.spec,
+		act:    m.act,
+		layers: layers,
+		stats:  m.stats.clone(),
+		opt:    m.opt.clone(),
+		src:    m.src.Split(),
+		history: History{
+			TrainLoss: append([]float64(nil), m.history.TrainLoss...),
+			ValLoss:   append([]float64(nil), m.history.ValLoss...),
+		},
+	}
+}
+
+// History returns the last Fit's loss curves.
+func (m *neuralNet) History() History { return m.history }
+
+// applyDecay applies the spec's per-epoch learning-rate decay.
+func (m *neuralNet) applyDecay() { applyDecay(m.opt, m.spec.LRDecay) }

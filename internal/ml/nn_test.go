@@ -1,0 +1,251 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"qens/internal/rng"
+)
+
+func TestNNLearnsLinearFunction(t *testing.T) {
+	x, y := syntheticLinear(600, 2, 3, 0.2, 11)
+	spec := PaperNN(1)
+	spec.Epochs = 60
+	m := spec.MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictBatch(x)
+	if r2 := R2(y, pred); r2 < 0.95 {
+		t.Fatalf("R2 = %v, want > 0.95", r2)
+	}
+}
+
+func TestNNLearnsNonlinearFunction(t *testing.T) {
+	// y = x^2 — a linear model cannot fit this, a relu net can.
+	src := rng.New(12)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 800; i++ {
+		xi := src.Uniform(-3, 3)
+		x = append(x, []float64{xi})
+		y = append(y, xi*xi+src.Normal(0, 0.05))
+	}
+	spec := PaperNN(1)
+	spec.Epochs = 150
+	m := spec.MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	nnR2 := R2(y, m.PredictBatch(x))
+	if nnR2 < 0.9 {
+		t.Fatalf("NN R2 on x^2 = %v, want > 0.9", nnR2)
+	}
+	// Reference: the linear model must do much worse on the same data.
+	lin := PaperLR(1).MustNew()
+	if err := lin.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	linR2 := R2(y, lin.PredictBatch(x))
+	if linR2 > nnR2-0.2 {
+		t.Fatalf("linear R2 %v unexpectedly close to NN %v on x^2", linR2, nnR2)
+	}
+}
+
+func TestNNMultiLayer(t *testing.T) {
+	spec := Spec{Kind: KindNN, InputDim: 2, Hidden: []int{16, 8}, LearningRate: 0.005,
+		Epochs: 120, ValidationSplit: 0.2, Optimizer: "adam", Seed: 13}
+	src := rng.New(13)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 600; i++ {
+		a, b := src.Uniform(-2, 2), src.Uniform(-2, 2)
+		x = append(x, []float64{a, b})
+		y = append(y, a*b) // multiplicative interaction
+	}
+	m := spec.MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := R2(y, m.PredictBatch(x)); r2 < 0.8 {
+		t.Fatalf("deep net R2 on a*b = %v, want > 0.8", r2)
+	}
+}
+
+func TestNNHistoryAndImprovement(t *testing.T) {
+	x, y := syntheticLinear(400, 1, 0, 0.3, 14)
+	spec := PaperNN(1)
+	spec.Epochs = 40
+	m := spec.MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	h := m.History()
+	if len(h.TrainLoss) != 40 || len(h.ValLoss) != 40 {
+		t.Fatalf("history lengths %d/%d", len(h.TrainLoss), len(h.ValLoss))
+	}
+	if h.TrainLoss[39] > h.TrainLoss[0]*0.5 {
+		t.Fatalf("NN did not improve: %v -> %v", h.TrainLoss[0], h.TrainLoss[39])
+	}
+}
+
+func TestNNPartialFit(t *testing.T) {
+	x1, y1 := syntheticLinear(300, 2, 5, 0.2, 15)
+	x2, y2 := syntheticLinear(300, 2, 5, 0.2, 16)
+	spec := PaperNN(1)
+	m := spec.MustNew()
+	if err := m.PartialFit(x1, y1, 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PartialFit(x2, y2, 30); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Predict([]float64{10})
+	if math.Abs(got-25) > 4 {
+		t.Fatalf("incremental NN predicts %v at x=10, want ~25", got)
+	}
+}
+
+func TestNNParamsRoundTrip(t *testing.T) {
+	x, y := syntheticLinear(300, -2, 1, 0.2, 17)
+	spec := PaperNN(1)
+	spec.Epochs = 30
+	m := spec.MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	fresh := spec.MustNew()
+	if err := fresh.SetParams(m.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for _, xi := range []float64{-5, 0, 15} {
+		a, b := m.Predict([]float64{xi}), fresh.Predict([]float64{xi})
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("round-trip diverges at %v: %v vs %v", xi, a, b)
+		}
+	}
+}
+
+func TestNNSetParamsIncompatible(t *testing.T) {
+	a := PaperNN(1).MustNew()
+	bSpec := PaperNN(1)
+	bSpec.Hidden = []int{32}
+	b := bSpec.MustNew()
+	if err := b.SetParams(a.Params()); err == nil {
+		t.Fatal("accepted different hidden width")
+	}
+}
+
+func TestNNCloneIndependent(t *testing.T) {
+	x, y := syntheticLinear(200, 1, 1, 0.2, 18)
+	spec := PaperNN(1)
+	spec.Epochs = 20
+	m := spec.MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	before := m.Predict([]float64{5})
+	x2, y2 := syntheticLinear(200, -10, 0, 0.2, 19)
+	if err := c.PartialFit(x2, y2, 30); err != nil {
+		t.Fatal(err)
+	}
+	if after := m.Predict([]float64{5}); after != before {
+		t.Fatal("training clone changed original NN")
+	}
+}
+
+func TestNNDeterministic(t *testing.T) {
+	x, y := syntheticLinear(150, 2, 0, 0.3, 20)
+	mk := func() float64 {
+		spec := PaperNN(1)
+		spec.Epochs = 15
+		spec.Seed = 99
+		m := spec.MustNew()
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return m.Predict([]float64{3})
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("same-seed NN training differs: %v vs %v", a, b)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Kind: "forest", InputDim: 1},
+		{Kind: KindLinear, InputDim: 0},
+		{Kind: KindNN, InputDim: 1}, // no hidden layers
+		{Kind: KindNN, InputDim: 1, Hidden: []int{0}},
+		{Kind: KindLinear, InputDim: 1, LearningRate: -1},
+		{Kind: KindLinear, InputDim: 1, ValidationSplit: 1},
+		{Kind: KindLinear, InputDim: 1, Optimizer: "magic"},
+		{Kind: KindLinear, InputDim: 1, BatchSize: -2},
+		{Kind: KindLinear, InputDim: 1, Epochs: -1},
+	}
+	for i, s := range bad {
+		if _, err := s.New(); err == nil {
+			t.Errorf("bad spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestPaperSpecsMatchTableIII(t *testing.T) {
+	lr := PaperLR(1)
+	if lr.LearningRate != 0.03 || lr.Epochs != 100 || lr.ValidationSplit != 0.2 {
+		t.Fatalf("PaperLR deviates from Table III: %+v", lr)
+	}
+	nn := PaperNN(1)
+	if nn.LearningRate != 0.001 || nn.Epochs != 100 || nn.ValidationSplit != 0.2 {
+		t.Fatalf("PaperNN deviates from Table III: %+v", nn)
+	}
+	if len(nn.Hidden) != 1 || nn.Hidden[0] != 64 {
+		t.Fatalf("PaperNN hidden = %v, want [64]", nn.Hidden)
+	}
+}
+
+func TestOptimizers(t *testing.T) {
+	for _, opt := range []string{"sgd", "momentum", "adam"} {
+		spec := Spec{Kind: KindLinear, InputDim: 1, LearningRate: 0.05,
+			Epochs: 80, Optimizer: opt, Seed: 21}
+		m := spec.MustNew()
+		x, y := syntheticLinear(300, 4, -1, 0.2, 22)
+		if err := m.Fit(x, y); err != nil {
+			t.Fatalf("%s: %v", opt, err)
+		}
+		if r2 := R2(y, m.PredictBatch(x)); r2 < 0.9 {
+			t.Errorf("%s: R2 = %v", opt, r2)
+		}
+	}
+}
+
+func TestNNPredictBatchMatchesPredict(t *testing.T) {
+	x, y := syntheticLinear(200, 2, 1, 0.2, 23)
+	spec := PaperNN(1)
+	spec.Epochs = 10
+	m := spec.MustNew()
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	batch := m.PredictBatch(x)
+	for i, row := range x {
+		single := m.Predict(row)
+		if math.Abs(batch[i]-single) > 1e-9 {
+			t.Fatalf("batch[%d]=%v vs single=%v", i, batch[i], single)
+		}
+	}
+	if m.PredictBatch(nil) != nil {
+		t.Fatal("empty batch should be nil")
+	}
+}
+
+func TestNNPredictBatchPanicsOnBadWidth(t *testing.T) {
+	m := PaperNN(2).MustNew()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.PredictBatch([][]float64{{1}})
+}

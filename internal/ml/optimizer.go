@@ -1,0 +1,123 @@
+package ml
+
+import "math"
+
+// optimizer applies gradient updates to a flat parameter vector. All
+// models in this package expose their parameters as one flat []float64
+// so a single optimizer implementation serves both LR and the NN.
+type optimizer interface {
+	// step applies one update given the gradient; params and grad
+	// share a length.
+	step(params, grad []float64)
+	// reset clears accumulated state (after SetParams replaces the
+	// weights wholesale).
+	reset()
+	// clone returns an optimizer of the same configuration with
+	// fresh state.
+	clone() optimizer
+	// scaleLR multiplies the learning rate (for per-epoch decay).
+	scaleLR(factor float64)
+}
+
+// newOptimizer builds the optimizer named by the spec.
+func newOptimizer(name string, lr float64, size int) optimizer {
+	switch name {
+	case "momentum":
+		return &momentum{lr: lr, beta: 0.9, velocity: make([]float64, size)}
+	case "adam":
+		return &adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8,
+			m: make([]float64, size), v: make([]float64, size)}
+	default:
+		return &sgd{lr: lr}
+	}
+}
+
+// sgd is plain stochastic gradient descent.
+type sgd struct{ lr float64 }
+
+func (o *sgd) step(params, grad []float64) {
+	for i, g := range grad {
+		params[i] -= o.lr * g
+	}
+}
+func (o *sgd) reset()                 {}
+func (o *sgd) clone() optimizer       { return &sgd{lr: o.lr} }
+func (o *sgd) scaleLR(factor float64) { o.lr *= factor }
+
+// momentum is SGD with classical momentum.
+type momentum struct {
+	lr, beta float64
+	velocity []float64
+}
+
+func (o *momentum) step(params, grad []float64) {
+	for i, g := range grad {
+		o.velocity[i] = o.beta*o.velocity[i] + g
+		params[i] -= o.lr * o.velocity[i]
+	}
+}
+
+func (o *momentum) reset() {
+	for i := range o.velocity {
+		o.velocity[i] = 0
+	}
+}
+
+func (o *momentum) clone() optimizer {
+	return &momentum{lr: o.lr, beta: o.beta, velocity: make([]float64, len(o.velocity))}
+}
+
+func (o *momentum) scaleLR(factor float64) { o.lr *= factor }
+
+// adam is the Adam optimizer (Kingma & Ba 2015).
+type adam struct {
+	lr, beta1, beta2, eps float64
+	m, v                  []float64
+	t                     int
+}
+
+func (o *adam) step(params, grad []float64) {
+	o.t++
+	bc1 := 1 - math.Pow(o.beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.beta2, float64(o.t))
+	for i, g := range grad {
+		o.m[i] = o.beta1*o.m[i] + (1-o.beta1)*g
+		o.v[i] = o.beta2*o.v[i] + (1-o.beta2)*g*g
+		mHat := o.m[i] / bc1
+		vHat := o.v[i] / bc2
+		params[i] -= o.lr * mHat / (math.Sqrt(vHat) + o.eps)
+	}
+}
+
+func (o *adam) reset() {
+	o.t = 0
+	for i := range o.m {
+		o.m[i] = 0
+		o.v[i] = 0
+	}
+}
+
+func (o *adam) clone() optimizer {
+	return &adam{lr: o.lr, beta1: o.beta1, beta2: o.beta2, eps: o.eps,
+		m: make([]float64, len(o.m)), v: make([]float64, len(o.v))}
+}
+
+func (o *adam) scaleLR(factor float64) { o.lr *= factor }
+
+// clipGradient rescales grad in place if its L2 norm exceeds maxNorm,
+// a standard guard against exploding updates on badly conditioned
+// mini-batches (tiny clusters with extreme ranges occur routinely in
+// the federation experiments).
+func clipGradient(grad []float64, maxNorm float64) {
+	norm := 0.0
+	for _, g := range grad {
+		norm += g * g
+	}
+	norm = math.Sqrt(norm)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for i := range grad {
+			grad[i] *= scale
+		}
+	}
+}

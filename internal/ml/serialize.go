@@ -1,0 +1,105 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Params serialization. JSON keeps the wire format debuggable (the
+// transport layer frames JSON anyway); MarshalBinaryCompact provides a
+// dense fixed-width encoding for size-sensitive contexts.
+
+// EncodeParams serializes a snapshot to JSON.
+func EncodeParams(p Params) ([]byte, error) {
+	for i, v := range p.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("ml: params value %d is non-finite (%v)", i, v)
+		}
+	}
+	return json.Marshal(p)
+}
+
+// DecodeParams restores a snapshot from JSON, validating structure.
+func DecodeParams(data []byte) (Params, error) {
+	var p Params
+	if err := json.Unmarshal(data, &p); err != nil {
+		return Params{}, fmt.Errorf("ml: decode params: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// Validate checks structural sanity of a snapshot.
+func (p Params) Validate() error {
+	if p.Kind != KindLinear && p.Kind != KindNN {
+		return fmt.Errorf("ml: params have unknown kind %q", p.Kind)
+	}
+	if len(p.Dims) < 2 {
+		return fmt.Errorf("ml: params need at least input and output dims, got %v", p.Dims)
+	}
+	for i, d := range p.Dims {
+		if d < 1 {
+			return fmt.Errorf("ml: params dim %d is %d", i, d)
+		}
+	}
+	want, err := expectedValueCount(p.Kind, p.Dims)
+	if err != nil {
+		return err
+	}
+	if len(p.Values) != want {
+		return fmt.Errorf("ml: params have %d values, want %d for %s %v", len(p.Values), want, p.Kind, p.Dims)
+	}
+	for i, v := range p.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("ml: params value %d is non-finite (%v)", i, v)
+		}
+	}
+	return nil
+}
+
+// expectedValueCount computes the flat length implied by an
+// architecture fingerprint: weights + biases per layer, plus the
+// streaming-normalization state (statsFlatLen over the input dim).
+func expectedValueCount(kind string, dims []int) (int, error) {
+	switch kind {
+	case KindLinear:
+		if len(dims) != 2 || dims[1] != 1 {
+			return 0, fmt.Errorf("ml: linear params must have dims [in 1], got %v", dims)
+		}
+		return dims[0] + 1 + statsFlatLen(dims[0]), nil
+	case KindNN:
+		n := 0
+		for l := 0; l+1 < len(dims); l++ {
+			n += dims[l]*dims[l+1] + dims[l+1]
+		}
+		return n + statsFlatLen(dims[0]), nil
+	default:
+		return 0, fmt.Errorf("ml: unknown params kind %q", kind)
+	}
+}
+
+// NewFromParams reconstructs a ready-to-predict model from a snapshot
+// alone, inferring the architecture from the fingerprint. The training
+// hyper-parameters are not recoverable from a snapshot, so the model
+// uses spec defaults; load into an explicit Spec-built model when you
+// intend to keep training.
+func NewFromParams(p Params) (Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	spec := Spec{Kind: p.Kind, InputDim: p.Dims[0]}
+	if p.Kind == KindNN {
+		spec.Hidden = append([]int(nil), p.Dims[1:len(p.Dims)-1]...)
+	}
+	m, err := spec.New()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.SetParams(p); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,104 @@
+package ml
+
+import "math"
+
+// runningStats tracks streaming per-feature mean/variance (Welford's
+// algorithm) plus the same for the target. Models standardize inputs
+// and targets with these statistics so that raw-scale data (air
+// quality values span three orders of magnitude) trains stably with
+// the paper's Table III learning rates, and keep updating them across
+// PartialFit calls so incremental per-cluster training stays sane.
+type runningStats struct {
+	count float64
+	mean  []float64
+	m2    []float64
+	yMean float64
+	yM2   float64
+}
+
+func newRunningStats(dim int) *runningStats {
+	return &runningStats{mean: make([]float64, dim), m2: make([]float64, dim)}
+}
+
+// observe folds a batch into the statistics.
+func (s *runningStats) observe(x [][]float64, y []float64) {
+	for i, row := range x {
+		s.count++
+		for j, v := range row {
+			delta := v - s.mean[j]
+			s.mean[j] += delta / s.count
+			s.m2[j] += delta * (v - s.mean[j])
+		}
+		dy := y[i] - s.yMean
+		s.yMean += dy / s.count
+		s.yM2 += dy * (y[i] - s.yMean)
+	}
+}
+
+// std returns the standard deviation of feature j (>= tiny floor).
+func (s *runningStats) std(j int) float64 {
+	if s.count < 2 {
+		return 1
+	}
+	sd := math.Sqrt(s.m2[j] / s.count)
+	if sd < 1e-9 {
+		return 1
+	}
+	return sd
+}
+
+// yStd returns the target standard deviation (>= tiny floor).
+func (s *runningStats) yStd() float64 {
+	if s.count < 2 {
+		return 1
+	}
+	sd := math.Sqrt(s.yM2 / s.count)
+	if sd < 1e-9 {
+		return 1
+	}
+	return sd
+}
+
+// normX standardizes one input vector into dst.
+func (s *runningStats) normX(dst, x []float64) {
+	for j, v := range x {
+		dst[j] = (v - s.mean[j]) / s.std(j)
+	}
+}
+
+// normY standardizes a target value.
+func (s *runningStats) normY(y float64) float64 { return (y - s.yMean) / s.yStd() }
+
+// denormY maps a standardized prediction back to the target scale.
+func (s *runningStats) denormY(y float64) float64 { return y*s.yStd() + s.yMean }
+
+// flatten serializes the statistics for Params transport.
+func (s *runningStats) flatten() []float64 {
+	out := make([]float64, 0, 2*len(s.mean)+3)
+	out = append(out, s.count, s.yMean, s.yM2)
+	out = append(out, s.mean...)
+	out = append(out, s.m2...)
+	return out
+}
+
+// flatLen returns the serialized length for dim features.
+func statsFlatLen(dim int) int { return 2*dim + 3 }
+
+// unflatten restores statistics from a serialized slice.
+func (s *runningStats) unflatten(v []float64) {
+	dim := len(s.mean)
+	s.count, s.yMean, s.yM2 = v[0], v[1], v[2]
+	copy(s.mean, v[3:3+dim])
+	copy(s.m2, v[3+dim:3+2*dim])
+}
+
+// clone returns a deep copy.
+func (s *runningStats) clone() *runningStats {
+	return &runningStats{
+		count: s.count,
+		mean:  append([]float64(nil), s.mean...),
+		m2:    append([]float64(nil), s.m2...),
+		yMean: s.yMean,
+		yM2:   s.yM2,
+	}
+}

@@ -1,0 +1,119 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"qens/internal/geometry"
+)
+
+// Workload persistence: experiments are reproducible from a seed, but
+// a saved workload lets two implementations (or two machines in a live
+// federation) execute the *identical* query stream, and lets a
+// production trace be replayed against the simulator.
+
+// workloadFile is the on-disk envelope.
+type workloadFile struct {
+	Version int     `json:"version"`
+	Queries []Query `json:"queries"`
+}
+
+const workloadVersion = 1
+
+// WriteWorkload serializes queries as JSON to w.
+func WriteWorkload(w io.Writer, queries []Query) error {
+	if len(queries) == 0 {
+		return fmt.Errorf("query: refusing to write an empty workload")
+	}
+	for i, q := range queries {
+		if err := q.Bounds.Validate(); err != nil {
+			return fmt.Errorf("query: workload entry %d: %w", i, err)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(workloadFile{Version: workloadVersion, Queries: queries})
+}
+
+// ReadWorkload parses a workload written by WriteWorkload, validating
+// every query.
+func ReadWorkload(r io.Reader) ([]Query, error) {
+	var f workloadFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("query: decode workload: %w", err)
+	}
+	if f.Version != workloadVersion {
+		return nil, fmt.Errorf("query: unsupported workload version %d", f.Version)
+	}
+	if len(f.Queries) == 0 {
+		return nil, fmt.Errorf("query: workload has no queries")
+	}
+	dims := -1
+	seen := make(map[string]bool, len(f.Queries))
+	for i, q := range f.Queries {
+		if q.ID == "" {
+			return nil, fmt.Errorf("query: workload entry %d has no id", i)
+		}
+		if seen[q.ID] {
+			return nil, fmt.Errorf("query: duplicate query id %q", q.ID)
+		}
+		seen[q.ID] = true
+		if err := q.Bounds.Validate(); err != nil {
+			return nil, fmt.Errorf("query: workload entry %s: %w", q.ID, err)
+		}
+		if dims == -1 {
+			dims = q.Dims()
+		} else if q.Dims() != dims {
+			return nil, fmt.Errorf("query: entry %s has %d dims, workload has %d", q.ID, q.Dims(), dims)
+		}
+	}
+	return f.Queries, nil
+}
+
+// SaveWorkload writes the workload to the named file.
+func SaveWorkload(path string, queries []Query) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteWorkload(f, queries); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadWorkload reads a workload from the named file.
+func LoadWorkload(path string) ([]Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadWorkload(f)
+}
+
+// Replay reconstructs a query stream from (id, bounds) pairs — the
+// bridge from a federation audit log back to an executable workload:
+//
+//	records, _ := federation.ReadAuditLog(f)
+//	queries, _ := query.Replay(ids, bounds)
+func Replay(ids []string, bounds []geometry.Rect) ([]Query, error) {
+	if len(ids) != len(bounds) {
+		return nil, fmt.Errorf("query: %d ids for %d bounds", len(ids), len(bounds))
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("query: empty replay")
+	}
+	out := make([]Query, len(ids))
+	for i := range ids {
+		q, err := New(ids[i], bounds[i])
+		if err != nil {
+			return nil, fmt.Errorf("query: replay entry %d: %w", i, err)
+		}
+		out[i] = q
+	}
+	return out, nil
+}

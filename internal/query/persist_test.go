@@ -1,0 +1,105 @@
+package query
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qens/internal/geometry"
+	"qens/internal/rng"
+)
+
+func TestWorkloadPersistRoundTrip(t *testing.T) {
+	qs, err := Workload(WorkloadConfig{Space: space2D(), Count: 25}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(qs) {
+		t.Fatalf("%d queries back", len(back))
+	}
+	for i := range qs {
+		if back[i].ID != qs[i].ID {
+			t.Fatalf("id mismatch at %d", i)
+		}
+		for d := 0; d < qs[i].Dims(); d++ {
+			if back[i].Bounds.Min[d] != qs[i].Bounds.Min[d] || back[i].Bounds.Max[d] != qs[i].Bounds.Max[d] {
+				t.Fatalf("bounds changed at %d dim %d", i, d)
+			}
+		}
+	}
+}
+
+func TestWorkloadPersistErrors(t *testing.T) {
+	if err := WriteWorkload(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("wrote empty workload")
+	}
+	bad := []Query{{ID: "q", Bounds: geometry.Rect{Min: []float64{1}, Max: []float64{0}}}}
+	if err := WriteWorkload(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("wrote invalid rect")
+	}
+	cases := map[string]string{
+		"garbage":       "{nope",
+		"bad version":   `{"version":99,"queries":[{"id":"a","bounds":{"min":[0],"max":[1]}}]}`,
+		"empty queries": `{"version":1,"queries":[]}`,
+		"missing id":    `{"version":1,"queries":[{"id":"","bounds":{"min":[0],"max":[1]}}]}`,
+		"dup ids":       `{"version":1,"queries":[{"id":"a","bounds":{"min":[0],"max":[1]}},{"id":"a","bounds":{"min":[0],"max":[1]}}]}`,
+		"mixed dims":    `{"version":1,"queries":[{"id":"a","bounds":{"min":[0],"max":[1]}},{"id":"b","bounds":{"min":[0,0],"max":[1,1]}}]}`,
+		"invalid rect":  `{"version":1,"queries":[{"id":"a","bounds":{"min":[2],"max":[1]}}]}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadWorkload(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestWorkloadSaveLoadFile(t *testing.T) {
+	qs, _ := Workload(WorkloadConfig{Space: space2D(), Count: 5}, rng.New(2))
+	path := filepath.Join(t.TempDir(), "workload.json")
+	if err := SaveWorkload(path, qs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadWorkload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 {
+		t.Fatalf("%d queries", len(back))
+	}
+	if _, err := LoadWorkload(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("loaded missing file")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	ids := []string{"a", "b"}
+	bounds := []geometry.Rect{
+		geometry.MustRect([]float64{0}, []float64{1}),
+		geometry.MustRect([]float64{2}, []float64{3}),
+	}
+	qs, err := Replay(ids, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[1].ID != "b" || qs[1].Bounds.Min[0] != 2 {
+		t.Fatalf("replay %+v", qs)
+	}
+	if _, err := Replay([]string{"a"}, bounds); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := Replay(nil, nil); err == nil {
+		t.Fatal("accepted empty replay")
+	}
+	if _, err := Replay([]string{""}, bounds[:1]); err == nil {
+		t.Fatal("accepted empty id")
+	}
+}

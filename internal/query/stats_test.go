@@ -1,0 +1,150 @@
+package query
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qens/internal/cluster"
+	"qens/internal/dataset"
+	"qens/internal/geometry"
+	"qens/internal/rng"
+)
+
+func TestAnalyzeWorkload(t *testing.T) {
+	space := space2D()
+	qs, err := Workload(WorkloadConfig{Space: space, Count: 100,
+		MinWidthFraction: 0.2, MaxWidthFraction: 0.4}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := AnalyzeWorkload(qs, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Count != 100 {
+		t.Fatalf("count %d", stats.Count)
+	}
+	// Mean width must land inside the configured band (clamping can
+	// shrink it slightly below the minimum).
+	if stats.MeanWidthFraction < 0.15 || stats.MeanWidthFraction > 0.4 {
+		t.Fatalf("mean width fraction %v", stats.MeanWidthFraction)
+	}
+	if stats.MeanVolumeFraction <= 0 || stats.MeanVolumeFraction > 0.16+0.05 {
+		t.Fatalf("mean volume fraction %v", stats.MeanVolumeFraction)
+	}
+	if stats.CenterSpread <= 0 {
+		t.Fatalf("center spread %v", stats.CenterSpread)
+	}
+	if !strings.Contains(stats.String(), "queries") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestAnalyzeWorkloadDriftLowersSpread(t *testing.T) {
+	space := space2D()
+	jumpy, _ := Workload(WorkloadConfig{Space: space, Count: 200}, rng.New(2))
+	focused, _ := Workload(WorkloadConfig{Space: space, Count: 200,
+		DriftPeriod: 100, FocusSpread: 0.02}, rng.New(2))
+	js, err := AnalyzeWorkload(jumpy, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := AnalyzeWorkload(focused, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.CenterSpread >= js.CenterSpread {
+		t.Fatalf("focused workload spread %v not below independent %v", fs.CenterSpread, js.CenterSpread)
+	}
+}
+
+func TestAnalyzeWorkloadErrors(t *testing.T) {
+	if _, err := AnalyzeWorkload(nil, space2D()); err == nil {
+		t.Fatal("accepted empty workload")
+	}
+	q1, _ := New("q", geometry.MustRect([]float64{0}, []float64{1}))
+	if _, err := AnalyzeWorkload([]Query{q1}, space2D()); err == nil {
+		t.Fatal("accepted dimension mismatch")
+	}
+}
+
+func TestEstimateSelectivityExact(t *testing.T) {
+	// One node, one cluster [0,10]x[0,10] with 100 samples; query
+	// covers the left half -> estimate 50.
+	sums := []cluster.NodeSummary{{
+		NodeID: "n",
+		Clusters: []cluster.Summary{{
+			Bounds: geometry.MustRect([]float64{0, 0}, []float64{10, 10}),
+			Size:   100,
+		}},
+		TotalSamples: 100,
+	}}
+	q, _ := New("q", geometry.MustRect([]float64{0, 0}, []float64{5, 10}))
+	est, err := EstimateSelectivity(q, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Samples-50) > 1e-9 || math.Abs(est.Fraction-0.5) > 1e-9 {
+		t.Fatalf("estimate %+v", est)
+	}
+	if est.PerNode["n"] != 50 {
+		t.Fatalf("per-node estimate %v", est.PerNode)
+	}
+}
+
+func TestEstimateSelectivityErrors(t *testing.T) {
+	q, _ := New("q", geometry.MustRect([]float64{0}, []float64{1}))
+	if _, err := EstimateSelectivity(q, []cluster.NodeSummary{{}}); err == nil {
+		t.Fatal("accepted invalid summary")
+	}
+	sums := []cluster.NodeSummary{{
+		NodeID: "n",
+		Clusters: []cluster.Summary{{
+			Bounds: geometry.MustRect([]float64{0, 0}, []float64{1, 1}),
+			Size:   10,
+		}},
+		TotalSamples: 10,
+	}}
+	if _, err := EstimateSelectivity(q, sums); err == nil {
+		t.Fatal("accepted dimension mismatch")
+	}
+}
+
+// The estimate must approximate the true in-query sample count on real
+// clustered data: uniform-density per cluster is only a model, so
+// allow a factor-2 band.
+func TestEstimateSelectivityApproximatesTruth(t *testing.T) {
+	src := rng.New(7)
+	d := dataset.MustNew([]string{"x", "y"}, "y")
+	for i := 0; i < 1000; i++ {
+		x := src.Uniform(0, 100)
+		d.MustAppend([]float64{x, 2*x + src.Normal(0, 5)})
+	}
+	quant, err := cluster.Quantize(d, cluster.Config{K: 5}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := []cluster.NodeSummary{quant.Summarize("n")}
+	q, _ := New("q", geometry.MustRect([]float64{20, -50}, []float64{60, 150}))
+	est, err := EstimateSelectivity(q, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := d.FilterInRect(q.Bounds).Len()
+	if actual == 0 {
+		t.Fatal("query covers no data; bad test setup")
+	}
+	ratio := est.Samples / float64(actual)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("estimate %v vs actual %d (ratio %v)", est.Samples, actual, ratio)
+	}
+}
+
+func TestTopNodes(t *testing.T) {
+	est := SelectivityEstimate{PerNode: map[string]float64{"a": 5, "b": 50, "c": 5}}
+	top := est.TopNodes()
+	if top[0] != "b" || top[1] != "a" || top[2] != "c" {
+		t.Fatalf("TopNodes = %v", top)
+	}
+}

@@ -1,0 +1,212 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds agreed on %d/100 draws", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	mk := func() []float64 {
+		s := New(7)
+		c1, c2 := s.Split(), s.Split()
+		return []float64{c1.Float64(), c2.Float64(), c1.Float64(), c2.Float64()}
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("split streams not reproducible at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := New(9)
+	c1, c2 := s.Split(), s.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling split streams agreed on %d/100 draws", same)
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	s := New(11)
+	kids := s.SplitN(5)
+	if len(kids) != 5 {
+		t.Fatalf("SplitN returned %d streams", len(kids))
+	}
+	seen := map[float64]bool{}
+	for _, k := range kids {
+		v := k.Float64()
+		if seen[v] {
+			t.Fatalf("duplicate first draw %v across split streams", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform(-2,5) returned %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(4)
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.1 {
+		t.Errorf("sample mean %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Errorf("sample variance %v, want ~4", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(5)
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exponential(2)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("exponential(2) mean %v, want ~0.5", mean)
+	}
+}
+
+func TestChoiceWeighted(t *testing.T) {
+	s := New(6)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[s.Choice([]float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("weighted choice counts not ordered: %v", counts)
+	}
+	frac := float64(counts[2]) / 30000
+	if math.Abs(frac-0.7) > 0.03 {
+		t.Errorf("weight-7 option drawn %.3f of the time, want ~0.7", frac)
+	}
+}
+
+func TestChoiceDegenerateWeights(t *testing.T) {
+	s := New(8)
+	for _, weights := range [][]float64{{0, 0, 0}, {-1, -2, -3}} {
+		counts := make([]int, 3)
+		for i := 0; i < 3000; i++ {
+			idx := s.Choice(weights)
+			if idx < 0 || idx >= 3 {
+				t.Fatalf("Choice out of range: %d", idx)
+			}
+			counts[idx]++
+		}
+		for i, c := range counts {
+			if c == 0 {
+				t.Errorf("degenerate weights %v: option %d never drawn", weights, i)
+			}
+		}
+	}
+}
+
+func TestChoiceIgnoresNegative(t *testing.T) {
+	s := New(12)
+	for i := 0; i < 1000; i++ {
+		if idx := s.Choice([]float64{-5, 1, 0}); idx != 1 {
+			t.Fatalf("Choice with single positive weight returned %d", idx)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	s := New(10)
+	got := s.SampleWithoutReplacement(10, 4)
+	if len(got) != 4 {
+		t.Fatalf("got %d samples, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 10 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(13)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / 10000; math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("Bool(0.25) hit rate %v", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(14)
+	p := s.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

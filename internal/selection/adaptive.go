@@ -1,0 +1,68 @@
+package selection
+
+import (
+	"fmt"
+
+	"qens/internal/cluster"
+	"qens/internal/query"
+)
+
+// Adaptive implements the complete §II decision procedure as a single
+// selector: on first use it runs the heterogeneity pre-test (the
+// leader's warm-up model evaluated on every node, via Context.Evaluate)
+// and commits to a mechanism — cheap Random selection when the
+// participants are homogeneous ("selecting participants at random may
+// be faster and produce the same results"), the full query-driven
+// mechanism otherwise. The pre-test runs once per federation, not per
+// query, so the steady-state cost is that of the chosen mechanism.
+type Adaptive struct {
+	// Epsilon and TopL configure the query-driven branch; TopL also
+	// sizes the random branch.
+	Epsilon float64
+	TopL    int
+	// RatioThreshold is the pre-test max/min loss ratio separating
+	// the regimes (0 uses the PreTest default).
+	RatioThreshold float64
+
+	regime *Regime // cached pre-test outcome
+}
+
+// Name implements Selector.
+func (s *Adaptive) Name() string { return "adaptive" }
+
+// Regime returns the cached pre-test classification, or ok=false if no
+// selection has run yet.
+func (s *Adaptive) Regime() (Regime, bool) {
+	if s.regime == nil {
+		return 0, false
+	}
+	return *s.regime, true
+}
+
+// Select implements Selector.
+func (s *Adaptive) Select(q query.Query, summaries []cluster.NodeSummary, ctx *Context) ([]Participant, error) {
+	if s.TopL < 1 {
+		return nil, fmt.Errorf("selection: adaptive selector needs TopL >= 1, got %d", s.TopL)
+	}
+	if s.Epsilon <= 0 {
+		return nil, fmt.Errorf("selection: adaptive selector needs Epsilon > 0, got %v", s.Epsilon)
+	}
+	if s.regime == nil {
+		if ctx == nil || ctx.Evaluate == nil {
+			return nil, fmt.Errorf("selection: adaptive selector needs a Context evaluator for the pre-test")
+		}
+		ids := make([]string, len(summaries))
+		for i, sum := range summaries {
+			ids[i] = sum.NodeID
+		}
+		res, err := PreTest(ids, ctx.Evaluate, s.RatioThreshold)
+		if err != nil {
+			return nil, fmt.Errorf("selection: adaptive pre-test: %w", err)
+		}
+		s.regime = &res.Regime
+	}
+	if *s.regime == RegimeHomogeneous {
+		return Random{L: s.TopL}.Select(q, summaries, ctx)
+	}
+	return QueryDriven{Epsilon: s.Epsilon, TopL: s.TopL}.Select(q, summaries, ctx)
+}

@@ -1,0 +1,173 @@
+package selection
+
+import (
+	"fmt"
+	"sort"
+
+	"qens/internal/cluster"
+	"qens/internal/geometry"
+	"qens/internal/query"
+)
+
+// Index accelerates leader-side ranking for large federations: all
+// advertised cluster rectangles are packed into an R-tree once (per
+// advertisement epoch), and per query only the clusters intersecting
+// the query rectangle are scored.
+//
+// Correctness precondition: under Eq. 2 a cluster disjoint from the
+// query can still have a positive overlap rate (it may overlap in some
+// dimensions but not all), so intersection pruning is exact only when
+// ε is large enough that support *requires* overlap in every
+// dimension: ε > (d-1)/d. RankNodes on an Index checks this and falls
+// back to the exhaustive scan otherwise, so results always equal the
+// unindexed path.
+type Index struct {
+	summaries []cluster.NodeSummary
+	tree      *geometry.RTree
+	// flat maps tree entry id -> (node index, cluster index).
+	flat []entryRef
+	dims int
+}
+
+type entryRef struct {
+	node, cluster int
+}
+
+// BuildIndex packs the advertisements. All summaries must be valid and
+// share a dimensionality.
+func BuildIndex(summaries []cluster.NodeSummary) (*Index, error) {
+	if len(summaries) == 0 {
+		return nil, ErrNoCandidates
+	}
+	var entries []geometry.Entry
+	var flat []entryRef
+	dims := -1
+	for ni, s := range summaries {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("selection: index: node %s: %w", s.NodeID, err)
+		}
+		for ci, c := range s.Clusters {
+			if dims == -1 {
+				dims = c.Bounds.Dims()
+			} else if c.Bounds.Dims() != dims {
+				return nil, fmt.Errorf("selection: index: node %s cluster %d dims %d != %d",
+					s.NodeID, ci, c.Bounds.Dims(), dims)
+			}
+			entries = append(entries, geometry.Entry{Rect: c.Bounds, ID: len(flat)})
+			flat = append(flat, entryRef{node: ni, cluster: ci})
+		}
+	}
+	tree, err := geometry.BuildRTree(entries, 0)
+	if err != nil {
+		return nil, fmt.Errorf("selection: index: %w", err)
+	}
+	return &Index{summaries: summaries, tree: tree, flat: flat, dims: dims}, nil
+}
+
+// Dims returns the indexed dimensionality.
+func (ix *Index) Dims() int { return ix.dims }
+
+// Clusters returns the number of indexed cluster rectangles.
+func (ix *Index) Clusters() int { return len(ix.flat) }
+
+// PruningExact reports whether intersection pruning is exact for the
+// given ε at this dimensionality (ε > (d-1)/d).
+func (ix *Index) PruningExact(epsilon float64) bool {
+	return epsilon > float64(ix.dims-1)/float64(ix.dims)
+}
+
+// IndexedQueryDriven is the query-driven selector backed by a
+// pre-built Index — the drop-in for large federations. Behaviour is
+// identical to QueryDriven (the index falls back to the exhaustive
+// scan whenever ε pruning would be inexact).
+type IndexedQueryDriven struct {
+	Index   *Index
+	Epsilon float64
+	TopL    int
+	Psi     float64
+}
+
+// Name implements Selector.
+func (s IndexedQueryDriven) Name() string { return "query-driven-indexed" }
+
+// Select implements Selector. The summaries argument is ignored — the
+// index already holds the advertisements it was built from.
+func (s IndexedQueryDriven) Select(q query.Query, _ []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+	if s.Index == nil {
+		return nil, fmt.Errorf("selection: indexed selector needs an Index")
+	}
+	if (s.TopL > 0) == (s.Psi > 0) {
+		return nil, fmt.Errorf("selection: indexed query-driven needs exactly one of TopL (%d) or Psi (%v)", s.TopL, s.Psi)
+	}
+	ranks, err := s.Index.RankNodes(q, s.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	var chosen []NodeRank
+	if s.TopL > 0 {
+		chosen = TopL(ranks, s.TopL)
+	} else {
+		chosen = AboveThreshold(ranks, s.Psi)
+	}
+	if len(chosen) == 0 {
+		return nil, ErrNoCandidates
+	}
+	out := make([]Participant, len(chosen))
+	for i, r := range chosen {
+		out[i] = Participant{
+			NodeID:   r.NodeID,
+			Rank:     r.Rank,
+			Clusters: append([]int(nil), r.Supporting...),
+		}
+	}
+	return out, nil
+}
+
+// RankNodes computes the paper's node ranking using the index when the
+// ε precondition holds, and the exhaustive scan otherwise. In the
+// indexed path, Overlaps of pruned (non-intersecting) clusters are
+// reported as 0 — their exact Eq. 2 value cannot reach ε, so
+// Supporting, Potential and Rank are identical to the unindexed path.
+func (ix *Index) RankNodes(q query.Query, epsilon float64) ([]NodeRank, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("selection: epsilon %v must be > 0", epsilon)
+	}
+	if q.Dims() != ix.dims {
+		return nil, fmt.Errorf("selection: query has %d dims, index has %d", q.Dims(), ix.dims)
+	}
+	if !ix.PruningExact(epsilon) {
+		return RankNodes(q, ix.summaries, epsilon)
+	}
+	ranks := make([]NodeRank, len(ix.summaries))
+	for i, s := range ix.summaries {
+		ranks[i] = NodeRank{
+			NodeID:       s.NodeID,
+			TotalSamples: s.TotalSamples,
+			Overlaps:     make([]float64, len(s.Clusters)),
+		}
+	}
+	err := ix.tree.Search(q.Bounds, func(e geometry.Entry) bool {
+		ref := ix.flat[e.ID]
+		s := ix.summaries[ref.node]
+		h := geometry.OverlapRate(q.Bounds, s.Clusters[ref.cluster].Bounds)
+		r := &ranks[ref.node]
+		r.Overlaps[ref.cluster] = h
+		if h >= epsilon {
+			r.Supporting = append(r.Supporting, ref.cluster)
+			r.Potential += h
+			r.SupportingSamples += s.Clusters[ref.cluster].Size
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range ranks {
+		// The R-tree visits clusters in packing order; normalize to
+		// the ascending order the exhaustive scan produces.
+		sort.Ints(ranks[i].Supporting)
+		k := len(ix.summaries[i].Clusters)
+		ranks[i].Rank = ranks[i].Potential * float64(len(ranks[i].Supporting)) / float64(k)
+	}
+	return ranks, nil
+}

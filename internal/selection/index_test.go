@@ -1,0 +1,204 @@
+package selection
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"qens/internal/cluster"
+	"qens/internal/geometry"
+	"qens/internal/query"
+	"qens/internal/rng"
+)
+
+// randomSummaries builds n nodes with k random 2-D clusters each.
+func randomSummaries(n, k int, seed uint64) []cluster.NodeSummary {
+	src := rng.New(seed)
+	out := make([]cluster.NodeSummary, n)
+	for i := range out {
+		s := cluster.NodeSummary{NodeID: fmt.Sprintf("node-%03d", i)}
+		for c := 0; c < k; c++ {
+			a, b := src.Uniform(0, 90), src.Uniform(0, 90)
+			s.Clusters = append(s.Clusters, cluster.Summary{
+				Bounds: geometry.MustRect(
+					[]float64{a, b},
+					[]float64{a + src.Uniform(1, 10), b + src.Uniform(1, 10)},
+				),
+				Size: 50,
+			})
+		}
+		s.TotalSamples = 50 * k
+		out[i] = s
+	}
+	return out
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	if _, err := BuildIndex(nil); err == nil {
+		t.Fatal("accepted empty summaries")
+	}
+	if _, err := BuildIndex([]cluster.NodeSummary{{}}); err == nil {
+		t.Fatal("accepted invalid summary")
+	}
+	mixed := randomSummaries(1, 2, 1)
+	mixed = append(mixed, cluster.NodeSummary{
+		NodeID: "odd",
+		Clusters: []cluster.Summary{{
+			Bounds: geometry.MustRect([]float64{0}, []float64{1}),
+			Size:   1,
+		}},
+		TotalSamples: 1,
+	})
+	if _, err := BuildIndex(mixed); err == nil {
+		t.Fatal("accepted mixed dims")
+	}
+}
+
+func TestIndexMeta(t *testing.T) {
+	sums := randomSummaries(10, 5, 2)
+	ix, err := BuildIndex(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Dims() != 2 || ix.Clusters() != 50 {
+		t.Fatalf("meta %d/%d", ix.Dims(), ix.Clusters())
+	}
+	if !ix.PruningExact(0.6) {
+		t.Fatal("ε=0.6 should be exact at d=2")
+	}
+	if ix.PruningExact(0.5) {
+		t.Fatal("ε=0.5 must not claim exactness at d=2")
+	}
+}
+
+// The core equivalence: for ε above the pruning bound, indexed ranking
+// equals the exhaustive scan in every field that drives selection.
+func TestIndexedRankingMatchesLinear(t *testing.T) {
+	sums := randomSummaries(50, 5, 3)
+	ix, err := BuildIndex(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(4)
+	for trial := 0; trial < 30; trial++ {
+		a, b := src.Uniform(0, 70), src.Uniform(0, 70)
+		q, err := query.New("q", geometry.MustRect(
+			[]float64{a, b}, []float64{a + 25, b + 25}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := RankNodes(q, sums, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ix.RankNodes(q, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].NodeID != want[i].NodeID {
+				t.Fatalf("trial %d: node order differs", trial)
+			}
+			if math.Abs(got[i].Rank-want[i].Rank) > 1e-12 ||
+				math.Abs(got[i].Potential-want[i].Potential) > 1e-12 {
+				t.Fatalf("trial %d node %s: rank %v vs %v", trial, want[i].NodeID, got[i].Rank, want[i].Rank)
+			}
+			if len(got[i].Supporting) != len(want[i].Supporting) {
+				t.Fatalf("trial %d node %s: supporting %v vs %v", trial, want[i].NodeID, got[i].Supporting, want[i].Supporting)
+			}
+			for j := range want[i].Supporting {
+				if got[i].Supporting[j] != want[i].Supporting[j] {
+					t.Fatalf("trial %d node %s: supporting %v vs %v", trial, want[i].NodeID, got[i].Supporting, want[i].Supporting)
+				}
+			}
+			if got[i].SupportingSamples != want[i].SupportingSamples {
+				t.Fatalf("trial %d node %s: samples %d vs %d", trial, want[i].NodeID, got[i].SupportingSamples, want[i].SupportingSamples)
+			}
+		}
+	}
+}
+
+// Below the pruning bound the index must silently fall back to the
+// exhaustive scan — including exact Overlaps for disjoint clusters.
+func TestIndexedRankingFallsBack(t *testing.T) {
+	sums := randomSummaries(20, 4, 5)
+	ix, err := BuildIndex(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := query.New("q", geometry.MustRect([]float64{10, 10}, []float64{40, 40}))
+	want, err := RankNodes(q, sums, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.RankNodes(q, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for c := range want[i].Overlaps {
+			if got[i].Overlaps[c] != want[i].Overlaps[c] {
+				t.Fatalf("fallback overlaps differ at node %d cluster %d", i, c)
+			}
+		}
+	}
+}
+
+func TestIndexedRankingErrors(t *testing.T) {
+	ix, _ := BuildIndex(randomSummaries(5, 3, 6))
+	q, _ := query.New("q", geometry.MustRect([]float64{0, 0}, []float64{1, 1}))
+	if _, err := ix.RankNodes(q, 0); err == nil {
+		t.Fatal("accepted ε=0")
+	}
+	q1, _ := query.New("q", geometry.MustRect([]float64{0}, []float64{1}))
+	if _, err := ix.RankNodes(q1, 0.6); err == nil {
+		t.Fatal("accepted dim mismatch")
+	}
+}
+
+func TestIndexedQueryDrivenMatchesPlain(t *testing.T) {
+	sums := randomSummaries(40, 5, 10)
+	ix, err := BuildIndex(sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := query.New("q", geometry.MustRect([]float64{20, 20}, []float64{55, 55}))
+	plain, err := (QueryDriven{Epsilon: 0.6, TopL: 3}).Select(q, sums, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := (IndexedQueryDriven{Index: ix, Epsilon: 0.6, TopL: 3}).Select(q, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexed) != len(plain) {
+		t.Fatalf("%d vs %d participants", len(indexed), len(plain))
+	}
+	for i := range plain {
+		if indexed[i].NodeID != plain[i].NodeID || indexed[i].Rank != plain[i].Rank {
+			t.Fatalf("participant %d differs: %+v vs %+v", i, indexed[i], plain[i])
+		}
+		if len(indexed[i].Clusters) != len(plain[i].Clusters) {
+			t.Fatalf("participant %d cluster sets differ", i)
+		}
+	}
+}
+
+func TestIndexedQueryDrivenErrors(t *testing.T) {
+	ix, _ := BuildIndex(randomSummaries(5, 3, 11))
+	q, _ := query.New("q", geometry.MustRect([]float64{0, 0}, []float64{1, 1}))
+	if _, err := (IndexedQueryDriven{Epsilon: 0.6, TopL: 1}).Select(q, nil, nil); err == nil {
+		t.Fatal("accepted nil index")
+	}
+	if _, err := (IndexedQueryDriven{Index: ix, Epsilon: 0.6}).Select(q, nil, nil); err == nil {
+		t.Fatal("accepted neither TopL nor Psi")
+	}
+	if _, err := (IndexedQueryDriven{Index: ix, Epsilon: 0.6, TopL: 1, Psi: 0.5}).Select(q, nil, nil); err == nil {
+		t.Fatal("accepted both TopL and Psi")
+	}
+	// Far query: no candidates.
+	far, _ := query.New("far", geometry.MustRect([]float64{5e5, 5e5}, []float64{6e5, 6e5}))
+	if _, err := (IndexedQueryDriven{Index: ix, Epsilon: 0.6, TopL: 1}).Select(far, nil, nil); err == nil {
+		t.Fatal("expected no candidates for a far query")
+	}
+}

@@ -1,0 +1,87 @@
+package selection
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPreTestHomogeneous(t *testing.T) {
+	losses := map[string]float64{"a": 24.45, "b": 24.70, "c": 24.1}
+	res, err := PreTest([]string{"a", "b", "c"}, func(id string) (float64, error) {
+		return losses[id], nil
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != RegimeHomogeneous {
+		t.Fatalf("regime = %v, want homogeneous (the Table I case)", res.Regime)
+	}
+	if res.Losses["b"] != 24.70 {
+		t.Fatalf("losses not recorded: %v", res.Losses)
+	}
+}
+
+func TestPreTestHeterogeneous(t *testing.T) {
+	// The Table II case: 9.70 vs 178.10.
+	losses := map[string]float64{"a": 9.70, "b": 178.10}
+	res, err := PreTest([]string{"a", "b"}, func(id string) (float64, error) {
+		return losses[id], nil
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != RegimeHeterogeneous {
+		t.Fatalf("regime = %v, want heterogeneous (the Table II case)", res.Regime)
+	}
+	if res.Dispersion < 10 {
+		t.Fatalf("dispersion = %v, want > 10", res.Dispersion)
+	}
+}
+
+func TestPreTestCustomThreshold(t *testing.T) {
+	losses := map[string]float64{"a": 1, "b": 2.5}
+	// Ratio 2.5: homogeneous at default threshold 3...
+	res, _ := PreTest([]string{"a", "b"}, func(id string) (float64, error) { return losses[id], nil }, 0)
+	if res.Regime != RegimeHomogeneous {
+		t.Fatal("expected homogeneous at default threshold")
+	}
+	// ...heterogeneous with a strict threshold of 2.
+	res, _ = PreTest([]string{"a", "b"}, func(id string) (float64, error) { return losses[id], nil }, 2)
+	if res.Regime != RegimeHeterogeneous {
+		t.Fatal("expected heterogeneous at threshold 2")
+	}
+}
+
+func TestPreTestErrors(t *testing.T) {
+	eval := func(string) (float64, error) { return 1, nil }
+	if _, err := PreTest(nil, eval, 0); err == nil {
+		t.Fatal("accepted no nodes")
+	}
+	if _, err := PreTest([]string{"a"}, nil, 0); err == nil {
+		t.Fatal("accepted nil evaluator")
+	}
+	if _, err := PreTest([]string{"a"}, func(string) (float64, error) { return 0, fmt.Errorf("down") }, 0); err == nil {
+		t.Fatal("ignored evaluator failure")
+	}
+	if _, err := PreTest([]string{"a"}, func(string) (float64, error) { return -1, nil }, 0); err == nil {
+		t.Fatal("accepted negative loss")
+	}
+}
+
+func TestPreTestZeroLosses(t *testing.T) {
+	// All-zero losses (perfect models) must classify as homogeneous,
+	// not divide by zero.
+	res, err := PreTest([]string{"a", "b"}, func(string) (float64, error) { return 0, nil }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regime != RegimeHomogeneous {
+		t.Fatalf("regime = %v", res.Regime)
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if RegimeHomogeneous.String() != "homogeneous" || RegimeHeterogeneous.String() != "heterogeneous" {
+		t.Fatal("regime strings wrong")
+	}
+}

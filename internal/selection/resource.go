@@ -1,0 +1,205 @@
+package selection
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qens/internal/cluster"
+	"qens/internal/query"
+)
+
+// Resource-aware baselines from the related work (§II): the
+// data-centric client selection of Saha et al. [8] (data quality +
+// computation + communication scores) and the reward-based selection
+// of Lee [9] (battery + computation + communication + data size).
+// Both consult static node capabilities the query-driven mechanism
+// deliberately ignores, which is exactly what the ablation benches
+// contrast.
+
+// Capabilities describes a node's static resources (the paper's
+// computing capacity c_k, §III-B, extended with the link and battery
+// attributes [8] and [9] score).
+type Capabilities struct {
+	// Compute is relative processing power (> 0).
+	Compute float64
+	// Bandwidth is relative link capacity (> 0).
+	Bandwidth float64
+	// Battery is the remaining energy fraction in [0, 1].
+	Battery float64
+}
+
+// Validate checks the capability ranges.
+func (c Capabilities) Validate() error {
+	if c.Compute <= 0 || c.Bandwidth <= 0 {
+		return fmt.Errorf("selection: capabilities need positive compute/bandwidth, got %+v", c)
+	}
+	if c.Battery < 0 || c.Battery > 1 {
+		return fmt.Errorf("selection: battery %v outside [0,1]", c.Battery)
+	}
+	return nil
+}
+
+// DataCentric is the [8]-style selector: score = w_d·dataQuality +
+// w_c·compute + w_m·communication, take the top ℓ. Data quality here
+// is the query-overlap-weighted sample mass, so the baseline is given
+// the benefit of query awareness; compute/communication come from the
+// capability registry (nodes without an entry get neutral 1s).
+type DataCentric struct {
+	L            int
+	Capabilities map[string]Capabilities
+	// DataWeight, ComputeWeight, CommWeight default to 0.6/0.2/0.2.
+	DataWeight    float64
+	ComputeWeight float64
+	CommWeight    float64
+}
+
+// Name implements Selector.
+func (s DataCentric) Name() string { return "data-centric" }
+
+// Select implements Selector.
+func (s DataCentric) Select(q query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+	if s.L < 1 {
+		return nil, fmt.Errorf("selection: data-centric selector needs L >= 1, got %d", s.L)
+	}
+	if len(summaries) == 0 {
+		return nil, ErrNoCandidates
+	}
+	wd, wc, wm := s.DataWeight, s.ComputeWeight, s.CommWeight
+	if wd == 0 && wc == 0 && wm == 0 {
+		wd, wc, wm = 0.6, 0.2, 0.2
+	}
+	// Data quality: overlap-weighted sample fraction, via the same
+	// ranking machinery (ε chosen permissively: any overlap counts).
+	ranks, err := RankNodes(q, summaries, 1e-9)
+	if err != nil {
+		return nil, err
+	}
+	type scored struct {
+		id    string
+		score float64
+	}
+	all := make([]scored, 0, len(summaries))
+	for i, sum := range summaries {
+		caps, ok := s.Capabilities[sum.NodeID]
+		if !ok {
+			caps = Capabilities{Compute: 1, Bandwidth: 1, Battery: 1}
+		}
+		if err := caps.Validate(); err != nil {
+			return nil, fmt.Errorf("selection: node %s: %w", sum.NodeID, err)
+		}
+		dataQ := 0.0
+		if sum.TotalSamples > 0 {
+			dataQ = ranks[i].Potential * float64(ranks[i].SupportingSamples) / float64(sum.TotalSamples)
+		}
+		all = append(all, scored{
+			id:    sum.NodeID,
+			score: wd*dataQ + wc*caps.Compute + wm*caps.Bandwidth,
+		})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	l := s.L
+	if l > len(all) {
+		l = len(all)
+	}
+	out := make([]Participant, l)
+	for i := 0; i < l; i++ {
+		out[i] = Participant{NodeID: all[i].id, Rank: all[i].score}
+	}
+	return out, nil
+}
+
+// Reward is the [9]-style selector: reward = battery + compute +
+// communication + normalized data size, take the top ℓ. It is fully
+// query-oblivious.
+type Reward struct {
+	L            int
+	Capabilities map[string]Capabilities
+}
+
+// Name implements Selector.
+func (s Reward) Name() string { return "reward" }
+
+// Select implements Selector.
+func (s Reward) Select(_ query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+	if s.L < 1 {
+		return nil, fmt.Errorf("selection: reward selector needs L >= 1, got %d", s.L)
+	}
+	if len(summaries) == 0 {
+		return nil, ErrNoCandidates
+	}
+	maxSamples := 1
+	for _, sum := range summaries {
+		if sum.TotalSamples > maxSamples {
+			maxSamples = sum.TotalSamples
+		}
+	}
+	type scored struct {
+		id     string
+		reward float64
+	}
+	all := make([]scored, 0, len(summaries))
+	for _, sum := range summaries {
+		caps, ok := s.Capabilities[sum.NodeID]
+		if !ok {
+			caps = Capabilities{Compute: 1, Bandwidth: 1, Battery: 1}
+		}
+		if err := caps.Validate(); err != nil {
+			return nil, fmt.Errorf("selection: node %s: %w", sum.NodeID, err)
+		}
+		all = append(all, scored{
+			id:     sum.NodeID,
+			reward: caps.Battery + caps.Compute + caps.Bandwidth + float64(sum.TotalSamples)/float64(maxSamples),
+		})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].reward != all[j].reward {
+			return all[i].reward > all[j].reward
+		}
+		return all[i].id < all[j].id
+	})
+	l := s.L
+	if l > len(all) {
+		l = len(all)
+	}
+	out := make([]Participant, l)
+	for i := 0; i < l; i++ {
+		out[i] = Participant{NodeID: all[i].id, Rank: all[i].reward}
+	}
+	return out, nil
+}
+
+// Explain renders a human-readable account of the query-driven ranking
+// for one query: every node's per-cluster overlaps, supporting set,
+// potential and rank — the leader-side view behind a selection
+// decision.
+func Explain(q query.Query, summaries []cluster.NodeSummary, epsilon float64) (string, error) {
+	ranks, err := RankNodes(q, summaries, epsilon)
+	if err != nil {
+		return "", err
+	}
+	SortByRank(ranks)
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %s: %v (ε=%.2f)\n", q.ID, q.Bounds, epsilon)
+	for _, r := range ranks {
+		fmt.Fprintf(&b, "%-10s rank=%.4f potential=%.4f supporting=%d/%d samples=%d/%d\n",
+			r.NodeID, r.Rank, r.Potential, len(r.Supporting), len(r.Overlaps),
+			r.SupportingSamples, r.TotalSamples)
+		for k, h := range r.Overlaps {
+			marker := " "
+			for _, sk := range r.Supporting {
+				if sk == k {
+					marker = "*"
+					break
+				}
+			}
+			fmt.Fprintf(&b, "  %s cluster %d h=%.4f\n", marker, k, h)
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,134 @@
+package selection
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCapabilitiesValidate(t *testing.T) {
+	good := Capabilities{Compute: 1, Bandwidth: 1, Battery: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Capabilities{
+		{Compute: 0, Bandwidth: 1, Battery: 1},
+		{Compute: 1, Bandwidth: -1, Battery: 1},
+		{Compute: 1, Bandwidth: 1, Battery: 2},
+		{Compute: 1, Bandwidth: 1, Battery: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad capabilities %d accepted", i)
+		}
+	}
+}
+
+func TestDataCentricPrefersOverlapAndCompute(t *testing.T) {
+	// n0 overlaps the query; n2 is disjoint but has huge compute.
+	caps := map[string]Capabilities{
+		"n0": {Compute: 1, Bandwidth: 1, Battery: 1},
+		"n2": {Compute: 10, Bandwidth: 10, Battery: 1},
+	}
+	q := mkQuery(t, 2, 12)
+	// Data-dominated weighting: overlap wins.
+	sel := DataCentric{L: 1, Capabilities: caps, DataWeight: 1, ComputeWeight: 0.01, CommWeight: 0.01}
+	parts, err := sel.Select(q, fourNodes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].NodeID == "n2" {
+		t.Fatal("data-dominated weighting picked the disjoint node")
+	}
+	// Compute-dominated weighting: the fat node wins despite no data.
+	sel = DataCentric{L: 1, Capabilities: caps, DataWeight: 0.01, ComputeWeight: 1, CommWeight: 1}
+	parts, err = sel.Select(q, fourNodes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].NodeID != "n2" {
+		t.Fatalf("compute-dominated weighting picked %s, want n2", parts[0].NodeID)
+	}
+}
+
+func TestDataCentricDefaults(t *testing.T) {
+	// No capabilities registry: neutral resources, selection still works.
+	parts, err := DataCentric{L: 2}.Select(mkQuery(t, 2, 12), fourNodes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("%d participants", len(parts))
+	}
+}
+
+func TestDataCentricErrors(t *testing.T) {
+	if _, err := (DataCentric{}).Select(mkQuery(t, 0, 1), fourNodes(), nil); err == nil {
+		t.Fatal("accepted L=0")
+	}
+	if _, err := (DataCentric{L: 1}).Select(mkQuery(t, 0, 1), nil, nil); !errors.Is(err, ErrNoCandidates) {
+		t.Fatal("empty summaries should be ErrNoCandidates")
+	}
+	bad := DataCentric{L: 1, Capabilities: map[string]Capabilities{"n0": {Compute: -1, Bandwidth: 1}}}
+	if _, err := bad.Select(mkQuery(t, 0, 1), fourNodes(), nil); err == nil {
+		t.Fatal("accepted invalid capabilities")
+	}
+}
+
+func TestRewardSelector(t *testing.T) {
+	caps := map[string]Capabilities{
+		"n0": {Compute: 1, Bandwidth: 1, Battery: 0.1},
+		"n1": {Compute: 5, Bandwidth: 5, Battery: 1},
+		"n2": {Compute: 1, Bandwidth: 1, Battery: 0.9},
+		"n3": {Compute: 2, Bandwidth: 1, Battery: 0.5},
+	}
+	parts, err := Reward{L: 2, Capabilities: caps}.Select(mkQuery(t, 0, 1), fourNodes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts[0].NodeID != "n1" {
+		t.Fatalf("highest-reward node not first: %s", parts[0].NodeID)
+	}
+	// Query-obliviousness: a far-away query changes nothing.
+	parts2, err := Reward{L: 2, Capabilities: caps}.Select(mkQuery(t, 5000, 6000), fourNodes(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts2[0].NodeID != parts[0].NodeID || parts2[1].NodeID != parts[1].NodeID {
+		t.Fatal("reward selection depended on the query")
+	}
+}
+
+func TestRewardErrors(t *testing.T) {
+	if _, err := (Reward{}).Select(mkQuery(t, 0, 1), fourNodes(), nil); err == nil {
+		t.Fatal("accepted L=0")
+	}
+	if _, err := (Reward{L: 1}).Select(mkQuery(t, 0, 1), nil, nil); !errors.Is(err, ErrNoCandidates) {
+		t.Fatal("empty summaries should be ErrNoCandidates")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	out, err := Explain(mkQuery(t, 2, 12), fourNodes(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"q:", "n0", "n2", "cluster 0", "rank="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Supporting clusters are starred.
+	if !strings.Contains(out, "* cluster") {
+		t.Fatal("no supporting cluster starred")
+	}
+	if _, err := Explain(mkQuery(t, 0, 1), fourNodes(), 0); err == nil {
+		t.Fatal("accepted ε=0")
+	}
+}
+
+func TestResourceSelectorNames(t *testing.T) {
+	if (DataCentric{}).Name() != "data-centric" || (Reward{}).Name() != "reward" {
+		t.Fatal("selector names wrong")
+	}
+}

@@ -1,0 +1,294 @@
+package selection
+
+import (
+	"fmt"
+	"sort"
+
+	"qens/internal/cluster"
+	"qens/internal/query"
+	"qens/internal/rng"
+)
+
+// Participant is one selected node plus the training directives
+// attached to it.
+type Participant struct {
+	NodeID string
+	// Rank is the selector's score (0 for selectors that do not
+	// rank). Weighted Averaging (Eq. 7) uses these as λ weights.
+	Rank float64
+	// Clusters lists the cluster indices the node should train on;
+	// nil means "train on the whole local dataset" (what the
+	// baselines do — they have no notion of supporting clusters).
+	Clusters []int
+}
+
+// Context supplies selector dependencies.
+type Context struct {
+	// RNG drives stochastic selectors (Random); required by them.
+	RNG *rng.Source
+	// Evaluate lets pre-test selectors (GameTheory) score the
+	// leader's warm-up model on a node's local data; it returns the
+	// node-local loss. Wired up by the federation package.
+	Evaluate func(nodeID string) (loss float64, err error)
+}
+
+// Selector chooses participants for a query from the advertised node
+// summaries.
+type Selector interface {
+	// Name identifies the mechanism in experiment output.
+	Name() string
+	// Select returns the chosen participants in priority order.
+	Select(q query.Query, summaries []cluster.NodeSummary, ctx *Context) ([]Participant, error)
+}
+
+// QueryDriven is the paper's mechanism: rank nodes by Eq. 4 and keep
+// either the top ℓ (TopL > 0) or everyone above ψ (Psi > 0); exactly
+// one of the two must be set. Selected nodes train only on their
+// supporting clusters (the §IV-A data selectivity).
+type QueryDriven struct {
+	// Epsilon is the ε support threshold of §III-C.
+	Epsilon float64
+	// TopL selects the ℓ best-ranked nodes when positive.
+	TopL int
+	// Psi selects every node with r_i >= ψ (Eq. 5) when positive.
+	Psi float64
+}
+
+// Name implements Selector.
+func (s QueryDriven) Name() string { return "query-driven" }
+
+// Select implements Selector.
+func (s QueryDriven) Select(q query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+	if (s.TopL > 0) == (s.Psi > 0) {
+		return nil, fmt.Errorf("selection: query-driven needs exactly one of TopL (%d) or Psi (%v)", s.TopL, s.Psi)
+	}
+	ranks, err := RankNodes(q, summaries, s.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	var chosen []NodeRank
+	if s.TopL > 0 {
+		chosen = TopL(ranks, s.TopL)
+	} else {
+		chosen = AboveThreshold(ranks, s.Psi)
+	}
+	if len(chosen) == 0 {
+		return nil, ErrNoCandidates
+	}
+	out := make([]Participant, len(chosen))
+	for i, r := range chosen {
+		out[i] = Participant{
+			NodeID:   r.NodeID,
+			Rank:     r.Rank,
+			Clusters: append([]int(nil), r.Supporting...),
+		}
+	}
+	return out, nil
+}
+
+// Random is the baseline of [6]: ℓ nodes drawn uniformly, training on
+// their whole datasets.
+type Random struct {
+	// L is the number of nodes to draw.
+	L int
+}
+
+// Name implements Selector.
+func (s Random) Name() string { return "random" }
+
+// Select implements Selector.
+func (s Random) Select(_ query.Query, summaries []cluster.NodeSummary, ctx *Context) ([]Participant, error) {
+	if s.L < 1 {
+		return nil, fmt.Errorf("selection: random selector needs L >= 1, got %d", s.L)
+	}
+	if ctx == nil || ctx.RNG == nil {
+		return nil, fmt.Errorf("selection: random selector needs a Context RNG")
+	}
+	if len(summaries) == 0 {
+		return nil, ErrNoCandidates
+	}
+	l := s.L
+	if l > len(summaries) {
+		l = len(summaries)
+	}
+	idx := ctx.RNG.SampleWithoutReplacement(len(summaries), l)
+	out := make([]Participant, len(idx))
+	for i, j := range idx {
+		out[i] = Participant{NodeID: summaries[j].NodeID, Rank: 1}
+	}
+	return out, nil
+}
+
+// AllNodes selects every advertised node, training on whole datasets —
+// the "all-node selection mechanism" of Tables I/II.
+type AllNodes struct{}
+
+// Name implements Selector.
+func (AllNodes) Name() string { return "all-nodes" }
+
+// Select implements Selector.
+func (AllNodes) Select(_ query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+	if len(summaries) == 0 {
+		return nil, ErrNoCandidates
+	}
+	out := make([]Participant, len(summaries))
+	for i, s := range summaries {
+		out[i] = Participant{NodeID: s.NodeID, Rank: 1}
+	}
+	return out, nil
+}
+
+// GameTheory is the pre-test baseline of [7]: the leader first trains
+// a warm-up model on its own local data, every node evaluates that
+// model against its local dataset, and the leader selects the nodes
+// where the model performs *worst* — the rationale being that those
+// nodes hold data the model has not seen, making it more general.
+// This requires one full evaluation round before selection, which is
+// why the paper finds GT the slowest mechanism.
+type GameTheory struct {
+	// L is the number of worst-loss nodes to select.
+	L int
+}
+
+// Name implements Selector.
+func (s GameTheory) Name() string { return "game-theory" }
+
+// Select implements Selector.
+func (s GameTheory) Select(_ query.Query, summaries []cluster.NodeSummary, ctx *Context) ([]Participant, error) {
+	if s.L < 1 {
+		return nil, fmt.Errorf("selection: game-theory selector needs L >= 1, got %d", s.L)
+	}
+	if ctx == nil || ctx.Evaluate == nil {
+		return nil, fmt.Errorf("selection: game-theory selector needs a Context evaluator")
+	}
+	if len(summaries) == 0 {
+		return nil, ErrNoCandidates
+	}
+	type scored struct {
+		id   string
+		loss float64
+	}
+	scores := make([]scored, 0, len(summaries))
+	for _, sum := range summaries {
+		loss, err := ctx.Evaluate(sum.NodeID)
+		if err != nil {
+			return nil, fmt.Errorf("selection: game-theory pre-test on %s: %w", sum.NodeID, err)
+		}
+		scores = append(scores, scored{id: sum.NodeID, loss: loss})
+	}
+	sort.SliceStable(scores, func(i, j int) bool {
+		if scores[i].loss != scores[j].loss {
+			return scores[i].loss > scores[j].loss // worst first
+		}
+		return scores[i].id < scores[j].id
+	})
+	l := s.L
+	if l > len(scores) {
+		l = len(scores)
+	}
+	out := make([]Participant, l)
+	for i := 0; i < l; i++ {
+		out[i] = Participant{NodeID: scores[i].id, Rank: 1}
+	}
+	return out, nil
+}
+
+// Fairness is a rotation baseline in the spirit of [12]: every node
+// gets the same long-run chance of participating. It keeps a cursor
+// and hands out the next ℓ nodes round-robin, so it is stateful across
+// queries.
+type Fairness struct {
+	// L is the number of nodes per query.
+	L int
+
+	cursor int
+}
+
+// Name implements Selector.
+func (s *Fairness) Name() string { return "fairness" }
+
+// Select implements Selector.
+func (s *Fairness) Select(_ query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+	if s.L < 1 {
+		return nil, fmt.Errorf("selection: fairness selector needs L >= 1, got %d", s.L)
+	}
+	if len(summaries) == 0 {
+		return nil, ErrNoCandidates
+	}
+	l := s.L
+	if l > len(summaries) {
+		l = len(summaries)
+	}
+	out := make([]Participant, l)
+	for i := 0; i < l; i++ {
+		out[i] = Participant{NodeID: summaries[(s.cursor+i)%len(summaries)].NodeID, Rank: 1}
+	}
+	s.cursor = (s.cursor + l) % len(summaries)
+	return out, nil
+}
+
+// Contribution is a history-based baseline in the spirit of [11]: the
+// leader remembers how much each node improved the global model in
+// past rounds (reported via Report) and prefers high contributors.
+// Unknown nodes get an optimistic default so they are explored.
+type Contribution struct {
+	// L is the number of nodes per query.
+	L int
+	// scores maps node id -> running average contribution.
+	scores map[string]float64
+	counts map[string]int
+}
+
+// Name implements Selector.
+func (s *Contribution) Name() string { return "contribution" }
+
+// Report records the observed contribution of a node in a finished
+// round — the paper's [11] defines it as the global-model accuracy
+// delta attributable to the node.
+func (s *Contribution) Report(nodeID string, contribution float64) {
+	if s.scores == nil {
+		s.scores = map[string]float64{}
+		s.counts = map[string]int{}
+	}
+	s.counts[nodeID]++
+	n := float64(s.counts[nodeID])
+	s.scores[nodeID] += (contribution - s.scores[nodeID]) / n
+}
+
+// Select implements Selector.
+func (s *Contribution) Select(_ query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+	if s.L < 1 {
+		return nil, fmt.Errorf("selection: contribution selector needs L >= 1, got %d", s.L)
+	}
+	if len(summaries) == 0 {
+		return nil, ErrNoCandidates
+	}
+	type scored struct {
+		id    string
+		score float64
+	}
+	const optimism = 1e6 // unseen nodes first
+	all := make([]scored, 0, len(summaries))
+	for _, sum := range summaries {
+		sc := optimism
+		if s.counts[sum.NodeID] > 0 {
+			sc = s.scores[sum.NodeID]
+		}
+		all = append(all, scored{id: sum.NodeID, score: sc})
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].id < all[j].id
+	})
+	l := s.L
+	if l > len(all) {
+		l = len(all)
+	}
+	out := make([]Participant, l)
+	for i := 0; i < l; i++ {
+		out[i] = Participant{NodeID: all[i].id, Rank: 1}
+	}
+	return out, nil
+}

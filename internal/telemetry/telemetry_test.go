@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	var c Collector
+	c.Add("queries", 1)
+	c.Add("queries", 2)
+	c.Add("bytes", 100)
+	if c.Counter("queries") != 3 || c.Counter("bytes") != 100 {
+		t.Fatalf("counters %d/%d", c.Counter("queries"), c.Counter("bytes"))
+	}
+	if c.Counter("missing") != 0 {
+		t.Fatal("missing counter should be zero")
+	}
+}
+
+func TestDurations(t *testing.T) {
+	var c Collector
+	c.AddDuration("train", 2*time.Second)
+	c.AddDuration("train", 3*time.Second)
+	if c.Duration("train") != 5*time.Second {
+		t.Fatalf("duration %v", c.Duration("train"))
+	}
+}
+
+func TestTime(t *testing.T) {
+	var c Collector
+	stop := c.Time("op")
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	if d := c.Duration("op"); d < 5*time.Millisecond {
+		t.Fatalf("timed %v, want >= 5ms", d)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Collector
+	c.Add("x", 1)
+	c.AddDuration("y", time.Second)
+	c.Reset()
+	if c.Counter("x") != 0 || c.Duration("y") != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	var c Collector
+	c.Add("x", 1)
+	counters, _ := c.Snapshot()
+	counters["x"] = 99
+	if c.Counter("x") != 1 {
+		t.Fatal("snapshot aliases internal map")
+	}
+}
+
+func TestString(t *testing.T) {
+	var c Collector
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.AddDuration("t", time.Second)
+	s := c.String()
+	if !strings.Contains(s, "a=1") || !strings.Contains(s, "b=2") || !strings.Contains(s, "t=1s") {
+		t.Fatalf("String() = %q", s)
+	}
+	// Sorted: a before b.
+	if strings.Index(s, "a=1") > strings.Index(s, "b=2") {
+		t.Fatalf("String() not sorted: %q", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var c Collector
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+				c.AddDuration("d", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Counter("n") != 8000 {
+		t.Fatalf("concurrent count %d", c.Counter("n"))
+	}
+	if c.Duration("d") != 8000*time.Microsecond {
+		t.Fatalf("concurrent duration %v", c.Duration("d"))
+	}
+}

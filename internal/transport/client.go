@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"qens/internal/cluster"
+	"qens/internal/federation"
+)
+
+// Client is a TCP-backed federation.Client: the leader's handle on a
+// remote participant daemon. It keeps one persistent connection,
+// reconnecting on failure, and serializes requests (the protocol is
+// strictly request/response per connection).
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	id   string
+
+	bytesOut int64
+	bytesIn  int64
+}
+
+var _ federation.Client = (*Client)(nil)
+
+// DialOptions configures a client.
+type DialOptions struct {
+	// Timeout bounds dialing and each request round-trip
+	// (default 30s; training large nodes dominates it).
+	Timeout time.Duration
+}
+
+// Dial connects to a participant daemon and learns its node id via a
+// ping.
+func Dial(addr string, opts DialOptions) (*Client, error) {
+	if opts.Timeout == 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	c := &Client{addr: addr, timeout: opts.Timeout}
+	resp, err := c.roundTrip(request{Type: typePing})
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if resp.NodeID == "" {
+		return nil, fmt.Errorf("transport: dial %s: daemon returned no node id", addr)
+	}
+	c.id = resp.NodeID
+	return c, nil
+}
+
+// ID implements federation.Client.
+func (c *Client) ID() string { return c.id }
+
+// Addr returns the daemon address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// ensureConn dials if no live connection exists. Caller holds c.mu.
+func (c *Client) ensureConn() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	return nil
+}
+
+// roundTrip sends one request and reads its response, retrying once on
+// a stale connection.
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := c.ensureConn(); err != nil {
+			lastErr = err
+			continue
+		}
+		deadline := time.Now().Add(c.timeout)
+		_ = c.conn.SetDeadline(deadline)
+		out := &countingConn{Conn: c.conn}
+		if err := writeFrame(out, req); err != nil {
+			lastErr = err
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		var resp response
+		if err := readFrame(out, &resp); err != nil {
+			lastErr = err
+			c.conn.Close()
+			c.conn = nil
+			continue
+		}
+		c.bytesOut += out.written
+		c.bytesIn += out.read
+		if resp.Error != "" {
+			return response{}, errors.New(resp.Error)
+		}
+		return resp, nil
+	}
+	return response{}, lastErr
+}
+
+// Ping verifies the daemon is reachable and returns its node id.
+func (c *Client) Ping() (string, error) {
+	resp, err := c.roundTrip(request{Type: typePing})
+	if err != nil {
+		return "", err
+	}
+	return resp.NodeID, nil
+}
+
+// BytesMoved reports the actual wire bytes this client has sent and
+// received — ground truth for the communication accounting the
+// experiments otherwise estimate from parameter sizes.
+func (c *Client) BytesMoved() (out, in int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesOut, c.bytesIn
+}
+
+// countingConn tallies bytes crossing a net.Conn.
+type countingConn struct {
+	net.Conn
+	written int64
+	read    int64
+}
+
+func (cc *countingConn) Write(p []byte) (int, error) {
+	n, err := cc.Conn.Write(p)
+	cc.written += int64(n)
+	return n, err
+}
+
+func (cc *countingConn) Read(p []byte) (int, error) {
+	n, err := cc.Conn.Read(p)
+	cc.read += int64(n)
+	return n, err
+}
+
+// Summary implements federation.Client.
+func (c *Client) Summary() (cluster.NodeSummary, error) {
+	resp, err := c.roundTrip(request{Type: typeSummary})
+	if err != nil {
+		return cluster.NodeSummary{}, err
+	}
+	if resp.Summary == nil {
+		return cluster.NodeSummary{}, errors.New("transport: daemon returned no summary")
+	}
+	return *resp.Summary, nil
+}
+
+// Train implements federation.Client.
+func (c *Client) Train(req federation.TrainRequest) (federation.TrainResponse, error) {
+	resp, err := c.roundTrip(request{Type: typeTrain, Train: &req})
+	if err != nil {
+		return federation.TrainResponse{}, err
+	}
+	if resp.Train == nil {
+		return federation.TrainResponse{}, errors.New("transport: daemon returned no train response")
+	}
+	return *resp.Train, nil
+}
+
+// Evaluate implements federation.Client.
+func (c *Client) Evaluate(req federation.EvalRequest) (federation.EvalResponse, error) {
+	resp, err := c.roundTrip(request{Type: typeEvaluate, Eval: &req})
+	if err != nil {
+		return federation.EvalResponse{}, err
+	}
+	if resp.Eval == nil {
+		return federation.EvalResponse{}, errors.New("transport: daemon returned no eval response")
+	}
+	return *resp.Eval, nil
+}

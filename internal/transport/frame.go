@@ -1,0 +1,77 @@
+// Package transport runs the federation protocol over real TCP
+// sockets: a participant daemon (Server) wrapping a federation.Node,
+// and a Client implementing federation.Client so the leader can drive
+// remote participants exactly like in-process ones.
+//
+// The wire format is deliberately simple and debuggable: each message
+// is a 4-byte big-endian length prefix followed by a JSON body, with a
+// hard size cap. Only summaries, model parameters and scalar losses
+// cross the wire — never raw samples — preserving the paper's privacy
+// model and its O(1)-per-node communication story.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize caps a single message (16 MiB fits any realistic model
+// parameter vector while bounding a misbehaving peer).
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge reports an over-sized frame.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// writeFrame encodes v as JSON and writes one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	if len(body) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(body)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("transport: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("transport: write body: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed frame and decodes it into v.
+func readFrame(r io.Reader, v any) error {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("transport: read header: %w", err)
+	}
+	size := binary.BigEndian.Uint32(header[:])
+	if size > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("transport: read body: %w", err)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+// Message types.
+const (
+	typePing     = "ping"
+	typeSummary  = "summary"
+	typeTrain    = "train"
+	typeEvaluate = "evaluate"
+)

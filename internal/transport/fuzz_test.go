@@ -1,0 +1,44 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the wire decoder: arbitrary bytes must either
+// decode into a request or be rejected — never panic, never
+// over-allocate past the frame cap.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = writeFrame(&seed, request{Type: typePing})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req request
+		_ = readFrame(bytes.NewReader(data), &req) // must not panic
+	})
+}
+
+// FuzzDispatch drives the server's request dispatcher with decoded
+// fuzz inputs; every outcome must be a well-formed response.
+func FuzzDispatch(f *testing.F) {
+	f.Add(typePing)
+	f.Add(typeSummary)
+	f.Add(typeTrain)
+	f.Add(typeEvaluate)
+	f.Add("bogus")
+	node, err := newFuzzNode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv := &Server{node: node, logf: silent}
+	f.Fuzz(func(t *testing.T, reqType string) {
+		resp := srv.dispatch(request{Type: reqType})
+		if resp.Error == "" && resp.NodeID == "" {
+			t.Fatalf("dispatch(%q) returned neither result nor error", reqType)
+		}
+	})
+}

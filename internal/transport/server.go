@@ -1,0 +1,188 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"qens/internal/cluster"
+	"qens/internal/federation"
+)
+
+// request is the wire envelope sent by the leader.
+type request struct {
+	Type  string                   `json:"type"`
+	Train *federation.TrainRequest `json:"train,omitempty"`
+	Eval  *federation.EvalRequest  `json:"eval,omitempty"`
+}
+
+// response is the wire envelope returned by a participant.
+type response struct {
+	Error   string                    `json:"error,omitempty"`
+	NodeID  string                    `json:"node_id,omitempty"`
+	Summary *cluster.NodeSummary      `json:"summary,omitempty"`
+	Train   *federation.TrainResponse `json:"train,omitempty"`
+	Eval    *federation.EvalResponse  `json:"eval,omitempty"`
+}
+
+// Server exposes one federation.Node over TCP. Each connection may
+// issue any number of requests; requests against the node are
+// serialized because node training is stateful on its RNG.
+type Server struct {
+	node *federation.Node
+	ln   net.Listener
+
+	mu     sync.Mutex // serializes node access
+	closed chan struct{}
+	wg     sync.WaitGroup
+	logf   func(format string, args ...any)
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts a participant daemon for node on addr (e.g.
+// "127.0.0.1:0") and begins accepting connections in the background.
+func Serve(node *federation.Node, addr string) (*Server, error) {
+	if node == nil {
+		return nil, errors.New("transport: nil node")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{node: node, ln: ln, closed: make(chan struct{}), logf: log.Printf,
+		conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// SetLogger replaces the server's log function (tests use a silent one).
+func (s *Server) SetLogger(logf func(format string, args ...any)) {
+	if logf != nil {
+		s.logf = logf
+	}
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// NodeID returns the served node's id.
+func (s *Server) NodeID() string { return s.node.ID() }
+
+// Close stops accepting and waits for in-flight handlers.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// trackConn registers a live connection; it reports false when the
+// server is already closing (the caller must drop the connection).
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	select {
+	case <-s.closed:
+		return false
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// untrackConn removes a finished connection.
+func (s *Server) untrackConn(conn net.Conn) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	delete(s.conns, conn)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logf("transport: accept: %v", err)
+				return
+			}
+		}
+		if !s.trackConn(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrackConn(conn)
+			defer conn.Close()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn serves request/response pairs until the peer disconnects.
+func (s *Server) handleConn(conn net.Conn) {
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return // EOF or a broken peer; either way, drop the conn
+		}
+		resp := s.dispatch(req)
+		if err := writeFrame(conn, resp); err != nil {
+			s.logf("transport: node %s: write response: %v", s.node.ID(), err)
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the node.
+func (s *Server) dispatch(req request) response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Type {
+	case typePing:
+		return response{NodeID: s.node.ID()}
+	case typeSummary:
+		sum := s.node.Summary()
+		return response{NodeID: s.node.ID(), Summary: &sum}
+	case typeTrain:
+		if req.Train == nil {
+			return response{Error: "train request missing body"}
+		}
+		out, err := s.node.Train(*req.Train)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{NodeID: s.node.ID(), Train: &out}
+	case typeEvaluate:
+		if req.Eval == nil {
+			return response{Error: "evaluate request missing body"}
+		}
+		out, err := s.node.Evaluate(*req.Eval)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{NodeID: s.node.ID(), Eval: &out}
+	default:
+		return response{Error: fmt.Sprintf("unknown request type %q", req.Type)}
+	}
+}

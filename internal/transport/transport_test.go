@@ -1,0 +1,324 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"qens/internal/dataset"
+	"qens/internal/federation"
+	"qens/internal/geometry"
+	"qens/internal/ml"
+	"qens/internal/query"
+	"qens/internal/rng"
+	"qens/internal/selection"
+)
+
+func silent(string, ...any) {}
+
+func lineDataset(n int, slope, intercept, lo, hi float64, seed uint64) *dataset.Dataset {
+	src := rng.New(seed)
+	d := dataset.MustNew([]string{"x", "y"}, "y")
+	for i := 0; i < n; i++ {
+		x := src.Uniform(lo, hi)
+		d.MustAppend([]float64{x, slope*x + intercept + src.Normal(0, 0.3)})
+	}
+	return d
+}
+
+func startServer(t *testing.T, seed uint64, slope, lo, hi float64) (*Server, *Client) {
+	t.Helper()
+	node, err := federation.NewNode("node-A", lineDataset(300, slope, 1, lo, hi, seed), 5, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(silent)
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(srv.Addr(), DialOptions{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := map[string]any{"hello": "world", "n": 42.0}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["hello"] != "world" || out["n"] != 42.0 {
+		t.Fatalf("round trip = %v", out)
+	}
+}
+
+func TestFrameEOF(t *testing.T) {
+	var out map[string]any
+	if err := readFrame(strings.NewReader(""), &out); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	// A forged header claiming a giant frame must be rejected.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var out map[string]any
+	if err := readFrame(&buf, &out); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	var out map[string]int
+	if err := readFrame(bytes.NewReader(trunc), &out); err == nil {
+		t.Fatal("accepted truncated body")
+	}
+}
+
+func TestDialPing(t *testing.T) {
+	_, client := startServer(t, 1, 2, 0, 50)
+	if client.ID() != "node-A" {
+		t.Fatalf("client id %s", client.ID())
+	}
+}
+
+func TestDialRefused(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", DialOptions{Timeout: time.Second}); err == nil {
+		t.Fatal("dialed a closed port")
+	}
+}
+
+func TestRemoteSummary(t *testing.T) {
+	_, client := startServer(t, 2, 2, 0, 50)
+	sum, err := client.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sum.NodeID != "node-A" || sum.K() != 5 || sum.TotalSamples != 300 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestRemoteTrainAndEvaluate(t *testing.T) {
+	_, client := startServer(t, 3, 3, 0, 20)
+	spec := ml.PaperLR(1)
+	resp, err := client.Train(federation.TrainRequest{Spec: spec, LocalEpochs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.SamplesUsed != 300 {
+		t.Fatalf("trained on %d samples", resp.SamplesUsed)
+	}
+	m := spec.MustNew()
+	if err := m.SetParams(resp.Params); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{10}); math.Abs(got-31) > 4 {
+		t.Fatalf("remote-trained model predicts %v, want ~31", got)
+	}
+	ev, err := client.Evaluate(federation.EvalRequest{Spec: spec, Params: resp.Params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Samples != 300 || ev.MSE > 2 {
+		t.Fatalf("remote eval %+v", ev)
+	}
+}
+
+func TestRemoteTrainError(t *testing.T) {
+	_, client := startServer(t, 4, 1, 0, 10)
+	_, err := client.Train(federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 0})
+	if err == nil || !strings.Contains(err.Error(), "local epochs") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection must remain usable after a server-side error.
+	if _, err := client.Summary(); err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+}
+
+func TestClientReconnects(t *testing.T) {
+	node, err := federation.NewNode("node-A", lineDataset(100, 1, 0, 0, 10, 5), 3, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(silent)
+	client, err := Dial(srv.Addr(), DialOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Force-close the client's connection; the next call must
+	// transparently reconnect.
+	client.mu.Lock()
+	client.conn.Close()
+	client.mu.Unlock()
+	if _, err := client.Summary(); err != nil {
+		t.Fatalf("reconnect failed: %v", err)
+	}
+	srv.Close()
+	// After server shutdown, calls must fail.
+	if _, err := client.Summary(); err == nil {
+		t.Fatal("summary succeeded against a closed server")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := startServer(t, 6, 1, 0, 10)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// End-to-end: a leader driving three real TCP participants through a
+// query-driven federated round.
+func TestFederationOverTCP(t *testing.T) {
+	datasets := []*dataset.Dataset{
+		lineDataset(300, 2, 1, 0, 30, 10),
+		lineDataset(300, 2, 1, 20, 60, 11),
+		lineDataset(300, -2, 400, 200, 300, 12),
+	}
+	var clients []federation.Client
+	for i, d := range datasets {
+		node, err := federation.NewNode(
+			[]string{"alpha", "beta", "gamma"}[i], d, 5, rng.New(uint64(20+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Serve(node, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetLogger(silent)
+		t.Cleanup(func() { srv.Close() })
+		c, err := Dial(srv.Addr(), DialOptions{Timeout: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients = append(clients, c)
+	}
+
+	cfg := federation.Config{Spec: ml.PaperLR(1), ClusterK: 5, LocalEpochs: 15, Seed: 9}
+	leader, err := federation.NewLeader(cfg, datasets[0], clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.New("q-net", geometry.MustRect([]float64{5, -50}, []float64{40, 150}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := leader.Execute(q, selection.QueryDriven{Epsilon: 0.6, TopL: 2}, federation.WeightedAveraging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Participants {
+		if p.NodeID == "gamma" {
+			t.Fatal("selected the disjoint node over TCP")
+		}
+	}
+	if got := res.Ensemble.Predict([]float64{20}); math.Abs(got-41) > 8 {
+		t.Fatalf("TCP ensemble predicts %v at x=20, want ~41", got)
+	}
+	// GT selection must also work over TCP (it exercises Evaluate).
+	gt, err := leader.Execute(q, selection.GameTheory{L: 1}, federation.ModelAveraging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Participants[0].NodeID != "gamma" {
+		t.Fatalf("GT over TCP picked %s, want gamma", gt.Participants[0].NodeID)
+	}
+}
+
+func TestClientPing(t *testing.T) {
+	_, client := startServer(t, 7, 1, 0, 10)
+	id, err := client.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "node-A" {
+		t.Fatalf("ping returned %q", id)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t, 8, 2, 0, 30)
+	const workers = 6
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			c, err := Dial(srv.Addr(), DialOptions{Timeout: 30 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 5; i++ {
+				if _, err := c.Summary(); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Train(federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 1}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// newFuzzNode builds a small node for the dispatch fuzz target.
+func newFuzzNode() (*federation.Node, error) {
+	return federation.NewNode("fuzz", lineDataset(60, 1, 0, 0, 10, 99), 3, rng.New(99))
+}
+
+func TestClientBytesMoved(t *testing.T) {
+	_, client := startServer(t, 9, 1, 0, 20)
+	out0, in0 := client.BytesMoved()
+	if _, err := client.Summary(); err != nil {
+		t.Fatal(err)
+	}
+	out1, in1 := client.BytesMoved()
+	if out1 <= out0 || in1 <= in0 {
+		t.Fatalf("byte counters did not advance: out %d->%d in %d->%d", out0, out1, in0, in1)
+	}
+	// A summary response (5 clusters of rectangles) dwarfs the request.
+	if in1-in0 < 100 {
+		t.Fatalf("summary response only %d bytes", in1-in0)
+	}
+}
