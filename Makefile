@@ -1,0 +1,37 @@
+# qens build/verify harness. `make check` is the tier-1 gate referenced
+# by ROADMAP.md: formatting, vet, build, and the race-enabled test run.
+
+GO ?= go
+
+.PHONY: all check fmt fmt-check vet build test race bench clean
+
+all: check
+
+check: fmt-check vet build race
+
+fmt:
+	gofmt -w .
+
+# gofmt -l prints offending files; fail loudly when any exist.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+clean:
+	$(GO) clean -testcache

@@ -24,6 +24,7 @@ import (
 	"qens/internal/query"
 	"qens/internal/rng"
 	"qens/internal/selection"
+	"qens/internal/telemetry"
 	"qens/internal/transport"
 )
 
@@ -540,6 +541,65 @@ func BenchmarkTransportSummary(b *testing.B) {
 		if _, err := client.Summary(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkHistogramObserve measures the telemetry hot path: one
+// lock-free histogram observation. Instrumentation rides every RPC and
+// training round, so this must stay well under 100ns/op.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h telemetry.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) + 0.5)
+	}
+	if h.Count() != int64(b.N) {
+		b.Fatalf("count = %d, want %d", h.Count(), b.N)
+	}
+}
+
+// BenchmarkHistogramObserveParallel exercises the contended case — many
+// goroutines feeding one latency histogram, the shape of a busy daemon.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h telemetry.Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := 0.5
+		for pb.Next() {
+			h.Observe(v)
+			v += 0.25
+			if v > 1000 {
+				v = 0.5
+			}
+		}
+	})
+}
+
+// BenchmarkCounterAdd measures a pre-resolved labeled counter
+// increment — a single atomic add once the series handle is held.
+func BenchmarkCounterAdd(b *testing.B) {
+	var reg telemetry.Registry
+	c := reg.Counter("bench_ops_total", telemetry.Label{Key: "node", Value: "bench"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if c.Value() != int64(b.N) {
+		b.Fatalf("count = %d, want %d", c.Value(), b.N)
+	}
+}
+
+// BenchmarkCounterLookupAdd includes the registry lookup, the cost paid
+// by call sites that do not cache the series handle.
+func BenchmarkCounterLookupAdd(b *testing.B) {
+	var reg telemetry.Registry
+	node := telemetry.Label{Key: "node", Value: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Counter("bench_ops_total", node).Inc()
 	}
 }
 

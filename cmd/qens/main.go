@@ -23,6 +23,7 @@ import (
 
 	"qens/internal/experiments"
 	"qens/internal/selection"
+	"qens/internal/telemetry"
 )
 
 func main() {
@@ -38,10 +39,40 @@ func main() {
 		model       = flag.String("model", "", "model: linear or nn (default linear)")
 		quick       = flag.Bool("quick", false, "reduced scale for a fast sanity run")
 		addrs       = flag.String("addrs", "", "comma-separated qensd addresses for the remote experiment")
+		metricsAddr = flag.String("metrics-addr", "", "observability sidecar address serving /metrics, /healthz and /debug/pprof (e.g. :9091; empty disables)")
+		tracePath   = flag.String("trace", "", "write a JSONL span trace of every executed query to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
+	}
+
+	if *metricsAddr != "" {
+		obs, err := telemetry.ServeHTTP(*metricsAddr, telemetry.Default(), func() map[string]any {
+			return map[string]any{"role": "leader", "experiment": flag.Arg(0)}
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qens: %v\n", err)
+			os.Exit(1)
+		}
+		defer obs.Close()
+		fmt.Printf("observability on http://%s (/metrics /healthz /debug/pprof)\n", obs.Addr())
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qens: trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracer := telemetry.NewTracer(f)
+		tracer.SetRetention(100_000)
+		telemetry.SetDefaultTracer(tracer)
+		defer func() {
+			if sum, err := experiments.SummarizeTraceSpans(tracer.Spans()); err == nil {
+				fmt.Printf("\ntrace written to %s\n%s", *tracePath, sum)
+			}
+		}()
 	}
 
 	opts := experiments.Options{

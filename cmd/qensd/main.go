@@ -22,19 +22,21 @@ import (
 	"qens/internal/dataset"
 	"qens/internal/federation"
 	"qens/internal/rng"
+	"qens/internal/telemetry"
 	"qens/internal/transport"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7001", "listen address")
-		id        = flag.String("id", "", "node id (defaults to node-<synthetic> or the data file name)")
-		dataPath  = flag.String("data", "", "CSV file with this node's local data")
-		k         = flag.Int("k", 5, "k-means clusters (paper: 5)")
-		seed      = flag.Uint64("seed", 1, "node RNG seed")
-		synthetic = flag.Int("synthetic", -1, "generate the i-th synthetic shard instead of loading a CSV")
-		nodes     = flag.Int("nodes", 10, "total synthetic shards (with -synthetic)")
-		samples   = flag.Int("samples", 2000, "samples per synthetic shard (with -synthetic)")
+		addr        = flag.String("addr", "127.0.0.1:7001", "listen address")
+		id          = flag.String("id", "", "node id (defaults to node-<synthetic> or the data file name)")
+		dataPath    = flag.String("data", "", "CSV file with this node's local data")
+		k           = flag.Int("k", 5, "k-means clusters (paper: 5)")
+		seed        = flag.Uint64("seed", 1, "node RNG seed")
+		synthetic   = flag.Int("synthetic", -1, "generate the i-th synthetic shard instead of loading a CSV")
+		nodes       = flag.Int("nodes", 10, "total synthetic shards (with -synthetic)")
+		samples     = flag.Int("samples", 2000, "samples per synthetic shard (with -synthetic)")
+		metricsAddr = flag.String("metrics-addr", "", "observability sidecar address serving /metrics, /healthz and /debug/pprof (e.g. :9090; empty disables)")
 	)
 	flag.Parse()
 
@@ -56,12 +58,40 @@ func main() {
 	}
 	fmt.Printf("qensd: node %s serving %d samples (K=%d) on %s\n", nodeID, data.Len(), *k, srv.Addr())
 
+	if *metricsAddr != "" {
+		obs, err := telemetry.ServeHTTP(*metricsAddr, telemetry.Default(), healthFunc(srv, nodeID, data.Len(), *k))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer obs.Close()
+		fmt.Printf("qensd: observability on http://%s (/metrics /healthz /debug/pprof)\n", obs.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("qensd: shutting down")
 	if err := srv.Close(); err != nil {
 		fatal("close: %v", err)
+	}
+}
+
+// healthFunc builds the /healthz document for a running daemon:
+// node identity, shard size, K and the age of the last training round.
+func healthFunc(srv *transport.Server, nodeID string, shardSize, k int) telemetry.HealthFunc {
+	return func() map[string]any {
+		doc := map[string]any{
+			"node":       nodeID,
+			"addr":       srv.Addr(),
+			"shard_size": shardSize,
+			"k":          k,
+		}
+		if age, ok := srv.LastTrainAge(); ok {
+			doc["last_round_age_s"] = age.Seconds()
+		} else {
+			doc["last_round_age_s"] = nil
+		}
+		return doc
 	}
 }
 

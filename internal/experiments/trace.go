@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"qens/internal/telemetry"
+)
+
+// Trace consumption: the observability layer (internal/telemetry)
+// exports per-query spans as JSONL; this file turns a span stream into
+// the per-phase latency report the experiment harness appends to its
+// output — per-span-name count, total and mean plus the trace count,
+// so a `qens -trace run.jsonl fig8` run shows where the wall-clock
+// went (selection vs train vs aggregation).
+
+// TraceSummary aggregates a span stream by span name.
+type TraceSummary struct {
+	// Traces is the number of distinct trace IDs (≈ executed queries).
+	Traces int
+	// Spans is the total number of spans.
+	Spans int
+	// Errors is the number of spans that recorded an error.
+	Errors int
+	// ByName aggregates per span name.
+	ByName map[string]SpanAggregate
+}
+
+// SpanAggregate is the per-name aggregate of a trace summary.
+type SpanAggregate struct {
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration.
+func (a SpanAggregate) Mean() time.Duration {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Total / time.Duration(a.Count)
+}
+
+// SummarizeTraceSpans aggregates already-parsed spans.
+func SummarizeTraceSpans(spans []telemetry.Span) (*TraceSummary, error) {
+	s := &TraceSummary{ByName: map[string]SpanAggregate{}}
+	traces := map[string]bool{}
+	for _, sp := range spans {
+		if sp.TraceID == "" || sp.Name == "" {
+			return nil, fmt.Errorf("experiments: malformed span (trace=%q name=%q)", sp.TraceID, sp.Name)
+		}
+		traces[sp.TraceID] = true
+		s.Spans++
+		if sp.Error != "" {
+			s.Errors++
+		}
+		agg := s.ByName[sp.Name]
+		agg.Count++
+		d := time.Duration(sp.DurationMS * float64(time.Millisecond))
+		agg.Total += d
+		if d > agg.Max {
+			agg.Max = d
+		}
+		s.ByName[sp.Name] = agg
+	}
+	s.Traces = len(traces)
+	return s, nil
+}
+
+// SummarizeTrace parses a JSONL span stream and aggregates it.
+func SummarizeTrace(r io.Reader) (*TraceSummary, error) {
+	spans, err := telemetry.ReadJSONL(r)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: parse trace: %w", err)
+	}
+	return SummarizeTraceSpans(spans)
+}
+
+// SummarizeTraceFile aggregates the JSONL trace at path.
+func SummarizeTraceFile(path string) (*TraceSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: open trace: %w", err)
+	}
+	defer f.Close()
+	return SummarizeTrace(f)
+}
+
+// String renders the summary as an aligned table, span names sorted by
+// total time descending.
+func (s *TraceSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace summary: %d traces, %d spans, %d errors\n", s.Traces, s.Spans, s.Errors)
+	names := make([]string, 0, len(s.ByName))
+	for n := range s.ByName {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if s.ByName[names[i]].Total != s.ByName[names[j]].Total {
+			return s.ByName[names[i]].Total > s.ByName[names[j]].Total
+		}
+		return names[i] < names[j]
+	})
+	fmt.Fprintf(&b, "  %-14s %8s %12s %12s %12s\n", "span", "count", "total", "mean", "max")
+	for _, n := range names {
+		a := s.ByName[n]
+		fmt.Fprintf(&b, "  %-14s %8d %12s %12s %12s\n",
+			n, a.Count, a.Total.Round(time.Microsecond),
+			a.Mean().Round(time.Microsecond), a.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}

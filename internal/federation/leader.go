@@ -12,6 +12,7 @@ import (
 	"qens/internal/query"
 	"qens/internal/rng"
 	"qens/internal/selection"
+	"qens/internal/telemetry"
 )
 
 // Config parameterizes a federation.
@@ -71,6 +72,9 @@ type Leader struct {
 
 	summaries []cluster.NodeSummary // cached advertisements
 	warmup    *ml.Params            // cached §II warm-up model
+
+	tracer  *telemetry.Tracer // nil: fall back to telemetry.DefaultTracer
+	metrics *leaderMetrics
 }
 
 // NewLeader builds a leader over the given participants. leaderData is
@@ -92,7 +96,10 @@ func NewLeader(cfg Config, leaderData *dataset.Dataset, clients []Client) (*Lead
 		}
 		seen[c.ID()] = true
 	}
-	return &Leader{cfg: cfg, data: leaderData, clients: clients, src: rng.New(cfg.Seed)}, nil
+	return &Leader{
+		cfg: cfg, data: leaderData, clients: clients, src: rng.New(cfg.Seed),
+		metrics: newLeaderMetrics(telemetry.Default()),
+	}, nil
 }
 
 // Config returns the leader's configuration (with defaults applied).
@@ -242,21 +249,32 @@ type Result struct {
 	// Config.TolerateFailures; their models are excluded from the
 	// ensemble).
 	Failed []string
-	Stats  Stats
+	// NodeRounds records per-participant round timings and outcomes
+	// in execution order, including failed rounds with their error
+	// strings — the per-query attribution behind the
+	// qens_leader_train_round_ms metric family.
+	NodeRounds []NodeRound
+	Stats      Stats
 }
 
 // Execute runs the full §IV-B loop for one query: select participants,
 // send the initial global model, let each participant train over its
-// supporting clusters, and build the aggregated predictor.
-func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation) (*Result, error) {
+// supporting clusters, and build the aggregated predictor. When a
+// tracer is installed the execution emits one trace with selection,
+// per-node train and aggregation spans sharing the query's trace ID.
+func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation) (_ *Result, retErr error) {
 	start := time.Now()
+	qspan := l.startQuerySpan(q, sel)
+	defer func() { qspan.End(retErr) }()
 	summaries, err := l.Summaries()
 	if err != nil {
 		return nil, err
 	}
 
 	selStart := time.Now()
+	selSpan := startSelectionSpan(qspan)
 	participants, err := sel.Select(q, summaries, l.SelectionContext())
+	selSpan.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
 	}
@@ -286,14 +304,23 @@ func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation)
 	res.Stats.SamplesAllNodes = totalAll
 
 	for _, p := range participants {
-		resp, err := l.trainOn(p, initial)
+		tspan := startTrainSpan(qspan, p.NodeID, 0)
+		roundStart := time.Now()
+		resp, err := l.trainOn(p, initial, tspan)
+		elapsed := time.Since(roundStart)
+		tspan.End(err)
+		l.metrics.round(p.NodeID, elapsed)
+		round := NodeRound{NodeID: p.NodeID, Elapsed: elapsed}
 		if err != nil {
+			round.Err = err.Error()
+			res.NodeRounds = append(res.NodeRounds, round)
 			if l.cfg.TolerateFailures {
 				res.Failed = append(res.Failed, p.NodeID)
 				continue
 			}
 			return nil, fmt.Errorf("federation: training on %s: %w", p.NodeID, err)
 		}
+		res.NodeRounds = append(res.NodeRounds, round)
 		res.LocalParams = append(res.LocalParams, resp.Params)
 		ranks = append(ranks, p.Rank)
 		res.Stats.TrainTime += resp.TrainTime
@@ -306,13 +333,16 @@ func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation)
 		return nil, fmt.Errorf("federation: every selected participant failed for %s", q.ID)
 	}
 
+	aggSpan := qspan.Child("aggregation")
 	ensemble, err := NewEnsemble(l.cfg.Spec, res.LocalParams, ranks, agg)
+	aggSpan.End(err)
 	if err != nil {
 		return nil, err
 	}
 	res.Ensemble = ensemble
 	res.Stats.SelectionTime = selectionTime
 	res.Stats.WallTime = time.Since(start)
+	l.metrics.query(sel.Name(), selectionTime, len(res.Failed))
 	return res, nil
 }
 
@@ -337,8 +367,9 @@ func (l *Leader) EvaluateGlobal(params ml.Params, bounds geometry.Rect) (mse flo
 	return totalSq / float64(samples), samples, nil
 }
 
-// trainOn runs one participant's training round.
-func (l *Leader) trainOn(p selection.Participant, initial ml.Params) (TrainResponse, error) {
+// trainOn runs one participant's training round, attributing it to the
+// given span (nil for untraced runs).
+func (l *Leader) trainOn(p selection.Participant, initial ml.Params, span *telemetry.SpanHandle) (TrainResponse, error) {
 	c, err := l.client(p.NodeID)
 	if err != nil {
 		return TrainResponse{}, err
@@ -348,6 +379,8 @@ func (l *Leader) trainOn(p selection.Participant, initial ml.Params) (TrainRespo
 		Params:      initial,
 		Clusters:    p.Clusters,
 		LocalEpochs: l.cfg.LocalEpochs,
+		TraceID:     span.TraceID(),
+		SpanID:      span.SpanID(),
 	})
 }
 

@@ -120,6 +120,11 @@ type TrainRequest struct {
 	// supporting cluster (or over the whole dataset when Clusters
 	// is nil).
 	LocalEpochs int `json:"local_epochs"`
+	// TraceID/SpanID optionally attribute this round to the
+	// originating query's trace (see internal/telemetry); transports
+	// propagate them so remote daemon logs are correlatable.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // TrainResponse carries the updated local model and accounting.
@@ -189,6 +194,10 @@ type EvalRequest struct {
 	// falling inside the rectangle (used to score per-query loss
 	// on the query's data subspace). Nil evaluates on everything.
 	Bounds *geometry.Rect `json:"bounds,omitempty"`
+	// TraceID/SpanID optionally attribute this evaluation to the
+	// originating query's trace.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // EvalResponse carries the local loss.

@@ -38,17 +38,21 @@ type RoundsResult struct {
 // current global parameters over its supporting clusters, and the
 // leader replaces the global parameters with the rank-weighted FedAvg.
 // The returned ensemble holds the single converged global model.
-func (l *Leader) ExecuteRounds(q query.Query, sel selection.Selector, rounds int) (*RoundsResult, error) {
+func (l *Leader) ExecuteRounds(q query.Query, sel selection.Selector, rounds int) (_ *RoundsResult, retErr error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("federation: rounds %d < 1", rounds)
 	}
 	start := time.Now()
+	qspan := l.startQuerySpan(q, sel)
+	defer func() { qspan.End(retErr) }()
 	summaries, err := l.Summaries()
 	if err != nil {
 		return nil, err
 	}
 	selStart := time.Now()
+	selSpan := startSelectionSpan(qspan)
 	participants, err := sel.Select(q, summaries, l.SelectionContext())
+	selSpan.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
 	}
@@ -84,15 +88,26 @@ func (l *Leader) ExecuteRounds(q query.Query, sel selection.Selector, rounds int
 			if err != nil {
 				return nil, err
 			}
+			tspan := startTrainSpan(qspan, p.NodeID, r)
+			roundStart := time.Now()
 			resp, err := c.Train(TrainRequest{
 				Spec:        l.cfg.Spec,
 				Params:      current,
 				Clusters:    p.Clusters,
 				LocalEpochs: l.cfg.LocalEpochs,
+				TraceID:     tspan.TraceID(),
+				SpanID:      tspan.SpanID(),
 			})
+			elapsed := time.Since(roundStart)
+			tspan.End(err)
+			l.metrics.round(p.NodeID, elapsed)
+			round := NodeRound{NodeID: p.NodeID, Round: r, Elapsed: elapsed}
 			if err != nil {
+				round.Err = err.Error()
+				out.NodeRounds = append(out.NodeRounds, round)
 				return nil, fmt.Errorf("federation: round %d on %s: %w", r, p.NodeID, err)
 			}
+			out.NodeRounds = append(out.NodeRounds, round)
 			locals[i] = resp.Params
 			out.Stats.TrainTime += resp.TrainTime
 			out.Stats.SamplesUsed += resp.SamplesUsed
@@ -102,7 +117,9 @@ func (l *Leader) ExecuteRounds(q query.Query, sel selection.Selector, rounds int
 			out.Stats.BytesUp += paramBytes
 			out.Stats.BytesDown += int64(8 * len(resp.Params.Values))
 		}
+		aggSpan := qspan.Child("aggregation")
 		next, err := FedAvgParams(locals, weights)
+		aggSpan.End(err)
 		if err != nil {
 			return nil, fmt.Errorf("federation: round %d aggregation: %w", r, err)
 		}
@@ -119,6 +136,7 @@ func (l *Leader) ExecuteRounds(q query.Query, sel selection.Selector, rounds int
 	out.GlobalParams = current
 	out.Stats.SelectionTime = selectionTime
 	out.Stats.WallTime = time.Since(start)
+	l.metrics.query(sel.Name(), selectionTime, 0)
 	return out, nil
 }
 
@@ -143,15 +161,22 @@ func sqrt(v float64) float64 {
 // ExecuteParallel is Execute with the training fan-out running
 // concurrently across participants — the deployment-realistic mode for
 // TCP clients, where each node trains on its own hardware. Results are
-// identical to Execute modulo the nodes' own RNG interleaving.
-func (l *Leader) ExecuteParallel(q query.Query, sel selection.Selector, agg Aggregation) (*Result, error) {
+// identical to Execute modulo the nodes' own RNG interleaving,
+// including the failure contract: a failed round aborts the query
+// unless Config.TolerateFailures is set, in which case it is recorded
+// in Result.Failed/NodeRounds and the survivors form the ensemble.
+func (l *Leader) ExecuteParallel(q query.Query, sel selection.Selector, agg Aggregation) (_ *Result, retErr error) {
 	start := time.Now()
+	qspan := l.startQuerySpan(q, sel)
+	defer func() { qspan.End(retErr) }()
 	summaries, err := l.Summaries()
 	if err != nil {
 		return nil, err
 	}
 	selStart := time.Now()
+	selSpan := startSelectionSpan(qspan)
 	participants, err := sel.Select(q, summaries, l.SelectionContext())
+	selSpan.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
 	}
@@ -171,16 +196,16 @@ func (l *Leader) ExecuteParallel(q query.Query, sel selection.Selector, agg Aggr
 		Selector:     sel.Name(),
 		Aggregation:  agg,
 		Participants: participants,
-		LocalParams:  make([]ml.Params, len(participants)),
 	}
 	for _, s := range summaries {
 		res.Stats.SamplesAllNodes += s.TotalSamples
 	}
 
 	type trainOut struct {
-		idx  int
-		resp TrainResponse
-		err  error
+		idx     int
+		resp    TrainResponse
+		elapsed time.Duration
+		err     error
 	}
 	var wg sync.WaitGroup
 	outs := make([]trainOut, len(participants))
@@ -188,42 +213,73 @@ func (l *Leader) ExecuteParallel(q query.Query, sel selection.Selector, agg Aggr
 		wg.Add(1)
 		go func(i int, p selection.Participant) {
 			defer wg.Done()
+			roundStart := time.Now()
 			c, err := l.client(p.NodeID)
 			if err != nil {
-				outs[i] = trainOut{idx: i, err: err}
+				outs[i] = trainOut{idx: i, err: err, elapsed: time.Since(roundStart)}
 				return
 			}
+			tspan := startTrainSpan(qspan, p.NodeID, 0)
 			resp, err := c.Train(TrainRequest{
 				Spec:        l.cfg.Spec,
 				Params:      initial,
 				Clusters:    p.Clusters,
 				LocalEpochs: l.cfg.LocalEpochs,
+				TraceID:     tspan.TraceID(),
+				SpanID:      tspan.SpanID(),
 			})
-			outs[i] = trainOut{idx: i, resp: resp, err: err}
+			tspan.End(err)
+			outs[i] = trainOut{idx: i, resp: resp, err: err, elapsed: time.Since(roundStart)}
 		}(i, p)
 	}
 	wg.Wait()
 
-	ranks := make([]float64, len(participants))
+	// Collect outcomes in participant order. Like Execute, a failed
+	// round aborts the query unless Config.TolerateFailures is set, in
+	// which case the failure stays visible in NodeRounds/Failed and the
+	// survivors form the ensemble.
+	ranks := make([]float64, 0, len(participants))
+	var firstErr error
 	for i, o := range outs {
+		round := NodeRound{NodeID: participants[i].NodeID, Elapsed: o.elapsed}
+		l.metrics.round(participants[i].NodeID, o.elapsed)
 		if o.err != nil {
-			return nil, fmt.Errorf("federation: training on %s: %w", participants[i].NodeID, o.err)
+			round.Err = o.err.Error()
+			res.NodeRounds = append(res.NodeRounds, round)
+			if l.cfg.TolerateFailures {
+				res.Failed = append(res.Failed, participants[i].NodeID)
+				continue
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("federation: training on %s: %w", participants[i].NodeID, o.err)
+			}
+			continue
 		}
-		res.LocalParams[i] = o.resp.Params
-		ranks[i] = participants[i].Rank
+		res.NodeRounds = append(res.NodeRounds, round)
+		res.LocalParams = append(res.LocalParams, o.resp.Params)
+		ranks = append(ranks, participants[i].Rank)
 		res.Stats.TrainTime += o.resp.TrainTime
 		res.Stats.SamplesUsed += o.resp.SamplesUsed
 		res.Stats.SamplesSelectedNodes += o.resp.TotalSamples
 		res.Stats.BytesUp += paramBytes
 		res.Stats.BytesDown += int64(8 * len(o.resp.Params.Values))
 	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(res.LocalParams) == 0 {
+		return nil, fmt.Errorf("federation: every selected participant failed for %s", q.ID)
+	}
 
+	aggSpan := qspan.Child("aggregation")
 	ensemble, err := NewEnsemble(l.cfg.Spec, res.LocalParams, ranks, agg)
+	aggSpan.End(err)
 	if err != nil {
 		return nil, err
 	}
 	res.Ensemble = ensemble
 	res.Stats.SelectionTime = selectionTime
 	res.Stats.WallTime = time.Since(start)
+	l.metrics.query(sel.Name(), selectionTime, len(res.Failed))
 	return res, nil
 }

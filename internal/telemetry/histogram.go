@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram geometry: fixed log-spaced buckets covering [histMin, ∞).
+// With growth 2^(1/4) per bucket the relative quantile error is bounded
+// by ~19% — tight enough for p50/p95/p99 latency work — while keeping
+// Observe a single atomic increment with no allocation and no lock.
+const (
+	// histBuckets is the number of finite buckets.
+	histBuckets = 128
+	// histMin is the upper bound of the first bucket. Observations
+	// below it land in bucket 0.
+	histMin = 1e-3
+	// histGrowthLog2 is log2 of the per-bucket growth factor
+	// (2^(1/4) ≈ 1.189).
+	histGrowthLog2 = 0.25
+)
+
+// histUpperBounds holds the precomputed inclusive upper bound of every
+// finite bucket; observations above the last bound land in the
+// overflow bucket.
+var histUpperBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	for i := range b {
+		b[i] = histMin * math.Pow(2, histGrowthLog2*float64(i))
+	}
+	return b
+}()
+
+// Histogram is a lock-free fixed-bucket log-spaced histogram. The zero
+// value is ready. Observe is wait-free (one atomic add plus three CAS
+// loops that almost never retry) and safe for concurrent use, which
+// keeps it cheap enough for per-RPC instrumentation on the hot path.
+//
+// Units are the caller's choice; the federation layer records
+// milliseconds (metric names carry a _ms suffix).
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Int64 // +1 overflow bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+	// minBits/maxBits hold float64 bits of the observed extremes.
+	// Values are non-negative by construction (Observe clamps), so
+	// all-zero bits mean "no observation yet" for min — a genuine
+	// zero observation is stored as -0.0 bits to stay distinguishable
+	// — and a valid starting point (0.0) for max.
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// bucketIndex maps a value to its bucket (histBuckets = overflow).
+func bucketIndex(v float64) int {
+	if v <= histMin {
+		return 0
+	}
+	idx := int(math.Ceil(math.Log2(v/histMin) / histGrowthLog2))
+	if idx >= histBuckets {
+		return histBuckets
+	}
+	return idx
+}
+
+// Observe records one value. NaN is ignored; negative values clamp to
+// zero (the histogram tracks magnitudes: latencies, sizes, counts).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+	casMin(&h.minBits, v)
+	casMax(&h.maxBits, v)
+}
+
+// ObserveDuration records a latency in float milliseconds — the unit
+// every *_ms metric family in this repo uses.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	v := math.Float64frombits(h.minBits.Load())
+	if v == 0 { // -0.0 encodes an observed zero; normalize the sign
+		return 0
+	}
+	return v
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Mean returns the arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket
+// counts, interpolating geometrically inside the winning bucket. The
+// estimate's relative error is bounded by the bucket growth factor
+// (~19%). Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := 0; i <= histBuckets; i++ {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketBounds(i)
+			// Clamp the interpolation to the observed extremes so
+			// the estimate never leaves the data's range.
+			if min := h.Min(); lo < min {
+				lo = min
+			}
+			if max := h.Max(); hi > max || i == histBuckets {
+				hi = max
+			}
+			if lo <= 0 {
+				lo = math.SmallestNonzeroFloat64
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - cum) / n
+			return lo * math.Pow(hi/lo, frac)
+		}
+		cum += n
+	}
+	return h.Max()
+}
+
+// Snapshot captures a consistent-enough view for rendering: per-bucket
+// cumulative counts alongside the scalar summaries. Buckets with zero
+// observations are skipped (upper bounds remain strictly increasing).
+type HistogramSnapshot struct {
+	Count    int64
+	Sum      float64
+	Min, Max float64
+	P50      float64
+	P95      float64
+	P99      float64
+	// Buckets holds (upper bound, cumulative count) pairs for every
+	// non-empty bucket, in increasing bound order.
+	Buckets []BucketCount
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	UpperBound float64 // +Inf for the overflow bucket
+	Cumulative int64
+}
+
+// Snapshot renders the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	cum := int64(0)
+	for i := 0; i <= histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := bucketBounds(i)
+		if i == histBuckets {
+			hi = math.Inf(1)
+		}
+		s.Buckets = append(s.Buckets, BucketCount{UpperBound: hi, Cumulative: cum})
+	}
+	return s
+}
+
+// Reset zeroes every bucket and summary (not linearizable against
+// concurrent Observe; intended for experiment-harness boundaries).
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+	h.minBits.Store(0)
+	h.maxBits.Store(0)
+}
+
+// bucketBounds returns the (exclusive lower, inclusive upper) value
+// range of bucket i.
+func bucketBounds(i int) (lo, hi float64) {
+	switch {
+	case i == 0:
+		return 0, histUpperBounds[0]
+	case i >= histBuckets:
+		return histUpperBounds[histBuckets-1], math.Inf(1)
+	default:
+		return histUpperBounds[i-1], histUpperBounds[i]
+	}
+}
+
+// addFloat atomically adds v to the float64 stored as bits in addr.
+func addFloat(addr *atomic.Uint64, v float64) {
+	for {
+		old := addr.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if addr.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// negZeroBits encodes an observed value of exactly zero without
+// colliding with the all-zero "unset" sentinel (v is non-negative).
+var negZeroBits = math.Float64bits(math.Copysign(0, -1))
+
+// casMin lowers the stored minimum to v (non-negative). All-zero bits
+// mean the minimum is unset.
+func casMin(addr *atomic.Uint64, v float64) {
+	bits := math.Float64bits(v)
+	if bits == 0 {
+		bits = negZeroBits
+	}
+	for {
+		old := addr.Load()
+		if old != 0 && math.Float64frombits(old) <= v {
+			return
+		}
+		if addr.CompareAndSwap(old, bits) {
+			return
+		}
+	}
+}
+
+// casMax raises the stored maximum to v (non-negative; the zero value
+// 0.0 is a valid floor).
+func casMax(addr *atomic.Uint64, v float64) {
+	for {
+		old := addr.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if addr.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HTTP observability sidecar: an opt-in stdlib net/http server
+// exposing the process's metrics, health and profiling surface.
+//
+//	/metrics       Prometheus text exposition of a Registry
+//	/healthz       JSON health document (uptime plus caller fields)
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// Both cmd/qensd (-metrics-addr) and cmd/qens (-metrics-addr) mount
+// it; it binds its own listener so the federation's TCP protocol port
+// stays untouched.
+
+// HealthFunc supplies the dynamic portion of the /healthz document
+// (e.g. last-round age, shard size, K). It may be nil.
+type HealthFunc func() map[string]any
+
+// HTTPServer is a running observability sidecar.
+type HTTPServer struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// NewHTTPHandler builds the sidecar's mux without binding a listener
+// (tests drive it through httptest).
+func NewHTTPHandler(reg *Registry, health HealthFunc, start time.Time) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers already sent; nothing recoverable.
+			return
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		doc := map[string]any{
+			"status":   "ok",
+			"uptime_s": time.Since(start).Seconds(),
+		}
+		if health != nil {
+			for k, v := range health() {
+				doc[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(doc)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeHTTP starts the observability sidecar on addr (e.g. ":9090").
+// reg may be nil for the process default registry; health may be nil.
+func ServeHTTP(addr string, reg *Registry, health HealthFunc) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	start := time.Now()
+	s := &HTTPServer{
+		ln:    ln,
+		start: start,
+		srv: &http.Server{
+			Handler:           NewHTTPHandler(reg, health, start),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }() // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the sidecar's bound address.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the sidecar.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

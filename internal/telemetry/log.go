@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatKV renders a structured key=value log line:
+//
+//	component=transport event=rpc type=train trace=ab12 dur_ms=3.2
+//
+// Values containing spaces or quotes are %q-quoted. Inputs are
+// alternating key, value pairs; a trailing odd value is rendered under
+// the key "msg".
+func FormatKV(kvs ...any) string {
+	var b strings.Builder
+	for i := 0; i < len(kvs); i += 2 {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if i+1 >= len(kvs) {
+			fmt.Fprintf(&b, "msg=%s", quoteIfNeeded(fmt.Sprint(kvs[i])))
+			break
+		}
+		fmt.Fprintf(&b, "%s=%s", fmt.Sprint(kvs[i]), quoteIfNeeded(fmt.Sprint(kvs[i+1])))
+	}
+	return b.String()
+}
+
+func quoteIfNeeded(v string) string {
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		return fmt.Sprintf("%q", v)
+	}
+	return v
+}

@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Per-query tracing. The leader mints one trace ID per query and opens
+// spans for the phases of its execution (selection, per-node train
+// rounds, aggregation). Span contexts propagate across the transport
+// wire envelope so a qensd daemon's logs are attributable to the
+// originating query, and finished spans export as JSONL — one JSON
+// object per line — for the experiment harness to consume.
+
+// Span is one finished timed operation within a trace.
+type Span struct {
+	TraceID  string    `json:"trace_id"`
+	SpanID   string    `json:"span_id"`
+	ParentID string    `json:"parent_id,omitempty"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	// DurationMS duplicates End-Start in milliseconds for direct
+	// consumption by plotting/report tooling.
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// Tracer collects finished spans and optionally streams them as JSONL
+// to a writer. A nil *Tracer is a valid no-op tracer: every method on
+// it (and on the span handles it returns) is safe to call, so
+// instrumented code never branches on "is tracing on".
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer // optional JSONL sink; may be nil
+	spans []Span    // finished spans retained in memory
+	max   int       // retention cap (0 = unlimited)
+}
+
+// NewTracer returns a tracer streaming finished spans to w as JSONL
+// (w may be nil to only retain them in memory).
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// SetRetention caps the number of finished spans kept in memory
+// (oldest dropped first). JSONL streaming is unaffected.
+func (t *Tracer) SetRetention(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.max = n
+}
+
+// defaultTracer is the process-wide tracer; nil (no-op) until a main
+// installs one via SetDefaultTracer.
+var (
+	defaultTracerMu sync.RWMutex
+	defaultTracer   *Tracer
+)
+
+// DefaultTracer returns the process-wide tracer (possibly nil, which
+// is a valid no-op tracer).
+func DefaultTracer() *Tracer {
+	defaultTracerMu.RLock()
+	defer defaultTracerMu.RUnlock()
+	return defaultTracer
+}
+
+// SetDefaultTracer installs the process-wide tracer.
+func SetDefaultTracer(t *Tracer) {
+	defaultTracerMu.Lock()
+	defer defaultTracerMu.Unlock()
+	defaultTracer = t
+}
+
+// newID returns a 16-hex-char random identifier.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failure is effectively impossible; fall back
+		// to a timestamp so tracing degrades instead of panicking.
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000")))[:16]
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SpanHandle is an open span. End finishes it; Child opens a sub-span
+// sharing the trace ID. A nil handle is a valid no-op.
+type SpanHandle struct {
+	tracer  *Tracer
+	traceID string
+	spanID  string
+	parent  string
+	name    string
+	start   time.Time
+
+	mu    sync.Mutex
+	attrs map[string]string
+	done  bool
+}
+
+// StartTrace mints a fresh trace ID and opens its root span.
+func (t *Tracer) StartTrace(name string) *SpanHandle {
+	if t == nil {
+		return nil
+	}
+	return &SpanHandle{
+		tracer:  t,
+		traceID: newID(),
+		spanID:  newID(),
+		name:    name,
+		start:   time.Now(),
+	}
+}
+
+// Child opens a sub-span under sp sharing its trace ID.
+func (sp *SpanHandle) Child(name string) *SpanHandle {
+	if sp == nil {
+		return nil
+	}
+	return &SpanHandle{
+		tracer:  sp.tracer,
+		traceID: sp.traceID,
+		spanID:  newID(),
+		parent:  sp.spanID,
+		name:    name,
+		start:   time.Now(),
+	}
+}
+
+// TraceID returns the span's trace identifier ("" on a nil handle).
+func (sp *SpanHandle) TraceID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.traceID
+}
+
+// SpanID returns the span's own identifier ("" on a nil handle).
+func (sp *SpanHandle) SpanID() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.spanID
+}
+
+// SetAttr attaches a key=value attribute to the span.
+func (sp *SpanHandle) SetAttr(key, value string) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.attrs == nil {
+		sp.attrs = map[string]string{}
+	}
+	sp.attrs[key] = value
+}
+
+// End finishes the span, recording err (may be nil) and handing the
+// finished span to the tracer. End is idempotent.
+func (sp *SpanHandle) End(err error) {
+	if sp == nil {
+		return
+	}
+	sp.mu.Lock()
+	if sp.done {
+		sp.mu.Unlock()
+		return
+	}
+	sp.done = true
+	end := time.Now()
+	span := Span{
+		TraceID:    sp.traceID,
+		SpanID:     sp.spanID,
+		ParentID:   sp.parent,
+		Name:       sp.name,
+		Start:      sp.start,
+		End:        end,
+		DurationMS: float64(end.Sub(sp.start)) / float64(time.Millisecond),
+		Attrs:      sp.attrs,
+	}
+	if err != nil {
+		span.Error = err.Error()
+	}
+	sp.mu.Unlock()
+	sp.tracer.record(span)
+}
+
+// record stores (and optionally streams) one finished span.
+func (t *Tracer) record(span Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, span)
+	if t.max > 0 && len(t.spans) > t.max {
+		t.spans = t.spans[len(t.spans)-t.max:]
+	}
+	if t.w != nil {
+		enc := json.NewEncoder(t.w)
+		_ = enc.Encode(span) // best effort: a broken sink must not fail queries
+	}
+}
+
+// Spans returns a copy of the finished spans (nil on a nil tracer).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Reset drops the retained spans (the JSONL sink is untouched).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = nil
+}
+
+// WriteJSONL exports every retained span to w, one JSON object per
+// line — the same schema the streaming sink emits.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, span := range t.Spans() {
+		if err := json.NewEncoder(w).Encode(span); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL span stream (blank lines skipped).
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer(nil)
+	root := tr.StartTrace("query")
+	root.SetAttr("query", "q-1")
+	child := root.Child("selection")
+	child.End(nil)
+	failing := root.Child("train")
+	failing.SetAttr("node", "node-2")
+	failing.End(errors.New("boom"))
+	root.End(nil)
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans, want 3", len(spans))
+	}
+	traceID := spans[0].TraceID
+	if traceID == "" {
+		t.Fatal("empty trace id")
+	}
+	for _, s := range spans {
+		if s.TraceID != traceID {
+			t.Fatalf("span %s has trace %s, want %s", s.Name, s.TraceID, traceID)
+		}
+		if s.SpanID == "" {
+			t.Fatalf("span %s has no span id", s.Name)
+		}
+		if s.End.Before(s.Start) {
+			t.Fatalf("span %s ends before it starts", s.Name)
+		}
+	}
+	// Children finish first; root is last.
+	if spans[2].Name != "query" || spans[2].ParentID != "" {
+		t.Fatalf("root span = %+v", spans[2])
+	}
+	if spans[0].ParentID != spans[2].SpanID || spans[1].ParentID != spans[2].SpanID {
+		t.Fatal("children do not point at the root span")
+	}
+	if spans[1].Error != "boom" || spans[1].Attrs["node"] != "node-2" {
+		t.Fatalf("failing span = %+v", spans[1])
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartTrace("noop")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	// Every method on a nil handle must be safe.
+	sp.SetAttr("k", "v")
+	child := sp.Child("x")
+	child.End(nil)
+	sp.End(errors.New("ignored"))
+	if sp.TraceID() != "" || sp.SpanID() != "" {
+		t.Fatal("nil span has ids")
+	}
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer has spans")
+	}
+	tr.Reset()
+	tr.SetRetention(5)
+}
+
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.StartTrace("query")
+	root.Child("selection").End(nil)
+	root.End(nil)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL has %d lines, want 2", len(lines))
+	}
+	spans, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || spans[0].Name != "selection" || spans[1].Name != "query" {
+		t.Fatalf("parsed spans %+v", spans)
+	}
+	if spans[0].TraceID != spans[1].TraceID {
+		t.Fatal("JSONL round trip lost the shared trace id")
+	}
+
+	// WriteJSONL re-export matches the streamed form.
+	var again bytes.Buffer
+	if err := tr.WriteJSONL(&again); err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := ReadJSONL(&again)
+	if err != nil || len(reparsed) != 2 {
+		t.Fatalf("re-export parse: %v (%d spans)", err, len(reparsed))
+	}
+}
+
+func TestTracerEndIdempotent(t *testing.T) {
+	tr := NewTracer(nil)
+	sp := tr.StartTrace("once")
+	sp.End(nil)
+	sp.End(nil)
+	if n := len(tr.Spans()); n != 1 {
+		t.Fatalf("%d spans after double End", n)
+	}
+}
+
+func TestTracerRetention(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.SetRetention(3)
+	for i := 0; i < 10; i++ {
+		tr.StartTrace("t").End(nil)
+	}
+	if n := len(tr.Spans()); n != 3 {
+		t.Fatalf("retained %d spans, want 3", n)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				root := tr.StartTrace("q")
+				c := root.Child("work")
+				c.SetAttr("i", "x")
+				c.End(nil)
+				root.End(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Spans()); n != 8*200*2 {
+		t.Fatalf("%d spans, want %d", n, 8*200*2)
+	}
+}
+
+func TestDefaultTracerInstall(t *testing.T) {
+	old := DefaultTracer()
+	defer SetDefaultTracer(old)
+	tr := NewTracer(nil)
+	SetDefaultTracer(tr)
+	if DefaultTracer() != tr {
+		t.Fatal("default tracer not installed")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := newID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFormatKV(t *testing.T) {
+	got := FormatKV("event", "rpc", "type", "train", "err", "bad thing", "n", 3)
+	want := `event=rpc type=train err="bad thing" n=3`
+	if got != want {
+		t.Fatalf("FormatKV = %q, want %q", got, want)
+	}
+	if got := FormatKV("event", "x", "orphan"); got != `event=x msg=orphan` {
+		t.Fatalf("odd-arity FormatKV = %q", got)
+	}
+}

@@ -115,6 +115,9 @@ func (c *Client) roundTrip(req request) (response, error) {
 		c.bytesOut += out.written
 		c.bytesIn += out.read
 		if resp.Error != "" {
+			if resp.Code == CodeUnknownType {
+				return response{}, fmt.Errorf("%w: %s", ErrUnknownType, resp.Error)
+			}
 			return response{}, errors.New(resp.Error)
 		}
 		return resp, nil
@@ -140,25 +143,6 @@ func (c *Client) BytesMoved() (out, in int64) {
 	return c.bytesOut, c.bytesIn
 }
 
-// countingConn tallies bytes crossing a net.Conn.
-type countingConn struct {
-	net.Conn
-	written int64
-	read    int64
-}
-
-func (cc *countingConn) Write(p []byte) (int, error) {
-	n, err := cc.Conn.Write(p)
-	cc.written += int64(n)
-	return n, err
-}
-
-func (cc *countingConn) Read(p []byte) (int, error) {
-	n, err := cc.Conn.Read(p)
-	cc.read += int64(n)
-	return n, err
-}
-
 // Summary implements federation.Client.
 func (c *Client) Summary() (cluster.NodeSummary, error) {
 	resp, err := c.roundTrip(request{Type: typeSummary})
@@ -171,9 +155,11 @@ func (c *Client) Summary() (cluster.NodeSummary, error) {
 	return *resp.Summary, nil
 }
 
-// Train implements federation.Client.
+// Train implements federation.Client. The request's trace/span IDs
+// (if any) are lifted into the wire envelope so the daemon can
+// attribute its logs and timings to the originating query.
 func (c *Client) Train(req federation.TrainRequest) (federation.TrainResponse, error) {
-	resp, err := c.roundTrip(request{Type: typeTrain, Train: &req})
+	resp, err := c.roundTrip(request{Type: typeTrain, TraceID: req.TraceID, SpanID: req.SpanID, Train: &req})
 	if err != nil {
 		return federation.TrainResponse{}, err
 	}
@@ -185,7 +171,7 @@ func (c *Client) Train(req federation.TrainRequest) (federation.TrainResponse, e
 
 // Evaluate implements federation.Client.
 func (c *Client) Evaluate(req federation.EvalRequest) (federation.EvalResponse, error) {
-	resp, err := c.roundTrip(request{Type: typeEvaluate, Eval: &req})
+	resp, err := c.roundTrip(request{Type: typeEvaluate, TraceID: req.TraceID, SpanID: req.SpanID, Eval: &req})
 	if err != nil {
 		return federation.EvalResponse{}, err
 	}

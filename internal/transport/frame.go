@@ -75,3 +75,17 @@ const (
 	typeTrain    = "train"
 	typeEvaluate = "evaluate"
 )
+
+// Structured error codes carried in the response envelope so clients
+// can react to protocol-level failures without parsing error strings.
+const (
+	// CodeUnknownType reports a request whose Type the server does
+	// not implement (version skew or a misbehaving peer).
+	CodeUnknownType = "unknown_type"
+	// CodeBadRequest reports a request missing its typed body.
+	CodeBadRequest = "bad_request"
+)
+
+// ErrUnknownType is returned by the client when the server rejects a
+// request type (wrapped with the offending type's name).
+var ErrUnknownType = errors.New("transport: unknown request type")

@@ -6,38 +6,121 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"qens/internal/cluster"
 	"qens/internal/federation"
+	"qens/internal/telemetry"
 )
 
-// request is the wire envelope sent by the leader.
+// request is the wire envelope sent by the leader. TraceID and SpanID
+// are optional (backward-compatible) observability fields: when the
+// leader runs a traced query, they attribute the daemon-side work to
+// the originating query's trace.
 type request struct {
-	Type  string                   `json:"type"`
-	Train *federation.TrainRequest `json:"train,omitempty"`
-	Eval  *federation.EvalRequest  `json:"eval,omitempty"`
+	Type    string                   `json:"type"`
+	TraceID string                   `json:"trace_id,omitempty"`
+	SpanID  string                   `json:"span_id,omitempty"`
+	Train   *federation.TrainRequest `json:"train,omitempty"`
+	Eval    *federation.EvalRequest  `json:"eval,omitempty"`
 }
 
-// response is the wire envelope returned by a participant.
+// response is the wire envelope returned by a participant. Code
+// carries a structured error class (see Code* constants); TraceID
+// echoes the request's trace for client-side correlation.
 type response struct {
 	Error   string                    `json:"error,omitempty"`
+	Code    string                    `json:"code,omitempty"`
+	TraceID string                    `json:"trace_id,omitempty"`
 	NodeID  string                    `json:"node_id,omitempty"`
 	Summary *cluster.NodeSummary      `json:"summary,omitempty"`
 	Train   *federation.TrainResponse `json:"train,omitempty"`
 	Eval    *federation.EvalResponse  `json:"eval,omitempty"`
 }
 
+// serverMetrics holds the daemon-side metric handles, resolved once at
+// Serve time so the per-RPC hot path is pure atomics.
+type serverMetrics struct {
+	trainRounds  *telemetry.Counter
+	trainRoundMS *telemetry.Histogram
+	rpcMS        *telemetry.Histogram
+	rpcTotal     map[string]*telemetry.Counter
+	errorsTotal  *telemetry.Counter
+	bytesIn      *telemetry.Counter
+	bytesOut     *telemetry.Counter
+}
+
+func newServerMetrics(reg *telemetry.Registry, nodeID string) *serverMetrics {
+	node := telemetry.L("node", nodeID)
+	reg.SetHelp("qens_train_rounds_total", "Training rounds executed by this node.")
+	reg.SetHelp("qens_train_round_ms", "Wall-clock latency of one local training round (ms).")
+	m := &serverMetrics{
+		trainRounds:  reg.Counter("qens_train_rounds_total", node...),
+		trainRoundMS: reg.Histogram("qens_train_round_ms", node...),
+		rpcMS:        reg.Histogram("qens_rpc_ms", node...),
+		rpcTotal:     map[string]*telemetry.Counter{},
+		errorsTotal:  reg.Counter("qens_errors_total", node...),
+		bytesIn:      reg.Counter("qens_bytes_received_total", node...),
+		bytesOut:     reg.Counter("qens_bytes_sent_total", node...),
+	}
+	for _, t := range []string{typePing, typeSummary, typeTrain, typeEvaluate, "unknown"} {
+		m.rpcTotal[t] = reg.Counter("qens_rpc_total",
+			telemetry.Label{Key: "node", Value: nodeID}, telemetry.Label{Key: "type", Value: t})
+	}
+	return m
+}
+
+// observeRPC records one dispatched request (nil-safe so bare test
+// servers work); it reports whether a training round completed.
+func (m *serverMetrics) observeRPC(reqType string, elapsed time.Duration, errored bool) (trained bool) {
+	if m == nil {
+		return false
+	}
+	m.rpcMS.ObserveDuration(elapsed)
+	if c, ok := m.rpcTotal[reqType]; ok {
+		c.Inc()
+	} else {
+		m.rpcTotal["unknown"].Inc()
+	}
+	if errored {
+		m.errorsTotal.Inc()
+	}
+	if reqType == typeTrain && !errored {
+		m.trainRounds.Inc()
+		m.trainRoundMS.ObserveDuration(elapsed)
+		return true
+	}
+	return false
+}
+
+// addBytes tallies per-connection wire bytes (nil-safe).
+func (m *serverMetrics) addBytes(in, out int64) {
+	if m == nil {
+		return
+	}
+	if in > 0 {
+		m.bytesIn.Add(in)
+	}
+	if out > 0 {
+		m.bytesOut.Add(out)
+	}
+}
+
 // Server exposes one federation.Node over TCP. Each connection may
 // issue any number of requests; requests against the node are
 // serialized because node training is stateful on its RNG.
 type Server struct {
-	node *federation.Node
-	ln   net.Listener
+	node    *federation.Node
+	ln      net.Listener
+	metrics *serverMetrics
 
 	mu     sync.Mutex // serializes node access
 	closed chan struct{}
 	wg     sync.WaitGroup
 	logf   func(format string, args ...any)
+
+	lastTrain atomic.Int64 // unix nanos of the last completed train round
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -45,6 +128,8 @@ type Server struct {
 
 // Serve starts a participant daemon for node on addr (e.g.
 // "127.0.0.1:0") and begins accepting connections in the background.
+// RPC metrics are registered in the process-default telemetry
+// registry under the node's id label.
 func Serve(node *federation.Node, addr string) (*Server, error) {
 	if node == nil {
 		return nil, errors.New("transport: nil node")
@@ -53,8 +138,14 @@ func Serve(node *federation.Node, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{node: node, ln: ln, closed: make(chan struct{}), logf: log.Printf,
-		conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		node:    node,
+		ln:      ln,
+		metrics: newServerMetrics(telemetry.Default(), node.ID()),
+		closed:  make(chan struct{}),
+		logf:    log.Printf,
+		conns:   make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -67,11 +158,28 @@ func (s *Server) SetLogger(logf func(format string, args ...any)) {
 	}
 }
 
+// logkv emits one structured key=value log line through the server's
+// log function.
+func (s *Server) logkv(kvs ...any) {
+	s.logf("%s", telemetry.FormatKV(append([]any{"component", "transport", "node", s.node.ID()}, kvs...)...))
+}
+
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // NodeID returns the served node's id.
 func (s *Server) NodeID() string { return s.node.ID() }
+
+// LastTrainAge reports how long ago the last training round completed
+// (ok is false when the daemon has never trained) — surfaced by the
+// qensd /healthz endpoint.
+func (s *Server) LastTrainAge() (time.Duration, bool) {
+	ns := s.lastTrain.Load()
+	if ns == 0 {
+		return 0, false
+	}
+	return time.Since(time.Unix(0, ns)), true
+}
 
 // Close stops accepting and waits for in-flight handlers.
 func (s *Server) Close() error {
@@ -121,7 +229,7 @@ func (s *Server) acceptLoop() {
 			case <-s.closed:
 				return
 			default:
-				s.logf("transport: accept: %v", err)
+				s.logkv("event", "accept_error", "err", err)
 				return
 			}
 		}
@@ -141,23 +249,55 @@ func (s *Server) acceptLoop() {
 
 // handleConn serves request/response pairs until the peer disconnects.
 func (s *Server) handleConn(conn net.Conn) {
+	cc := &countingConn{Conn: conn}
 	for {
 		var req request
-		if err := readFrame(conn, &req); err != nil {
+		if err := readFrame(cc, &req); err != nil {
+			s.metrics.addBytes(cc.takeRead(), cc.takeWritten())
 			return // EOF or a broken peer; either way, drop the conn
 		}
 		resp := s.dispatch(req)
-		if err := writeFrame(conn, resp); err != nil {
-			s.logf("transport: node %s: write response: %v", s.node.ID(), err)
+		if err := writeFrame(cc, resp); err != nil {
+			s.logkv("event", "write_error", "type", req.Type, "trace", req.TraceID, "err", err)
+			s.metrics.addBytes(cc.takeRead(), cc.takeWritten())
 			return
 		}
+		s.metrics.addBytes(cc.takeRead(), cc.takeWritten())
 	}
 }
 
-// dispatch executes one request against the node.
+// dispatch executes one request against the node, recording metrics
+// and a structured per-RPC log line attributed to the request's trace.
 func (s *Server) dispatch(req request) response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
+	resp := s.handle(req)
+	elapsed := time.Since(start)
+
+	if s.metrics.observeRPC(req.Type, elapsed, resp.Error != "") {
+		s.lastTrain.Store(time.Now().UnixNano())
+	}
+
+	kvs := []any{"event", "rpc", "type", req.Type,
+		"dur_ms", fmt.Sprintf("%.3f", float64(elapsed)/float64(time.Millisecond))}
+	if req.TraceID != "" {
+		kvs = append(kvs, "trace", req.TraceID, "span", req.SpanID)
+	}
+	if resp.Error != "" {
+		kvs = append(kvs, "err", resp.Error)
+		if resp.Code != "" {
+			kvs = append(kvs, "code", resp.Code)
+		}
+	}
+	s.logkv(kvs...)
+
+	resp.TraceID = req.TraceID
+	return resp
+}
+
+// handle runs the per-type logic. Callers hold s.mu.
+func (s *Server) handle(req request) response {
 	switch req.Type {
 	case typePing:
 		return response{NodeID: s.node.ID()}
@@ -166,7 +306,7 @@ func (s *Server) dispatch(req request) response {
 		return response{NodeID: s.node.ID(), Summary: &sum}
 	case typeTrain:
 		if req.Train == nil {
-			return response{Error: "train request missing body"}
+			return response{Error: "train request missing body", Code: CodeBadRequest}
 		}
 		out, err := s.node.Train(*req.Train)
 		if err != nil {
@@ -175,7 +315,7 @@ func (s *Server) dispatch(req request) response {
 		return response{NodeID: s.node.ID(), Train: &out}
 	case typeEvaluate:
 		if req.Eval == nil {
-			return response{Error: "evaluate request missing body"}
+			return response{Error: "evaluate request missing body", Code: CodeBadRequest}
 		}
 		out, err := s.node.Evaluate(*req.Eval)
 		if err != nil {
@@ -183,6 +323,41 @@ func (s *Server) dispatch(req request) response {
 		}
 		return response{NodeID: s.node.ID(), Eval: &out}
 	default:
-		return response{Error: fmt.Sprintf("unknown request type %q", req.Type)}
+		return response{
+			Error: fmt.Sprintf("unknown request type %q", req.Type),
+			Code:  CodeUnknownType,
+		}
 	}
+}
+
+// countingConn tallies bytes crossing a net.Conn; take* drains the
+// tallies so callers can feed per-request deltas into counters.
+type countingConn struct {
+	net.Conn
+	written int64
+	read    int64
+}
+
+func (cc *countingConn) Write(p []byte) (int, error) {
+	n, err := cc.Conn.Write(p)
+	cc.written += int64(n)
+	return n, err
+}
+
+func (cc *countingConn) Read(p []byte) (int, error) {
+	n, err := cc.Conn.Read(p)
+	cc.read += int64(n)
+	return n, err
+}
+
+func (cc *countingConn) takeRead() int64 {
+	n := cc.read
+	cc.read = 0
+	return n
+}
+
+func (cc *countingConn) takeWritten() int64 {
+	n := cc.written
+	cc.written = 0
+	return n
 }

@@ -3,9 +3,12 @@ package transport
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"math"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,6 +19,7 @@ import (
 	"qens/internal/query"
 	"qens/internal/rng"
 	"qens/internal/selection"
+	"qens/internal/telemetry"
 )
 
 func silent(string, ...any) {}
@@ -320,5 +324,170 @@ func TestClientBytesMoved(t *testing.T) {
 	// A summary response (5 clusters of rectangles) dwarfs the request.
 	if in1-in0 < 100 {
 		t.Fatalf("summary response only %d bytes", in1-in0)
+	}
+}
+
+// ---- observability tests ----
+
+// logCapture is a thread-safe log sink for asserting structured logs.
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCapture) logf(format string, args ...any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+}
+
+func (lc *logCapture) joined() string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return strings.Join(lc.lines, "\n")
+}
+
+// TestUnknownTypeStructuredError verifies the server rejects an
+// unimplemented message type with a structured code, names the
+// offending type, increments the error metric, and keeps the
+// connection usable.
+func TestUnknownTypeStructuredError(t *testing.T) {
+	_, client := startServer(t, 30, 1, 0, 10)
+	errsBefore := telemetry.Default().Counter("qens_errors_total", telemetry.L("node", "node-A")...).Value()
+
+	_, err := client.roundTrip(request{Type: "compress"})
+	if err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("err = %v, want ErrUnknownType", err)
+	}
+	if !strings.Contains(err.Error(), `"compress"`) {
+		t.Fatalf("error does not name the offending type: %v", err)
+	}
+	errsAfter := telemetry.Default().Counter("qens_errors_total", telemetry.L("node", "node-A")...).Value()
+	if errsAfter <= errsBefore {
+		t.Fatalf("qens_errors_total did not advance: %d -> %d", errsBefore, errsAfter)
+	}
+	// The connection survives the protocol error.
+	if _, err := client.Summary(); err != nil {
+		t.Fatalf("connection unusable after unknown type: %v", err)
+	}
+}
+
+// TestTraceIDRoundTrip verifies trace/span IDs survive the wire in
+// both directions: the daemon's structured log attributes the RPC to
+// the trace and the response envelope echoes it.
+func TestTraceIDRoundTrip(t *testing.T) {
+	srv, client := startServer(t, 31, 2, 0, 40)
+	var lc logCapture
+	srv.SetLogger(lc.logf)
+
+	resp, err := client.roundTrip(request{
+		Type:    typeTrain,
+		TraceID: "trace-cafe01",
+		SpanID:  "span-beef02",
+		Train:   &federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != "trace-cafe01" {
+		t.Fatalf("response echoes trace %q, want trace-cafe01", resp.TraceID)
+	}
+	logs := lc.joined()
+	if !strings.Contains(logs, "trace=trace-cafe01") || !strings.Contains(logs, "span=span-beef02") {
+		t.Fatalf("daemon log not attributed to the trace:\n%s", logs)
+	}
+	if !strings.Contains(logs, "event=rpc") || !strings.Contains(logs, "type=train") {
+		t.Fatalf("log not structured key=value:\n%s", logs)
+	}
+
+	// The typed client path lifts TrainRequest trace fields into the
+	// envelope (asserted via the daemon log).
+	lc2 := logCapture{}
+	srv.SetLogger(lc2.logf)
+	if _, err := client.Train(federation.TrainRequest{
+		Spec: ml.PaperLR(1), LocalEpochs: 1, TraceID: "trace-feed03", SpanID: "span-dead04",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if logs := lc2.joined(); !strings.Contains(logs, "trace=trace-feed03") {
+		t.Fatalf("Train() did not propagate trace id:\n%s", logs)
+	}
+}
+
+// TestOversizedFrameWrite verifies a body above MaxFrameSize is
+// refused on the write side before touching the socket.
+func TestOversizedFrameWrite(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeFrame(&buf, map[string]any{"v": strings.Repeat("a", MaxFrameSize)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized frame leaked %d bytes onto the wire", buf.Len())
+	}
+}
+
+// TestOversizedFrameServer verifies a peer announcing an oversized
+// frame is dropped without killing the server.
+func TestOversizedFrameServer(t *testing.T) {
+	srv, _ := startServer(t, 32, 1, 0, 10)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Header claiming a 4 GiB frame.
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must drop the connection: the read returns EOF.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	onebyte := make([]byte, 1)
+	if _, err := conn.Read(onebyte); err == nil {
+		t.Fatal("server kept an oversized-frame connection alive")
+	}
+	// And stays healthy for well-behaved clients.
+	c, err := Dial(srv.Addr(), DialOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("server unhealthy after oversized frame: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerMetrics verifies the daemon-side Prometheus families
+// advance: train rounds, round latency histogram and wire bytes.
+func TestServerMetrics(t *testing.T) {
+	reg := telemetry.Default()
+	node := telemetry.L("node", "node-A")
+	srv, client := startServer(t, 33, 2, 0, 30)
+
+	rounds0 := reg.Counter("qens_train_rounds_total", node...).Value()
+	in0 := reg.Counter("qens_bytes_received_total", node...).Value()
+	out0 := reg.Counter("qens_bytes_sent_total", node...).Value()
+	hist0 := reg.Histogram("qens_train_round_ms", node...).Count()
+
+	if _, err := client.Train(federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("qens_train_rounds_total", node...).Value(); got != rounds0+1 {
+		t.Fatalf("qens_train_rounds_total %d -> %d, want +1", rounds0, got)
+	}
+	if got := reg.Histogram("qens_train_round_ms", node...).Count(); got != hist0+1 {
+		t.Fatalf("qens_train_round_ms count %d -> %d, want +1", hist0, got)
+	}
+	if got := reg.Counter("qens_bytes_received_total", node...).Value(); got <= in0 {
+		t.Fatalf("qens_bytes_received_total did not advance: %d -> %d", in0, got)
+	}
+	if got := reg.Counter("qens_bytes_sent_total", node...).Value(); got <= out0 {
+		t.Fatalf("qens_bytes_sent_total did not advance: %d -> %d", out0, got)
+	}
+	if age, ok := srv.LastTrainAge(); !ok || age < 0 || age > time.Minute {
+		t.Fatalf("LastTrainAge = %v, %v", age, ok)
 	}
 }
