@@ -1,13 +1,26 @@
 # qens build/verify harness. `make check` is the tier-1 gate referenced
 # by ROADMAP.md: formatting, vet, build, and the race-enabled test run.
+# `make ci` is what the GitHub Actions workflow runs: the full check
+# plus a live gateway load-smoke against a tiny simulated fleet.
 
 GO ?= go
 
-.PHONY: all check fmt fmt-check vet build test race bench clean
+.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench clean
 
 all: check
 
 check: fmt-check vet build race
+
+ci: check loadsmoke
+
+# End-to-end serving smoke: boots qens-gateway, drives it with
+# qensload, then asserts a clean SIGTERM drain and trace flush.
+loadsmoke:
+	sh scripts/loadsmoke.sh
+
+# Short fuzz campaigns over the wire-facing parsers.
+fuzz:
+	$(GO) test -fuzz FuzzReadWorkload -fuzztime 30s ./internal/query/
 
 fmt:
 	gofmt -w .

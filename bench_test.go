@@ -11,6 +11,7 @@
 package qens
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -538,7 +539,7 @@ func BenchmarkTransportSummary(b *testing.B) {
 	defer client.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Summary(); err != nil {
+		if _, err := client.Summary(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,195 @@
+// Command qens-gateway serves the federation as an online HTTP/JSON
+// API: POST /v1/query executes a query against the fleet through a
+// bounded worker pool with admission control, request coalescing and
+// per-query deadlines; GET /v1/stats and /metrics expose the serving
+// telemetry.
+//
+// Simulated fleet (self-contained, no daemons needed):
+//
+//	qens-gateway -addr :8080 -nodes 6 -samples 500
+//
+// Remote fleet of qensd daemons:
+//
+//	qens-gateway -addr :8080 -addrs 127.0.0.1:7001,127.0.0.1:7002
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops admission (503 on new
+// queries), drains in-flight work, then closes the listener and
+// flushes the trace file.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"qens/internal/dataset"
+	"qens/internal/federation"
+	"qens/internal/gateway"
+	"qens/internal/ml"
+	"qens/internal/telemetry"
+	"qens/internal/transport"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		addrs   = flag.String("addrs", "", "comma-separated qensd daemon addresses (remote fleet; empty runs a simulated fleet)")
+		nodes   = flag.Int("nodes", 6, "simulated fleet size")
+		samples = flag.Int("samples", 500, "samples per simulated node")
+		k       = flag.Int("k", 5, "per-node k-means clusters")
+		epochs  = flag.Int("epochs", 5, "local epochs per supporting cluster")
+		seed    = flag.Uint64("seed", 1, "simulation / leader seed")
+		model   = flag.String("model", "lr", "model family: lr or nn")
+
+		workers     = flag.Int("workers", 4, "worker pool size (concurrent queries on the fleet)")
+		queueDepth  = flag.Int("queue", 64, "admission queue depth (overflow returns 429)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query execution budget")
+		coalesceIoU = flag.Float64("coalesce-iou", 0.95, "IoU threshold for coalescing in-flight queries (<0 disables)")
+		reuseIoU    = flag.Float64("reuse-iou", 0.9, "IoU threshold for the result reuse cache (0 disables)")
+		reuseCap    = flag.Int("reuse-cap", 32, "reuse cache capacity")
+		epsilon     = flag.Float64("epsilon", 0.6, "default query-driven support threshold")
+		topL        = flag.Int("topl", 3, "default query-driven top-l")
+
+		dialTimeout  = flag.Duration("dial-timeout", 2*time.Minute, "remote client dial/request timeout")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		tracePath    = flag.String("trace", "", "write per-query spans as JSONL to this file")
+	)
+	flag.Parse()
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("trace file: %v", err)
+		}
+		tracer := telemetry.NewTracer(f)
+		tracer.SetRetention(4096)
+		telemetry.SetDefaultTracer(tracer)
+		defer func() {
+			f.Close()
+			fmt.Printf("qens-gateway: trace written to %s\n", *tracePath)
+		}()
+	}
+
+	leader, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer cleanup()
+
+	var cache *federation.ReuseCache
+	if *reuseIoU > 0 {
+		cache, err = federation.NewReuseCache(*reuseIoU, *reuseCap)
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	gw, err := gateway.NewServer(gateway.ServerConfig{
+		Leader:         leader,
+		Cache:          cache,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: *timeout,
+		CoalesceIoU:    *coalesceIoU,
+		DefaultEpsilon: *epsilon,
+		DefaultTopL:    *topL,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listen %s: %v", *addr, err)
+	}
+	httpSrv := &http.Server{Handler: gw.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = httpSrv.Serve(ln) }() // returns ErrServerClosed on Shutdown
+
+	fmt.Printf("qens-gateway: serving %d nodes on http://%s (POST /v1/query, GET /v1/stats, /metrics)\n",
+		len(leader.NodeIDs()), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Println("qens-gateway: draining (new queries get 503)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := gw.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "qens-gateway: drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "qens-gateway: http shutdown: %v\n", err)
+	}
+	fmt.Println("qens-gateway: stopped")
+}
+
+// buildLeader wires either a simulated in-process fleet or a roster of
+// remote qensd daemons.
+func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model string, dialTimeout time.Duration) (*federation.Leader, func(), error) {
+	if addrs != "" {
+		var clients []federation.Client
+		closeAll := func() {
+			for _, c := range clients {
+				if tc, ok := c.(*transport.Client); ok {
+					tc.Close()
+				}
+			}
+		}
+		for _, a := range strings.Split(addrs, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			c, err := transport.Dial(a, transport.DialOptions{Timeout: dialTimeout})
+			if err != nil {
+				closeAll()
+				return nil, nil, fmt.Errorf("dial %s: %w", a, err)
+			}
+			fmt.Printf("qens-gateway: connected to %s (%s)\n", c.ID(), a)
+			clients = append(clients, c)
+		}
+		leader, err := federation.NewLeader(federation.Config{
+			Spec: specFor(model, 1), ClusterK: k, LocalEpochs: epochs, Seed: seed,
+		}, nil, clients)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		return leader, closeAll, nil
+	}
+
+	data, err := dataset.PaperNodeDatasets(dataset.Config{
+		Nodes: nodes, SamplesPerNode: samples, Seed: seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	fleet, err := federation.NewSimulatedFleet(data, federation.Config{
+		Spec: specFor(model, data[0].Dims()-1), ClusterK: k, LocalEpochs: epochs, Seed: seed,
+	}, federation.FleetOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fleet.Leader, func() {}, nil
+}
+
+func specFor(model string, inputDim int) ml.Spec {
+	if model == "nn" {
+		return ml.PaperNN(inputDim)
+	}
+	return ml.PaperLR(inputDim)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qens-gateway: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"qens/internal/dataset"
 	"qens/internal/federation"
@@ -28,17 +30,33 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:7001", "listen address")
-		id          = flag.String("id", "", "node id (defaults to node-<synthetic> or the data file name)")
-		dataPath    = flag.String("data", "", "CSV file with this node's local data")
-		k           = flag.Int("k", 5, "k-means clusters (paper: 5)")
-		seed        = flag.Uint64("seed", 1, "node RNG seed")
-		synthetic   = flag.Int("synthetic", -1, "generate the i-th synthetic shard instead of loading a CSV")
-		nodes       = flag.Int("nodes", 10, "total synthetic shards (with -synthetic)")
-		samples     = flag.Int("samples", 2000, "samples per synthetic shard (with -synthetic)")
-		metricsAddr = flag.String("metrics-addr", "", "observability sidecar address serving /metrics, /healthz and /debug/pprof (e.g. :9090; empty disables)")
+		addr         = flag.String("addr", "127.0.0.1:7001", "listen address")
+		id           = flag.String("id", "", "node id (defaults to node-<synthetic> or the data file name)")
+		dataPath     = flag.String("data", "", "CSV file with this node's local data")
+		k            = flag.Int("k", 5, "k-means clusters (paper: 5)")
+		seed         = flag.Uint64("seed", 1, "node RNG seed")
+		synthetic    = flag.Int("synthetic", -1, "generate the i-th synthetic shard instead of loading a CSV")
+		nodes        = flag.Int("nodes", 10, "total synthetic shards (with -synthetic)")
+		samples      = flag.Int("samples", 2000, "samples per synthetic shard (with -synthetic)")
+		metricsAddr  = flag.String("metrics-addr", "", "observability sidecar address serving /metrics, /healthz and /debug/pprof (e.g. :9090; empty disables)")
+		tracePath    = flag.String("trace", "", "write per-RPC spans as JSONL to this file (flushed on shutdown)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget before in-flight RPCs are aborted")
 	)
 	flag.Parse()
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal("trace file: %v", err)
+		}
+		tracer := telemetry.NewTracer(f)
+		tracer.SetRetention(4096)
+		telemetry.SetDefaultTracer(tracer)
+		defer func() {
+			f.Close()
+			fmt.Printf("qensd: trace written to %s\n", *tracePath)
+		}()
+	}
 
 	data, nodeID, err := loadData(*dataPath, *synthetic, *nodes, *samples, *seed)
 	if err != nil {
@@ -67,13 +85,18 @@ func main() {
 		fmt.Printf("qensd: observability on http://%s (/metrics /healthz /debug/pprof)\n", obs.Addr())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	fmt.Println("qensd: shutting down")
-	if err := srv.Close(); err != nil {
-		fatal("close: %v", err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Println("qensd: draining (no new connections; waiting for in-flight RPCs)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "qensd: shutdown: %v\n", err)
 	}
+	fmt.Println("qensd: stopped")
 }
 
 // healthFunc builds the /healthz document for a running daemon:

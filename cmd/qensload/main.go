@@ -1,0 +1,226 @@
+// Command qensload is a closed-loop load generator for qens-gateway:
+// N client goroutines each keep exactly one query outstanding against
+// POST /v1/query, drawing bounds from a workload generated over the
+// gateway's advertised data space (GET /v1/stats). It reports
+// throughput, latency percentiles and the server-side coalescing /
+// reuse counters.
+//
+//	qensload -url http://127.0.0.1:8080 -clients 8 -requests 200
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qens/internal/geometry"
+	"qens/internal/query"
+	"qens/internal/rng"
+)
+
+func main() {
+	var (
+		baseURL   = flag.String("url", "http://127.0.0.1:8080", "gateway base URL")
+		clients   = flag.Int("clients", 8, "concurrent closed-loop clients")
+		requests  = flag.Int("requests", 100, "total requests to issue")
+		distinct  = flag.Int("distinct", 12, "distinct query rectangles in the workload")
+		selector  = flag.String("selector", "query-driven", "selector to request")
+		epsilon   = flag.Float64("epsilon", 0.6, "query-driven epsilon")
+		topL      = flag.Int("topl", 2, "query-driven top-l / baseline l")
+		timeoutMS = flag.Int64("timeout-ms", 30000, "per-query budget sent to the gateway")
+		seed      = flag.Uint64("seed", 7, "workload seed")
+		waitUp    = flag.Duration("wait", 10*time.Second, "how long to wait for the gateway to come up")
+	)
+	flag.Parse()
+
+	space, err := fetchSpace(*baseURL, *waitUp)
+	if err != nil {
+		fatal("%v", err)
+	}
+	workload, err := query.Workload(query.WorkloadConfig{
+		Space: space, Count: *distinct,
+	}, rng.New(*seed))
+	if err != nil {
+		fatal("workload: %v", err)
+	}
+	fmt.Printf("qensload: %d clients, %d requests, %d distinct queries over space %v\n",
+		*clients, *requests, *distinct, space)
+
+	var (
+		next      atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+
+		ok, shed, unsupported, failed atomic.Int64
+	)
+	httpc := &http.Client{Timeout: time.Duration(*timeoutMS)*time.Millisecond + 10*time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				q := workload[i%len(workload)]
+				body, _ := json.Marshal(map[string]any{
+					"bounds":     q.Bounds,
+					"selector":   *selector,
+					"epsilon":    *epsilon,
+					"top_l":      *topL,
+					"l":          *topL,
+					"timeout_ms": *timeoutMS,
+				})
+				t0 := time.Now()
+				status, errMsg := post(httpc, *baseURL+"/v1/query", body)
+				lat := time.Since(t0)
+				switch {
+				case status == http.StatusOK:
+					ok.Add(1)
+					mu.Lock()
+					latencies = append(latencies, lat)
+					mu.Unlock()
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				case status == http.StatusUnprocessableEntity:
+					// No node supports this rectangle — a workload
+					// property, not a serving failure.
+					unsupported.Add(1)
+				default:
+					failed.Add(1)
+					if failed.Load() <= 5 {
+						fmt.Fprintf(os.Stderr, "qensload: request %d: status %d: %s\n", i, status, errMsg)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	fmt.Printf("\nqensload: %d ok, %d shed (429), %d unsupported (422), %d failed in %v (%.1f q/s)\n",
+		ok.Load(), shed.Load(), unsupported.Load(), failed.Load(), wall.Round(time.Millisecond),
+		float64(ok.Load())/wall.Seconds())
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		fmt.Printf("latency  p50=%v  p95=%v  p99=%v  max=%v\n",
+			pct(latencies, 0.50), pct(latencies, 0.95), pct(latencies, 0.99),
+			latencies[len(latencies)-1].Round(time.Millisecond))
+	}
+	if stats, err := fetchStats(*baseURL); err == nil {
+		fmt.Printf("server   admitted=%v coalesced=%v rejected=%v reuse_hits=%v\n",
+			stats["admitted"], stats["coalesced"], stats["rejected_queue_full"], stats["reuse_hits"])
+	}
+	if failed.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx].Round(time.Millisecond)
+}
+
+// post issues one query; it returns the status code and, for non-200s,
+// the server's error string.
+func post(c *http.Client, url string, body []byte) (int, string) {
+	resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err.Error()
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, ""
+	}
+	var doc struct {
+		Error string `json:"error"`
+	}
+	_ = json.Unmarshal(raw, &doc)
+	return resp.StatusCode, doc.Error
+}
+
+// statsDoc is the part of /v1/stats qensload consumes.
+type statsDoc struct {
+	Scheduler struct {
+		Admitted     int64 `json:"admitted"`
+		Coalesced    int64 `json:"coalesced"`
+		RejectedFull int64 `json:"rejected_queue_full"`
+	} `json:"scheduler"`
+	Reuse *struct {
+		Hits int `json:"hits"`
+	} `json:"reuse_cache"`
+	Space *geometry.Rect `json:"space"`
+}
+
+// fetchSpace polls /v1/stats until the gateway is reachable and
+// returns the advertised global data space.
+func fetchSpace(baseURL string, wait time.Duration) (geometry.Rect, error) {
+	deadline := time.Now().Add(wait)
+	var lastErr error
+	for {
+		doc, err := getStats(baseURL)
+		if err == nil {
+			if doc.Space == nil {
+				return geometry.Rect{}, fmt.Errorf("gateway %s advertises no data space", baseURL)
+			}
+			return *doc.Space, nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return geometry.Rect{}, fmt.Errorf("gateway %s not reachable after %v: %w", baseURL, wait, lastErr)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+func getStats(baseURL string) (*statsDoc, error) {
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/stats status %d", resp.StatusCode)
+	}
+	var doc statsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// fetchStats flattens the interesting counters for the final report.
+func fetchStats(baseURL string) (map[string]string, error) {
+	doc, err := getStats(baseURL)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{
+		"admitted":            strconv.FormatInt(doc.Scheduler.Admitted, 10),
+		"coalesced":           strconv.FormatInt(doc.Scheduler.Coalesced, 10),
+		"rejected_queue_full": strconv.FormatInt(doc.Scheduler.RejectedFull, 10),
+		"reuse_hits":          "n/a",
+	}
+	if doc.Reuse != nil {
+		out["reuse_hits"] = strconv.Itoa(doc.Reuse.Hits)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qensload: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,12 +1,14 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"qens/internal/geometry"
 	"qens/internal/query"
 	"qens/internal/selection"
+	"qens/internal/telemetry"
 )
 
 // Query-result reuse, following the knowledge-reuse idea of Long et
@@ -18,7 +20,10 @@ import (
 // selection and training entirely.
 
 // ReuseCache is a bounded FIFO cache of query results. It is safe for
-// concurrent use.
+// concurrent use. Hit/miss totals are exported to the process-default
+// telemetry registry as qens_reuse_cache_hits_total and
+// qens_reuse_cache_misses_total, so the gateway's /metrics and
+// /v1/stats endpoints surface cache effectiveness live.
 type ReuseCache struct {
 	mu      sync.Mutex
 	minIoU  float64
@@ -26,6 +31,9 @@ type ReuseCache struct {
 	entries []*Result
 	hits    int
 	misses  int
+
+	hitsCtr   *telemetry.Counter
+	missesCtr *telemetry.Counter
 }
 
 // NewReuseCache builds a cache serving queries whose rectangle IoU
@@ -38,7 +46,15 @@ func NewReuseCache(minIoU float64, capacity int) (*ReuseCache, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("federation: reuse capacity %d < 1", capacity)
 	}
-	return &ReuseCache{minIoU: minIoU, cap: capacity}, nil
+	reg := telemetry.Default()
+	reg.SetHelp("qens_reuse_cache_hits_total", "Queries answered from the reuse cache (IoU match).")
+	reg.SetHelp("qens_reuse_cache_misses_total", "Queries that missed the reuse cache.")
+	return &ReuseCache{
+		minIoU:    minIoU,
+		cap:       capacity,
+		hitsCtr:   reg.Counter("qens_reuse_cache_hits_total"),
+		missesCtr: reg.Counter("qens_reuse_cache_misses_total"),
+	}, nil
 }
 
 // Lookup returns the best cached result whose query rectangle matches
@@ -58,9 +74,15 @@ func (c *ReuseCache) Lookup(q query.Query) (*Result, bool) {
 	}
 	if best == nil {
 		c.misses++
+		if c.missesCtr != nil {
+			c.missesCtr.Inc()
+		}
 		return nil, false
 	}
 	c.hits++
+	if c.hitsCtr != nil {
+		c.hitsCtr.Inc()
+	}
 	return best, true
 }
 
@@ -97,13 +119,20 @@ func (c *ReuseCache) Len() int {
 // otherwise runs the normal Execute, storing the fresh result. reused
 // reports which path was taken.
 func (l *Leader) ExecuteWithReuse(cache *ReuseCache, q query.Query, sel selection.Selector, agg Aggregation) (res *Result, reused bool, err error) {
+	return l.ExecuteWithReuseContext(context.Background(), cache, q, sel, agg)
+}
+
+// ExecuteWithReuseContext is ExecuteWithReuse with deadline and
+// cancellation support; cache hits are served even for an expired
+// context since they cost nothing.
+func (l *Leader) ExecuteWithReuseContext(ctx context.Context, cache *ReuseCache, q query.Query, sel selection.Selector, agg Aggregation) (res *Result, reused bool, err error) {
 	if cache == nil {
 		return nil, false, fmt.Errorf("federation: nil reuse cache")
 	}
 	if hit, ok := cache.Lookup(q); ok {
 		return hit, true, nil
 	}
-	res, err = l.Execute(q, sel, agg)
+	res, err = l.ExecuteContext(ctx, q, sel, agg)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,20 +1,32 @@
 package federation
 
-import "qens/internal/cluster"
+import (
+	"context"
+
+	"qens/internal/cluster"
+)
 
 // Client is the leader's view of a participant node. The in-process
 // implementation below wraps *Node directly; internal/transport
 // provides a TCP-backed implementation with the same semantics, so the
 // leader's orchestration is agnostic to where participants run.
+//
+// Every method takes a context.Context carrying the originating
+// query's deadline and cancellation: the serving path
+// (internal/gateway) threads a per-request context from the HTTP
+// handler through Leader.ExecuteContext down to the wire, so an
+// expired query stops consuming node compute as early as possible.
+// Implementations must return promptly with ctx.Err() (or an error
+// wrapping it) once the context is done.
 type Client interface {
 	// ID returns the participant's node id.
 	ID() string
 	// Summary fetches the cluster advertisement.
-	Summary() (cluster.NodeSummary, error)
+	Summary(ctx context.Context) (cluster.NodeSummary, error)
 	// Train runs a local training round.
-	Train(TrainRequest) (TrainResponse, error)
+	Train(ctx context.Context, req TrainRequest) (TrainResponse, error)
 	// Evaluate scores a model on the node's local data.
-	Evaluate(EvalRequest) (EvalResponse, error)
+	Evaluate(ctx context.Context, req EvalRequest) (EvalResponse, error)
 }
 
 // LocalClient adapts an in-process Node to the Client interface.
@@ -26,10 +38,24 @@ type LocalClient struct {
 func (c LocalClient) ID() string { return c.Node.ID() }
 
 // Summary implements Client.
-func (c LocalClient) Summary() (cluster.NodeSummary, error) { return c.Node.Summary(), nil }
+func (c LocalClient) Summary(ctx context.Context) (cluster.NodeSummary, error) {
+	if err := ctx.Err(); err != nil {
+		return cluster.NodeSummary{}, err
+	}
+	return c.Node.Summary(), nil
+}
 
-// Train implements Client.
-func (c LocalClient) Train(req TrainRequest) (TrainResponse, error) { return c.Node.Train(req) }
+// Train implements Client. Training is CPU-bound and in-process, so
+// cancellation is checked between supporting clusters rather than
+// mid-epoch (see Node.TrainContext).
+func (c LocalClient) Train(ctx context.Context, req TrainRequest) (TrainResponse, error) {
+	return c.Node.TrainContext(ctx, req)
+}
 
 // Evaluate implements Client.
-func (c LocalClient) Evaluate(req EvalRequest) (EvalResponse, error) { return c.Node.Evaluate(req) }
+func (c LocalClient) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return EvalResponse{}, err
+	}
+	return c.Node.Evaluate(req)
+}

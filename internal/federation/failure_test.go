@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -19,25 +20,25 @@ type flakyClient struct {
 	failAfter int
 }
 
-func (f *flakyClient) Train(req TrainRequest) (TrainResponse, error) {
+func (f *flakyClient) Train(ctx context.Context, req TrainRequest) (TrainResponse, error) {
 	f.calls++
 	if f.calls > f.failAfter {
 		return TrainResponse{}, errors.New("simulated edge outage")
 	}
-	return f.Client.Train(req)
+	return f.Client.Train(ctx, req)
 }
 
 // deadClient fails everything after construction.
 type deadClient struct{ id string }
 
 func (d deadClient) ID() string { return d.id }
-func (d deadClient) Summary() (cluster.NodeSummary, error) {
+func (d deadClient) Summary(context.Context) (cluster.NodeSummary, error) {
 	return cluster.NodeSummary{}, errors.New("dead")
 }
-func (d deadClient) Train(TrainRequest) (TrainResponse, error) {
+func (d deadClient) Train(context.Context, TrainRequest) (TrainResponse, error) {
 	return TrainResponse{}, errors.New("dead")
 }
-func (d deadClient) Evaluate(EvalRequest) (EvalResponse, error) {
+func (d deadClient) Evaluate(context.Context, EvalRequest) (EvalResponse, error) {
 	return EvalResponse{}, errors.New("dead")
 }
 

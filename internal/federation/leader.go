@@ -1,8 +1,10 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"qens/internal/cluster"
@@ -64,14 +66,25 @@ func (c Config) Validate() error {
 // holds the participant roster, collects their cluster advertisements
 // once, ranks and selects participants per incoming query, distributes
 // the global model, and aggregates the returned local models.
+//
+// A Leader is safe for concurrent callers: Execute, ExecuteParallel,
+// ExecuteRounds and ExecuteWithReuse may run simultaneously from many
+// goroutines (the serving path in internal/gateway depends on this).
+// The shared RNG is internally locked (see internal/rng), and the
+// lazily built summary and warm-up caches are guarded here. Stateful
+// *selectors* (Fairness, Contribution) remain single-caller — the
+// gateway only exposes the stateless ones.
 type Leader struct {
 	cfg     Config
 	data    *dataset.Dataset // the leader's own local data (§II pre-test)
 	clients []Client
 	src     *rng.Source
 
+	summaryMu sync.Mutex
 	summaries []cluster.NodeSummary // cached advertisements
-	warmup    *ml.Params            // cached §II warm-up model
+
+	warmupMu sync.Mutex
+	warmup   *ml.Params // cached §II warm-up model
 
 	tracer  *telemetry.Tracer // nil: fall back to telemetry.DefaultTracer
 	metrics *leaderMetrics
@@ -117,12 +130,21 @@ func (l *Leader) NodeIDs() []string {
 // Summaries fetches (and caches) every participant's cluster
 // advertisement — the one-off O(1)-per-node communication of §III-C.
 func (l *Leader) Summaries() ([]cluster.NodeSummary, error) {
+	return l.SummariesContext(context.Background())
+}
+
+// SummariesContext is Summaries with deadline/cancellation support.
+// The fetch is serialized: concurrent first callers wait for one
+// round of advertisements instead of each polling the fleet.
+func (l *Leader) SummariesContext(ctx context.Context) ([]cluster.NodeSummary, error) {
+	l.summaryMu.Lock()
+	defer l.summaryMu.Unlock()
 	if l.summaries != nil {
 		return l.summaries, nil
 	}
 	out := make([]cluster.NodeSummary, 0, len(l.clients))
 	for _, c := range l.clients {
-		s, err := c.Summary()
+		s, err := c.Summary(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
 		}
@@ -137,7 +159,11 @@ func (l *Leader) Summaries() ([]cluster.NodeSummary, error) {
 
 // InvalidateSummaries drops the cached advertisements (call after node
 // data changes).
-func (l *Leader) InvalidateSummaries() { l.summaries = nil }
+func (l *Leader) InvalidateSummaries() {
+	l.summaryMu.Lock()
+	defer l.summaryMu.Unlock()
+	l.summaries = nil
+}
 
 // client looks up a participant by id.
 func (l *Leader) client(id string) (Client, error) {
@@ -150,8 +176,11 @@ func (l *Leader) client(id string) (Client, error) {
 }
 
 // warmupParams lazily trains the leader's local warm-up model used by
-// the §II pre-test and GameTheory selection.
+// the §II pre-test and GameTheory selection. The fit is serialized so
+// concurrent queries share one warm-up model.
 func (l *Leader) warmupParams() (ml.Params, error) {
+	l.warmupMu.Lock()
+	defer l.warmupMu.Unlock()
 	if l.warmup != nil {
 		return *l.warmup, nil
 	}
@@ -174,7 +203,7 @@ func (l *Leader) warmupParams() (ml.Params, error) {
 }
 
 // evaluateWarmup scores the warm-up model on one node's local data.
-func (l *Leader) evaluateWarmup(nodeID string) (float64, error) {
+func (l *Leader) evaluateWarmup(ctx context.Context, nodeID string) (float64, error) {
 	params, err := l.warmupParams()
 	if err != nil {
 		return 0, err
@@ -183,7 +212,7 @@ func (l *Leader) evaluateWarmup(nodeID string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := c.Evaluate(EvalRequest{Spec: l.cfg.Spec, Params: params})
+	resp, err := c.Evaluate(ctx, EvalRequest{Spec: l.cfg.Spec, Params: params})
 	if err != nil {
 		return 0, err
 	}
@@ -193,15 +222,26 @@ func (l *Leader) evaluateWarmup(nodeID string) (float64, error) {
 // SelectionContext builds the Context handed to selectors: the
 // leader's RNG plus the warm-up evaluator.
 func (l *Leader) SelectionContext() *selection.Context {
+	return l.selectionContext(context.Background())
+}
+
+// selectionContext binds the selector dependencies to one query's
+// context, so pre-test evaluations issued during selection honor the
+// query's deadline.
+func (l *Leader) selectionContext(ctx context.Context) *selection.Context {
 	return &selection.Context{
-		RNG:      l.src,
-		Evaluate: l.evaluateWarmup,
+		RNG: l.src,
+		Evaluate: func(nodeID string) (float64, error) {
+			return l.evaluateWarmup(ctx, nodeID)
+		},
 	}
 }
 
 // PreTest runs the §II heterogeneity pre-test across all participants.
 func (l *Leader) PreTest(ratioThreshold float64) (*selection.PreTestResult, error) {
-	return selection.PreTest(l.NodeIDs(), l.evaluateWarmup, ratioThreshold)
+	return selection.PreTest(l.NodeIDs(), func(nodeID string) (float64, error) {
+		return l.evaluateWarmup(context.Background(), nodeID)
+	}, ratioThreshold)
 }
 
 // Stats accounts for one query execution.
@@ -262,18 +302,30 @@ type Result struct {
 // supporting clusters, and build the aggregated predictor. When a
 // tracer is installed the execution emits one trace with selection,
 // per-node train and aggregation spans sharing the query's trace ID.
-func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation) (_ *Result, retErr error) {
+func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation) (*Result, error) {
+	return l.ExecuteContext(context.Background(), q, sel, agg)
+}
+
+// ExecuteContext is Execute with deadline/cancellation support: the
+// context is consulted before selection and before every training
+// round, and is handed to each participant client, so an expired query
+// aborts instead of occupying the fleet. A query whose context is
+// already done returns ctx.Err() immediately.
+func (l *Leader) ExecuteContext(ctx context.Context, q query.Query, sel selection.Selector, agg Aggregation) (_ *Result, retErr error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	qspan := l.startQuerySpan(q, sel)
 	defer func() { qspan.End(retErr) }()
-	summaries, err := l.Summaries()
+	summaries, err := l.SummariesContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 
 	selStart := time.Now()
 	selSpan := startSelectionSpan(qspan)
-	participants, err := sel.Select(q, summaries, l.SelectionContext())
+	participants, err := sel.Select(q, summaries, l.selectionContext(ctx))
 	selSpan.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
@@ -304,9 +356,12 @@ func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation)
 	res.Stats.SamplesAllNodes = totalAll
 
 	for _, p := range participants {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tspan := startTrainSpan(qspan, p.NodeID, 0)
 		roundStart := time.Now()
-		resp, err := l.trainOn(p, initial, tspan)
+		resp, err := l.trainOn(ctx, p, initial, tspan)
 		elapsed := time.Since(roundStart)
 		tspan.End(err)
 		l.metrics.round(p.NodeID, elapsed)
@@ -352,9 +407,15 @@ func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation)
 // reports its local (MSE, sample count) and the leader pools them by
 // sample weight. ok is false when no participant holds in-bounds data.
 func (l *Leader) EvaluateGlobal(params ml.Params, bounds geometry.Rect) (mse float64, samples int, err error) {
+	return l.EvaluateGlobalContext(context.Background(), params, bounds)
+}
+
+// EvaluateGlobalContext is EvaluateGlobal with deadline/cancellation
+// support.
+func (l *Leader) EvaluateGlobalContext(ctx context.Context, params ml.Params, bounds geometry.Rect) (mse float64, samples int, err error) {
 	totalSq := 0.0
 	for _, c := range l.clients {
-		resp, err := c.Evaluate(EvalRequest{Spec: l.cfg.Spec, Params: params, Bounds: &bounds})
+		resp, err := c.Evaluate(ctx, EvalRequest{Spec: l.cfg.Spec, Params: params, Bounds: &bounds})
 		if err != nil {
 			return 0, 0, fmt.Errorf("federation: evaluate on %s: %w", c.ID(), err)
 		}
@@ -369,12 +430,12 @@ func (l *Leader) EvaluateGlobal(params ml.Params, bounds geometry.Rect) (mse flo
 
 // trainOn runs one participant's training round, attributing it to the
 // given span (nil for untraced runs).
-func (l *Leader) trainOn(p selection.Participant, initial ml.Params, span *telemetry.SpanHandle) (TrainResponse, error) {
+func (l *Leader) trainOn(ctx context.Context, p selection.Participant, initial ml.Params, span *telemetry.SpanHandle) (TrainResponse, error) {
 	c, err := l.client(p.NodeID)
 	if err != nil {
 		return TrainResponse{}, err
 	}
-	return c.Train(TrainRequest{
+	return c.Train(ctx, TrainRequest{
 		Spec:        l.cfg.Spec,
 		Params:      initial,
 		Clusters:    p.Clusters,

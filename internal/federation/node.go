@@ -11,6 +11,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -144,6 +145,18 @@ type TrainResponse struct {
 // (each cluster acting as a mini-batch per the §IV-A Remark), or over
 // the whole dataset when no clusters are specified.
 func (n *Node) Train(req TrainRequest) (TrainResponse, error) {
+	return n.TrainContext(context.Background(), req)
+}
+
+// TrainContext is Train with deadline/cancellation support: the
+// context is checked before the round starts and between supporting
+// clusters, so an expired query stops consuming node compute at the
+// next cluster boundary (individual PartialFit calls are not
+// interruptible).
+func (n *Node) TrainContext(ctx context.Context, req TrainRequest) (TrainResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
+	}
 	if req.LocalEpochs < 1 {
 		return TrainResponse{}, fmt.Errorf("federation: node %s: local epochs %d < 1", n.id, req.LocalEpochs)
 	}
@@ -161,6 +174,9 @@ func (n *Node) Train(req TrainRequest) (TrainResponse, error) {
 		used = n.data.Len()
 	} else {
 		for _, c := range req.Clusters {
+			if err := ctx.Err(); err != nil {
+				return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
+			}
 			cd, err := n.quant.ClusterData(c)
 			if err != nil {
 				return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)

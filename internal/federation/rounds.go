@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -38,20 +39,30 @@ type RoundsResult struct {
 // current global parameters over its supporting clusters, and the
 // leader replaces the global parameters with the rank-weighted FedAvg.
 // The returned ensemble holds the single converged global model.
-func (l *Leader) ExecuteRounds(q query.Query, sel selection.Selector, rounds int) (_ *RoundsResult, retErr error) {
+func (l *Leader) ExecuteRounds(q query.Query, sel selection.Selector, rounds int) (*RoundsResult, error) {
+	return l.ExecuteRoundsContext(context.Background(), q, sel, rounds)
+}
+
+// ExecuteRoundsContext is ExecuteRounds with deadline/cancellation
+// support: the context is checked between rounds and handed to every
+// participant client.
+func (l *Leader) ExecuteRoundsContext(ctx context.Context, q query.Query, sel selection.Selector, rounds int) (_ *RoundsResult, retErr error) {
 	if rounds < 1 {
 		return nil, fmt.Errorf("federation: rounds %d < 1", rounds)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	qspan := l.startQuerySpan(q, sel)
 	defer func() { qspan.End(retErr) }()
-	summaries, err := l.Summaries()
+	summaries, err := l.SummariesContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	selStart := time.Now()
 	selSpan := startSelectionSpan(qspan)
-	participants, err := sel.Select(q, summaries, l.SelectionContext())
+	participants, err := sel.Select(q, summaries, l.selectionContext(ctx))
 	selSpan.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
@@ -84,13 +95,16 @@ func (l *Leader) ExecuteRounds(q query.Query, sel selection.Selector, rounds int
 	for r := 0; r < rounds; r++ {
 		locals := make([]ml.Params, len(participants))
 		for i, p := range participants {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			c, err := l.client(p.NodeID)
 			if err != nil {
 				return nil, err
 			}
 			tspan := startTrainSpan(qspan, p.NodeID, r)
 			roundStart := time.Now()
-			resp, err := c.Train(TrainRequest{
+			resp, err := c.Train(ctx, TrainRequest{
 				Spec:        l.cfg.Spec,
 				Params:      current,
 				Clusters:    p.Clusters,
@@ -165,17 +179,27 @@ func sqrt(v float64) float64 {
 // including the failure contract: a failed round aborts the query
 // unless Config.TolerateFailures is set, in which case it is recorded
 // in Result.Failed/NodeRounds and the survivors form the ensemble.
-func (l *Leader) ExecuteParallel(q query.Query, sel selection.Selector, agg Aggregation) (_ *Result, retErr error) {
+func (l *Leader) ExecuteParallel(q query.Query, sel selection.Selector, agg Aggregation) (*Result, error) {
+	return l.ExecuteParallelContext(context.Background(), q, sel, agg)
+}
+
+// ExecuteParallelContext is ExecuteParallel with deadline/cancellation
+// support: the per-query context fans out to every concurrent training
+// round, so one expired deadline releases the whole fleet at once.
+func (l *Leader) ExecuteParallelContext(ctx context.Context, q query.Query, sel selection.Selector, agg Aggregation) (_ *Result, retErr error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	qspan := l.startQuerySpan(q, sel)
 	defer func() { qspan.End(retErr) }()
-	summaries, err := l.Summaries()
+	summaries, err := l.SummariesContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	selStart := time.Now()
 	selSpan := startSelectionSpan(qspan)
-	participants, err := sel.Select(q, summaries, l.SelectionContext())
+	participants, err := sel.Select(q, summaries, l.selectionContext(ctx))
 	selSpan.End(err)
 	if err != nil {
 		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
@@ -220,7 +244,7 @@ func (l *Leader) ExecuteParallel(q query.Query, sel selection.Selector, agg Aggr
 				return
 			}
 			tspan := startTrainSpan(qspan, p.NodeID, 0)
-			resp, err := c.Train(TrainRequest{
+			resp, err := c.Train(ctx, TrainRequest{
 				Spec:        l.cfg.Spec,
 				Params:      initial,
 				Clusters:    p.Clusters,

@@ -1,0 +1,607 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qens/internal/federation"
+	"qens/internal/geometry"
+	"qens/internal/query"
+	"qens/internal/selection"
+	"qens/internal/telemetry"
+)
+
+// ServerConfig parameterizes the HTTP serving layer.
+type ServerConfig struct {
+	// Leader executes queries. Required.
+	Leader *federation.Leader
+	// Cache, when non-nil, fronts the leader with result reuse.
+	Cache *federation.ReuseCache
+
+	// Workers, QueueDepth, DefaultTimeout and CoalesceIoU configure
+	// the scheduler (see Config). CoalesceIoU defaults to 0.95 here —
+	// the serving layer wants near-identical concurrent queries to
+	// share one training run; pass a negative value to disable
+	// coalescing entirely.
+	Workers        int
+	QueueDepth     int
+	DefaultTimeout time.Duration
+	CoalesceIoU    float64
+	// MaxTimeout caps client-supplied per-query budgets (default 5m).
+	MaxTimeout time.Duration
+
+	// DefaultEpsilon and DefaultTopL parameterize the query-driven
+	// selector when the request omits them (defaults 0.6 and 3, the
+	// paper's operating point).
+	DefaultEpsilon float64
+	DefaultTopL    int
+
+	// RecordCapacity bounds the finished-query store backing
+	// GET /v1/query/{id} (default 256; oldest evicted).
+	RecordCapacity int
+
+	// Registry receives gateway metrics (default telemetry.Default()).
+	Registry *telemetry.Registry
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.CoalesceIoU == 0 {
+		c.CoalesceIoU = 0.95
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DefaultEpsilon == 0 {
+		c.DefaultEpsilon = 0.6
+	}
+	if c.DefaultTopL == 0 {
+		c.DefaultTopL = 3
+	}
+	if c.RecordCapacity == 0 {
+		c.RecordCapacity = 256
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default()
+	}
+	return c
+}
+
+// Server is the gateway's HTTP serving layer: request parsing,
+// admission, response shaping, and the stats/metrics surface.
+type Server struct {
+	cfg     ServerConfig
+	sched   *Scheduler
+	records *recordStore
+	start   time.Time
+	nextID  atomic.Int64
+	handler http.Handler
+}
+
+// NewServer builds a gateway server (and its scheduler) over a leader.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Leader == nil {
+		return nil, errors.New("gateway: server needs a leader")
+	}
+	coalesce := cfg.CoalesceIoU
+	if coalesce < 0 {
+		coalesce = 0 // explicit opt-out
+	}
+	sched, err := NewScheduler(Config{
+		Workers:        cfg.Workers,
+		QueueDepth:     cfg.QueueDepth,
+		DefaultTimeout: cfg.DefaultTimeout,
+		CoalesceIoU:    coalesce,
+		Executor:       LeaderExecutor{Leader: cfg.Leader, Cache: cfg.Cache},
+		Registry:       cfg.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		sched:   sched,
+		records: newRecordStore(cfg.RecordCapacity),
+		start:   time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleSubmit)
+	mux.HandleFunc("GET /v1/query/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	obs := telemetry.NewHTTPHandler(cfg.Registry, s.health, s.start)
+	mux.Handle("/metrics", obs)
+	mux.Handle("/healthz", obs)
+	mux.Handle("/debug/pprof/", obs)
+	s.handler = mux
+	return s, nil
+}
+
+// Handler returns the gateway's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Scheduler exposes the underlying scheduler (stats, tests).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Drain stops admission and waits for in-flight queries (bounded by
+// ctx). Call before shutting the HTTP listener down so waiting
+// handlers can still deliver their responses.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// Close force-drains the scheduler.
+func (s *Server) Close() { s.sched.Close() }
+
+// health feeds the /healthz document.
+func (s *Server) health() map[string]any {
+	st := s.sched.SchedStats()
+	return map[string]any{
+		"draining":    st.Draining,
+		"queue_depth": st.QueueDepth,
+		"inflight":    st.InFlight,
+		"nodes":       len(s.cfg.Leader.NodeIDs()),
+	}
+}
+
+// queryRequest is the POST /v1/query body.
+type queryRequest struct {
+	// ID names the query (generated when empty; must be unique among
+	// retained records).
+	ID string `json:"id"`
+	// Bounds is the query hyper-rectangle.
+	Bounds geometry.Rect `json:"bounds"`
+	// Selector picks the mechanism: "query-driven" (default),
+	// "random", "all-nodes" or "game-theory".
+	Selector string `json:"selector"`
+	// Epsilon, TopL, Psi parameterize query-driven selection; L
+	// parameterizes random / game-theory.
+	Epsilon float64 `json:"epsilon"`
+	TopL    int     `json:"top_l"`
+	Psi     float64 `json:"psi"`
+	L       int     `json:"l"`
+	// Aggregation is "weighted" (default) or "averaging".
+	Aggregation string `json:"aggregation"`
+	// TimeoutMS bounds execution; Deadline (RFC3339) is the absolute
+	// alternative. When both are set the earlier wins.
+	TimeoutMS int64  `json:"timeout_ms"`
+	Deadline  string `json:"deadline"`
+	// Async returns 202 immediately; poll GET /v1/query/{id}.
+	Async bool `json:"async"`
+	// IncludeParams embeds the local model parameter vectors in the
+	// response (large; off by default).
+	IncludeParams bool `json:"include_params"`
+}
+
+// participantJSON is one selected node in a response.
+type participantJSON struct {
+	NodeID   string  `json:"node_id"`
+	Rank     float64 `json:"rank"`
+	Clusters []int   `json:"clusters,omitempty"`
+}
+
+// queryResponse is the POST /v1/query (and record) result body.
+type queryResponse struct {
+	ID           string            `json:"id"`
+	Selector     string            `json:"selector"`
+	Aggregation  string            `json:"aggregation"`
+	Participants []participantJSON `json:"participants"`
+	Failed       []string          `json:"failed,omitempty"`
+	Reused       bool              `json:"reused"`
+	Coalesced    bool              `json:"coalesced"`
+	QueueWaitMS  float64           `json:"queue_wait_ms"`
+	ElapsedMS    float64           `json:"elapsed_ms"`
+	Stats        execStatsJSON     `json:"stats"`
+	LocalParams  [][]float64       `json:"local_params,omitempty"`
+}
+
+// execStatsJSON mirrors federation.Stats for the wire.
+type execStatsJSON struct {
+	SelectionMS   float64 `json:"selection_ms"`
+	TrainMS       float64 `json:"train_ms"`
+	WallMS        float64 `json:"wall_ms"`
+	SamplesUsed   int     `json:"samples_used"`
+	SamplesAll    int     `json:"samples_all_nodes"`
+	DataFraction  float64 `json:"data_fraction"`
+	BytesUp       int64   `json:"bytes_up"`
+	BytesDown     int64   `json:"bytes_down"`
+	EnsembleSize  int     `json:"ensemble_size"`
+	FailedRounds  int     `json:"failed_rounds"`
+	Participating int     `json:"participating"`
+}
+
+// errorJSON is every non-2xx body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// buildSelector maps the request's selector spec to a stateless
+// selection.Selector. Stateful mechanisms (fairness, contribution) are
+// rejected: they assume a single sequential caller, which the serving
+// path is not.
+func (s *Server) buildSelector(req queryRequest) (selection.Selector, error) {
+	eps := req.Epsilon
+	if eps == 0 {
+		eps = s.cfg.DefaultEpsilon
+	}
+	l := req.L
+	if l == 0 {
+		l = s.cfg.DefaultTopL
+	}
+	switch strings.ToLower(req.Selector) {
+	case "", "query-driven":
+		if req.Psi > 0 {
+			return selection.QueryDriven{Epsilon: eps, Psi: req.Psi}, nil
+		}
+		topL := req.TopL
+		if topL == 0 {
+			topL = s.cfg.DefaultTopL
+		}
+		return selection.QueryDriven{Epsilon: eps, TopL: topL}, nil
+	case "random":
+		return selection.Random{L: l}, nil
+	case "all-nodes":
+		return selection.AllNodes{}, nil
+	case "game-theory":
+		return selection.GameTheory{L: l}, nil
+	case "fairness", "contribution":
+		return nil, fmt.Errorf("selector %q is stateful and not servable concurrently", req.Selector)
+	default:
+		return nil, fmt.Errorf("unknown selector %q", req.Selector)
+	}
+}
+
+func buildAggregation(name string) (federation.Aggregation, error) {
+	switch strings.ToLower(name) {
+	case "", "weighted":
+		return federation.WeightedAveraging, nil
+	case "averaging", "model":
+		return federation.ModelAveraging, nil
+	default:
+		return 0, fmt.Errorf("unknown aggregation %q", name)
+	}
+}
+
+// timeoutFor resolves the request's execution budget: timeout_ms
+// and/or an absolute RFC3339 deadline, capped at MaxTimeout. ok=false
+// with a zero duration means the deadline already passed.
+func (s *Server) timeoutFor(req queryRequest, now time.Time) (time.Duration, bool, error) {
+	timeout := s.cfg.DefaultTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	if req.TimeoutMS != 0 {
+		if req.TimeoutMS < 0 {
+			return 0, false, fmt.Errorf("timeout_ms %d is negative", req.TimeoutMS)
+		}
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if req.Deadline != "" {
+		abs, err := time.Parse(time.RFC3339, req.Deadline)
+		if err != nil {
+			return 0, false, fmt.Errorf("bad deadline %q: %v", req.Deadline, err)
+		}
+		if until := abs.Sub(now); until < timeout {
+			timeout = until
+		}
+	}
+	if timeout <= 0 {
+		return 0, false, nil
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout, true, nil
+}
+
+// handleSubmit serves POST /v1/query.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+
+	id := req.ID
+	if id == "" {
+		id = fmt.Sprintf("gw-%d", s.nextID.Add(1))
+	}
+	q, err := query.New(id, req.Bounds)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sel, err := s.buildSelector(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	agg, err := buildAggregation(req.Aggregation)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	timeout, alive, err := s.timeoutFor(req, time.Now())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !alive {
+		// The deadline expired before admission: fail promptly with
+		// the context error, exactly as a late cancellation would.
+		writeError(w, http.StatusGatewayTimeout, "query %s: %v", id, context.DeadlineExceeded)
+		return
+	}
+
+	// The submitter's context carries the query deadline so an
+	// already-expired budget is rejected inside Submit too.
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	tk, err := s.sched.Submit(ctx, Request{Query: q, Selector: sel, Aggregation: agg, Timeout: timeout})
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			writeError(w, http.StatusGatewayTimeout, "query %s: %v", id, err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+
+	s.records.put(id, &record{ID: id, Status: recordPending, Submitted: time.Now()})
+	// The record tracker outlives the HTTP request: async clients and
+	// sync clients whose connection died both find the outcome under
+	// GET /v1/query/{id}.
+	go s.trackRecord(id, req.IncludeParams, tk)
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(recordPending)})
+		return
+	}
+
+	out, err := tk.Wait(ctx)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			writeError(w, http.StatusGatewayTimeout, "query %s: %v", id, err)
+		case errors.Is(err, selection.ErrNoCandidates):
+			// A property of the query, not a server fault: no edge
+			// node's cluster space supports the requested bounds.
+			writeError(w, http.StatusUnprocessableEntity, "query %s: %v", id, err)
+		default:
+			writeError(w, http.StatusBadGateway, "query %s: %v", id, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, buildResponse(id, out, req.IncludeParams))
+}
+
+// trackRecord waits for the task (detached from any HTTP context) and
+// finalizes the stored record.
+func (s *Server) trackRecord(id string, includeParams bool, tk *Ticket) {
+	out, err := tk.Wait(context.Background())
+	now := time.Now()
+	if err != nil {
+		s.records.update(id, func(rec *record) {
+			rec.Status = recordError
+			rec.Error = err.Error()
+			rec.Finished = &now
+		})
+		return
+	}
+	resp := buildResponse(id, out, includeParams)
+	s.records.update(id, func(rec *record) {
+		rec.Status = recordDone
+		rec.Result = &resp
+		rec.Finished = &now
+	})
+}
+
+// buildResponse shapes one outcome for the wire.
+func buildResponse(id string, out *Outcome, includeParams bool) queryResponse {
+	res := out.Result
+	resp := queryResponse{
+		ID:          id,
+		Selector:    res.Selector,
+		Aggregation: res.Aggregation.String(),
+		Reused:      out.Reused,
+		Coalesced:   out.Coalesced,
+		QueueWaitMS: float64(out.QueueWait) / float64(time.Millisecond),
+		ElapsedMS:   float64(out.Elapsed) / float64(time.Millisecond),
+		Failed:      res.Failed,
+		Stats: execStatsJSON{
+			SelectionMS:   float64(res.Stats.SelectionTime) / float64(time.Millisecond),
+			TrainMS:       float64(res.Stats.TrainTime) / float64(time.Millisecond),
+			WallMS:        float64(res.Stats.WallTime) / float64(time.Millisecond),
+			SamplesUsed:   res.Stats.SamplesUsed,
+			SamplesAll:    res.Stats.SamplesAllNodes,
+			DataFraction:  res.Stats.DataFraction(),
+			BytesUp:       res.Stats.BytesUp,
+			BytesDown:     res.Stats.BytesDown,
+			EnsembleSize:  res.Ensemble.Size(),
+			FailedRounds:  len(res.Failed),
+			Participating: len(res.Participants),
+		},
+	}
+	for _, p := range res.Participants {
+		resp.Participants = append(resp.Participants, participantJSON{
+			NodeID: p.NodeID, Rank: p.Rank, Clusters: p.Clusters,
+		})
+	}
+	if includeParams {
+		for _, p := range res.LocalParams {
+			resp.LocalParams = append(resp.LocalParams, p.Values)
+		}
+	}
+	return resp
+}
+
+// handleGet serves GET /v1/query/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.records.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no record of query %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// statsResponse is the GET /v1/stats document.
+type statsResponse struct {
+	UptimeS   float64 `json:"uptime_s"`
+	Scheduler Stats   `json:"scheduler"`
+	Reuse     *struct {
+		Hits   int `json:"hits"`
+		Misses int `json:"misses"`
+		Size   int `json:"size"`
+	} `json:"reuse_cache,omitempty"`
+	Latency struct {
+		Count  int64   `json:"count"`
+		MeanMS float64 `json:"mean_ms"`
+		P50MS  float64 `json:"p50_ms"`
+		P95MS  float64 `json:"p95_ms"`
+		P99MS  float64 `json:"p99_ms"`
+		MaxMS  float64 `json:"max_ms"`
+	} `json:"latency"`
+	Nodes []string       `json:"nodes"`
+	Space *geometry.Rect `json:"space,omitempty"`
+}
+
+// handleStats serves GET /v1/stats: scheduler counters, reuse-cache
+// effectiveness, latency percentiles, the node roster and the global
+// data space (load generators draw workloads from it).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.UptimeS = time.Since(s.start).Seconds()
+	resp.Scheduler = s.sched.SchedStats()
+	resp.Nodes = s.cfg.Leader.NodeIDs()
+	if s.cfg.Cache != nil {
+		hits, misses := s.cfg.Cache.Stats()
+		resp.Reuse = &struct {
+			Hits   int `json:"hits"`
+			Misses int `json:"misses"`
+			Size   int `json:"size"`
+		}{Hits: hits, Misses: misses, Size: s.cfg.Cache.Len()}
+	}
+	snap := s.sched.LatencySnapshot()
+	resp.Latency.Count = snap.Count
+	if snap.Count > 0 {
+		resp.Latency.MeanMS = snap.Sum / float64(snap.Count)
+	}
+	resp.Latency.P50MS = snap.P50
+	resp.Latency.P95MS = snap.P95
+	resp.Latency.P99MS = snap.P99
+	resp.Latency.MaxMS = snap.Max
+	if space, err := s.space(r.Context()); err == nil {
+		resp.Space = &space
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// space computes the union of every advertised cluster rectangle — the
+// global data space queries are drawn over.
+func (s *Server) space(ctx context.Context) (geometry.Rect, error) {
+	summaries, err := s.cfg.Leader.SummariesContext(ctx)
+	if err != nil {
+		return geometry.Rect{}, err
+	}
+	bounds := make([]geometry.Rect, 0, len(summaries))
+	for _, sum := range summaries {
+		if len(sum.Clusters) == 0 {
+			continue
+		}
+		node := sum.Clusters[0].Bounds.Clone()
+		for _, c := range sum.Clusters[1:] {
+			node = node.Union(c.Bounds)
+		}
+		bounds = append(bounds, node)
+	}
+	return query.GlobalSpace(bounds)
+}
+
+// recordStatus is a stored query's lifecycle phase.
+type recordStatus string
+
+const (
+	recordPending recordStatus = "pending"
+	recordDone    recordStatus = "done"
+	recordError   recordStatus = "error"
+)
+
+// record is one retained query outcome.
+type record struct {
+	ID        string         `json:"id"`
+	Status    recordStatus   `json:"status"`
+	Submitted time.Time      `json:"submitted_at"`
+	Finished  *time.Time     `json:"finished_at,omitempty"`
+	Result    *queryResponse `json:"result,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// recordStore is a bounded id-keyed store with FIFO eviction.
+type recordStore struct {
+	mu    sync.Mutex
+	cap   int
+	byID  map[string]*record
+	order []string
+}
+
+func newRecordStore(capacity int) *recordStore {
+	return &recordStore{cap: capacity, byID: make(map[string]*record)}
+}
+
+func (rs *recordStore) put(id string, rec *record) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if _, exists := rs.byID[id]; !exists {
+		if len(rs.order) == rs.cap {
+			delete(rs.byID, rs.order[0])
+			rs.order = rs.order[1:]
+		}
+		rs.order = append(rs.order, id)
+	}
+	rs.byID[id] = rec
+}
+
+func (rs *recordStore) update(id string, fn func(*record)) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rec, ok := rs.byID[id]; ok {
+		fn(rec)
+	}
+}
+
+// get returns a copy so callers can serialize it without holding the
+// lock.
+func (rs *recordStore) get(id string) (record, bool) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rec, ok := rs.byID[id]
+	if !ok {
+		return record{}, false
+	}
+	return *rec, true
+}

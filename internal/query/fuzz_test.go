@@ -1,0 +1,91 @@
+package query
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"qens/internal/geometry"
+)
+
+// FuzzReadWorkload throws arbitrary bytes at the workload parser and
+// checks two properties on every accepted input:
+//
+//  1. the parser's documented invariants actually hold (non-empty,
+//     unique non-empty ids, valid bounds, consistent dimensionality);
+//  2. an accepted workload round-trips: WriteWorkload(ReadWorkload(x))
+//     parses back to an identical query stream.
+func FuzzReadWorkload(f *testing.F) {
+	// A well-formed two-query workload, produced by the writer itself.
+	valid := []Query{
+		{ID: "q-0", Bounds: geometry.MustRect([]float64{0, 0}, []float64{1, 2})},
+		{ID: "q-1", Bounds: geometry.MustRect([]float64{-3, 0.5}, []float64{-1, 0.5})},
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	// Malformed and boundary-case seeds steering the fuzzer at the
+	// validation branches.
+	for _, seed := range []string{
+		``,
+		`{`,
+		`not json`,
+		`{"version":1,"queries":[]}`,
+		`{"version":2,"queries":[{"id":"a","bounds":{"min":[0],"max":[1]}}]}`,
+		`{"version":1,"queries":[{"id":"","bounds":{"min":[0],"max":[1]}}]}`,
+		`{"version":1,"queries":[{"id":"a","bounds":{"min":[0],"max":[1]}},{"id":"a","bounds":{"min":[0],"max":[1]}}]}`,
+		`{"version":1,"queries":[{"id":"a","bounds":{"min":[0],"max":[1]}},{"id":"b","bounds":{"min":[0,0],"max":[1,1]}}]}`,
+		`{"version":1,"queries":[{"id":"a","bounds":{"min":[2],"max":[1]}}]}`,
+		`{"version":1,"queries":[{"id":"a","bounds":{"min":[0,0],"max":[1]}}]}`,
+		`{"version":1,"queries":[{"id":"a","bounds":{"min":[-0],"max":[0]}}]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		queries, err := ReadWorkload(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; nothing more to check
+		}
+
+		// Invariant 1: the validation the parser promises.
+		if len(queries) == 0 {
+			t.Fatalf("accepted workload with no queries: %q", data)
+		}
+		dims := queries[0].Dims()
+		seen := make(map[string]bool, len(queries))
+		for i, q := range queries {
+			if q.ID == "" {
+				t.Fatalf("entry %d accepted with empty id", i)
+			}
+			if seen[q.ID] {
+				t.Fatalf("duplicate id %q accepted", q.ID)
+			}
+			seen[q.ID] = true
+			if err := q.Bounds.Validate(); err != nil {
+				t.Fatalf("entry %s accepted with invalid bounds: %v", q.ID, err)
+			}
+			if q.Dims() != dims {
+				t.Fatalf("entry %s has %d dims, workload started with %d", q.ID, q.Dims(), dims)
+			}
+		}
+
+		// Invariant 2: accepted workloads round-trip losslessly.
+		// (JSON cannot carry NaN/Inf, so every accepted float is
+		// finite and re-encodes exactly.)
+		var out bytes.Buffer
+		if err := WriteWorkload(&out, queries); err != nil {
+			t.Fatalf("rewrite of accepted workload failed: %v", err)
+		}
+		back, err := ReadWorkload(&out)
+		if err != nil {
+			t.Fatalf("reparse of rewritten workload failed: %v", err)
+		}
+		if !reflect.DeepEqual(back, queries) {
+			t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", back, queries)
+		}
+	})
+}

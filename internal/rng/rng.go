@@ -11,13 +11,22 @@ package rng
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Source is a deterministic random stream. It wraps math/rand with a
 // fixed 64-bit state seeded via SplitMix64 so that derived streams are
 // decorrelated even for adjacent seeds.
+//
+// A Source is safe for concurrent use: every draw and split takes a
+// short internal mutex. Sequential programs observe exactly the same
+// variate sequence as before the lock existed; concurrent callers
+// interleave draws nondeterministically but never race. This is what
+// lets one leader serve parallel queries (internal/gateway) over the
+// same seeded stream without a data race.
 type Source struct {
-	r *rand.Rand
+	mu sync.Mutex
+	r  *rand.Rand
 	// seed is the original seed, retained so the stream can be split.
 	seed uint64
 	// splits counts how many child streams have been derived.
@@ -42,6 +51,8 @@ func splitMix64(x uint64) uint64 {
 // Split derives an independent child stream. Children derived from the
 // same parent in the same order are identical across runs.
 func (s *Source) Split() *Source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.splits++
 	child := splitMix64(s.seed ^ splitMix64(s.splits*0x2545f4914f6cdd1d+1))
 	return New(child)
@@ -57,40 +68,64 @@ func (s *Source) SplitN(n int) []*Source {
 }
 
 // Float64 returns a uniform variate in [0, 1).
-func (s *Source) Float64() float64 { return s.r.Float64() }
+func (s *Source) Float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Float64()
+}
 
 // Uniform returns a uniform variate in [lo, hi).
 func (s *Source) Uniform(lo, hi float64) float64 {
-	return lo + (hi-lo)*s.r.Float64()
+	return lo + (hi-lo)*s.Float64()
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0, matching
 // math/rand semantics.
-func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+func (s *Source) Intn(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Intn(n)
+}
 
 // Int63 returns a non-negative 63-bit integer.
-func (s *Source) Int63() int64 { return s.r.Int63() }
+func (s *Source) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Int63()
+}
 
 // Normal returns a normal variate with the given mean and standard
 // deviation.
 func (s *Source) Normal(mean, stddev float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return mean + stddev*s.r.NormFloat64()
 }
 
 // Exponential returns an exponential variate with the given rate
 // parameter lambda (> 0).
 func (s *Source) Exponential(lambda float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.r.ExpFloat64() / lambda
 }
 
 // Perm returns a random permutation of [0, n).
-func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+func (s *Source) Perm(n int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Perm(n)
+}
 
 // Shuffle pseudo-randomizes the order of n elements using swap.
-func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.r.Shuffle(n, swap)
+}
 
 // Bool returns true with probability p.
-func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
 
 // Choice returns a uniformly chosen index weighted by weights, which
 // must be non-negative and not all zero; it falls back to uniform

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -15,6 +16,12 @@ import (
 // remote participant daemon. It keeps one persistent connection,
 // reconnecting on failure, and serializes requests (the protocol is
 // strictly request/response per connection).
+//
+// Every RPC takes a context.Context: the connection deadline is the
+// earlier of the context deadline and the client's configured timeout,
+// and an in-flight round-trip is aborted (by slamming the connection
+// deadline) the moment the context is canceled — this is how a
+// gateway query deadline propagates onto the wire.
 type Client struct {
 	addr    string
 	timeout time.Duration
@@ -39,11 +46,16 @@ type DialOptions struct {
 // Dial connects to a participant daemon and learns its node id via a
 // ping.
 func Dial(addr string, opts DialOptions) (*Client, error) {
+	return DialContext(context.Background(), addr, opts)
+}
+
+// DialContext is Dial bounded by ctx.
+func DialContext(ctx context.Context, addr string, opts DialOptions) (*Client, error) {
 	if opts.Timeout == 0 {
 		opts.Timeout = 30 * time.Second
 	}
 	c := &Client{addr: addr, timeout: opts.Timeout}
-	resp, err := c.roundTrip(request{Type: typePing})
+	resp, err := c.roundTrip(ctx, request{Type: typePing})
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
@@ -73,11 +85,12 @@ func (c *Client) Close() error {
 }
 
 // ensureConn dials if no live connection exists. Caller holds c.mu.
-func (c *Client) ensureConn() error {
+func (c *Client) ensureConn(ctx context.Context) error {
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return err
 	}
@@ -85,33 +98,62 @@ func (c *Client) ensureConn() error {
 	return nil
 }
 
+// deadlineFor merges the client timeout with the context deadline,
+// returning whichever comes first.
+func (c *Client) deadlineFor(ctx context.Context) time.Time {
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	return deadline
+}
+
 // roundTrip sends one request and reads its response, retrying once on
-// a stale connection.
-func (c *Client) roundTrip(req request) (response, error) {
+// a stale connection. The context bounds the whole exchange:
+// cancellation mid-flight closes out the blocked read by moving the
+// connection deadline into the past.
+func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
+	if err := ctx.Err(); err != nil {
+		return response{}, err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		if err := c.ensureConn(); err != nil {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return response{}, fmt.Errorf("%w (after %v)", err, lastErr)
+			}
+			return response{}, err
+		}
+		if err := c.ensureConn(ctx); err != nil {
 			lastErr = err
 			continue
 		}
-		deadline := time.Now().Add(c.timeout)
-		_ = c.conn.SetDeadline(deadline)
-		out := &countingConn{Conn: c.conn}
+		conn := c.conn
+		_ = conn.SetDeadline(c.deadlineFor(ctx))
+		// Abort the in-flight exchange the moment ctx is canceled:
+		// moving the deadline into the past unblocks any Read/Write.
+		stop := context.AfterFunc(ctx, func() {
+			_ = conn.SetDeadline(time.Unix(1, 0))
+		})
+		out := &countingConn{Conn: conn}
 		if err := writeFrame(out, req); err != nil {
-			lastErr = err
-			c.conn.Close()
+			stop()
+			lastErr = wrapCtxErr(ctx, err)
+			conn.Close()
 			c.conn = nil
 			continue
 		}
 		var resp response
 		if err := readFrame(out, &resp); err != nil {
-			lastErr = err
-			c.conn.Close()
+			stop()
+			lastErr = wrapCtxErr(ctx, err)
+			conn.Close()
 			c.conn = nil
 			continue
 		}
+		stop()
 		c.bytesOut += out.written
 		c.bytesIn += out.read
 		if resp.Error != "" {
@@ -125,9 +167,19 @@ func (c *Client) roundTrip(req request) (response, error) {
 	return response{}, lastErr
 }
 
+// wrapCtxErr attributes an I/O failure to the context when the context
+// is what killed the exchange, so callers can match context.Canceled /
+// DeadlineExceeded with errors.Is.
+func wrapCtxErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("%w: %v", ctxErr, err)
+	}
+	return err
+}
+
 // Ping verifies the daemon is reachable and returns its node id.
 func (c *Client) Ping() (string, error) {
-	resp, err := c.roundTrip(request{Type: typePing})
+	resp, err := c.roundTrip(context.Background(), request{Type: typePing})
 	if err != nil {
 		return "", err
 	}
@@ -144,8 +196,8 @@ func (c *Client) BytesMoved() (out, in int64) {
 }
 
 // Summary implements federation.Client.
-func (c *Client) Summary() (cluster.NodeSummary, error) {
-	resp, err := c.roundTrip(request{Type: typeSummary})
+func (c *Client) Summary(ctx context.Context) (cluster.NodeSummary, error) {
+	resp, err := c.roundTrip(ctx, request{Type: typeSummary})
 	if err != nil {
 		return cluster.NodeSummary{}, err
 	}
@@ -158,8 +210,8 @@ func (c *Client) Summary() (cluster.NodeSummary, error) {
 // Train implements federation.Client. The request's trace/span IDs
 // (if any) are lifted into the wire envelope so the daemon can
 // attribute its logs and timings to the originating query.
-func (c *Client) Train(req federation.TrainRequest) (federation.TrainResponse, error) {
-	resp, err := c.roundTrip(request{Type: typeTrain, TraceID: req.TraceID, SpanID: req.SpanID, Train: &req})
+func (c *Client) Train(ctx context.Context, req federation.TrainRequest) (federation.TrainResponse, error) {
+	resp, err := c.roundTrip(ctx, request{Type: typeTrain, TraceID: req.TraceID, SpanID: req.SpanID, Train: &req})
 	if err != nil {
 		return federation.TrainResponse{}, err
 	}
@@ -170,8 +222,8 @@ func (c *Client) Train(req federation.TrainRequest) (federation.TrainResponse, e
 }
 
 // Evaluate implements federation.Client.
-func (c *Client) Evaluate(req federation.EvalRequest) (federation.EvalResponse, error) {
-	resp, err := c.roundTrip(request{Type: typeEvaluate, TraceID: req.TraceID, SpanID: req.SpanID, Eval: &req})
+func (c *Client) Evaluate(ctx context.Context, req federation.EvalRequest) (federation.EvalResponse, error) {
+	resp, err := c.roundTrip(ctx, request{Type: typeEvaluate, TraceID: req.TraceID, SpanID: req.SpanID, Eval: &req})
 	if err != nil {
 		return federation.EvalResponse{}, err
 	}

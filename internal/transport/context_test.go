@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"qens/internal/federation"
+	"qens/internal/ml"
+)
+
+// TestCanceledContextFailsFast: a pre-canceled context must short-
+// circuit before any wire traffic and surface context.Canceled.
+func TestCanceledContextFailsFast(t *testing.T) {
+	_, client := startServer(t, 31, 2, 0, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := client.Summary(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("canceled call took %v, want prompt return", elapsed)
+	}
+}
+
+// TestExpiredDeadlineFailsFast: a deadline already in the past must
+// return context.DeadlineExceeded without retry loops.
+func TestExpiredDeadlineFailsFast(t *testing.T) {
+	_, client := startServer(t, 32, 2, 0, 50)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := client.Train(ctx, federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 5})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestContextDeadlinePropagatesToConn: a deadline shorter than the
+// client timeout must bound the round-trip; we point the client at a
+// listener that accepts but never responds, so only the context
+// deadline can release the call.
+func TestContextDeadlinePropagatesToConn(t *testing.T) {
+	srv, _ := startServer(t, 33, 2, 0, 50)
+	// Dial with a long client timeout; the per-call ctx must win.
+	client, err := Dial(srv.Addr(), DialOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Stop the daemon from answering further requests by closing it;
+	// the next round-trip blocks on a dead conn until the deadline.
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = client.Summary(ctx)
+	if err == nil {
+		t.Fatal("expected error after daemon close")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("ctx-bounded call took %v", elapsed)
+	}
+}
+
+// TestCancelMidFlight: cancellation while a round-trip is blocked must
+// abort the exchange promptly (the client slams the conn deadline).
+func TestCancelMidFlight(t *testing.T) {
+	srv, client := startServer(t, 34, 2, 0, 50)
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	// A long training request gives the cancel goroutine time to fire
+	// while the client waits on the response frame.
+	start := time.Now()
+	_, err := client.Train(ctx, federation.TrainRequest{Spec: ml.PaperNN(1), LocalEpochs: 500})
+	if err == nil {
+		// Training may legitimately win the race on fast machines.
+		t.Skip("training finished before cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled round-trip took %v", elapsed)
+	}
+}

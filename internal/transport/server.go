@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -115,11 +116,13 @@ type Server struct {
 	ln      net.Listener
 	metrics *serverMetrics
 
-	mu     sync.Mutex // serializes node access
-	closed chan struct{}
-	wg     sync.WaitGroup
-	logf   func(format string, args ...any)
+	mu        sync.Mutex // serializes node access
+	closeOnce sync.Once
+	closed    chan struct{}
+	wg        sync.WaitGroup
+	logf      func(format string, args ...any)
 
+	active    atomic.Int64 // RPCs currently executing (for graceful drain)
 	lastTrain atomic.Int64 // unix nanos of the last completed train round
 
 	connMu sync.Mutex
@@ -181,22 +184,64 @@ func (s *Server) LastTrainAge() (time.Duration, bool) {
 	return time.Since(time.Unix(0, ns)), true
 }
 
-// Close stops accepting and waits for in-flight handlers.
+// Close force-stops the server: it stops accepting, closes every live
+// connection (aborting any in-flight RPC mid-read/-write) and waits for
+// the handlers to unwind. Use Shutdown for a graceful drain.
 func (s *Server) Close() error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
+	err := s.stopAccepting()
+	s.closeConns()
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, waits for every executing RPC to finish (idle
+// connections parked between requests do not delay shutdown), then
+// closes the remaining connections. If ctx expires first the drain is
+// abandoned — connections are force-closed and ctx's error is returned
+// without waiting for handlers to unwind (call Close to wait, as with
+// net/http's Shutdown/Close pair). The drain is best-effort: a request
+// that arrives on an already-accepted connection during the drain
+// window still runs to completion.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.stopAccepting()
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for s.active.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			s.closeConns()
+			if err == nil {
+				err = ctx.Err()
+			}
+			return err
+		case <-tick.C:
+		}
 	}
-	close(s.closed)
-	err := s.ln.Close()
+	s.closeConns()
+	s.wg.Wait()
+	return err
+}
+
+// stopAccepting marks the server closed and shuts the listener so no
+// new connections land. Safe to call more than once.
+func (s *Server) stopAccepting() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.ln.Close()
+	})
+	return err
+}
+
+// closeConns force-closes every tracked connection, kicking handlers
+// out of blocking reads.
+func (s *Server) closeConns() {
 	s.connMu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
 	s.connMu.Unlock()
-	s.wg.Wait()
-	return err
 }
 
 // trackConn registers a live connection; it reports false when the
@@ -256,8 +301,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			s.metrics.addBytes(cc.takeRead(), cc.takeWritten())
 			return // EOF or a broken peer; either way, drop the conn
 		}
+		s.active.Add(1)
 		resp := s.dispatch(req)
-		if err := writeFrame(cc, resp); err != nil {
+		err := writeFrame(cc, resp)
+		s.active.Add(-1)
+		if err != nil {
 			s.logkv("event", "write_error", "type", req.Type, "trace", req.TraceID, "err", err)
 			s.metrics.addBytes(cc.takeRead(), cc.takeWritten())
 			return

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServerShutdownIdle drains a server with no executing RPCs: the
+// drain must finish promptly, kick parked connections, and refuse new
+// dials.
+func TestServerShutdownIdle(t *testing.T) {
+	srv, client := startServer(t, 1, 2, 0, 10)
+	if _, err := client.Ping(); err != nil {
+		t.Fatalf("ping before shutdown: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("idle shutdown: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("idle shutdown did not complete")
+	}
+
+	if _, err := Dial(srv.Addr(), DialOptions{Timeout: time.Second}); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestServerShutdownWaitsForInFlight wedges the node lock so a ping is
+// stuck inside dispatch, then verifies Shutdown waits for it (graceful
+// drain) instead of cutting the connection, and that the blocked
+// client still receives its response.
+func TestServerShutdownWaitsForInFlight(t *testing.T) {
+	srv, _ := startServer(t, 2, 1.5, 0, 10)
+
+	// Raw connection so we control framing directly.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	srv.mu.Lock() // wedge dispatch: the next RPC blocks inside the handler
+	if err := writeFrame(conn, request{Type: typePing}); err != nil {
+		srv.mu.Unlock()
+		t.Fatal(err)
+	}
+	// Wait until the handler has read the frame and is executing
+	// (active > 0), i.e. blocked on srv.mu.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.active.Load() == 0 {
+		if time.Now().After(deadline) {
+			srv.mu.Unlock()
+			t.Fatal("handler never started executing the RPC")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+
+	// The drain must not finish while the RPC is executing.
+	select {
+	case err := <-done:
+		srv.mu.Unlock()
+		t.Fatalf("shutdown returned %v while an RPC was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	srv.mu.Unlock() // let the RPC finish
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown after drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("shutdown did not complete after RPC finished")
+	}
+
+	// The in-flight RPC's response must have been written before the
+	// connection was closed.
+	var resp response
+	if err := readFrame(conn, &resp); err != nil {
+		t.Fatalf("in-flight response lost during drain: %v", err)
+	}
+	if resp.NodeID == "" || resp.Error != "" {
+		t.Fatalf("unexpected ping response %+v", resp)
+	}
+}
+
+// TestServerShutdownDeadline verifies an expiring drain budget falls
+// back to a forced close and surfaces the context error.
+func TestServerShutdownDeadline(t *testing.T) {
+	srv, _ := startServer(t, 3, 1, 0, 10)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	srv.mu.Lock()
+	if err := writeFrame(conn, request{Type: typePing}); err != nil {
+		srv.mu.Unlock()
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.active.Load() == 0 {
+		if time.Now().After(deadline) {
+			srv.mu.Unlock()
+			t.Fatal("handler never started executing the RPC")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	srv.mu.Unlock()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	srv.wg.Wait() // handlers unwind once the lock is released
+}

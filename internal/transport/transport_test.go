@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -113,7 +114,7 @@ func TestDialRefused(t *testing.T) {
 
 func TestRemoteSummary(t *testing.T) {
 	_, client := startServer(t, 2, 2, 0, 50)
-	sum, err := client.Summary()
+	sum, err := client.Summary(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestRemoteSummary(t *testing.T) {
 func TestRemoteTrainAndEvaluate(t *testing.T) {
 	_, client := startServer(t, 3, 3, 0, 20)
 	spec := ml.PaperLR(1)
-	resp, err := client.Train(federation.TrainRequest{Spec: spec, LocalEpochs: 40})
+	resp, err := client.Train(context.Background(), federation.TrainRequest{Spec: spec, LocalEpochs: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestRemoteTrainAndEvaluate(t *testing.T) {
 	if got := m.Predict([]float64{10}); math.Abs(got-31) > 4 {
 		t.Fatalf("remote-trained model predicts %v, want ~31", got)
 	}
-	ev, err := client.Evaluate(federation.EvalRequest{Spec: spec, Params: resp.Params})
+	ev, err := client.Evaluate(context.Background(), federation.EvalRequest{Spec: spec, Params: resp.Params})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,12 +154,12 @@ func TestRemoteTrainAndEvaluate(t *testing.T) {
 
 func TestRemoteTrainError(t *testing.T) {
 	_, client := startServer(t, 4, 1, 0, 10)
-	_, err := client.Train(federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 0})
+	_, err := client.Train(context.Background(), federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 0})
 	if err == nil || !strings.Contains(err.Error(), "local epochs") {
 		t.Fatalf("err = %v", err)
 	}
 	// The connection must remain usable after a server-side error.
-	if _, err := client.Summary(); err != nil {
+	if _, err := client.Summary(context.Background()); err != nil {
 		t.Fatalf("connection unusable after error: %v", err)
 	}
 }
@@ -183,12 +184,12 @@ func TestClientReconnects(t *testing.T) {
 	client.mu.Lock()
 	client.conn.Close()
 	client.mu.Unlock()
-	if _, err := client.Summary(); err != nil {
+	if _, err := client.Summary(context.Background()); err != nil {
 		t.Fatalf("reconnect failed: %v", err)
 	}
 	srv.Close()
 	// After server shutdown, calls must fail.
-	if _, err := client.Summary(); err == nil {
+	if _, err := client.Summary(context.Background()); err == nil {
 		t.Fatal("summary succeeded against a closed server")
 	}
 }
@@ -287,11 +288,11 @@ func TestConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			for i := 0; i < 5; i++ {
-				if _, err := c.Summary(); err != nil {
+				if _, err := c.Summary(context.Background()); err != nil {
 					errs <- err
 					return
 				}
-				if _, err := c.Train(federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 1}); err != nil {
+				if _, err := c.Train(context.Background(), federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 1}); err != nil {
 					errs <- err
 					return
 				}
@@ -314,7 +315,7 @@ func newFuzzNode() (*federation.Node, error) {
 func TestClientBytesMoved(t *testing.T) {
 	_, client := startServer(t, 9, 1, 0, 20)
 	out0, in0 := client.BytesMoved()
-	if _, err := client.Summary(); err != nil {
+	if _, err := client.Summary(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	out1, in1 := client.BytesMoved()
@@ -355,7 +356,7 @@ func TestUnknownTypeStructuredError(t *testing.T) {
 	_, client := startServer(t, 30, 1, 0, 10)
 	errsBefore := telemetry.Default().Counter("qens_errors_total", telemetry.L("node", "node-A")...).Value()
 
-	_, err := client.roundTrip(request{Type: "compress"})
+	_, err := client.roundTrip(context.Background(), request{Type: "compress"})
 	if err == nil {
 		t.Fatal("unknown type accepted")
 	}
@@ -370,7 +371,7 @@ func TestUnknownTypeStructuredError(t *testing.T) {
 		t.Fatalf("qens_errors_total did not advance: %d -> %d", errsBefore, errsAfter)
 	}
 	// The connection survives the protocol error.
-	if _, err := client.Summary(); err != nil {
+	if _, err := client.Summary(context.Background()); err != nil {
 		t.Fatalf("connection unusable after unknown type: %v", err)
 	}
 }
@@ -383,7 +384,7 @@ func TestTraceIDRoundTrip(t *testing.T) {
 	var lc logCapture
 	srv.SetLogger(lc.logf)
 
-	resp, err := client.roundTrip(request{
+	resp, err := client.roundTrip(context.Background(), request{
 		Type:    typeTrain,
 		TraceID: "trace-cafe01",
 		SpanID:  "span-beef02",
@@ -407,7 +408,7 @@ func TestTraceIDRoundTrip(t *testing.T) {
 	// envelope (asserted via the daemon log).
 	lc2 := logCapture{}
 	srv.SetLogger(lc2.logf)
-	if _, err := client.Train(federation.TrainRequest{
+	if _, err := client.Train(context.Background(), federation.TrainRequest{
 		Spec: ml.PaperLR(1), LocalEpochs: 1, TraceID: "trace-feed03", SpanID: "span-dead04",
 	}); err != nil {
 		t.Fatal(err)
@@ -472,7 +473,7 @@ func TestServerMetrics(t *testing.T) {
 	out0 := reg.Counter("qens_bytes_sent_total", node...).Value()
 	hist0 := reg.Histogram("qens_train_round_ms", node...).Count()
 
-	if _, err := client.Train(federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 2}); err != nil {
+	if _, err := client.Train(context.Background(), federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Counter("qens_train_rounds_total", node...).Value(); got != rounds0+1 {

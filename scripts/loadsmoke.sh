@@ -1,0 +1,59 @@
+#!/bin/sh
+# loadsmoke.sh — end-to-end smoke of the serving stack: build
+# qens-gateway and qensload, boot a tiny simulated fleet, fire a short
+# closed-loop load run, then SIGTERM the gateway and assert it drains
+# cleanly. Used by `make loadsmoke` / `make ci`.
+set -eu
+
+ADDR="${QENS_SMOKE_ADDR:-127.0.0.1:18080}"
+URL="http://${ADDR}"
+BIN="$(mktemp -d)"
+GW_PID=""
+
+cleanup() {
+    status=$?
+    if [ -n "$GW_PID" ] && kill -0 "$GW_PID" 2>/dev/null; then
+        kill -KILL "$GW_PID" 2>/dev/null || true
+    fi
+    rm -rf "$BIN"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "loadsmoke: building binaries"
+go build -o "$BIN/qens-gateway" ./cmd/qens-gateway
+go build -o "$BIN/qensload" ./cmd/qensload
+
+echo "loadsmoke: starting gateway on $ADDR (3 nodes x 200 samples)"
+"$BIN/qens-gateway" -addr "$ADDR" -nodes 3 -samples 200 -k 4 -epochs 3 \
+    -workers 4 -queue 32 -trace "$BIN/trace.jsonl" &
+GW_PID=$!
+
+# qensload polls /v1/stats until the gateway is up (-wait), so no
+# separate readiness loop is needed here.
+echo "loadsmoke: running closed-loop load"
+"$BIN/qensload" -url "$URL" -clients 8 -requests 64 -distinct 6 \
+    -topl 2 -timeout-ms 30000 -wait 15s
+
+echo "loadsmoke: draining gateway (SIGTERM)"
+kill -TERM "$GW_PID"
+i=0
+while kill -0 "$GW_PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "loadsmoke: FAIL gateway did not exit within 30s of SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if ! wait "$GW_PID"; then
+    echo "loadsmoke: FAIL gateway exited non-zero after SIGTERM" >&2
+    exit 1
+fi
+GW_PID=""
+
+if [ ! -s "$BIN/trace.jsonl" ]; then
+    echo "loadsmoke: FAIL trace file empty — spans not flushed on shutdown" >&2
+    exit 1
+fi
+echo "loadsmoke: OK ($(wc -l <"$BIN/trace.jsonl") trace spans flushed)"
