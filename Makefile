@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench clean
+.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-paper clean
 
 all: check
 
@@ -43,7 +43,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Planner microbenchmarks (BenchmarkPlan, fleet size x dims) rendered
+# as BENCH_plan.json; fails if the query-driven fast path allocates.
+# Override the per-case budget with BENCHTIME=100ms for a quick smoke.
 bench:
+	sh scripts/bench_plan.sh
+
+# Paper-figure macro benchmarks (Tables I-II, Figures 6-9); these
+# train real fleets and take minutes.
+bench-paper:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
 clean:

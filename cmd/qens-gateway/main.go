@@ -57,6 +57,9 @@ func main() {
 		epsilon     = flag.Float64("epsilon", 0.6, "default query-driven support threshold")
 		topL        = flag.Int("topl", 3, "default query-driven top-l")
 
+		summaryTTL     = flag.Duration("summary-ttl", 0, "summary registry snapshot TTL; after this age the next query refetches the fleet advertisement (0 caches until invalidated)")
+		summaryRefresh = flag.Duration("summary-refresh", 0, "background summary refresh interval; re-fetches fleet advertisements off the query path (0 disables)")
+
 		dialTimeout  = flag.Duration("dial-timeout", 2*time.Minute, "remote client dial/request timeout")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		tracePath    = flag.String("trace", "", "write per-query spans as JSONL to this file")
@@ -77,11 +80,17 @@ func main() {
 		}()
 	}
 
-	leader, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout)
+	leader, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout, *summaryTTL)
 	if err != nil {
 		fatal("%v", err)
 	}
 	defer cleanup()
+
+	if *summaryRefresh > 0 {
+		leader.Registry().StartRefresh(*summaryRefresh)
+		defer leader.Registry().Stop()
+		fmt.Printf("qens-gateway: refreshing fleet summaries every %v\n", *summaryRefresh)
+	}
 
 	var cache *federation.ReuseCache
 	if *reuseIoU > 0 {
@@ -134,7 +143,7 @@ func main() {
 
 // buildLeader wires either a simulated in-process fleet or a roster of
 // remote qensd daemons.
-func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model string, dialTimeout time.Duration) (*federation.Leader, func(), error) {
+func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model string, dialTimeout, summaryTTL time.Duration) (*federation.Leader, func(), error) {
 	if addrs != "" {
 		var clients []federation.Client
 		closeAll := func() {
@@ -159,6 +168,7 @@ func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model
 		}
 		leader, err := federation.NewLeader(federation.Config{
 			Spec: specFor(model, 1), ClusterK: k, LocalEpochs: epochs, Seed: seed,
+			SummaryTTL: summaryTTL,
 		}, nil, clients)
 		if err != nil {
 			closeAll()
@@ -175,6 +185,7 @@ func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model
 	}
 	fleet, err := federation.NewSimulatedFleet(data, federation.Config{
 		Spec: specFor(model, data[0].Dims()-1), ClusterK: k, LocalEpochs: epochs, Seed: seed,
+		SummaryTTL: summaryTTL,
 	}, federation.FleetOptions{})
 	if err != nil {
 		return nil, nil, err

@@ -85,6 +85,23 @@ func main() {
 		fmt.Printf("qensd: observability on http://%s (/metrics /healthz /debug/pprof)\n", obs.Addr())
 	}
 
+	// SIGHUP requantizes the node in place: the k-means synopsis is
+	// rebuilt over the current local data and the advertisement epoch
+	// bumps, so the next RPC response tells the leader its cached
+	// summaries drifted.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if err := srv.Requantize(); err != nil {
+				fmt.Fprintf(os.Stderr, "qensd: requantize: %v\n", err)
+				continue
+			}
+			fmt.Printf("qensd: requantized, advertisement epoch now %d\n", srv.SummaryEpoch())
+		}
+	}()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
@@ -104,10 +121,11 @@ func main() {
 func healthFunc(srv *transport.Server, nodeID string, shardSize, k int) telemetry.HealthFunc {
 	return func() map[string]any {
 		doc := map[string]any{
-			"node":       nodeID,
-			"addr":       srv.Addr(),
-			"shard_size": shardSize,
-			"k":          k,
+			"node":          nodeID,
+			"addr":          srv.Addr(),
+			"shard_size":    shardSize,
+			"k":             k,
+			"summary_epoch": srv.SummaryEpoch(),
 		}
 		if age, ok := srv.LastTrainAge(); ok {
 			doc["last_round_age_s"] = age.Seconds()

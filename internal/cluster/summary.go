@@ -26,6 +26,12 @@ type NodeSummary struct {
 	// TotalSamples is the node's |D_i|, used for the data-fraction
 	// accounting of Fig. 9.
 	TotalSamples int `json:"total_samples"`
+	// Epoch is the node-side advertisement version: the node bumps it
+	// every time it requantizes (or otherwise changes what it would
+	// advertise). Zero means the producer predates versioning. The
+	// leader's registry records it per node so drift echoed on later
+	// RPCs can trigger an invalidation.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // ErrNoClusters reports an empty node summary.

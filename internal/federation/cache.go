@@ -58,14 +58,31 @@ func NewReuseCache(minIoU float64, capacity int) (*ReuseCache, error) {
 }
 
 // Lookup returns the best cached result whose query rectangle matches
-// q at or above the IoU threshold.
+// q at or above the IoU threshold, regardless of the summary epoch the
+// result was built against.
 func (c *ReuseCache) Lookup(q query.Query) (*Result, bool) {
+	return c.lookup(q, 0)
+}
+
+// LookupEpoch is Lookup restricted to results built against summary
+// epoch `epoch`. Entries stamped with an older epoch were trained on a
+// fleet advertisement that has since been invalidated and are skipped;
+// entries with Epoch 0 (built outside the registry pipeline, e.g. by
+// legacy callers) match any epoch. epoch 0 disables the check.
+func (c *ReuseCache) LookupEpoch(q query.Query, epoch uint64) (*Result, bool) {
+	return c.lookup(q, epoch)
+}
+
+func (c *ReuseCache) lookup(q query.Query, epoch uint64) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var best *Result
 	bestIoU := 0.0
 	for _, r := range c.entries {
 		if r.Query.Dims() != q.Dims() {
+			continue
+		}
+		if epoch != 0 && r.Epoch != 0 && r.Epoch != epoch {
 			continue
 		}
 		if iou := geometry.IoU(q.Bounds, r.Query.Bounds); iou >= c.minIoU && iou > bestIoU {
@@ -87,13 +104,29 @@ func (c *ReuseCache) Lookup(q query.Query) (*Result, bool) {
 }
 
 // Store records a freshly built result, evicting the oldest entry at
-// capacity.
+// capacity. When the result carries a summary epoch, entries built
+// against strictly older epochs are pruned first — their models were
+// trained on cluster advertisements that have since been invalidated,
+// so they would only ever serve stale ensembles.
 func (c *ReuseCache) Store(res *Result) {
 	if res == nil || res.Ensemble == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if res.Epoch != 0 {
+		kept := c.entries[:0]
+		for _, r := range c.entries {
+			if r.Epoch != 0 && r.Epoch < res.Epoch {
+				continue
+			}
+			kept = append(kept, r)
+		}
+		for i := len(kept); i < len(c.entries); i++ {
+			c.entries[i] = nil
+		}
+		c.entries = kept
+	}
 	if len(c.entries) == c.cap {
 		copy(c.entries, c.entries[1:])
 		c.entries = c.entries[:len(c.entries)-1]
@@ -124,12 +157,15 @@ func (l *Leader) ExecuteWithReuse(cache *ReuseCache, q query.Query, sel selectio
 
 // ExecuteWithReuseContext is ExecuteWithReuse with deadline and
 // cancellation support; cache hits are served even for an expired
-// context since they cost nothing.
+// context since they cost nothing. Lookups are fenced by the registry's
+// reuse epoch: after InvalidateSummaries (or a node drift signal) the
+// epoch advances and results trained against the old advertisement stop
+// matching, fixing the stale-ensemble leak of the unversioned cache.
 func (l *Leader) ExecuteWithReuseContext(ctx context.Context, cache *ReuseCache, q query.Query, sel selection.Selector, agg Aggregation) (res *Result, reused bool, err error) {
 	if cache == nil {
 		return nil, false, fmt.Errorf("federation: nil reuse cache")
 	}
-	if hit, ok := cache.Lookup(q); ok {
+	if hit, ok := cache.LookupEpoch(q, l.reg.ReuseEpoch()); ok {
 		return hit, true, nil
 	}
 	res, err = l.ExecuteContext(ctx, q, sel, agg)

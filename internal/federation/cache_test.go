@@ -101,6 +101,91 @@ func TestReuseCacheIgnoresNilResults(t *testing.T) {
 	}
 }
 
+// TestReuseCacheEpochFencing pins the versioned-lookup contract:
+// epoch-stamped entries only match their own epoch, Epoch-0 entries
+// (legacy callers) match anything, and storing a newer-epoch result
+// prunes the strictly older generations.
+func TestReuseCacheEpochFencing(t *testing.T) {
+	cache, _ := NewReuseCache(0.9, 8)
+	mk := func(id string, lo float64, epoch uint64) *Result {
+		q, _ := query.New(id, geometry.MustRect([]float64{lo, 0}, []float64{lo + 1, 1}))
+		return &Result{Query: q, Ensemble: &Ensemble{}, Epoch: epoch}
+	}
+	cache.Store(mk("old", 0, 1))
+	cache.Store(mk("legacy", 10, 0))
+
+	probe, _ := query.New("p", geometry.MustRect([]float64{0, 0}, []float64{1, 1}))
+	if _, ok := cache.LookupEpoch(probe, 1); !ok {
+		t.Fatal("same-epoch lookup missed")
+	}
+	if _, ok := cache.LookupEpoch(probe, 2); ok {
+		t.Fatal("stale epoch-1 entry served at epoch 2")
+	}
+	if _, ok := cache.Lookup(probe); !ok {
+		t.Fatal("unversioned Lookup must ignore epochs")
+	}
+	legacyProbe, _ := query.New("p", geometry.MustRect([]float64{10, 0}, []float64{11, 1}))
+	if _, ok := cache.LookupEpoch(legacyProbe, 7); !ok {
+		t.Fatal("Epoch-0 entry must match any epoch")
+	}
+
+	// Storing an epoch-3 result prunes the epoch-1 entry but keeps the
+	// legacy Epoch-0 one.
+	cache.Store(mk("new", 20, 3))
+	if cache.Len() != 2 {
+		t.Fatalf("len %d after pruning, want 2 (legacy + new)", cache.Len())
+	}
+	if _, ok := cache.LookupEpoch(probe, 1); ok {
+		t.Fatal("pruned epoch-1 entry still served")
+	}
+}
+
+// TestExecuteWithReuseEpochInvalidation is the end-to-end version of
+// the stale-ensemble fix: after InvalidateSummaries the advertisement
+// epoch moves, the cached result stops matching, and the same query
+// retrains instead of serving the pre-invalidation ensemble.
+func TestExecuteWithReuseEpochInvalidation(t *testing.T) {
+	fleet := testFleet(t)
+	cache, err := NewReuseCache(0.9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := selection.QueryDriven{Epsilon: 0.6, TopL: 2}
+	q := midQuery(t)
+
+	res1, reused, err := fleet.Leader.ExecuteWithReuse(cache, q, sel, WeightedAveraging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("first execution cannot be a hit")
+	}
+	if res1.Epoch == 0 {
+		t.Fatal("result missing the advertisement epoch stamp")
+	}
+	if _, reused, _ = fleet.Leader.ExecuteWithReuse(cache, q, sel, WeightedAveraging); !reused {
+		t.Fatal("identical query at the same epoch must hit")
+	}
+
+	fleet.Leader.InvalidateSummaries()
+
+	res2, reused, err := fleet.Leader.ExecuteWithReuse(cache, q, sel, WeightedAveraging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused {
+		t.Fatal("post-invalidation query served the stale ensemble")
+	}
+	if res2.Epoch <= res1.Epoch {
+		t.Fatalf("epoch did not advance: %d then %d", res1.Epoch, res2.Epoch)
+	}
+	// The fresh result replaced the stale generation in the cache and
+	// now serves hits at the new epoch.
+	if _, reused, _ = fleet.Leader.ExecuteWithReuse(cache, q, sel, WeightedAveraging); !reused {
+		t.Fatal("retrained result not cached at the new epoch")
+	}
+}
+
 func TestIoU(t *testing.T) {
 	a := geometry.MustRect([]float64{0, 0}, []float64{10, 10})
 	if got := geometry.IoU(a, a); got != 1 {

@@ -1,0 +1,213 @@
+package federation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"qens/internal/plan"
+	"qens/internal/telemetry"
+)
+
+// Executor is the I/O-bound half of the query pipeline: given an
+// immutable Plan it distributes the initial global model, drives one
+// training round per selected participant (sequentially or fanned
+// out), watches the responses for node-side advertisement drift, and
+// aggregates the local models into the query's ensemble. It holds no
+// state of its own beyond the leader reference, so one Executor serves
+// all concurrent queries.
+type Executor struct {
+	l *Leader
+}
+
+// NewExecutor builds an executor bound to the leader's fleet.
+func NewExecutor(l *Leader) *Executor {
+	return &Executor{l: l}
+}
+
+// Run executes the plan sequentially (one training round at a time).
+// The returned Result owns deep copies of the plan's participants, so
+// releasing the plan afterwards is safe.
+func (e *Executor) Run(ctx context.Context, pl *plan.Plan, agg Aggregation) (_ *Result, retErr error) {
+	return e.trace(ctx, pl, agg, false)
+}
+
+// RunParallel executes the plan with the training fan-out running
+// concurrently across participants — the deployment-realistic mode for
+// TCP clients.
+func (e *Executor) RunParallel(ctx context.Context, pl *plan.Plan, agg Aggregation) (_ *Result, retErr error) {
+	return e.trace(ctx, pl, agg, true)
+}
+
+// trace wraps run with its own root span and wall-clock accounting for
+// callers that executed a pre-built plan directly (the leader's
+// Execute* methods manage their own spans and call run).
+func (e *Executor) trace(ctx context.Context, pl *plan.Plan, agg Aggregation, parallel bool) (_ *Result, retErr error) {
+	if pl == nil {
+		return nil, fmt.Errorf("federation: execute: nil plan")
+	}
+	start := time.Now()
+	qspan := e.l.activeTracer().StartTrace("query")
+	qspan.SetAttr("query", pl.Query.ID)
+	qspan.SetAttr("selector", pl.Selector)
+	defer func() { qspan.End(retErr) }()
+	res, err := e.run(ctx, qspan, pl, agg, parallel)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.WallTime = time.Since(start)
+	e.l.metrics.query(pl.Selector, 0, len(res.Failed))
+	return res, nil
+}
+
+// run is the shared execution core. It fills everything in the Result
+// except SelectionTime and WallTime, which belong to the caller's
+// accounting scope.
+func (e *Executor) run(ctx context.Context, qspan *telemetry.SpanHandle, pl *plan.Plan, agg Aggregation, parallel bool) (*Result, error) {
+	l := e.l
+
+	// Initial global model w.
+	spec := l.cfg.Spec
+	spec.Seed = uint64(l.src.Int63())
+	global, err := spec.New()
+	if err != nil {
+		return nil, err
+	}
+	initial := global.Params()
+	paramBytes := int64(8 * len(initial.Values))
+
+	participants := pl.CopyParticipants()
+	res := &Result{
+		Query:        pl.Query,
+		Epoch:        pl.Epoch,
+		Selector:     pl.Selector,
+		Aggregation:  agg,
+		Participants: participants,
+	}
+	if snap := pl.Snapshot(); snap != nil {
+		res.Stats.SamplesAllNodes = snap.TotalSamples
+	}
+
+	type trainOut struct {
+		resp    TrainResponse
+		elapsed time.Duration
+		err     error
+	}
+	outs := make([]trainOut, len(participants))
+
+	if parallel {
+		var wg sync.WaitGroup
+		for i, p := range participants {
+			wg.Add(1)
+			go func(i int, p participantRef) {
+				defer wg.Done()
+				roundStart := time.Now()
+				c, err := l.client(p.NodeID)
+				if err != nil {
+					outs[i] = trainOut{err: err, elapsed: time.Since(roundStart)}
+					return
+				}
+				tspan := startTrainSpan(qspan, p.NodeID, 0)
+				resp, err := c.Train(ctx, TrainRequest{
+					Spec:        l.cfg.Spec,
+					Params:      initial,
+					Clusters:    p.Clusters,
+					LocalEpochs: l.cfg.LocalEpochs,
+					TraceID:     tspan.TraceID(),
+					SpanID:      tspan.SpanID(),
+				})
+				tspan.End(err)
+				outs[i] = trainOut{resp: resp, err: err, elapsed: time.Since(roundStart)}
+			}(i, participantRef{NodeID: p.NodeID, Clusters: p.Clusters})
+		}
+		wg.Wait()
+	} else {
+		for i, p := range participants {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			tspan := startTrainSpan(qspan, p.NodeID, 0)
+			roundStart := time.Now()
+			resp, err := l.trainOn(ctx, p, initial, tspan)
+			elapsed := time.Since(roundStart)
+			tspan.End(err)
+			outs[i] = trainOut{resp: resp, err: err, elapsed: elapsed}
+			if err != nil && !l.cfg.TolerateFailures {
+				// Mirror the legacy sequential contract: abort on the
+				// first failure without contacting later participants.
+				l.metrics.round(p.NodeID, elapsed)
+				res.NodeRounds = append(res.NodeRounds, NodeRound{
+					NodeID: p.NodeID, Elapsed: elapsed, Err: err.Error(),
+				})
+				return nil, fmt.Errorf("federation: training on %s: %w", p.NodeID, err)
+			}
+		}
+	}
+
+	// Collect outcomes in participant order. A failed round aborts the
+	// query unless Config.TolerateFailures is set, in which case the
+	// failure stays visible in NodeRounds/Failed and the survivors form
+	// the ensemble.
+	ranks := make([]float64, 0, len(participants))
+	var firstErr error
+	for i, o := range outs {
+		p := participants[i]
+		round := NodeRound{NodeID: p.NodeID, Elapsed: o.elapsed}
+		l.metrics.round(p.NodeID, o.elapsed)
+		if o.err != nil {
+			round.Err = o.err.Error()
+			res.NodeRounds = append(res.NodeRounds, round)
+			if l.cfg.TolerateFailures {
+				res.Failed = append(res.Failed, p.NodeID)
+				continue
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("federation: training on %s: %w", p.NodeID, o.err)
+			}
+			continue
+		}
+		e.observeEpoch(p.NodeID, o.resp.SummaryEpoch)
+		res.NodeRounds = append(res.NodeRounds, round)
+		res.LocalParams = append(res.LocalParams, o.resp.Params)
+		ranks = append(ranks, p.Rank)
+		res.Stats.TrainTime += o.resp.TrainTime
+		res.Stats.SamplesUsed += o.resp.SamplesUsed
+		res.Stats.SamplesSelectedNodes += o.resp.TotalSamples
+		res.Stats.BytesUp += paramBytes
+		res.Stats.BytesDown += int64(8 * len(o.resp.Params.Values))
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(res.LocalParams) == 0 {
+		return nil, fmt.Errorf("federation: every selected participant failed for %s", pl.Query.ID)
+	}
+
+	aggSpan := qspan.Child("aggregation")
+	ensemble, err := NewEnsemble(l.cfg.Spec, res.LocalParams, ranks, agg)
+	aggSpan.End(err)
+	if err != nil {
+		return nil, err
+	}
+	res.Ensemble = ensemble
+	return res, nil
+}
+
+// participantRef is the copy handed to training goroutines (avoids
+// capturing the loop variable's backing Participant).
+type participantRef struct {
+	NodeID   string
+	Clusters []int
+}
+
+// observeEpoch feeds a node-reported advertisement version back into
+// the registry: when it is newer than the snapshot the plan was built
+// from, the node requantized mid-flight (data drift) and the registry
+// is invalidated so the next query replans against fresh summaries.
+func (e *Executor) observeEpoch(nodeID string, epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	e.l.reg.SignalNodeEpoch(nodeID, epoch)
+}

@@ -11,7 +11,9 @@ import (
 	"qens/internal/dataset"
 	"qens/internal/geometry"
 	"qens/internal/ml"
+	"qens/internal/plan"
 	"qens/internal/query"
+	"qens/internal/registry"
 	"qens/internal/rng"
 	"qens/internal/selection"
 	"qens/internal/telemetry"
@@ -35,6 +37,12 @@ type Config struct {
 	// Seed drives the leader's stochastic choices (random
 	// selection, model init).
 	Seed uint64
+	// SummaryTTL ages out the cached advertisements: a query planned
+	// after the TTL re-fetches the fleet and bumps the registry
+	// epoch. 0 (the default) keeps advertisements until an explicit
+	// InvalidateSummaries or a node-signalled drift — the legacy
+	// behaviour.
+	SummaryTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -59,32 +67,44 @@ func (c Config) Validate() error {
 	if c.LocalEpochs < 1 {
 		return fmt.Errorf("federation: local epochs %d < 1", c.LocalEpochs)
 	}
+	if c.SummaryTTL < 0 {
+		return fmt.Errorf("federation: negative summary TTL %v", c.SummaryTTL)
+	}
 	return nil
 }
 
 // Leader orchestrates per-query distributed learning (§III-A): it
 // holds the participant roster, collects their cluster advertisements
-// once, ranks and selects participants per incoming query, distributes
-// the global model, and aggregates the returned local models.
+// into a versioned registry, plans participant selection per incoming
+// query (internal/plan), distributes the global model, and aggregates
+// the returned local models.
+//
+// The per-query hot path is a Plan/Execute pipeline: the pure-CPU
+// planning stage reads a lock-free registry snapshot (no mutex at
+// steady state), and only the I/O-bound execution stage talks to the
+// fleet. Everything derived from an advertisement epoch — the warm-up
+// model, reuse-cache entries, plan fingerprints — is keyed to that
+// epoch and dies with it when the registry refreshes.
 //
 // A Leader is safe for concurrent callers: Execute, ExecuteParallel,
 // ExecuteRounds and ExecuteWithReuse may run simultaneously from many
 // goroutines (the serving path in internal/gateway depends on this).
-// The shared RNG is internally locked (see internal/rng), and the
-// lazily built summary and warm-up caches are guarded here. Stateful
-// *selectors* (Fairness, Contribution) remain single-caller — the
-// gateway only exposes the stateless ones.
+// The shared RNG is internally locked (see internal/rng), the summary
+// registry publishes copy-on-write snapshots, and the stateful
+// selectors (Fairness, Contribution, Adaptive) lock internally.
 type Leader struct {
 	cfg     Config
 	data    *dataset.Dataset // the leader's own local data (§II pre-test)
 	clients []Client
 	src     *rng.Source
 
-	summaryMu sync.Mutex
-	summaries []cluster.NodeSummary // cached advertisements
+	reg     *registry.Registry // versioned advertisement store
+	planner *plan.Planner      // pure-CPU planning stage
+	exec    *Executor          // I/O-bound execution stage
 
-	warmupMu sync.Mutex
-	warmup   *ml.Params // cached §II warm-up model
+	warmupMu    sync.Mutex
+	warmup      *ml.Params // cached §II warm-up model
+	warmupEpoch uint64     // registry epoch the warm-up was fit under
 
 	tracer  *telemetry.Tracer // nil: fall back to telemetry.DefaultTracer
 	metrics *leaderMetrics
@@ -109,10 +129,38 @@ func NewLeader(cfg Config, leaderData *dataset.Dataset, clients []Client) (*Lead
 		}
 		seen[c.ID()] = true
 	}
-	return &Leader{
+	l := &Leader{
 		cfg: cfg, data: leaderData, clients: clients, src: rng.New(cfg.Seed),
 		metrics: newLeaderMetrics(telemetry.Default()),
-	}, nil
+	}
+	reg, err := registry.New(registry.Config{
+		Fetch: l.fetchSummaries,
+		TTL:   cfg.SummaryTTL,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("federation: %w", err)
+	}
+	l.reg = reg
+	l.planner = plan.NewPlanner(reg)
+	l.exec = NewExecutor(l)
+	return l, nil
+}
+
+// fetchSummaries is the registry's FetchFunc: one advertisement per
+// participant, in roster order, validated before publication.
+func (l *Leader) fetchSummaries(ctx context.Context) ([]cluster.NodeSummary, error) {
+	out := make([]cluster.NodeSummary, 0, len(l.clients))
+	for _, c := range l.clients {
+		s, err := c.Summary(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // Config returns the leader's configuration (with defaults applied).
@@ -134,36 +182,38 @@ func (l *Leader) Summaries() ([]cluster.NodeSummary, error) {
 }
 
 // SummariesContext is Summaries with deadline/cancellation support.
-// The fetch is serialized: concurrent first callers wait for one
-// round of advertisements instead of each polling the fleet.
+// It resolves the current registry snapshot (fetching the fleet only
+// when none exists, the TTL lapsed, or the epoch was invalidated);
+// concurrent first callers wait for one round of advertisements
+// instead of each polling the fleet.
 func (l *Leader) SummariesContext(ctx context.Context) ([]cluster.NodeSummary, error) {
-	l.summaryMu.Lock()
-	defer l.summaryMu.Unlock()
-	if l.summaries != nil {
-		return l.summaries, nil
+	snap, err := l.reg.Snapshot(ctx)
+	if err != nil {
+		return nil, err
 	}
-	out := make([]cluster.NodeSummary, 0, len(l.clients))
-	for _, c := range l.clients {
-		s, err := c.Summary(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
-		}
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
-		}
-		out = append(out, s)
-	}
-	l.summaries = out
-	return out, nil
+	return snap.Summaries, nil
 }
 
-// InvalidateSummaries drops the cached advertisements (call after node
-// data changes).
+// InvalidateSummaries marks the cached advertisements stale (call
+// after node data changes): the next query re-fetches the fleet and
+// bumps the registry epoch, flushing every epoch-keyed derived cache.
 func (l *Leader) InvalidateSummaries() {
-	l.summaryMu.Lock()
-	defer l.summaryMu.Unlock()
-	l.summaries = nil
+	l.reg.Invalidate()
 }
+
+// Registry exposes the leader's versioned summary store (epoch
+// inspection, background refresh, drift signalling).
+func (l *Leader) Registry() *registry.Registry { return l.reg }
+
+// Planner exposes the pure-CPU planning stage.
+func (l *Leader) Planner() *plan.Planner { return l.planner }
+
+// Executor exposes the I/O-bound execution stage.
+func (l *Leader) Executor() *Executor { return l.exec }
+
+// SummaryEpoch returns the current advertisement epoch (0 before the
+// first fetch). Lock-free.
+func (l *Leader) SummaryEpoch() uint64 { return l.reg.Epoch() }
 
 // client looks up a participant by id.
 func (l *Leader) client(id string) (Client, error) {
@@ -177,11 +227,15 @@ func (l *Leader) client(id string) (Client, error) {
 
 // warmupParams lazily trains the leader's local warm-up model used by
 // the §II pre-test and GameTheory selection. The fit is serialized so
-// concurrent queries share one warm-up model.
+// concurrent queries share one warm-up model, and the cache is keyed
+// to the registry epoch: when the advertisements refresh (node data
+// changed), the stale warm-up dies with them and the next pre-test
+// refits against the new regime.
 func (l *Leader) warmupParams() (ml.Params, error) {
+	epoch := l.reg.Epoch()
 	l.warmupMu.Lock()
 	defer l.warmupMu.Unlock()
-	if l.warmup != nil {
+	if l.warmup != nil && l.warmupEpoch == epoch {
 		return *l.warmup, nil
 	}
 	if l.data == nil || l.data.Len() == 0 {
@@ -199,6 +253,7 @@ func (l *Leader) warmupParams() (ml.Params, error) {
 	}
 	p := model.Params()
 	l.warmup = &p
+	l.warmupEpoch = epoch
 	return p, nil
 }
 
@@ -278,7 +333,11 @@ func (s Stats) DataFraction() float64 {
 
 // Result is the outcome of executing one query.
 type Result struct {
-	Query        query.Query
+	Query query.Query
+	// Epoch is the advertisement epoch the query was planned against;
+	// caches keyed on it (see ReuseCache) are flushed when the
+	// registry refreshes.
+	Epoch        uint64
 	Selector     string
 	Aggregation  Aggregation
 	Participants []selection.Participant
@@ -311,6 +370,10 @@ func (l *Leader) Execute(q query.Query, sel selection.Selector, agg Aggregation)
 // round, and is handed to each participant client, so an expired query
 // aborts instead of occupying the fleet. A query whose context is
 // already done returns ctx.Err() immediately.
+//
+// Internally this is the two-stage pipeline: planner.Plan (pure CPU,
+// lock-free over the registry snapshot) followed by Executor.run (the
+// I/O-bound training fan-out and aggregation).
 func (l *Leader) ExecuteContext(ctx context.Context, q query.Query, sel selection.Selector, agg Aggregation) (_ *Result, retErr error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -318,87 +381,56 @@ func (l *Leader) ExecuteContext(ctx context.Context, q query.Query, sel selectio
 	start := time.Now()
 	qspan := l.startQuerySpan(q, sel)
 	defer func() { qspan.End(retErr) }()
-	summaries, err := l.SummariesContext(ctx)
+
+	pl, selectionTime, err := l.planWithSpan(ctx, qspan, q, sel)
 	if err != nil {
 		return nil, err
 	}
+	defer pl.Release()
 
-	selStart := time.Now()
-	selSpan := startSelectionSpan(qspan)
-	participants, err := sel.Select(q, summaries, l.selectionContext(ctx))
-	selSpan.End(err)
-	if err != nil {
-		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
-	}
-	selectionTime := time.Since(selStart)
-
-	// Initial global model w.
-	spec := l.cfg.Spec
-	spec.Seed = uint64(l.src.Int63())
-	global, err := spec.New()
+	res, err := l.exec.run(ctx, qspan, pl, agg, false)
 	if err != nil {
 		return nil, err
 	}
-	initial := global.Params()
-	paramBytes := int64(8 * len(initial.Values))
-
-	res := &Result{
-		Query:        q,
-		Selector:     sel.Name(),
-		Aggregation:  agg,
-		Participants: participants,
-	}
-	ranks := make([]float64, 0, len(participants))
-	totalAll := 0
-	for _, s := range summaries {
-		totalAll += s.TotalSamples
-	}
-	res.Stats.SamplesAllNodes = totalAll
-
-	for _, p := range participants {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		tspan := startTrainSpan(qspan, p.NodeID, 0)
-		roundStart := time.Now()
-		resp, err := l.trainOn(ctx, p, initial, tspan)
-		elapsed := time.Since(roundStart)
-		tspan.End(err)
-		l.metrics.round(p.NodeID, elapsed)
-		round := NodeRound{NodeID: p.NodeID, Elapsed: elapsed}
-		if err != nil {
-			round.Err = err.Error()
-			res.NodeRounds = append(res.NodeRounds, round)
-			if l.cfg.TolerateFailures {
-				res.Failed = append(res.Failed, p.NodeID)
-				continue
-			}
-			return nil, fmt.Errorf("federation: training on %s: %w", p.NodeID, err)
-		}
-		res.NodeRounds = append(res.NodeRounds, round)
-		res.LocalParams = append(res.LocalParams, resp.Params)
-		ranks = append(ranks, p.Rank)
-		res.Stats.TrainTime += resp.TrainTime
-		res.Stats.SamplesUsed += resp.SamplesUsed
-		res.Stats.SamplesSelectedNodes += resp.TotalSamples
-		res.Stats.BytesUp += paramBytes
-		res.Stats.BytesDown += int64(8 * len(resp.Params.Values))
-	}
-	if len(res.LocalParams) == 0 {
-		return nil, fmt.Errorf("federation: every selected participant failed for %s", q.ID)
-	}
-
-	aggSpan := qspan.Child("aggregation")
-	ensemble, err := NewEnsemble(l.cfg.Spec, res.LocalParams, ranks, agg)
-	aggSpan.End(err)
-	if err != nil {
-		return nil, err
-	}
-	res.Ensemble = ensemble
 	res.Stats.SelectionTime = selectionTime
 	res.Stats.WallTime = time.Since(start)
 	l.metrics.query(sel.Name(), selectionTime, len(res.Failed))
 	return res, nil
+}
+
+// PlanContext runs only the pure-CPU planning stage for a query: the
+// registry snapshot is resolved (fetching the fleet at most once), the
+// candidate ranking is computed, and the selection policy applied — no
+// training RPC is issued. This is what the gateway's EXPLAIN endpoint
+// serves. The caller must Release the returned plan.
+func (l *Leader) PlanContext(ctx context.Context, q query.Query, sel selection.Selector) (*plan.Plan, error) {
+	snap, err := l.reg.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := l.planner.PlanOn(snap, q, sel, l.selectionContext(ctx))
+	if err != nil {
+		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
+	}
+	return pl, nil
+}
+
+// planWithSpan resolves the snapshot and plans under a selection span,
+// preserving the legacy error shapes: summary-fetch failures surface
+// unwrapped, selection failures get the "%s selection for %s" wrap.
+func (l *Leader) planWithSpan(ctx context.Context, qspan *telemetry.SpanHandle, q query.Query, sel selection.Selector) (*plan.Plan, time.Duration, error) {
+	snap, err := l.reg.Snapshot(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	selStart := time.Now()
+	selSpan := startSelectionSpan(qspan)
+	pl, err := l.planner.PlanOn(snap, q, sel, l.selectionContext(ctx))
+	selSpan.End(err)
+	if err != nil {
+		return nil, 0, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
+	}
+	return pl, time.Since(selStart), nil
 }
 
 // EvaluateGlobal scores a single global model (e.g. the FedAvg output

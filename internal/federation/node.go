@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"qens/internal/cluster"
@@ -33,6 +34,10 @@ type Node struct {
 	quant *cluster.Quantization
 	k     int
 	src   *rng.Source
+	// summaryEpoch versions the node's advertisement: bumped on every
+	// requantization, echoed on summaries and training responses so
+	// the leader's registry can detect drift out-of-band.
+	summaryEpoch atomic.Uint64
 }
 
 // NewNode quantizes data into k clusters and returns the participant.
@@ -50,7 +55,9 @@ func NewNode(id string, data *dataset.Dataset, k int, src *rng.Source) (*Node, e
 	if err != nil {
 		return nil, fmt.Errorf("federation: node %s: %w", id, err)
 	}
-	return &Node{id: id, data: data, quant: quant, k: k, src: src}, nil
+	n := &Node{id: id, data: data, quant: quant, k: k, src: src}
+	n.summaryEpoch.Store(1)
+	return n, nil
 }
 
 // NewNodeFromQuantization builds a participant around a pre-computed
@@ -64,13 +71,15 @@ func NewNodeFromQuantization(id string, quant *cluster.Quantization, src *rng.So
 	if quant == nil || quant.Data == nil || quant.Data.Len() == 0 {
 		return nil, fmt.Errorf("federation: node %s has no quantization", id)
 	}
-	return &Node{
+	n := &Node{
 		id:    id,
 		data:  quant.Data,
 		quant: quant,
 		k:     len(quant.Result.Clusters),
 		src:   src,
-	}, nil
+	}
+	n.summaryEpoch.Store(1)
+	return n, nil
 }
 
 // AddSamples appends newly collected rows to the node's local dataset
@@ -87,13 +96,16 @@ func (n *Node) AddSamples(rows [][]float64) error {
 }
 
 // Requantize recomputes the node's k-means quantization over the
-// current local dataset.
+// current local dataset and bumps the advertisement epoch, so leaders
+// that see the new epoch echoed on later RPCs know their cached
+// summaries drifted.
 func (n *Node) Requantize() error {
 	quant, err := cluster.Quantize(n.data, cluster.Config{K: n.k}, n.src.Split())
 	if err != nil {
 		return fmt.Errorf("federation: node %s: %w", n.id, err)
 	}
 	n.quant = quant
+	n.summaryEpoch.Add(1)
 	return nil
 }
 
@@ -104,8 +116,16 @@ func (n *Node) ID() string { return n.id }
 // federation protocol itself never reads it remotely.
 func (n *Node) Data() *dataset.Dataset { return n.data }
 
-// Summary returns the cluster advertisement sent to the leader.
-func (n *Node) Summary() cluster.NodeSummary { return n.quant.Summarize(n.id) }
+// SummaryEpoch returns the node's current advertisement version.
+func (n *Node) SummaryEpoch() uint64 { return n.summaryEpoch.Load() }
+
+// Summary returns the cluster advertisement sent to the leader,
+// stamped with the node's current epoch.
+func (n *Node) Summary() cluster.NodeSummary {
+	s := n.quant.Summarize(n.id)
+	s.Epoch = n.summaryEpoch.Load()
+	return s
+}
 
 // TrainRequest asks a node to continue training a model locally.
 type TrainRequest struct {
@@ -138,6 +158,11 @@ type TrainResponse struct {
 	TotalSamples int `json:"total_samples"`
 	// TrainTime is the wall-clock training duration on the node.
 	TrainTime time.Duration `json:"train_time"`
+	// SummaryEpoch echoes the node's current advertisement version.
+	// A value newer than what the leader's registry snapshot recorded
+	// means the node requantized since the advertisement was fetched —
+	// the drift signal that triggers a registry refresh.
+	SummaryEpoch uint64 `json:"summary_epoch,omitempty"`
 }
 
 // Train implements the §IV-B participant step: load the global model,
@@ -199,6 +224,7 @@ func (n *Node) TrainContext(ctx context.Context, req TrainRequest) (TrainRespons
 		SamplesUsed:  used,
 		TotalSamples: n.data.Len(),
 		TrainTime:    time.Since(start),
+		SummaryEpoch: n.summaryEpoch.Load(),
 	}, nil
 }
 

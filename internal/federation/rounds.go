@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"qens/internal/ml"
@@ -56,18 +55,17 @@ func (l *Leader) ExecuteRoundsContext(ctx context.Context, q query.Query, sel se
 	start := time.Now()
 	qspan := l.startQuerySpan(q, sel)
 	defer func() { qspan.End(retErr) }()
-	summaries, err := l.SummariesContext(ctx)
+	pl, selectionTime, err := l.planWithSpan(ctx, qspan, q, sel)
 	if err != nil {
 		return nil, err
 	}
-	selStart := time.Now()
-	selSpan := startSelectionSpan(qspan)
-	participants, err := sel.Select(q, summaries, l.selectionContext(ctx))
-	selSpan.End(err)
-	if err != nil {
-		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
+	participants := pl.CopyParticipants()
+	epoch := pl.Epoch
+	samplesAllNodes := 0
+	if snap := pl.Snapshot(); snap != nil {
+		samplesAllNodes = snap.TotalSamples
 	}
-	selectionTime := time.Since(selStart)
+	pl.Release()
 
 	spec := l.cfg.Spec
 	spec.Seed = uint64(l.src.Int63())
@@ -80,12 +78,11 @@ func (l *Leader) ExecuteRoundsContext(ctx context.Context, q query.Query, sel se
 
 	out := &RoundsResult{Rounds: rounds}
 	out.Query = q
+	out.Epoch = epoch
 	out.Selector = sel.Name()
 	out.Aggregation = WeightedAveraging
 	out.Participants = participants
-	for _, s := range summaries {
-		out.Stats.SamplesAllNodes += s.TotalSamples
-	}
+	out.Stats.SamplesAllNodes = samplesAllNodes
 
 	weights := make([]float64, len(participants))
 	for i, p := range participants {
@@ -122,6 +119,9 @@ func (l *Leader) ExecuteRoundsContext(ctx context.Context, q query.Query, sel se
 				return nil, fmt.Errorf("federation: round %d on %s: %w", r, p.NodeID, err)
 			}
 			out.NodeRounds = append(out.NodeRounds, round)
+			if resp.SummaryEpoch > 0 {
+				l.reg.SignalNodeEpoch(p.NodeID, resp.SummaryEpoch)
+			}
 			locals[i] = resp.Params
 			out.Stats.TrainTime += resp.TrainTime
 			out.Stats.SamplesUsed += resp.SamplesUsed
@@ -193,115 +193,16 @@ func (l *Leader) ExecuteParallelContext(ctx context.Context, q query.Query, sel 
 	start := time.Now()
 	qspan := l.startQuerySpan(q, sel)
 	defer func() { qspan.End(retErr) }()
-	summaries, err := l.SummariesContext(ctx)
+	pl, selectionTime, err := l.planWithSpan(ctx, qspan, q, sel)
 	if err != nil {
 		return nil, err
 	}
-	selStart := time.Now()
-	selSpan := startSelectionSpan(qspan)
-	participants, err := sel.Select(q, summaries, l.selectionContext(ctx))
-	selSpan.End(err)
-	if err != nil {
-		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
-	}
-	selectionTime := time.Since(selStart)
+	defer pl.Release()
 
-	spec := l.cfg.Spec
-	spec.Seed = uint64(l.src.Int63())
-	global, err := spec.New()
+	res, err := l.exec.run(ctx, qspan, pl, agg, true)
 	if err != nil {
 		return nil, err
 	}
-	initial := global.Params()
-	paramBytes := int64(8 * len(initial.Values))
-
-	res := &Result{
-		Query:        q,
-		Selector:     sel.Name(),
-		Aggregation:  agg,
-		Participants: participants,
-	}
-	for _, s := range summaries {
-		res.Stats.SamplesAllNodes += s.TotalSamples
-	}
-
-	type trainOut struct {
-		idx     int
-		resp    TrainResponse
-		elapsed time.Duration
-		err     error
-	}
-	var wg sync.WaitGroup
-	outs := make([]trainOut, len(participants))
-	for i, p := range participants {
-		wg.Add(1)
-		go func(i int, p selection.Participant) {
-			defer wg.Done()
-			roundStart := time.Now()
-			c, err := l.client(p.NodeID)
-			if err != nil {
-				outs[i] = trainOut{idx: i, err: err, elapsed: time.Since(roundStart)}
-				return
-			}
-			tspan := startTrainSpan(qspan, p.NodeID, 0)
-			resp, err := c.Train(ctx, TrainRequest{
-				Spec:        l.cfg.Spec,
-				Params:      initial,
-				Clusters:    p.Clusters,
-				LocalEpochs: l.cfg.LocalEpochs,
-				TraceID:     tspan.TraceID(),
-				SpanID:      tspan.SpanID(),
-			})
-			tspan.End(err)
-			outs[i] = trainOut{idx: i, resp: resp, err: err, elapsed: time.Since(roundStart)}
-		}(i, p)
-	}
-	wg.Wait()
-
-	// Collect outcomes in participant order. Like Execute, a failed
-	// round aborts the query unless Config.TolerateFailures is set, in
-	// which case the failure stays visible in NodeRounds/Failed and the
-	// survivors form the ensemble.
-	ranks := make([]float64, 0, len(participants))
-	var firstErr error
-	for i, o := range outs {
-		round := NodeRound{NodeID: participants[i].NodeID, Elapsed: o.elapsed}
-		l.metrics.round(participants[i].NodeID, o.elapsed)
-		if o.err != nil {
-			round.Err = o.err.Error()
-			res.NodeRounds = append(res.NodeRounds, round)
-			if l.cfg.TolerateFailures {
-				res.Failed = append(res.Failed, participants[i].NodeID)
-				continue
-			}
-			if firstErr == nil {
-				firstErr = fmt.Errorf("federation: training on %s: %w", participants[i].NodeID, o.err)
-			}
-			continue
-		}
-		res.NodeRounds = append(res.NodeRounds, round)
-		res.LocalParams = append(res.LocalParams, o.resp.Params)
-		ranks = append(ranks, participants[i].Rank)
-		res.Stats.TrainTime += o.resp.TrainTime
-		res.Stats.SamplesUsed += o.resp.SamplesUsed
-		res.Stats.SamplesSelectedNodes += o.resp.TotalSamples
-		res.Stats.BytesUp += paramBytes
-		res.Stats.BytesDown += int64(8 * len(o.resp.Params.Values))
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if len(res.LocalParams) == 0 {
-		return nil, fmt.Errorf("federation: every selected participant failed for %s", q.ID)
-	}
-
-	aggSpan := qspan.Child("aggregation")
-	ensemble, err := NewEnsemble(l.cfg.Spec, res.LocalParams, ranks, agg)
-	aggSpan.End(err)
-	if err != nil {
-		return nil, err
-	}
-	res.Ensemble = ensemble
 	res.Stats.SelectionTime = selectionTime
 	res.Stats.WallTime = time.Since(start)
 	l.metrics.query(sel.Name(), selectionTime, len(res.Failed))

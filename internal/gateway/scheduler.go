@@ -56,6 +56,12 @@ type Request struct {
 	// (0 uses the scheduler default). Queue wait does not consume the
 	// budget; admission control bounds that separately.
 	Timeout time.Duration
+	// PlanKey, when non-empty, is the plan.Plan.Key() fingerprint the
+	// submitter computed for this query (participants + training
+	// directives at one advertisement epoch). Two live requests with
+	// equal keys would execute identical work, so they coalesce
+	// exactly — regardless of rectangle IoU.
+	PlanKey string
 }
 
 // Config parameterizes a Scheduler.
@@ -250,13 +256,21 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 }
 
 // coalesceMatch reports whether a live task can serve req: same
-// selector mechanism, same aggregation, and rectangle IoU at or above
-// the threshold.
+// selector mechanism, same aggregation, and either an exact plan-key
+// match (the two queries would train the same participants on the same
+// clusters at the same advertisement epoch) or rectangle IoU at or
+// above the threshold.
 func coalesceMatch(live, incoming Request, minIoU float64) bool {
 	if live.Selector.Name() != incoming.Selector.Name() {
 		return false
 	}
 	if live.Aggregation != incoming.Aggregation {
+		return false
+	}
+	if live.PlanKey != "" && live.PlanKey == incoming.PlanKey {
+		return true
+	}
+	if minIoU <= 0 {
 		return false
 	}
 	if live.Query.Dims() != incoming.Query.Dims() {
@@ -288,7 +302,7 @@ func (s *Scheduler) Submit(ctx context.Context, req Request) (*Ticket, error) {
 		s.m.rejectedDrain.Inc()
 		return nil, ErrDraining
 	}
-	if s.cfg.CoalesceIoU > 0 {
+	if s.cfg.CoalesceIoU > 0 || req.PlanKey != "" {
 		for _, t := range s.live {
 			if coalesceMatch(t.req, req, s.cfg.CoalesceIoU) {
 				s.mu.Unlock()

@@ -13,7 +13,9 @@ import (
 
 	"qens/internal/federation"
 	"qens/internal/geometry"
+	"qens/internal/plan"
 	"qens/internal/query"
+	"qens/internal/registry"
 	"qens/internal/selection"
 	"qens/internal/telemetry"
 )
@@ -82,6 +84,13 @@ type Server struct {
 	start   time.Time
 	nextID  atomic.Int64
 	handler http.Handler
+
+	// statefulSels holds one persistent instance per stateful selector
+	// configuration — fairness rotation cursors and contribution
+	// histories must survive across requests, and the selectors guard
+	// their own state, so concurrent queries share them safely.
+	selMu        sync.Mutex
+	statefulSels map[string]selection.Selector
 }
 
 // NewServer builds a gateway server (and its scheduler) over a leader.
@@ -106,13 +115,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		sched:   sched,
-		records: newRecordStore(cfg.RecordCapacity),
-		start:   time.Now(),
+		cfg:          cfg,
+		sched:        sched,
+		records:      newRecordStore(cfg.RecordCapacity),
+		start:        time.Now(),
+		statefulSels: make(map[string]selection.Selector),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleSubmit)
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/query/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	obs := telemetry.NewHTTPHandler(cfg.Registry, s.health, s.start)
@@ -229,10 +240,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
-// buildSelector maps the request's selector spec to a stateless
-// selection.Selector. Stateful mechanisms (fairness, contribution) are
-// rejected: they assume a single sequential caller, which the serving
-// path is not.
+// buildSelector maps the request's selector spec to a
+// selection.Selector. Stateful mechanisms (fairness, contribution)
+// resolve to one persistent, internally locked instance per
+// (mechanism, L) so their cursors/histories carry across requests —
+// concurrent queries advance them under the selector's own mutex.
 func (s *Server) buildSelector(req queryRequest) (selection.Selector, error) {
 	eps := req.Epsilon
 	if eps == 0 {
@@ -258,11 +270,58 @@ func (s *Server) buildSelector(req queryRequest) (selection.Selector, error) {
 		return selection.AllNodes{}, nil
 	case "game-theory":
 		return selection.GameTheory{L: l}, nil
-	case "fairness", "contribution":
-		return nil, fmt.Errorf("selector %q is stateful and not servable concurrently", req.Selector)
+	case "fairness":
+		return s.statefulSelector(fmt.Sprintf("fairness/%d", l), func() selection.Selector {
+			return &selection.Fairness{L: l}
+		}), nil
+	case "contribution":
+		return s.statefulSelector(fmt.Sprintf("contribution/%d", l), func() selection.Selector {
+			return &selection.Contribution{L: l}
+		}), nil
 	default:
 		return nil, fmt.Errorf("unknown selector %q", req.Selector)
 	}
+}
+
+// statefulSelector returns the server's persistent selector instance
+// under key, creating it on first use.
+func (s *Server) statefulSelector(key string, mk func() selection.Selector) selection.Selector {
+	s.selMu.Lock()
+	defer s.selMu.Unlock()
+	if sel, ok := s.statefulSels[key]; ok {
+		return sel
+	}
+	sel := mk()
+	s.statefulSels[key] = sel
+	return sel
+}
+
+// planAheadKey runs the pure-CPU planning stage at admission time for
+// deterministic mechanisms and returns the plan's identity fingerprint
+// — the scheduler coalesces exact-key matches without an IoU
+// approximation. Nondeterministic (random draws) and stateful
+// (rotation, history) selectors return "" so admission does not
+// consume their state; they fall back to IoU coalescing. A query no
+// advertised cluster supports fails here with
+// selection.ErrNoCandidates before it can occupy a queue slot; any
+// other planning error is advisory (execution replans and surfaces
+// it).
+func (s *Server) planAheadKey(ctx context.Context, q query.Query, sel selection.Selector) (string, error) {
+	switch sel.(type) {
+	case selection.QueryDriven, selection.AllNodes:
+	default:
+		return "", nil
+	}
+	pl, err := s.cfg.Leader.PlanContext(ctx, q, sel)
+	if err != nil {
+		if errors.Is(err, selection.ErrNoCandidates) {
+			return "", err
+		}
+		return "", nil
+	}
+	key := pl.Key()
+	pl.Release()
+	return key, nil
 }
 
 func buildAggregation(name string) (federation.Aggregation, error) {
@@ -349,11 +408,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	planKey, err := s.planAheadKey(r.Context(), q, sel)
+	if err != nil {
+		// A property of the query, not a server fault: no edge node's
+		// cluster space supports the requested bounds — rejected before
+		// it can occupy a queue slot.
+		writeError(w, http.StatusUnprocessableEntity, "query %s: %v", id, err)
+		return
+	}
+	if s.cfg.CoalesceIoU < 0 {
+		planKey = "" // coalescing explicitly disabled
+	}
+
 	// The submitter's context carries the query deadline so an
 	// already-expired budget is rejected inside Submit too.
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	tk, err := s.sched.Submit(ctx, Request{Query: q, Selector: sel, Aggregation: agg, Timeout: timeout})
+	tk, err := s.sched.Submit(ctx, Request{Query: q, Selector: sel, Aggregation: agg, Timeout: timeout, PlanKey: planKey})
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -458,6 +529,107 @@ func buildResponse(id string, out *Outcome, includeParams bool) queryResponse {
 	return resp
 }
 
+// planResponse is the POST /v1/plan (EXPLAIN) body: the selection the
+// leader would execute for the query, plus the full per-node ranking
+// behind it, produced without a single training RPC.
+type planResponse struct {
+	ID           string            `json:"id"`
+	Epoch        uint64            `json:"epoch"`
+	Selector     string            `json:"selector"`
+	Epsilon      float64           `json:"epsilon"`
+	Key          string            `json:"key"`
+	Candidates   int               `json:"candidates"`
+	Participants []participantJSON `json:"participants"`
+	Rankings     []rankJSON        `json:"rankings,omitempty"`
+}
+
+// rankJSON is one node's EXPLAIN row (Eqs. 2–4 of the paper).
+type rankJSON struct {
+	NodeID            string  `json:"node_id"`
+	Rank              float64 `json:"rank"`
+	Potential         float64 `json:"potential"`
+	Supporting        []int   `json:"supporting,omitempty"`
+	SupportingSamples int     `json:"supporting_samples"`
+	TotalSamples      int     `json:"total_samples"`
+}
+
+// handlePlan serves POST /v1/plan — EXPLAIN for a query: it runs only
+// the pure-CPU planning stage (registry snapshot, candidate ranking,
+// selection) and reports what the leader would train, without touching
+// a node. Stateful selectors are rejected: explaining a fairness or
+// contribution query would advance its cursor/history.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	id := req.ID
+	if id == "" {
+		id = fmt.Sprintf("plan-%d", s.nextID.Add(1))
+	}
+	q, err := query.New(id, req.Bounds)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sel, err := s.buildSelector(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, stateful := sel.(selection.Stateful); stateful {
+		writeError(w, http.StatusBadRequest, "selector %q is stateful; planning it would advance its state", sel.Name())
+		return
+	}
+	pl, err := s.cfg.Leader.PlanContext(r.Context(), q, sel)
+	if err != nil {
+		switch {
+		case errors.Is(err, selection.ErrNoCandidates):
+			writeError(w, http.StatusUnprocessableEntity, "query %s: %v", id, err)
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			writeError(w, http.StatusGatewayTimeout, "query %s: %v", id, err)
+		default:
+			writeError(w, http.StatusBadGateway, "query %s: %v", id, err)
+		}
+		return
+	}
+	resp := buildPlanResponse(id, pl)
+	pl.Release()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildPlanResponse shapes a plan for the wire. Every slice is deep-
+// copied: the plan's slices are arena-backed and die at Release.
+func buildPlanResponse(id string, pl *plan.Plan) planResponse {
+	resp := planResponse{
+		ID:         id,
+		Epoch:      pl.Epoch,
+		Selector:   pl.Selector,
+		Epsilon:    pl.Epsilon,
+		Key:        pl.Key(),
+		Candidates: pl.NumCandidates(),
+	}
+	for _, p := range pl.Participants {
+		resp.Participants = append(resp.Participants, participantJSON{
+			NodeID: p.NodeID, Rank: p.Rank, Clusters: append([]int(nil), p.Clusters...),
+		})
+	}
+	for _, nr := range pl.Rankings {
+		resp.Rankings = append(resp.Rankings, rankJSON{
+			NodeID:            nr.NodeID,
+			Rank:              nr.Rank,
+			Potential:         nr.Potential,
+			Supporting:        append([]int(nil), nr.Supporting...),
+			SupportingSamples: nr.SupportingSamples,
+			TotalSamples:      nr.TotalSamples,
+		})
+	}
+	return resp
+}
+
 // handleGet serves GET /v1/query/{id}.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
@@ -486,8 +658,9 @@ type statsResponse struct {
 		P99MS  float64 `json:"p99_ms"`
 		MaxMS  float64 `json:"max_ms"`
 	} `json:"latency"`
-	Nodes []string       `json:"nodes"`
-	Space *geometry.Rect `json:"space,omitempty"`
+	Nodes    []string        `json:"nodes"`
+	Space    *geometry.Rect  `json:"space,omitempty"`
+	Registry *registry.Stats `json:"registry,omitempty"`
 }
 
 // handleStats serves GET /v1/stats: scheduler counters, reuse-cache
@@ -517,6 +690,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Latency.MaxMS = snap.Max
 	if space, err := s.space(r.Context()); err == nil {
 		resp.Space = &space
+	}
+	if reg := s.cfg.Leader.Registry(); reg != nil {
+		st := reg.Stats()
+		resp.Registry = &st
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -412,7 +412,6 @@ func TestGatewayBadRequests(t *testing.T) {
 		{"unknown field", `{"boundz":{"min":[0],"max":[1]}}`},
 		{"invalid bounds", `{"bounds":{"min":[10,0],"max":[0,10]}}`},
 		{"unknown selector", `{"bounds":{"min":[0,-50],"max":[20,150]},"selector":"psychic"}`},
-		{"stateful selector", `{"bounds":{"min":[0,-50],"max":[20,150]},"selector":"fairness"}`},
 		{"bad aggregation", `{"bounds":{"min":[0,-50],"max":[20,150]},"aggregation":"median"}`},
 		{"negative timeout", `{"bounds":{"min":[0,-50],"max":[20,150]},"timeout_ms":-5}`},
 		{"bad deadline", `{"bounds":{"min":[0,-50],"max":[20,150]},"deadline":"yesterday"}`},
@@ -497,5 +496,127 @@ func TestRecordStoreEviction(t *testing.T) {
 	rec, _ := rs.get("q2")
 	if rec.Status != recordDone {
 		t.Fatal("update lost")
+	}
+}
+
+// TestGatewayPlanExplain: POST /v1/plan returns the selection and the
+// full ranking without executing a single training round.
+func TestGatewayPlanExplain(t *testing.T) {
+	gate := make(chan struct{}) // never opened: any training RPC would hang
+	defer close(gate)
+	leader := gatedLeader(t, gate)
+	_, ts := newGatewayServer(t, ServerConfig{Leader: leader})
+
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(
+		`{"bounds":{"min":[5,-50],"max":[35,150]},"selector":"query-driven","epsilon":0.6,"top_l":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc planResponse
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if doc.Epoch == 0 {
+		t.Fatal("plan has no advertisement epoch")
+	}
+	if doc.Selector != "query-driven" {
+		t.Fatalf("selector %q", doc.Selector)
+	}
+	if len(doc.Participants) == 0 || len(doc.Participants) > 2 {
+		t.Fatalf("participants %v, want 1..2", doc.Participants)
+	}
+	if doc.Candidates != 2 || len(doc.Rankings) != 2 {
+		t.Fatalf("candidates %d rankings %d, want 2 each", doc.Candidates, len(doc.Rankings))
+	}
+	if doc.Key == "" {
+		t.Fatal("plan has no key")
+	}
+	for _, p := range doc.Participants {
+		if len(p.Clusters) == 0 {
+			t.Fatalf("participant %s has no supporting clusters", p.NodeID)
+		}
+	}
+
+	// Stateful selectors are not EXPLAINable (planning would advance
+	// their state); unsupported bounds are the query's fault (422).
+	resp2, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(
+		`{"bounds":{"min":[5,-50],"max":[35,150]},"selector":"fairness"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stateful plan: status %d, want 400", resp2.StatusCode)
+	}
+	resp3, err := http.Post(ts.URL+"/v1/plan", "application/json", strings.NewReader(
+		`{"bounds":{"min":[1000,1000],"max":[1001,1001]},"selector":"query-driven"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unsupported plan: status %d, want 422", resp3.StatusCode)
+	}
+}
+
+// TestGatewayStatefulSelectors: fairness and contribution are served
+// through persistent per-(mechanism,L) instances, so the fairness
+// rotation advances across requests instead of resetting.
+func TestGatewayStatefulSelectors(t *testing.T) {
+	fleet := testFleet(t)
+	_, ts := newGatewayServer(t, ServerConfig{Leader: fleet.Leader, CoalesceIoU: -1})
+
+	first := func(doc map[string]any) string {
+		parts, _ := doc["participants"].([]any)
+		if len(parts) == 0 {
+			t.Fatalf("no participants in %v", doc)
+		}
+		p, _ := parts[0].(map[string]any)
+		id, _ := p["node_id"].(string)
+		return id
+	}
+	body := `{"bounds":{"min":[0,-50],"max":[90,200]},"selector":"fairness","l":1}`
+	code, doc1, _ := postQuery(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d (%v)", code, doc1)
+	}
+	code, doc2, _ := postQuery(t, ts.URL, body)
+	if code != http.StatusOK {
+		t.Fatalf("status %d (%v)", code, doc2)
+	}
+	if first(doc1) == first(doc2) {
+		t.Fatalf("fairness rotation did not advance: %s twice", first(doc1))
+	}
+
+	code, doc, _ := postQuery(t, ts.URL,
+		`{"bounds":{"min":[0,-50],"max":[90,200]},"selector":"contribution","l":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("contribution: status %d (%v)", code, doc)
+	}
+}
+
+// TestGatewayStatsRegistry: /v1/stats surfaces the summary registry's
+// epoch once a query has forced a snapshot.
+func TestGatewayStatsRegistry(t *testing.T) {
+	fleet := testFleet(t)
+	_, ts := newGatewayServer(t, ServerConfig{Leader: fleet.Leader})
+	if code, doc, _ := postQuery(t, ts.URL,
+		`{"bounds":{"min":[0,-50],"max":[90,200]},"selector":"all-nodes"}`); code != http.StatusOK {
+		t.Fatalf("status %d (%v)", code, doc)
+	}
+	var stats statsResponse
+	getJSON(t, ts.URL+"/v1/stats", &stats)
+	if stats.Registry == nil {
+		t.Fatal("/v1/stats has no registry section")
+	}
+	if stats.Registry.Epoch == 0 {
+		t.Fatalf("registry epoch 0 after a served query: %+v", stats.Registry)
+	}
+	if stats.Registry.Nodes != 3 {
+		t.Fatalf("registry nodes %d, want 3", stats.Registry.Nodes)
 	}
 }

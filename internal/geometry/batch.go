@@ -1,0 +1,50 @@
+package geometry
+
+// Batched overlap kernel for the planning hot path. The leader ranks
+// every advertised cluster rectangle against each query (Eq. 2); doing
+// that through Rect values costs two slice headers and a bounds check
+// per rectangle. The planner (internal/plan) instead keeps every
+// node's cluster bounds in two flat slices — mins[k*dims+d],
+// maxs[k*dims+d] — packed once per registry snapshot, and scores a
+// whole node with a single pass here. The kernel is allocation-free:
+// results are appended into a caller-owned buffer (the planner pools
+// them), and it computes bit-identical values to OverlapRate so the
+// plan path is provably equivalent to the legacy per-Rect path.
+
+// FlattenRects packs rectangles into flat min/max slices, appending to
+// mins/maxs (pass nil to allocate fresh). All rects must share dims.
+// The returned slices satisfy len == n*dims and are laid out
+// rect-major: bounds of rect i occupy [i*dims, (i+1)*dims).
+func FlattenRects(mins, maxs []float64, rects []Rect) ([]float64, []float64) {
+	for _, r := range rects {
+		mins = append(mins, r.Min...)
+		maxs = append(maxs, r.Max...)
+	}
+	return mins, maxs
+}
+
+// OverlapRatesFlat scores the query box [qmin,qmax] against every
+// rectangle in the flat (mins, maxs) pack, appending one Eq. 2 overlap
+// rate per rectangle to dst and returning the extended slice. dims is
+// len(qmin); len(mins) must be a multiple of dims. The per-dimension
+// cases and the final mean match OverlapRate exactly (same operations,
+// same order), so callers can swap between the two representations
+// without changing a single ranking.
+func OverlapRatesFlat(dst []float64, qmin, qmax, mins, maxs []float64) []float64 {
+	dims := len(qmin)
+	if dims == 0 || len(qmax) != dims {
+		panic("geometry: query bounds empty or mismatched")
+	}
+	if len(mins) != len(maxs) || len(mins)%dims != 0 {
+		panic("geometry: flat bounds not a multiple of query dims")
+	}
+	for off := 0; off < len(mins); off += dims {
+		sum := 0.0
+		for d := 0; d < dims; d++ {
+			h, _ := IntervalOverlap(qmin[d], qmax[d], mins[off+d], maxs[off+d])
+			sum += h
+		}
+		dst = append(dst, sum/float64(dims))
+	}
+	return dst
+}

@@ -1,0 +1,92 @@
+package geometry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomRect draws a rectangle with occasional degenerate dimensions
+// so the kernel is exercised across every IntervalOverlap case.
+func randomRect(r *rand.Rand, dims int) Rect {
+	min := make([]float64, dims)
+	max := make([]float64, dims)
+	for d := 0; d < dims; d++ {
+		a := r.Float64()*20 - 10
+		b := r.Float64()*20 - 10
+		if r.Intn(10) == 0 {
+			b = a // degenerate interval
+		}
+		if a > b {
+			a, b = b, a
+		}
+		min[d], max[d] = a, b
+	}
+	return MustRect(min, max)
+}
+
+// TestOverlapRatesFlatMatchesOverlapRate is the kernel's equivalence
+// contract: the flat-slice batch path must produce bit-identical
+// values to the per-Rect OverlapRate for arbitrary geometry.
+func TestOverlapRatesFlatMatchesOverlapRate(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, dims := range []int{1, 2, 4, 16} {
+		q := randomRect(r, dims)
+		rects := make([]Rect, 64)
+		want := make([]float64, len(rects))
+		for i := range rects {
+			rects[i] = randomRect(r, dims)
+			want[i] = OverlapRate(q, rects[i])
+		}
+		mins, maxs := FlattenRects(nil, nil, rects)
+		if len(mins) != len(rects)*dims || len(maxs) != len(rects)*dims {
+			t.Fatalf("dims=%d: flatten produced %d/%d values, want %d", dims, len(mins), len(maxs), len(rects)*dims)
+		}
+		got := OverlapRatesFlat(nil, q.Min, q.Max, mins, maxs)
+		if len(got) != len(want) {
+			t.Fatalf("dims=%d: got %d rates, want %d", dims, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dims=%d rect=%d: flat rate %v != OverlapRate %v", dims, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOverlapRatesFlatAppends(t *testing.T) {
+	q := MustRect([]float64{0, 0}, []float64{1, 1})
+	k := MustRect([]float64{0, 0}, []float64{1, 1})
+	mins, maxs := FlattenRects(nil, nil, []Rect{k})
+	dst := make([]float64, 0, 4)
+	dst = append(dst, -1)
+	dst = OverlapRatesFlat(dst, q.Min, q.Max, mins, maxs)
+	if len(dst) != 2 || dst[0] != -1 || dst[1] != 1 {
+		t.Fatalf("append semantics broken: %v", dst)
+	}
+}
+
+func TestOverlapRatesFlatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched flat bounds")
+		}
+	}()
+	OverlapRatesFlat(nil, []float64{0, 0}, []float64{1, 1}, []float64{0, 0, 0}, []float64{1, 1, 1})
+}
+
+func BenchmarkOverlapRatesFlat(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	const dims, n = 4, 5000
+	q := randomRect(r, dims)
+	rects := make([]Rect, n)
+	for i := range rects {
+		rects[i] = randomRect(r, dims)
+	}
+	mins, maxs := FlattenRects(nil, nil, rects)
+	dst := make([]float64, 0, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = OverlapRatesFlat(dst[:0], q.Min, q.Max, mins, maxs)
+	}
+}

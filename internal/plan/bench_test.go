@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"qens/internal/rng"
+	"qens/internal/selection"
+)
+
+// BenchmarkPlan measures the pure-CPU planning hot path — snapshot →
+// Eq. 2–4 ranking → TopL selection — across fleet sizes N and query
+// dimensionalities d. The query-driven fast path must stay at
+// 0 allocs/op at every size (enforced hard by TestPlanZeroAlloc;
+// visible here via -benchmem). `make bench` renders these results as
+// BENCH_plan.json.
+func BenchmarkPlan(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		for _, d := range []int{4, 16} {
+			b.Run(fmt.Sprintf("N=%d/d=%d", n, d), func(b *testing.B) {
+				summaries := synthSummaries(n, 5, d, uint64(31*n+d))
+				reg := staticRegistry(b, summaries)
+				snap, err := reg.Snapshot(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				planner := NewPlanner(reg)
+				q := randomQuery("bench", d, rng.New(3))
+				// Box once: per-call interface boxing of the selector
+				// struct would show up as a spurious alloc/op.
+				var sel selection.Selector = selection.QueryDriven{Epsilon: 0.1, TopL: 5}
+
+				// Warm the pool so the measured loop sees steady state.
+				pl, err := planner.PlanOn(snap, q, sel, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pl.Release()
+
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pl, err := planner.PlanOn(snap, q, sel, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					pl.Release()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlanKey isolates the fingerprint used by the gateway's
+// coalescing and reuse caches (allocates one string per call by
+// design — it escapes into cache keys).
+func BenchmarkPlanKey(b *testing.B) {
+	summaries := synthSummaries(100, 5, 4, 77)
+	reg := staticRegistry(b, summaries)
+	snap, err := reg.Snapshot(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	planner := NewPlanner(reg)
+	q := randomQuery("key", 4, rng.New(9))
+	var sel selection.Selector = selection.QueryDriven{Epsilon: 0.1, TopL: 5}
+	pl, err := planner.PlanOn(snap, q, sel, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pl.Release()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pl.Key() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package plan turns (query, registry snapshot) into an immutable
+// execution Plan — the pure-CPU half of the leader's per-query work.
+//
+// The paper's leader does two very different things per query: CPU-only
+// ranking over advertised cluster rectangles (Eqs. 2–4) and I/O-bound
+// distributed training (§IV-B). This package isolates the first: a
+// Planner reads a lock-free registry snapshot, scores every node's
+// clusters with the batched flat-slice overlap kernel
+// (geometry.OverlapRatesFlat), applies the selection policy, and emits
+// a Plan carrying the chosen participants, the full per-node ranking,
+// and the snapshot epoch it was derived from. Executors (see
+// internal/federation) then run the I/O half against the plan, and
+// gateways key reuse/coalescing caches on Plan.Key.
+//
+// The query-driven fast path is allocation-free at steady state: Plans
+// are pooled, and every slice a Plan hands out (overlaps, supporting
+// sets, participants) is a sub-slice of per-Plan arenas sized to the
+// snapshot. Callers therefore MUST treat a Plan as frozen and call
+// Release exactly once when done — after copying out anything that
+// must outlive it.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+
+	"qens/internal/geometry"
+	"qens/internal/query"
+	"qens/internal/registry"
+	"qens/internal/selection"
+)
+
+// defaultEpsilon is the permissive support threshold used to rank for
+// selectors that carry no intrinsic ε (Random, AllNodes, Fairness, …):
+// any overlap counts, so EXPLAIN output still shows which clusters
+// touch the query even when the mechanism ignores the ranking.
+const defaultEpsilon = 1e-9
+
+// Plan is one immutable planning outcome. All exported slices are
+// either arena-backed (query-driven fast path) or selector-owned;
+// either way they are frozen — do not mutate, and do not retain past
+// Release.
+type Plan struct {
+	// Query is the workload rectangle the plan was built for.
+	Query query.Query
+	// Epoch is the registry snapshot epoch the plan derives from.
+	// Everything cached against the plan (reuse entries, coalesced
+	// results) dies when the epoch moves.
+	Epoch uint64
+	// Selector names the mechanism that chose the participants.
+	Selector string
+	// Epsilon is the ε the Rankings were thresholded at.
+	Epsilon float64
+	// Participants are the selected nodes in priority order, with
+	// their supporting-cluster training directives.
+	Participants []selection.Participant
+	// Rankings holds the full per-node ranking in roster
+	// (advertisement) order — the EXPLAIN view behind the selection.
+	Rankings []selection.NodeRank
+
+	snap    *registry.Snapshot
+	planner *Planner
+
+	// Arenas. overlapArena backs every NodeRank.Overlaps, supportArena
+	// every NodeRank.Supporting and Participant.Clusters, rankArena
+	// backs Rankings, partArena backs fast-path Participants, ranked
+	// is the sort scratch. They are pre-grown to the snapshot's totals
+	// before filling, so mid-loop appends can never reallocate and
+	// invalidate earlier sub-slices.
+	overlapArena []float64
+	supportArena []int
+	rankArena    []selection.NodeRank
+	partArena    []selection.Participant
+	ranked       []selection.NodeRank
+}
+
+// Snapshot returns the registry snapshot the plan was derived from.
+func (pl *Plan) Snapshot() *registry.Snapshot { return pl.snap }
+
+// NumCandidates returns the number of nodes ranked.
+func (pl *Plan) NumCandidates() int { return len(pl.Rankings) }
+
+// Key is the plan's identity fingerprint:
+// "e<epoch>|<selector>|node:clusters|…". Two queries with equal keys
+// selected the same participants with the same training directives
+// against the same advertisement epoch, so their executions are
+// interchangeable — which is exactly what result-reuse and coalescing
+// caches want to key on. (Rank values are intentionally excluded: they
+// only weight aggregation, and equal participant sets at one epoch
+// imply equal ranks for deterministic selectors.)
+func (pl *Plan) Key() string {
+	var b strings.Builder
+	b.Grow(16 + 16*len(pl.Participants))
+	b.WriteByte('e')
+	b.WriteString(strconv.FormatUint(pl.Epoch, 10))
+	b.WriteByte('|')
+	b.WriteString(pl.Selector)
+	for _, p := range pl.Participants {
+		b.WriteByte('|')
+		b.WriteString(p.NodeID)
+		if p.Clusters != nil {
+			b.WriteByte(':')
+			for j, c := range p.Clusters {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(c))
+			}
+		}
+	}
+	return b.String()
+}
+
+// CopyParticipants returns a deep copy of the participant list that
+// survives Release — what executors embed into long-lived Results.
+func (pl *Plan) CopyParticipants() []selection.Participant {
+	out := make([]selection.Participant, len(pl.Participants))
+	for i, p := range pl.Participants {
+		out[i] = selection.Participant{NodeID: p.NodeID, Rank: p.Rank}
+		if p.Clusters != nil {
+			out[i].Clusters = append([]int(nil), p.Clusters...)
+		}
+	}
+	return out
+}
+
+// Release returns the plan (and its arenas) to the planner's pool.
+// Safe to call exactly once; the zero Plan and plans that already
+// escaped a pool are no-ops.
+func (pl *Plan) Release() {
+	p := pl.planner
+	if p == nil {
+		return
+	}
+	pl.planner = nil
+	pl.snap = nil
+	pl.Query = query.Query{}
+	pl.Participants = nil
+	pl.Rankings = nil
+	p.pool.Put(pl)
+}
+
+// Planner builds Plans against a registry. It is safe for concurrent
+// use; at steady state Plan is lock-free (one atomic snapshot load)
+// and allocation-free for the query-driven mechanism.
+type Planner struct {
+	reg  *registry.Registry
+	pool sync.Pool
+}
+
+// NewPlanner builds a planner over the registry.
+func NewPlanner(reg *registry.Registry) *Planner {
+	return &Planner{reg: reg}
+}
+
+// Registry exposes the underlying registry (epoch and stats access).
+func (p *Planner) Registry() *registry.Registry { return p.reg }
+
+// Plan resolves a fresh-enough snapshot from the registry and plans
+// the query against it. sctx supplies selector dependencies (RNG,
+// warm-up evaluator); it may be nil for selectors that need neither.
+func (p *Planner) Plan(ctx context.Context, q query.Query, sel selection.Selector, sctx *selection.Context) (*Plan, error) {
+	snap, err := p.reg.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return p.PlanOn(snap, q, sel, sctx)
+}
+
+// PlanOn plans the query against an explicit snapshot (tests and
+// benchmarks pin snapshots; the serving path uses Plan).
+func (p *Planner) PlanOn(snap *registry.Snapshot, q query.Query, sel selection.Selector, sctx *selection.Context) (*Plan, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("plan: nil snapshot")
+	}
+	// Fast path: the paper's query-driven mechanism, fully arena-backed.
+	if s, ok := sel.(selection.QueryDriven); ok {
+		return p.planQueryDriven(snap, q, s)
+	}
+
+	eps := defaultEpsilon
+	if ec, ok := sel.(selection.EpsilonCarrier); ok {
+		if e := ec.SupportEpsilon(); e > 0 {
+			eps = e
+		}
+	}
+	pl, err := p.rank(snap, q, eps, sel.Name())
+	if err != nil {
+		return nil, err
+	}
+	var parts []selection.Participant
+	if cs, ok := sel.(selection.CandidateSelector); ok {
+		set := selection.CandidateSet{Query: q, Epsilon: eps, Ranks: pl.Rankings}
+		parts, err = cs.SelectFrom(&set, sctx)
+	} else {
+		// Opaque third-party selector: hand it the raw summaries,
+		// exactly like the legacy path did.
+		parts, err = sel.Select(q, snap.Summaries, sctx)
+	}
+	if err != nil {
+		pl.Release()
+		return nil, err
+	}
+	pl.Participants = parts
+	return pl, nil
+}
+
+// planQueryDriven is the allocation-free Eq. 2–4 pipeline.
+func (p *Planner) planQueryDriven(snap *registry.Snapshot, q query.Query, s selection.QueryDriven) (*Plan, error) {
+	if (s.TopL > 0) == (s.Psi > 0) {
+		return nil, fmt.Errorf("selection: query-driven needs exactly one of TopL (%d) or Psi (%v)", s.TopL, s.Psi)
+	}
+	pl, err := p.rank(snap, q, s.Epsilon, s.Name())
+	if err != nil {
+		return nil, err
+	}
+
+	// Sort a copy of the ranking (descending rank, node id tie-break —
+	// identical to selection.SortByRank) in the pooled scratch.
+	pl.ranked = pl.ranked[:0]
+	pl.ranked = append(pl.ranked, pl.rankArena...)
+	slices.SortStableFunc(pl.ranked, compareRank)
+
+	pl.partArena = pl.partArena[:0]
+	if s.TopL > 0 {
+		for _, r := range pl.ranked {
+			if len(pl.partArena) == s.TopL || r.Rank <= 0 {
+				break
+			}
+			pl.partArena = append(pl.partArena, selection.Participant{
+				NodeID: r.NodeID, Rank: r.Rank, Clusters: r.Supporting,
+			})
+		}
+	} else {
+		psi := s.Psi
+		if psi <= 0 {
+			psi = 1e-12 // mirror selection.AboveThreshold's degradation
+		}
+		for _, r := range pl.ranked {
+			if r.Rank >= psi {
+				pl.partArena = append(pl.partArena, selection.Participant{
+					NodeID: r.NodeID, Rank: r.Rank, Clusters: r.Supporting,
+				})
+			}
+		}
+	}
+	if len(pl.partArena) == 0 {
+		pl.Release()
+		return nil, selection.ErrNoCandidates
+	}
+	pl.Participants = pl.partArena
+	return pl, nil
+}
+
+// compareRank orders descending by rank, ascending by node id.
+func compareRank(a, b selection.NodeRank) int {
+	if a.Rank != b.Rank {
+		if a.Rank > b.Rank {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(a.NodeID, b.NodeID)
+}
+
+// rank acquires a pooled Plan and fills its ranking arenas: per-node
+// Eq. 2 overlaps via the flat kernel, supporting sets, Eq. 3
+// potentials and Eq. 4 ranks at the given ε. The arithmetic (operation
+// order included) matches selection.RankNodes exactly, so the outcome
+// is bit-identical to the legacy per-summary path.
+func (p *Planner) rank(snap *registry.Snapshot, q query.Query, epsilon float64, selName string) (*Plan, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("selection: epsilon %v must be > 0", epsilon)
+	}
+	if q.Dims() != snap.Dims {
+		return nil, fmt.Errorf("plan: query %s has %d dims, snapshot has %d", q.ID, q.Dims(), snap.Dims)
+	}
+
+	var pl *Plan
+	if v := p.pool.Get(); v != nil {
+		pl = v.(*Plan)
+	} else {
+		pl = &Plan{}
+	}
+	pl.planner = p
+	pl.snap = snap
+	pl.Query = q
+	pl.Epoch = snap.Epoch
+	pl.Selector = selName
+	pl.Epsilon = epsilon
+
+	// Pre-grow every arena to the snapshot's totals so the fill loop
+	// below never reallocates (which would leave earlier sub-slices
+	// pointing into dead backing arrays).
+	if cap(pl.overlapArena) < snap.TotalClusters {
+		pl.overlapArena = make([]float64, 0, snap.TotalClusters)
+	}
+	if cap(pl.supportArena) < snap.TotalClusters {
+		pl.supportArena = make([]int, 0, snap.TotalClusters)
+	}
+	if cap(pl.rankArena) < len(snap.Nodes) {
+		pl.rankArena = make([]selection.NodeRank, 0, len(snap.Nodes))
+	}
+	if cap(pl.ranked) < len(snap.Nodes) {
+		pl.ranked = make([]selection.NodeRank, 0, len(snap.Nodes))
+	}
+	if cap(pl.partArena) < len(snap.Nodes) {
+		pl.partArena = make([]selection.Participant, 0, len(snap.Nodes))
+	}
+	pl.overlapArena = pl.overlapArena[:0]
+	pl.supportArena = pl.supportArena[:0]
+	pl.rankArena = pl.rankArena[:0]
+
+	qmin, qmax := q.Bounds.Min, q.Bounds.Max
+	for gi := range snap.Nodes {
+		g := &snap.Nodes[gi]
+		oBase := len(pl.overlapArena)
+		pl.overlapArena = geometry.OverlapRatesFlat(pl.overlapArena, qmin, qmax, g.Mins, g.Maxs)
+		overlaps := pl.overlapArena[oBase:len(pl.overlapArena)]
+
+		sBase := len(pl.supportArena)
+		potential := 0.0
+		supportSamples := 0
+		for k, h := range overlaps {
+			if h >= epsilon {
+				pl.supportArena = append(pl.supportArena, k)
+				potential += h
+				supportSamples += g.Sizes[k]
+			}
+		}
+		supporting := pl.supportArena[sBase:len(pl.supportArena)]
+		if len(supporting) == 0 {
+			supporting = nil // mirror RankNodes: no supporting clusters => nil
+		}
+		pl.rankArena = append(pl.rankArena, selection.NodeRank{
+			NodeID:            g.NodeID,
+			Overlaps:          overlaps,
+			Supporting:        supporting,
+			Potential:         potential,
+			Rank:              potential * float64(len(supporting)) / float64(len(overlaps)),
+			SupportingSamples: supportSamples,
+			TotalSamples:      g.TotalSamples,
+			Sizes:             g.Sizes,
+		})
+	}
+	pl.Rankings = pl.rankArena
+	return pl, nil
+}

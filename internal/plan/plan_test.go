@@ -1,0 +1,365 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"strings"
+	"testing"
+
+	"qens/internal/cluster"
+	"qens/internal/geometry"
+	"qens/internal/query"
+	"qens/internal/registry"
+	"qens/internal/rng"
+	"qens/internal/selection"
+)
+
+// synthSummaries builds a deterministic fleet advertisement: n nodes,
+// k clusters each, d dims, cluster rectangles scattered over
+// [0,100]^d. Roughly a third of the clusters are degenerate in one
+// dimension (point intervals), exercising the kernel's edge cases.
+func synthSummaries(n, k, d int, seed uint64) []cluster.NodeSummary {
+	src := rng.New(seed)
+	out := make([]cluster.NodeSummary, 0, n)
+	for i := 0; i < n; i++ {
+		s := cluster.NodeSummary{NodeID: fmt.Sprintf("node-%02d", i), Epoch: 1}
+		total := 0
+		for c := 0; c < k; c++ {
+			min := make([]float64, d)
+			max := make([]float64, d)
+			for j := 0; j < d; j++ {
+				lo := src.Uniform(0, 90)
+				hi := lo + src.Uniform(0, 25)
+				if (i+c+j)%3 == 0 {
+					hi = lo // degenerate interval
+				}
+				min[j], max[j] = lo, hi
+			}
+			size := 10 + src.Intn(200)
+			total += size
+			s.Clusters = append(s.Clusters, cluster.Summary{
+				Bounds: geometry.MustRect(min, max), Size: size,
+			})
+		}
+		s.TotalSamples = total + src.Intn(50)
+		out = append(out, s)
+	}
+	return out
+}
+
+// staticRegistry serves a fixed advertisement.
+func staticRegistry(t testing.TB, summaries []cluster.NodeSummary) *registry.Registry {
+	t.Helper()
+	reg, err := registry.New(registry.Config{
+		Fetch: func(context.Context) ([]cluster.NodeSummary, error) { return summaries, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// randomQuery draws a query rectangle inside [0,100]^d.
+func randomQuery(id string, d int, src *rng.Source) query.Query {
+	min := make([]float64, d)
+	max := make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo := src.Uniform(0, 80)
+		min[j], max[j] = lo, lo+src.Uniform(1, 40)
+	}
+	q, err := query.New(id, geometry.MustRect(min, max))
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// sameParticipants requires bit-exact agreement: same nodes in the
+// same order, identical ranks, identical cluster directives.
+func sameParticipants(a, b []selection.Participant) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("len %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].NodeID != b[i].NodeID {
+			return fmt.Errorf("participant %d: node %s != %s", i, a[i].NodeID, b[i].NodeID)
+		}
+		if a[i].Rank != b[i].Rank {
+			return fmt.Errorf("participant %d (%s): rank %v != %v", i, a[i].NodeID, a[i].Rank, b[i].Rank)
+		}
+		if (a[i].Clusters == nil) != (b[i].Clusters == nil) || len(a[i].Clusters) != len(b[i].Clusters) {
+			return fmt.Errorf("participant %d (%s): clusters %v != %v", i, a[i].NodeID, a[i].Clusters, b[i].Clusters)
+		}
+		for j := range a[i].Clusters {
+			if a[i].Clusters[j] != b[i].Clusters[j] {
+				return fmt.Errorf("participant %d (%s): clusters %v != %v", i, a[i].NodeID, a[i].Clusters, b[i].Clusters)
+			}
+		}
+	}
+	return nil
+}
+
+// evalStub is a deterministic stand-in for the game-theory pre-test.
+func evalStub(nodeID string) (float64, error) {
+	h := 0.0
+	for _, r := range nodeID {
+		h = math.Mod(h*31+float64(r), 977)
+	}
+	return h, nil
+}
+
+// TestPlannerGoldenEquivalence replays a seeded 200-query workload
+// through both pipelines — legacy Selector.Select over raw summaries
+// vs. Planner.PlanOn over a registry snapshot — for every stateless
+// mechanism (and Random with mirrored RNG streams) and requires
+// bit-exact participant agreement.
+func TestPlannerGoldenEquivalence(t *testing.T) {
+	summaries := synthSummaries(12, 5, 3, 42)
+	reg := staticRegistry(t, summaries)
+	snap, err := reg.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner := NewPlanner(reg)
+
+	caps := map[string]selection.Capabilities{
+		"node-00": {Compute: 2, Bandwidth: 0.5, Battery: 0.9},
+		"node-03": {Compute: 0.5, Bandwidth: 2, Battery: 0.2},
+	}
+	type selCase struct {
+		name   string
+		sel    selection.Selector
+		legacy func() *selection.Context
+		plan   func() *selection.Context
+	}
+	none := func() *selection.Context { return nil }
+	cases := []selCase{
+		{"query-driven-topl", selection.QueryDriven{Epsilon: 0.6, TopL: 3}, none, none},
+		{"query-driven-topl-tight", selection.QueryDriven{Epsilon: 0.9, TopL: 2}, none, none},
+		{"query-driven-psi", selection.QueryDriven{Epsilon: 0.3, Psi: 0.4}, none, none},
+		{"all-nodes", selection.AllNodes{}, none, none},
+		{"data-centric", selection.DataCentric{L: 4, Capabilities: caps}, none, none},
+		{"reward", selection.Reward{L: 4, Capabilities: caps}, none, none},
+		{
+			"game-theory", selection.GameTheory{L: 3},
+			func() *selection.Context { return &selection.Context{Evaluate: evalStub} },
+			func() *selection.Context { return &selection.Context{Evaluate: evalStub} },
+		},
+	}
+	// Random: two mirrored RNG streams, one per pipeline, seeded
+	// identically so the draws stay in lock-step across 200 queries.
+	legacyRNG, planRNG := rng.New(7), rng.New(7)
+	cases = append(cases, selCase{
+		"random", selection.Random{L: 3},
+		func() *selection.Context { return &selection.Context{RNG: legacyRNG} },
+		func() *selection.Context { return &selection.Context{RNG: planRNG} },
+	})
+
+	qsrc := rng.New(2024)
+	queries := make([]query.Query, 200)
+	for i := range queries {
+		queries[i] = randomQuery(fmt.Sprintf("q-%03d", i), 3, qsrc)
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mismatches := 0
+			for _, q := range queries {
+				want, wantErr := tc.sel.Select(q, summaries, tc.legacy())
+				pl, gotErr := planner.PlanOn(snap, q, tc.sel, tc.plan())
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("query %s: legacy err %v, planner err %v", q.ID, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if errors.Is(wantErr, selection.ErrNoCandidates) != errors.Is(gotErr, selection.ErrNoCandidates) {
+						t.Fatalf("query %s: error class diverged: legacy %v, planner %v", q.ID, wantErr, gotErr)
+					}
+					continue
+				}
+				if err := sameParticipants(want, pl.Participants); err != nil {
+					t.Errorf("query %s: %v", q.ID, err)
+					if mismatches++; mismatches > 3 {
+						t.Fatal("too many mismatches")
+					}
+				}
+				pl.Release()
+			}
+		})
+	}
+}
+
+// TestPlannerRankingsMatchRankNodes checks the EXPLAIN surface too:
+// the arena-backed per-node ranking must be bit-identical to
+// selection.RankNodes (overlaps, supporting sets, potential, rank,
+// sample accounting) across a seeded workload.
+func TestPlannerRankingsMatchRankNodes(t *testing.T) {
+	summaries := synthSummaries(8, 4, 2, 11)
+	reg := staticRegistry(t, summaries)
+	snap, err := reg.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner := NewPlanner(reg)
+
+	qsrc := rng.New(5)
+	for i := 0; i < 50; i++ {
+		q := randomQuery(fmt.Sprintf("rq-%02d", i), 2, qsrc)
+		eps := []float64{1e-9, 0.3, 0.6, 0.95}[i%4]
+		want, err := selection.RankNodes(q, summaries, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := planner.rank(snap, q, eps, "test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(pl.Rankings) {
+			t.Fatalf("query %d: %d ranks != %d", i, len(want), len(pl.Rankings))
+		}
+		for j := range want {
+			w, g := want[j], pl.Rankings[j]
+			if w.NodeID != g.NodeID || w.Potential != g.Potential || w.Rank != g.Rank ||
+				w.SupportingSamples != g.SupportingSamples || w.TotalSamples != g.TotalSamples {
+				t.Fatalf("query %d node %s: legacy %+v != planner %+v", i, w.NodeID, w, g)
+			}
+			if len(w.Overlaps) != len(g.Overlaps) {
+				t.Fatalf("query %d node %s: overlap count", i, w.NodeID)
+			}
+			for k := range w.Overlaps {
+				if w.Overlaps[k] != g.Overlaps[k] {
+					t.Fatalf("query %d node %s cluster %d: h %v != %v", i, w.NodeID, k, w.Overlaps[k], g.Overlaps[k])
+				}
+			}
+			if (w.Supporting == nil) != (g.Supporting == nil) || len(w.Supporting) != len(g.Supporting) {
+				t.Fatalf("query %d node %s: supporting %v != %v", i, w.NodeID, w.Supporting, g.Supporting)
+			}
+			for k := range w.Supporting {
+				if w.Supporting[k] != g.Supporting[k] {
+					t.Fatalf("query %d node %s: supporting %v != %v", i, w.NodeID, w.Supporting, g.Supporting)
+				}
+			}
+		}
+		pl.Release()
+	}
+}
+
+// TestPlanZeroAlloc: the query-driven fast path must not allocate at
+// steady state (pooled plan, pre-grown arenas, in-place sort).
+func TestPlanZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; allocation accounting is not meaningful")
+	}
+	summaries := synthSummaries(100, 5, 4, 99)
+	reg := staticRegistry(t, summaries)
+	snap, err := reg.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner := NewPlanner(reg)
+	q := randomQuery("alloc", 4, rng.New(3))
+	// Box the selector into the interface once, outside the measured
+	// loop — per-call boxing of the multi-word struct would count as
+	// one allocation per plan and hide real regressions.
+	var sel selection.Selector = selection.QueryDriven{Epsilon: 0.1, TopL: 5}
+
+	// Warm the pool (first plan allocates the arenas), then freeze the
+	// GC so the pool cannot be drained mid-measurement.
+	pl, err := planner.PlanOn(snap, q, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.Release()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	allocs := testing.AllocsPerRun(200, func() {
+		pl, err := planner.PlanOn(snap, q, sel, nil)
+		if err != nil {
+			panic(err)
+		}
+		pl.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("query-driven plan allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestPlanEpochAndKey: plans carry the registry epoch, keys change
+// when the epoch moves, and CopyParticipants survives Release.
+func TestPlanEpochAndKey(t *testing.T) {
+	summaries := synthSummaries(6, 4, 2, 17)
+	reg := staticRegistry(t, summaries)
+	planner := NewPlanner(reg)
+	q := randomQuery("epoch", 2, rng.New(21))
+	sel := selection.QueryDriven{Epsilon: 0.1, TopL: 3}
+
+	pl1, err := planner.Plan(context.Background(), q, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1.Epoch != reg.Epoch() || pl1.Epoch == 0 {
+		t.Fatalf("plan epoch %d, registry %d", pl1.Epoch, reg.Epoch())
+	}
+	key1 := pl1.Key()
+	if !strings.HasPrefix(key1, fmt.Sprintf("e%d|query-driven|", pl1.Epoch)) {
+		t.Fatalf("key %q lacks epoch/selector prefix", key1)
+	}
+	parts := pl1.CopyParticipants()
+	orig := pl1.Participants
+	if err := sameParticipants(parts, orig); err != nil {
+		t.Fatalf("copy diverged before release: %v", err)
+	}
+	pl1.Release()
+	if len(parts) == 0 || parts[0].NodeID == "" {
+		t.Fatal("copied participants did not survive release")
+	}
+
+	reg.Invalidate()
+	pl2, err := planner.Plan(context.Background(), q, sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl2.Release()
+	if pl2.Epoch <= pl1.Epoch && pl2.Epoch != reg.Epoch() {
+		t.Fatalf("epoch did not advance: %d then %d", pl1.Epoch, pl2.Epoch)
+	}
+	if key2 := pl2.Key(); key2 == key1 {
+		t.Fatalf("key unchanged across epochs: %q", key2)
+	}
+}
+
+// TestPlanErrors pins the planner's error contract to the legacy
+// shapes callers match on.
+func TestPlanErrors(t *testing.T) {
+	summaries := synthSummaries(4, 3, 2, 5)
+	reg := staticRegistry(t, summaries)
+	snap, err := reg.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner := NewPlanner(reg)
+	q := randomQuery("err", 2, rng.New(8))
+
+	if _, err := planner.PlanOn(nil, q, selection.AllNodes{}, nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := planner.PlanOn(snap, q, selection.QueryDriven{Epsilon: 0.5}, nil); err == nil ||
+		!strings.Contains(err.Error(), "exactly one of TopL") {
+		t.Fatalf("TopL/Psi validation: %v", err)
+	}
+	if _, err := planner.PlanOn(snap, q, selection.QueryDriven{TopL: 2}, nil); err == nil ||
+		!strings.Contains(err.Error(), "must be > 0") {
+		t.Fatalf("epsilon validation: %v", err)
+	}
+	far, _ := query.New("far", geometry.MustRect([]float64{1000, 1000}, []float64{1001, 1001}))
+	if _, err := planner.PlanOn(snap, far, selection.QueryDriven{Epsilon: 0.5, TopL: 2}, nil); !errors.Is(err, selection.ErrNoCandidates) {
+		t.Fatalf("unsupported query: %v, want ErrNoCandidates", err)
+	}
+	q3, _ := query.New("3d", geometry.MustRect([]float64{0, 0, 0}, []float64{1, 1, 1}))
+	if _, err := planner.PlanOn(snap, q3, selection.QueryDriven{Epsilon: 0.5, TopL: 2}, nil); err == nil ||
+		!strings.Contains(err.Error(), "dims") {
+		t.Fatalf("dims mismatch: %v", err)
+	}
+}

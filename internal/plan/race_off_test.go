@@ -1,0 +1,7 @@
+//go:build !race
+
+package plan
+
+// raceEnabled reports whether the race detector is active. See
+// race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package plan
+
+// raceEnabled reports whether the race detector is active. Under
+// -race, sync.Pool deliberately drops a fraction of Puts to widen
+// interleaving coverage, so steady-state allocation accounting is not
+// meaningful and TestPlanZeroAlloc skips itself.
+const raceEnabled = true

@@ -1,0 +1,359 @@
+// Package registry is the leader's versioned, epoch-stamped store of
+// fleet cluster advertisements. It replaces the mutex-guarded summary
+// cache that used to live inside federation.Leader with a copy-on-write
+// snapshot published through an atomic.Pointer, so the query planning
+// hot path (internal/plan) reads advertisements lock-free while
+// refreshes happen off to the side.
+//
+// Lifecycle: Invalidate marks the current snapshot stale; the next
+// Snapshot call (or the background refresher) re-fetches the fleet,
+// validates every advertisement, and publishes a fresh immutable
+// Snapshot with Epoch = previous+1. Consumers that cache derived state
+// (warm-up models, reuse-cache entries, plan fingerprints) key it to
+// the epoch, so everything derived from a dead snapshot dies with it.
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qens/internal/cluster"
+	"qens/internal/geometry"
+)
+
+// FetchFunc collects the fleet's current advertisements. It is called
+// with refreshes serialized (never concurrently with itself) and must
+// return one summary per node in stable roster order.
+type FetchFunc func(ctx context.Context) ([]cluster.NodeSummary, error)
+
+// NodeGeom is one node's advertisement re-packed for the batch overlap
+// kernel: all cluster rectangles in flat min/max slices (rect-major,
+// see geometry.FlattenRects) plus the per-cluster sizes the ranking
+// needs. It is immutable after snapshot construction.
+type NodeGeom struct {
+	NodeID string
+	// Mins, Maxs are the flattened cluster bounds, len K*Dims.
+	Mins, Maxs []float64
+	// Sizes holds the per-cluster member counts.
+	Sizes []int
+	// TotalSamples is the node's |D_i|.
+	TotalSamples int
+	// SummaryEpoch is the node-reported advertisement version (bumped
+	// by the node on requantization); 0 when the node predates the
+	// field. The executor compares it against training responses to
+	// detect drift.
+	SummaryEpoch uint64
+}
+
+// K returns the node's advertised cluster count.
+func (g NodeGeom) K() int {
+	if len(g.Sizes) > 0 {
+		return len(g.Sizes)
+	}
+	return 0
+}
+
+// Snapshot is one immutable, epoch-stamped view of every node's
+// advertisement. All slices (including the re-packed geometry) must be
+// treated as read-only; planners hand out sub-slices of their own
+// arenas, never of the snapshot.
+type Snapshot struct {
+	// Epoch is the monotonically increasing publish counter (first
+	// snapshot has epoch 1).
+	Epoch uint64
+	// FetchedAt is when the advertisements were collected.
+	FetchedAt time.Time
+	// Summaries are the validated advertisements in roster order.
+	Summaries []cluster.NodeSummary
+	// Nodes is the flat-slice re-pack of Summaries, index-aligned.
+	Nodes []NodeGeom
+	// Dims is the shared feature-space dimensionality.
+	Dims int
+	// TotalClusters is the sum of every node's K (arena sizing).
+	TotalClusters int
+	// TotalSamples is the fleet-wide Σ|D_i|.
+	TotalSamples int
+
+	epochByNode map[string]uint64
+}
+
+// NodeSummaryEpoch returns the node-reported advertisement version
+// recorded in this snapshot (0 when unknown).
+func (s *Snapshot) NodeSummaryEpoch(nodeID string) uint64 {
+	return s.epochByNode[nodeID]
+}
+
+// Config parameterizes a Registry.
+type Config struct {
+	// Fetch collects the fleet's advertisements. Required.
+	Fetch FetchFunc
+	// TTL expires a snapshot after this age, forcing the next
+	// Snapshot call to re-fetch (0 = snapshots never expire by age;
+	// only Invalidate or Refresh replace them).
+	TTL time.Duration
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// Registry is the versioned summary store. All read paths (Current,
+// Snapshot at steady state, Epoch, ReuseEpoch) are lock-free; only
+// refreshes serialize on an internal mutex.
+type Registry struct {
+	fetch FetchFunc
+	ttl   time.Duration
+	now   func() time.Time
+
+	cur   atomic.Pointer[Snapshot]
+	stale atomic.Bool
+	epoch atomic.Uint64 // last published epoch
+
+	refreshMu sync.Mutex // serializes fetch+publish
+
+	refreshes     atomic.Int64
+	invalidations atomic.Int64
+
+	bgMu   sync.Mutex
+	bgStop chan struct{}
+	bgDone chan struct{}
+}
+
+// New builds a registry over the given fetcher. No fetch happens until
+// the first Snapshot (or Refresh) call.
+func New(cfg Config) (*Registry, error) {
+	if cfg.Fetch == nil {
+		return nil, errors.New("registry: nil fetch func")
+	}
+	if cfg.TTL < 0 {
+		return nil, fmt.Errorf("registry: negative TTL %v", cfg.TTL)
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Registry{fetch: cfg.Fetch, ttl: cfg.TTL, now: now}, nil
+}
+
+// Current returns the latest published snapshot without fetching;
+// ok is false before the first successful refresh. The snapshot may be
+// stale or expired — callers that need freshness use Snapshot.
+func (r *Registry) Current() (*Snapshot, bool) {
+	s := r.cur.Load()
+	return s, s != nil
+}
+
+// Epoch returns the latest published epoch (0 before the first
+// refresh). Lock-free.
+func (r *Registry) Epoch() uint64 { return r.epoch.Load() }
+
+// ReuseEpoch is the epoch derived caches should key their entries on:
+// the published epoch, advanced by one while the current snapshot is
+// stale or age-expired. During that window a lookup keyed on
+// ReuseEpoch misses entries derived from the dying snapshot, and
+// matches entries produced by executions that (by calling Snapshot)
+// already planned against the refreshed one — which will publish
+// exactly that epoch. Lock-free.
+func (r *Registry) ReuseEpoch() uint64 {
+	e := r.epoch.Load()
+	if s := r.cur.Load(); s == nil || r.stale.Load() || r.expired(s) {
+		e++
+	}
+	return e
+}
+
+// expired reports whether the snapshot has outlived the TTL.
+func (r *Registry) expired(s *Snapshot) bool {
+	return r.ttl > 0 && r.now().Sub(s.FetchedAt) >= r.ttl
+}
+
+// Snapshot returns a fresh-enough snapshot, fetching the fleet when
+// none exists, the current one is age-expired, or Invalidate was
+// called. The steady-state path is a single atomic load — no mutex.
+func (r *Registry) Snapshot(ctx context.Context) (*Snapshot, error) {
+	if s := r.cur.Load(); s != nil && !r.stale.Load() && !r.expired(s) {
+		return s, nil
+	}
+	return r.Refresh(ctx)
+}
+
+// Refresh force-fetches the fleet and publishes a new snapshot with
+// the next epoch. Concurrent refreshes are serialized; a caller that
+// lost the race returns the winner's snapshot instead of re-polling
+// the fleet.
+func (r *Registry) Refresh(ctx context.Context) (*Snapshot, error) {
+	before := r.epoch.Load()
+	r.refreshMu.Lock()
+	defer r.refreshMu.Unlock()
+	// Someone else published while we waited for the lock: if the
+	// result is fresh, use it.
+	if s := r.cur.Load(); s != nil && s.Epoch > before && !r.stale.Load() && !r.expired(s) {
+		return s, nil
+	}
+	summaries, err := r.fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := buildSnapshot(summaries)
+	if err != nil {
+		return nil, err
+	}
+	snap.FetchedAt = r.now()
+	snap.Epoch = r.epoch.Add(1)
+	r.cur.Store(snap)
+	r.stale.Store(false)
+	r.refreshes.Add(1)
+	return snap, nil
+}
+
+// Invalidate marks the current snapshot stale: the next Snapshot call
+// (or background refresh tick) re-fetches the fleet and bumps the
+// epoch. Idempotent and lock-free.
+func (r *Registry) Invalidate() {
+	r.stale.Store(true)
+	r.invalidations.Add(1)
+}
+
+// SignalNodeEpoch reports a node-side advertisement version observed
+// out-of-band (e.g. echoed on a training response). When it is newer
+// than what the current snapshot recorded for that node, the registry
+// is invalidated so the next query re-fetches. It returns true when
+// drift was detected.
+func (r *Registry) SignalNodeEpoch(nodeID string, epoch uint64) bool {
+	if epoch == 0 {
+		return false
+	}
+	s := r.cur.Load()
+	if s == nil {
+		return false
+	}
+	known, ok := s.epochByNode[nodeID]
+	if !ok || epoch <= known {
+		return false
+	}
+	r.Invalidate()
+	return true
+}
+
+// Stats is a point-in-time account of registry activity.
+type Stats struct {
+	Epoch         uint64    `json:"epoch"`
+	Stale         bool      `json:"stale"`
+	Refreshes     int64     `json:"refreshes"`
+	Invalidations int64     `json:"invalidations"`
+	FetchedAt     time.Time `json:"fetched_at"`
+	Nodes         int       `json:"nodes"`
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() Stats {
+	st := Stats{
+		Epoch:         r.epoch.Load(),
+		Stale:         r.stale.Load(),
+		Refreshes:     r.refreshes.Load(),
+		Invalidations: r.invalidations.Load(),
+	}
+	if s := r.cur.Load(); s != nil {
+		st.FetchedAt = s.FetchedAt
+		st.Nodes = len(s.Nodes)
+	}
+	return st
+}
+
+// StartRefresh launches a background goroutine that re-fetches the
+// fleet every interval (and immediately when Invalidate was called in
+// between ticks). Stop (or a second StartRefresh) terminates it.
+// Refresh errors are swallowed: the previous snapshot keeps serving
+// and the next tick retries.
+func (r *Registry) StartRefresh(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	r.bgMu.Lock()
+	defer r.bgMu.Unlock()
+	r.stopLocked()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.bgStop, r.bgDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				ctx, cancel := context.WithTimeout(context.Background(), interval)
+				_, _ = r.Refresh(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Stop terminates the background refresher (no-op when none runs).
+func (r *Registry) Stop() {
+	r.bgMu.Lock()
+	defer r.bgMu.Unlock()
+	r.stopLocked()
+}
+
+func (r *Registry) stopLocked() {
+	if r.bgStop != nil {
+		close(r.bgStop)
+		<-r.bgDone
+		r.bgStop, r.bgDone = nil, nil
+	}
+}
+
+// buildSnapshot validates the advertisements and re-packs them for the
+// batch kernel.
+func buildSnapshot(summaries []cluster.NodeSummary) (*Snapshot, error) {
+	if len(summaries) == 0 {
+		return nil, errors.New("registry: fetch returned no summaries")
+	}
+	snap := &Snapshot{
+		Summaries:   summaries,
+		Nodes:       make([]NodeGeom, 0, len(summaries)),
+		Dims:        -1,
+		epochByNode: make(map[string]uint64, len(summaries)),
+	}
+	seen := make(map[string]bool, len(summaries))
+	for _, s := range summaries {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("registry: node %s: %w", s.NodeID, err)
+		}
+		if seen[s.NodeID] {
+			return nil, fmt.Errorf("registry: duplicate node id %q", s.NodeID)
+		}
+		seen[s.NodeID] = true
+		dims := s.Clusters[0].Bounds.Dims()
+		if snap.Dims == -1 {
+			snap.Dims = dims
+		} else if dims != snap.Dims {
+			return nil, fmt.Errorf("registry: node %s advertises %d dims, fleet has %d", s.NodeID, dims, snap.Dims)
+		}
+		g := NodeGeom{
+			NodeID:       s.NodeID,
+			Mins:         make([]float64, 0, len(s.Clusters)*dims),
+			Maxs:         make([]float64, 0, len(s.Clusters)*dims),
+			Sizes:        make([]int, 0, len(s.Clusters)),
+			TotalSamples: s.TotalSamples,
+			SummaryEpoch: s.Epoch,
+		}
+		rects := make([]geometry.Rect, len(s.Clusters))
+		for i, c := range s.Clusters {
+			rects[i] = c.Bounds
+			g.Sizes = append(g.Sizes, c.Size)
+		}
+		g.Mins, g.Maxs = geometry.FlattenRects(g.Mins, g.Maxs, rects)
+		snap.Nodes = append(snap.Nodes, g)
+		snap.TotalClusters += len(s.Clusters)
+		snap.TotalSamples += s.TotalSamples
+		snap.epochByNode[s.NodeID] = s.Epoch
+	}
+	return snap, nil
+}

@@ -2,6 +2,7 @@ package selection
 
 import (
 	"fmt"
+	"sync"
 
 	"qens/internal/cluster"
 	"qens/internal/query"
@@ -15,6 +16,8 @@ import (
 // be faster and produce the same results"), the full query-driven
 // mechanism otherwise. The pre-test runs once per federation, not per
 // query, so the steady-state cost is that of the chosen mechanism.
+// The cached outcome is mutex-guarded, so one instance can serve
+// concurrent queries.
 type Adaptive struct {
 	// Epsilon and TopL configure the query-driven branch; TopL also
 	// sizes the random branch.
@@ -24,45 +27,94 @@ type Adaptive struct {
 	// the regimes (0 uses the PreTest default).
 	RatioThreshold float64
 
+	mu     sync.Mutex
 	regime *Regime // cached pre-test outcome
 }
 
 // Name implements Selector.
 func (s *Adaptive) Name() string { return "adaptive" }
 
+// StatefulSelection implements Stateful: the first call runs and
+// caches the pre-test, and the homogeneous branch consumes Context
+// RNG state.
+func (s *Adaptive) StatefulSelection() {}
+
 // Regime returns the cached pre-test classification, or ok=false if no
 // selection has run yet.
 func (s *Adaptive) Regime() (Regime, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.regime == nil {
 		return 0, false
 	}
 	return *s.regime, true
 }
 
-// Select implements Selector.
-func (s *Adaptive) Select(q query.Query, summaries []cluster.NodeSummary, ctx *Context) ([]Participant, error) {
+// validate checks the static configuration.
+func (s *Adaptive) validate() error {
 	if s.TopL < 1 {
-		return nil, fmt.Errorf("selection: adaptive selector needs TopL >= 1, got %d", s.TopL)
+		return fmt.Errorf("selection: adaptive selector needs TopL >= 1, got %d", s.TopL)
 	}
 	if s.Epsilon <= 0 {
-		return nil, fmt.Errorf("selection: adaptive selector needs Epsilon > 0, got %v", s.Epsilon)
+		return fmt.Errorf("selection: adaptive selector needs Epsilon > 0, got %v", s.Epsilon)
 	}
-	if s.regime == nil {
-		if ctx == nil || ctx.Evaluate == nil {
-			return nil, fmt.Errorf("selection: adaptive selector needs a Context evaluator for the pre-test")
-		}
-		ids := make([]string, len(summaries))
-		for i, sum := range summaries {
-			ids[i] = sum.NodeID
-		}
-		res, err := PreTest(ids, ctx.Evaluate, s.RatioThreshold)
-		if err != nil {
-			return nil, fmt.Errorf("selection: adaptive pre-test: %w", err)
-		}
-		s.regime = &res.Regime
+	return nil
+}
+
+// regimeFor returns the committed regime, running the pre-test over
+// the given node ids on first use.
+func (s *Adaptive) regimeFor(n int, id func(int) string, ctx *Context) (Regime, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.regime != nil {
+		return *s.regime, nil
 	}
-	if *s.regime == RegimeHomogeneous {
+	if ctx == nil || ctx.Evaluate == nil {
+		return 0, fmt.Errorf("selection: adaptive selector needs a Context evaluator for the pre-test")
+	}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = id(i)
+	}
+	res, err := PreTest(ids, ctx.Evaluate, s.RatioThreshold)
+	if err != nil {
+		return 0, fmt.Errorf("selection: adaptive pre-test: %w", err)
+	}
+	s.regime = &res.Regime
+	return *s.regime, nil
+}
+
+// Select implements Selector.
+func (s *Adaptive) Select(q query.Query, summaries []cluster.NodeSummary, ctx *Context) ([]Participant, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	regime, err := s.regimeFor(len(summaries), func(i int) string { return summaries[i].NodeID }, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if regime == RegimeHomogeneous {
 		return Random{L: s.TopL}.Select(q, summaries, ctx)
 	}
 	return QueryDriven{Epsilon: s.Epsilon, TopL: s.TopL}.Select(q, summaries, ctx)
 }
+
+// SelectFrom implements CandidateSelector.
+func (s *Adaptive) SelectFrom(cs *CandidateSet, ctx *Context) ([]Participant, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	regime, err := s.regimeFor(len(cs.Ranks), func(i int) string { return cs.Ranks[i].NodeID }, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if regime == RegimeHomogeneous {
+		return Random{L: s.TopL}.SelectFrom(cs, ctx)
+	}
+	return QueryDriven{Epsilon: s.Epsilon, TopL: s.TopL}.SelectFrom(cs, ctx)
+}
+
+// SupportEpsilon implements EpsilonCarrier for the query-driven
+// branch; the random branch ignores the candidate ranking entirely, so
+// building the set at this ε is correct for both regimes.
+func (s *Adaptive) SupportEpsilon() float64 { return s.Epsilon }

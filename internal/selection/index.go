@@ -140,10 +140,15 @@ func (ix *Index) RankNodes(q query.Query, epsilon float64) ([]NodeRank, error) {
 	}
 	ranks := make([]NodeRank, len(ix.summaries))
 	for i, s := range ix.summaries {
+		sizes := make([]int, len(s.Clusters))
+		for ci, c := range s.Clusters {
+			sizes[ci] = c.Size
+		}
 		ranks[i] = NodeRank{
 			NodeID:       s.NodeID,
 			TotalSamples: s.TotalSamples,
 			Overlaps:     make([]float64, len(s.Clusters)),
+			Sizes:        sizes,
 		}
 	}
 	err := ix.tree.Search(q.Bounds, func(e geometry.Entry) bool {

@@ -38,6 +38,11 @@ type NodeRank struct {
 	SupportingSamples int
 	// TotalSamples is the node's |D_i|.
 	TotalSamples int
+	// Sizes holds the advertised member count of every cluster,
+	// index-aligned with Overlaps. Candidate-set consumers use it to
+	// re-threshold the ranking at a different ε without going back to
+	// the raw summaries.
+	Sizes []int
 }
 
 // RankNodes computes the paper's ranking for every advertised node:
@@ -56,7 +61,9 @@ func RankNodes(q query.Query, summaries []cluster.NodeSummary, epsilon float64) 
 		r := NodeRank{NodeID: s.NodeID, TotalSamples: s.TotalSamples}
 		k := len(s.Clusters)
 		r.Overlaps = make([]float64, k)
+		r.Sizes = make([]int, k)
 		for i, c := range s.Clusters {
+			r.Sizes[i] = c.Size
 			if c.Bounds.Dims() != q.Dims() {
 				return nil, fmt.Errorf("selection: node %s cluster %d has %d dims, query has %d",
 					s.NodeID, i, c.Bounds.Dims(), q.Dims())

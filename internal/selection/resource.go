@@ -57,43 +57,45 @@ type DataCentric struct {
 // Name implements Selector.
 func (s DataCentric) Name() string { return "data-centric" }
 
-// Select implements Selector.
-func (s DataCentric) Select(q query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+// dataCentricEpsilon is the permissive support threshold the data
+// quality term ranks at: any overlap counts.
+const dataCentricEpsilon = 1e-9
+
+// SupportEpsilon implements EpsilonCarrier.
+func (s DataCentric) SupportEpsilon() float64 { return dataCentricEpsilon }
+
+// score turns a permissive-ε ranking into the [8] weighted score.
+func (s DataCentric) score(ranks []NodeRank) ([]Participant, error) {
 	if s.L < 1 {
 		return nil, fmt.Errorf("selection: data-centric selector needs L >= 1, got %d", s.L)
 	}
-	if len(summaries) == 0 {
+	if len(ranks) == 0 {
 		return nil, ErrNoCandidates
 	}
 	wd, wc, wm := s.DataWeight, s.ComputeWeight, s.CommWeight
 	if wd == 0 && wc == 0 && wm == 0 {
 		wd, wc, wm = 0.6, 0.2, 0.2
 	}
-	// Data quality: overlap-weighted sample fraction, via the same
-	// ranking machinery (ε chosen permissively: any overlap counts).
-	ranks, err := RankNodes(q, summaries, 1e-9)
-	if err != nil {
-		return nil, err
-	}
 	type scored struct {
 		id    string
 		score float64
 	}
-	all := make([]scored, 0, len(summaries))
-	for i, sum := range summaries {
-		caps, ok := s.Capabilities[sum.NodeID]
+	all := make([]scored, 0, len(ranks))
+	for i := range ranks {
+		r := &ranks[i]
+		caps, ok := s.Capabilities[r.NodeID]
 		if !ok {
 			caps = Capabilities{Compute: 1, Bandwidth: 1, Battery: 1}
 		}
 		if err := caps.Validate(); err != nil {
-			return nil, fmt.Errorf("selection: node %s: %w", sum.NodeID, err)
+			return nil, fmt.Errorf("selection: node %s: %w", r.NodeID, err)
 		}
 		dataQ := 0.0
-		if sum.TotalSamples > 0 {
-			dataQ = ranks[i].Potential * float64(ranks[i].SupportingSamples) / float64(sum.TotalSamples)
+		if r.TotalSamples > 0 {
+			dataQ = r.Potential * float64(r.SupportingSamples) / float64(r.TotalSamples)
 		}
 		all = append(all, scored{
-			id:    sum.NodeID,
+			id:    r.NodeID,
 			score: wd*dataQ + wc*caps.Compute + wm*caps.Bandwidth,
 		})
 	}
@@ -114,6 +116,32 @@ func (s DataCentric) Select(q query.Query, summaries []cluster.NodeSummary, _ *C
 	return out, nil
 }
 
+// Select implements Selector.
+func (s DataCentric) Select(q query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+	if s.L < 1 {
+		return nil, fmt.Errorf("selection: data-centric selector needs L >= 1, got %d", s.L)
+	}
+	if len(summaries) == 0 {
+		return nil, ErrNoCandidates
+	}
+	// Data quality: overlap-weighted sample fraction, via the same
+	// ranking machinery (ε chosen permissively: any overlap counts).
+	ranks, err := RankNodes(q, summaries, dataCentricEpsilon)
+	if err != nil {
+		return nil, err
+	}
+	return s.score(ranks)
+}
+
+// SelectFrom implements CandidateSelector.
+func (s DataCentric) SelectFrom(cs *CandidateSet, _ *Context) ([]Participant, error) {
+	ranks, err := cs.AtEpsilon(dataCentricEpsilon)
+	if err != nil {
+		return nil, err
+	}
+	return s.score(ranks)
+}
+
 // Reward is the [9]-style selector: reward = battery + compute +
 // communication + normalized data size, take the top ℓ. It is fully
 // query-oblivious.
@@ -125,36 +153,37 @@ type Reward struct {
 // Name implements Selector.
 func (s Reward) Name() string { return "reward" }
 
-// Select implements Selector.
-func (s Reward) Select(_ query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+// score computes the [9] reward over (id, samples) pairs.
+func (s Reward) score(n int, at func(int) (string, int)) ([]Participant, error) {
 	if s.L < 1 {
 		return nil, fmt.Errorf("selection: reward selector needs L >= 1, got %d", s.L)
 	}
-	if len(summaries) == 0 {
+	if n == 0 {
 		return nil, ErrNoCandidates
 	}
 	maxSamples := 1
-	for _, sum := range summaries {
-		if sum.TotalSamples > maxSamples {
-			maxSamples = sum.TotalSamples
+	for i := 0; i < n; i++ {
+		if _, samples := at(i); samples > maxSamples {
+			maxSamples = samples
 		}
 	}
 	type scored struct {
 		id     string
 		reward float64
 	}
-	all := make([]scored, 0, len(summaries))
-	for _, sum := range summaries {
-		caps, ok := s.Capabilities[sum.NodeID]
+	all := make([]scored, 0, n)
+	for i := 0; i < n; i++ {
+		id, samples := at(i)
+		caps, ok := s.Capabilities[id]
 		if !ok {
 			caps = Capabilities{Compute: 1, Bandwidth: 1, Battery: 1}
 		}
 		if err := caps.Validate(); err != nil {
-			return nil, fmt.Errorf("selection: node %s: %w", sum.NodeID, err)
+			return nil, fmt.Errorf("selection: node %s: %w", id, err)
 		}
 		all = append(all, scored{
-			id:     sum.NodeID,
-			reward: caps.Battery + caps.Compute + caps.Bandwidth + float64(sum.TotalSamples)/float64(maxSamples),
+			id:     id,
+			reward: caps.Battery + caps.Compute + caps.Bandwidth + float64(samples)/float64(maxSamples),
 		})
 	}
 	sort.SliceStable(all, func(i, j int) bool {
@@ -172,6 +201,20 @@ func (s Reward) Select(_ query.Query, summaries []cluster.NodeSummary, _ *Contex
 		out[i] = Participant{NodeID: all[i].id, Rank: all[i].reward}
 	}
 	return out, nil
+}
+
+// Select implements Selector.
+func (s Reward) Select(_ query.Query, summaries []cluster.NodeSummary, _ *Context) ([]Participant, error) {
+	return s.score(len(summaries), func(i int) (string, int) {
+		return summaries[i].NodeID, summaries[i].TotalSamples
+	})
+}
+
+// SelectFrom implements CandidateSelector.
+func (s Reward) SelectFrom(cs *CandidateSet, _ *Context) ([]Participant, error) {
+	return s.score(len(cs.Ranks), func(i int) (string, int) {
+		return cs.Ranks[i].NodeID, cs.Ranks[i].TotalSamples
+	})
 }
 
 // Explain renders a human-readable account of the query-driven ranking

@@ -204,7 +204,13 @@ func (c *Client) Summary(ctx context.Context) (cluster.NodeSummary, error) {
 	if resp.Summary == nil {
 		return cluster.NodeSummary{}, errors.New("transport: daemon returned no summary")
 	}
-	return *resp.Summary, nil
+	sum := *resp.Summary
+	if sum.Epoch == 0 {
+		// Older daemons only stamp the envelope; lift it so the
+		// leader's registry always sees a versioned advertisement.
+		sum.Epoch = resp.SummaryEpoch
+	}
+	return sum, nil
 }
 
 // Train implements federation.Client. The request's trace/span IDs
@@ -218,7 +224,11 @@ func (c *Client) Train(ctx context.Context, req federation.TrainRequest) (federa
 	if resp.Train == nil {
 		return federation.TrainResponse{}, errors.New("transport: daemon returned no train response")
 	}
-	return *resp.Train, nil
+	out := *resp.Train
+	if out.SummaryEpoch == 0 {
+		out.SummaryEpoch = resp.SummaryEpoch
+	}
+	return out, nil
 }
 
 // Evaluate implements federation.Client.

@@ -29,15 +29,19 @@ type request struct {
 
 // response is the wire envelope returned by a participant. Code
 // carries a structured error class (see Code* constants); TraceID
-// echoes the request's trace for client-side correlation.
+// echoes the request's trace for client-side correlation. SummaryEpoch
+// is stamped on every successful response with the node's current
+// advertisement version, so any RPC — not just summaries — doubles as
+// a drift signal the leader's registry can act on.
 type response struct {
-	Error   string                    `json:"error,omitempty"`
-	Code    string                    `json:"code,omitempty"`
-	TraceID string                    `json:"trace_id,omitempty"`
-	NodeID  string                    `json:"node_id,omitempty"`
-	Summary *cluster.NodeSummary      `json:"summary,omitempty"`
-	Train   *federation.TrainResponse `json:"train,omitempty"`
-	Eval    *federation.EvalResponse  `json:"eval,omitempty"`
+	Error        string                    `json:"error,omitempty"`
+	Code         string                    `json:"code,omitempty"`
+	TraceID      string                    `json:"trace_id,omitempty"`
+	NodeID       string                    `json:"node_id,omitempty"`
+	SummaryEpoch uint64                    `json:"summary_epoch,omitempty"`
+	Summary      *cluster.NodeSummary      `json:"summary,omitempty"`
+	Train        *federation.TrainResponse `json:"train,omitempty"`
+	Eval         *federation.EvalResponse  `json:"eval,omitempty"`
 }
 
 // serverMetrics holds the daemon-side metric handles, resolved once at
@@ -341,8 +345,27 @@ func (s *Server) dispatch(req request) response {
 	s.logkv(kvs...)
 
 	resp.TraceID = req.TraceID
+	if resp.Error == "" {
+		resp.SummaryEpoch = s.node.SummaryEpoch()
+	}
 	return resp
 }
+
+// Requantize re-runs the served node's quantization over its current
+// local data, bumping the advertisement epoch. It holds the dispatch
+// lock, so it never interleaves with an in-flight RPC; leaders learn of
+// the new epoch from the next response envelope they receive. Exposed
+// so qensd can requantize on demand (e.g. on SIGHUP) after local data
+// collection.
+func (s *Server) Requantize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node.Requantize()
+}
+
+// SummaryEpoch reports the served node's current advertisement version
+// (surfaced by the qensd /healthz endpoint).
+func (s *Server) SummaryEpoch() uint64 { return s.node.SummaryEpoch() }
 
 // handle runs the per-type logic. Callers hold s.mu.
 func (s *Server) handle(req request) response {

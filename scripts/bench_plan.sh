@@ -1,0 +1,36 @@
+#!/bin/sh
+# Runs the planner microbenchmarks (BenchmarkPlan: fleet size N x query
+# dims d over the query-driven fast path, plus BenchmarkPlanKey) and
+# renders the results as BENCH_plan.json at the repo root.
+#
+#   BENCHTIME=100ms sh scripts/bench_plan.sh   # CI smoke
+#   sh scripts/bench_plan.sh                   # local, default 1s/op
+#
+# The script exits non-zero if any BenchmarkPlan case reports a nonzero
+# allocs/op: the query-driven plan path is contractually allocation-free
+# at steady state (see TestPlanZeroAlloc).
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${BENCHTIME:-1s}"
+
+out=$(go test -run '^$' -bench '^BenchmarkPlan' -benchmem -benchtime "$benchtime" ./internal/plan/)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+  BEGIN { printf "[\n"; bad = 0 }
+  $1 ~ /^BenchmarkPlan/ && $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+      name, $2, $3, $5, $7
+    if (name ~ /^BenchmarkPlan\// && $7 + 0 != 0) {
+      bad = 1
+      printf "\nALLOC REGRESSION: %s reports %s allocs/op, want 0\n", name, $7 > "/dev/stderr"
+    }
+  }
+  END { printf "\n]\n"; exit bad }
+' > BENCH_plan.json
+
+count=$(grep -c '"name"' BENCH_plan.json)
+echo "bench_plan: wrote BENCH_plan.json ($count results, benchtime $benchtime)"
