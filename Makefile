@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-paper clean
+.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-paper clean
 
 all: check
 
@@ -48,6 +48,13 @@ race:
 # Override the per-case budget with BENCHTIME=100ms for a quick smoke.
 bench:
 	sh scripts/bench_plan.sh
+
+# Node training-engine microbenchmarks (BenchmarkNodeTrain, view vs
+# copy data paths) rendered as BENCH_train.json; fails if the LR
+# per-cluster data plane allocates or the engine path loses its >=2x
+# edge over the copy path at 10k samples.
+bench-train:
+	sh scripts/bench_train.sh
 
 # Paper-figure macro benchmarks (Tables I-II, Figures 6-9); these
 # train real fleets and take minutes.

@@ -41,6 +41,7 @@ func main() {
 		metricsAddr  = flag.String("metrics-addr", "", "observability sidecar address serving /metrics, /healthz and /debug/pprof (e.g. :9090; empty disables)")
 		tracePath    = flag.String("trace", "", "write per-RPC spans as JSONL to this file (flushed on shutdown)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget before in-flight RPCs are aborted")
+		trainConc    = flag.Int("train-concurrency", 0, "max concurrent training/evaluation jobs (0 = GOMAXPROCS); excess requests queue")
 	)
 	flag.Parse()
 
@@ -66,7 +67,8 @@ func main() {
 		nodeID = *id
 	}
 
-	node, err := federation.NewNode(nodeID, data, *k, rng.New(*seed))
+	node, err := federation.NewNode(nodeID, data, *k, rng.New(*seed),
+		federation.WithTrainConcurrency(*trainConc))
 	if err != nil {
 		fatal("build node: %v", err)
 	}
@@ -74,7 +76,8 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("qensd: node %s serving %d samples (K=%d) on %s\n", nodeID, data.Len(), *k, srv.Addr())
+	fmt.Printf("qensd: node %s serving %d samples (K=%d, train-concurrency=%d) on %s\n",
+		nodeID, data.Len(), *k, node.Engine().Parallelism(), srv.Addr())
 
 	if *metricsAddr != "" {
 		obs, err := telemetry.ServeHTTP(*metricsAddr, telemetry.Default(), healthFunc(srv, nodeID, data.Len(), *k))
@@ -121,11 +124,13 @@ func main() {
 func healthFunc(srv *transport.Server, nodeID string, shardSize, k int) telemetry.HealthFunc {
 	return func() map[string]any {
 		doc := map[string]any{
-			"node":          nodeID,
-			"addr":          srv.Addr(),
-			"shard_size":    shardSize,
-			"k":             k,
-			"summary_epoch": srv.SummaryEpoch(),
+			"node":           nodeID,
+			"addr":           srv.Addr(),
+			"shard_size":     shardSize,
+			"k":              k,
+			"summary_epoch":  srv.SummaryEpoch(),
+			"train_slots":    srv.TrainSlots(),
+			"train_inflight": srv.TrainInflight(),
 		}
 		if age, ok := srv.LastTrainAge(); ok {
 			doc["last_round_age_s"] = age.Seconds()

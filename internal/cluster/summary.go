@@ -141,12 +141,26 @@ func (q *Quantization) Summarize(nodeID string) NodeSummary {
 	return NodeSummary{NodeID: nodeID, Clusters: clusters, TotalSamples: q.Data.Len()}
 }
 
-// ClusterData returns the rows belonging to cluster k as a dataset
-// with the node's schema — the "mini-batch" the incremental training
-// of §IV-B consumes.
-func (q *Quantization) ClusterData(k int) (*dataset.Dataset, error) {
+// ClusterView returns the zero-copy view over the rows belonging to
+// cluster k — the "mini-batch" the incremental training of §IV-B
+// consumes. The cluster's member indices are already materialized by
+// the quantizer, so building the view copies no sample data at all;
+// this is the per-query inner loop of the training engine.
+func (q *Quantization) ClusterView(k int) (dataset.View, error) {
 	if k < 0 || k >= len(q.Result.Clusters) {
-		return nil, fmt.Errorf("cluster: index %d out of range (%d clusters)", k, len(q.Result.Clusters))
+		return dataset.View{}, fmt.Errorf("cluster: index %d out of range (%d clusters)", k, len(q.Result.Clusters))
 	}
-	return q.Data.Subset(q.Result.Clusters[k].Members), nil
+	return q.Data.ViewOf(q.Result.Clusters[k].Members), nil
+}
+
+// ClusterData returns the rows belonging to cluster k as an
+// independent dataset with the node's schema. It delegates to
+// ClusterView and materializes the result; callers that only read
+// should use ClusterView directly and skip the copy.
+func (q *Quantization) ClusterData(k int) (*dataset.Dataset, error) {
+	v, err := q.ClusterView(k)
+	if err != nil {
+		return nil, err
+	}
+	return v.Materialize(), nil
 }

@@ -12,6 +12,7 @@
 package dataset
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -177,14 +178,40 @@ func (d *Dataset) Merge(other *Dataset) error {
 	return nil
 }
 
-// Subset returns a new dataset containing the rows at the given
-// indices (copied).
-func (d *Dataset) Subset(indices []int) *Dataset {
+// Subset returns the zero-copy view over the rows at the given
+// indices (the index slice is adopted, not copied). Callers that need
+// an independent, mutable dataset use SubsetCopy.
+func (d *Dataset) Subset(indices []int) View {
+	return d.ViewOf(indices)
+}
+
+// SubsetCopy returns a new dataset containing the rows at the given
+// indices, deep-copied — the pre-view behaviour, kept for callers
+// that go on to mutate the result.
+func (d *Dataset) SubsetCopy(indices []int) *Dataset {
 	out := d.Empty()
+	out.rows = make([][]float64, 0, len(indices))
 	for _, i := range indices {
 		out.rows = append(out.rows, append([]float64(nil), d.rows[i]...))
 	}
 	return out
+}
+
+// CopyAppend returns a new dataset whose rows are d's current rows
+// (storage shared — rows are never mutated in place) plus the given
+// new rows, validated and copied. d itself is left untouched, which is
+// what makes copy-on-write ingestion safe while concurrent readers
+// hold views over the old dataset.
+func (d *Dataset) CopyAppend(rows [][]float64) (*Dataset, error) {
+	out := &Dataset{columns: append([]string(nil), d.columns...), target: d.target}
+	out.rows = make([][]float64, len(d.rows), len(d.rows)+len(rows))
+	copy(out.rows, d.rows)
+	for i, r := range rows {
+		if err := out.Append(r); err != nil {
+			return nil, fmt.Errorf("dataset: append row %d: %w", i, err)
+		}
+	}
+	return out, nil
 }
 
 // Bounds returns the tight bounding rectangle of all samples in the
@@ -193,16 +220,44 @@ func (d *Dataset) Bounds() (geometry.Rect, bool) {
 	return geometry.BoundingRect(d.rows)
 }
 
-// FilterInRect returns the samples falling inside rect (inclusive).
-// rect must span the full joint space (Dims() dimensions).
-func (d *Dataset) FilterInRect(rect geometry.Rect) *Dataset {
-	out := d.Empty()
-	for _, r := range d.rows {
+// FilterInRect returns a zero-copy view over the samples falling
+// inside rect (inclusive). rect must span the full joint space
+// (Dims() dimensions). Only the matching index slice is allocated —
+// no row data is copied. Callers that need a mutable dataset use
+// FilterInRectCopy (or View.Materialize).
+func (d *Dataset) FilterInRect(rect geometry.Rect) View {
+	v, _ := d.FilterInRectContext(context.Background(), rect)
+	return v
+}
+
+// filterCheckEvery is how many rows FilterInRectContext scans between
+// context checks: rare enough to stay off the profile, frequent
+// enough that filtering a multi-million-row node cancels promptly.
+const filterCheckEvery = 4096
+
+// FilterInRectContext is FilterInRect with cancellation: the context
+// is checked every few thousand rows, so huge-node scans (the
+// evaluation path filters the entire local shard per query) abandon
+// work as soon as the query deadline expires.
+func (d *Dataset) FilterInRectContext(ctx context.Context, rect geometry.Rect) (View, error) {
+	indices := []int{} // non-nil: an empty match must not become the identity view
+	for i, r := range d.rows {
+		if i%filterCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return View{}, err
+			}
+		}
 		if rect.Contains(r) {
-			out.rows = append(out.rows, append([]float64(nil), r...))
+			indices = append(indices, i)
 		}
 	}
-	return out
+	return d.ViewOf(indices), nil
+}
+
+// FilterInRectCopy returns the samples falling inside rect as a
+// deep-copied dataset — the pre-view behaviour.
+func (d *Dataset) FilterInRectCopy(rect geometry.Rect) *Dataset {
+	return d.FilterInRect(rect).Materialize()
 }
 
 // XY splits the samples into a feature matrix X (every column except
@@ -245,8 +300,8 @@ func (d *Dataset) Split(testFraction float64, src *rng.Source) (train, test *Dat
 	n := len(d.rows)
 	perm := src.Perm(n)
 	nTest := int(math.Round(float64(n) * testFraction))
-	test = d.Subset(perm[:nTest])
-	train = d.Subset(perm[nTest:])
+	test = d.SubsetCopy(perm[:nTest])
+	train = d.SubsetCopy(perm[nTest:])
 	return train, test
 }
 
@@ -268,12 +323,12 @@ func (d *Dataset) SplitTemporal(testFraction float64) (train, test *Dataset) {
 	for i := range testIdx {
 		testIdx[i] = cut + i
 	}
-	return d.Subset(trainIdx), d.Subset(testIdx)
+	return d.SubsetCopy(trainIdx), d.SubsetCopy(testIdx)
 }
 
 // Shuffle returns a copy of the dataset with rows in random order.
 func (d *Dataset) Shuffle(src *rng.Source) *Dataset {
-	return d.Subset(src.Perm(len(d.rows)))
+	return d.SubsetCopy(src.Perm(len(d.rows)))
 }
 
 // Sample returns a uniform random subset of n rows without
@@ -282,7 +337,7 @@ func (d *Dataset) Sample(n int, src *rng.Source) *Dataset {
 	if n >= len(d.rows) {
 		return d.Shuffle(src)
 	}
-	return d.Subset(src.SampleWithoutReplacement(len(d.rows), n))
+	return d.SubsetCopy(src.SampleWithoutReplacement(len(d.rows), n))
 }
 
 // String summarizes the dataset.

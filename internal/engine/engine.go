@@ -1,0 +1,218 @@
+// Package engine is the node-side training engine: it owns a
+// participant's data/quantization state and executes Train/Evaluate
+// jobs against it under an explicit concurrency bound.
+//
+// The engine exists to make three guarantees that the pre-refactor
+// Node could not:
+//
+//   - Bounded concurrency. Every job passes through a semaphore sized
+//     by Config.Parallelism, so a burst of leader requests queues
+//     instead of oversubscribing the node's cores. Queue wait and
+//     in-flight counts are exported as metrics.
+//
+//   - Race-free mutation. Data state lives in an epoch-pinned
+//     Snapshot behind an atomic pointer. Jobs pin the snapshot once at
+//     admission and never observe a mutation mid-flight; AddSamples /
+//     Requantize build a fresh snapshot copy-on-write and swap it in
+//     under the mutate lock. A training round that raced an append
+//     used to be a data race — now it deterministically sees either
+//     the old epoch or the new one, never a torn mix.
+//
+//   - Allocation-free steady state. Models are pooled per spec
+//     fingerprint and re-initialized in place (ml.Model.Reinit), and
+//     cluster data reaches the trainer through zero-copy views
+//     (dataset.View.XYInto into pooled flat buffers + PartialFitBatch)
+//     instead of materialized [][]float64 copies.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qens/internal/cluster"
+	"qens/internal/dataset"
+	"qens/internal/telemetry"
+)
+
+// Snapshot is one immutable generation of a node's local state: the
+// dataset, its quantization, and the advertisement epoch they belong
+// to. Jobs pin a snapshot at admission; mutators never modify a
+// published snapshot, they publish a successor.
+type Snapshot struct {
+	// Data is the node's local dataset at this epoch. Its rows are
+	// never mutated in place after publication (mutators go through
+	// Dataset.CopyAppend), so concurrent readers are safe.
+	Data *dataset.Dataset
+	// Quant is the cluster synopsis over Data.
+	Quant *cluster.Quantization
+	// Epoch is the advertisement version: 1 for the initial state,
+	// bumped by every successful Mutate.
+	Epoch uint64
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// NodeID labels the engine's metrics.
+	NodeID string
+	// Parallelism bounds concurrently executing jobs (Train and
+	// Evaluate both count). Zero means runtime.GOMAXPROCS(0).
+	Parallelism int
+	// Registry receives the engine's metrics; nil means
+	// telemetry.Default().
+	Registry *telemetry.Registry
+	// EvalBatch is the mini-batch size used when streaming evaluation
+	// data through pooled buffers. Zero means 512.
+	EvalBatch int
+}
+
+// Engine executes training and evaluation jobs over epoch-pinned
+// snapshots with bounded concurrency and pooled working memory.
+type Engine struct {
+	cfg  Config
+	sem  chan struct{}
+	snap atomic.Pointer[Snapshot]
+
+	// mutateMu serializes state mutation (Mutate); job execution never
+	// takes it.
+	mutateMu sync.Mutex
+
+	pool    modelPool
+	buffers sync.Pool // *Buffers
+
+	inflight atomic.Int64
+	metrics  engineMetrics
+}
+
+// engineMetrics holds the engine's metric handles, resolved once so
+// the per-job hot path is pure atomics.
+type engineMetrics struct {
+	inflight   *telemetry.Gauge
+	queueMS    *telemetry.Histogram
+	clusterMS  *telemetry.Histogram
+	jobsTotal  *telemetry.Counter
+	epochGauge *telemetry.Gauge
+	poolHits   *telemetry.Counter
+	poolMisses *telemetry.Counter
+}
+
+// New builds an engine around the initial state. The initial epoch is
+// 1, matching the pre-engine Node convention.
+func New(cfg Config, data *dataset.Dataset, quant *cluster.Quantization) *Engine {
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.EvalBatch < 1 {
+		cfg.EvalBatch = 512
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	node := telemetry.L("node", cfg.NodeID)
+	reg.SetHelp("qens_node_train_inflight", "Jobs currently executing inside the node training engine.")
+	reg.SetHelp("qens_node_train_queue_ms", "Time jobs spent queued for an engine slot (ms).")
+	reg.SetHelp("qens_node_train_cluster_ms", "Per-supporting-cluster local training time (ms).")
+	reg.SetHelp("qens_node_snapshot_epoch", "Current epoch of the node's data snapshot.")
+	reg.SetHelp("qens_node_model_pool_total", "Model pool lookups by result (hit: arena reuse, miss: fresh build).")
+	e := &Engine{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.Parallelism),
+		metrics: engineMetrics{
+			inflight:   reg.Gauge("qens_node_train_inflight", node...),
+			queueMS:    reg.Histogram("qens_node_train_queue_ms", node...),
+			clusterMS:  reg.Histogram("qens_node_train_cluster_ms", node...),
+			jobsTotal:  reg.Counter("qens_node_engine_jobs_total", node...),
+			epochGauge: reg.Gauge("qens_node_snapshot_epoch", node...),
+			poolHits: reg.Counter("qens_node_model_pool_total",
+				telemetry.Label{Key: "node", Value: cfg.NodeID}, telemetry.Label{Key: "result", Value: "hit"}),
+			poolMisses: reg.Counter("qens_node_model_pool_total",
+				telemetry.Label{Key: "node", Value: cfg.NodeID}, telemetry.Label{Key: "result", Value: "miss"}),
+		},
+	}
+	e.pool.init(cfg.Parallelism)
+	e.buffers.New = func() any { return &Buffers{} }
+	e.snap.Store(&Snapshot{Data: data, Quant: quant, Epoch: 1})
+	e.metrics.epochGauge.Set(1)
+	return e
+}
+
+// Parallelism returns the engine's concurrency bound.
+func (e *Engine) Parallelism() int { return e.cfg.Parallelism }
+
+// Inflight returns the number of jobs currently executing (post-queue).
+func (e *Engine) Inflight() int64 { return e.inflight.Load() }
+
+// Current returns the live snapshot. The returned value is immutable;
+// callers may hold it as long as they like (epoch pinning).
+func (e *Engine) Current() *Snapshot { return e.snap.Load() }
+
+// Epoch returns the live snapshot's epoch.
+func (e *Engine) Epoch() uint64 { return e.Current().Epoch }
+
+// Mutate publishes a new snapshot built by fn from the current one,
+// bumping the epoch. Mutations are serialized with each other but
+// never block — and are never blocked by — executing jobs: in-flight
+// jobs keep the snapshot they pinned at admission. fn must not modify
+// cur or any row reachable from it; it builds fresh state (typically
+// via Dataset.CopyAppend and a fresh Quantize) and returns it.
+func (e *Engine) Mutate(fn func(cur *Snapshot) (*dataset.Dataset, *cluster.Quantization, error)) error {
+	e.mutateMu.Lock()
+	defer e.mutateMu.Unlock()
+	cur := e.Current()
+	data, quant, err := fn(cur)
+	if err != nil {
+		return err
+	}
+	next := &Snapshot{Data: data, Quant: quant, Epoch: cur.Epoch + 1}
+	e.snap.Store(next)
+	e.metrics.epochGauge.Set(float64(next.Epoch))
+	return nil
+}
+
+// acquire claims an execution slot, waiting in the admission queue
+// until one frees or ctx is done. It returns the release function.
+func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
+	start := time.Now()
+	select {
+	case e.sem <- struct{}{}:
+	default:
+		// Slow path: queue for a slot or give up with the context.
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("engine: queued for train slot: %w", ctx.Err())
+		}
+	}
+	e.metrics.queueMS.ObserveDuration(time.Since(start))
+	e.metrics.inflight.Set(float64(e.inflight.Add(1)))
+	e.metrics.jobsTotal.Inc()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.metrics.inflight.Set(float64(e.inflight.Add(-1)))
+			<-e.sem
+		})
+	}, nil
+}
+
+// Buffers is the pooled per-job working memory: flat feature/target
+// staging for XYInto and a prediction buffer for evaluation. Slices
+// only ever grow, so a warmed pool makes the data-staging path
+// allocation-free.
+type Buffers struct {
+	X    []float64
+	Y    []float64
+	Pred []float64
+}
+
+// getBuffers checks a buffer set out of the pool.
+func (e *Engine) getBuffers() *Buffers { return e.buffers.Get().(*Buffers) }
+
+// putBuffers returns a buffer set, keeping the grown capacity.
+func (e *Engine) putBuffers(b *Buffers) {
+	e.buffers.Put(b)
+}

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"qens/internal/geometry"
+	"qens/internal/ml"
+)
+
+// TrainJob describes one local training round (the §IV-B participant
+// step): load the global params into a model seeded with Seed, then
+// run Epochs passes over each listed supporting cluster in turn (each
+// cluster acting as a mini-batch per the §IV-A Remark), or over the
+// whole local dataset when Clusters is nil.
+type TrainJob struct {
+	Spec     ml.Spec
+	Seed     uint64
+	Params   ml.Params
+	Clusters []int
+	Epochs   int
+}
+
+// TrainResult carries the updated params and accounting for one round.
+type TrainResult struct {
+	Params       ml.Params
+	SamplesUsed  int
+	TotalSamples int
+	// Epoch is the snapshot epoch the round trained against — the
+	// drift signal echoed to the leader.
+	Epoch uint64
+}
+
+// Train executes one training round: queue for a slot, pin the
+// current snapshot, check a pooled model out, and stream each
+// requested cluster through flat staging buffers into the model's
+// zero-copy fit path. ctx is honored while queued, between clusters
+// and at every mini-batch boundary inside the fit.
+//
+// The arithmetic is bit-exact with the pre-engine path (materialize
+// cluster → [][]float64 → PartialFit): views deliver the same values
+// in the same order, and PartialFitBatch performs the same FLOPs as
+// PartialFit.
+func (e *Engine) Train(ctx context.Context, job TrainJob) (TrainResult, error) {
+	if job.Epochs < 1 {
+		return TrainResult{}, fmt.Errorf("engine: local epochs %d < 1", job.Epochs)
+	}
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	defer release()
+
+	snap := e.Current() // pinned: mutations after this line are invisible
+	model, putModel, err := e.acquireModel(job.Spec, job.Seed, job.Params)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	defer putModel()
+	bufs := e.getBuffers()
+	defer e.putBuffers(bufs)
+
+	used := 0
+	if len(job.Clusters) == 0 {
+		view := snap.Data.View()
+		x, y := view.XYInto(bufs.X[:0], bufs.Y[:0])
+		bufs.X, bufs.Y = x, y
+		if err := model.PartialFitBatch(ctx, x, y, job.Epochs); err != nil {
+			return TrainResult{}, err
+		}
+		used = view.Len()
+	} else {
+		for _, c := range job.Clusters {
+			if err := ctx.Err(); err != nil {
+				return TrainResult{}, err
+			}
+			view, err := snap.Quant.ClusterView(c)
+			if err != nil {
+				return TrainResult{}, err
+			}
+			if view.Len() == 0 {
+				continue
+			}
+			x, y := view.XYInto(bufs.X[:0], bufs.Y[:0])
+			bufs.X, bufs.Y = x, y
+			start := time.Now()
+			if err := model.PartialFitBatch(ctx, x, y, job.Epochs); err != nil {
+				return TrainResult{}, fmt.Errorf("cluster %d: %w", c, err)
+			}
+			e.metrics.clusterMS.ObserveDuration(time.Since(start))
+			used += view.Len()
+		}
+		if used == 0 {
+			return TrainResult{}, fmt.Errorf("no data in requested clusters %v", job.Clusters)
+		}
+	}
+	return TrainResult{
+		Params:       model.Params(),
+		SamplesUsed:  used,
+		TotalSamples: snap.Data.Len(),
+		Epoch:        snap.Epoch,
+	}, nil
+}
+
+// EvalJob describes one scoring pass: run the model described by
+// Spec/Seed/Params over the snapshot's local data (optionally
+// restricted to Bounds) and report the MSE.
+type EvalJob struct {
+	Spec   ml.Spec
+	Seed   uint64
+	Params ml.Params
+	Bounds *geometry.Rect
+}
+
+// EvalResult carries the local loss.
+type EvalResult struct {
+	MSE     float64
+	Samples int
+	// Epoch is the snapshot epoch the score was computed against.
+	Epoch uint64
+}
+
+// Evaluate executes one scoring job under the same admission
+// discipline as Train. The evaluation subspace is selected with a
+// zero-copy rectangle filter (cancellable for huge nodes), and
+// predictions stream through pooled flat buffers in mini-batches so
+// arbitrarily large evaluations are ctx-responsive and allocation-free
+// at steady state.
+func (e *Engine) Evaluate(ctx context.Context, job EvalJob) (EvalResult, error) {
+	release, err := e.acquire(ctx)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	defer release()
+
+	snap := e.Current()
+	// Build the model before filtering, mirroring the pre-engine
+	// order: the seed is consumed even when the subspace is empty, so
+	// seeded workload replays stay aligned.
+	model, putModel, err := e.acquireModel(job.Spec, job.Seed, job.Params)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	defer putModel()
+
+	view := snap.Data.View()
+	if job.Bounds != nil {
+		view, err = snap.Data.FilterInRectContext(ctx, *job.Bounds)
+		if err != nil {
+			return EvalResult{}, err
+		}
+	}
+	n := view.Len()
+	if n == 0 {
+		return EvalResult{Samples: 0, Epoch: snap.Epoch}, nil
+	}
+	bufs := e.getBuffers()
+	defer e.putBuffers(bufs)
+	// Pre-size the staging buffers on the pooled struct so the grown
+	// capacity survives into the next job (ForEachBatch reuses
+	// capacity but cannot write the slice headers back).
+	batch := e.cfg.EvalBatch
+	if cap(bufs.X) < batch*view.FeatureDims() {
+		bufs.X = make([]float64, batch*view.FeatureDims())
+	}
+	if cap(bufs.Y) < batch {
+		bufs.Y = make([]float64, batch)
+	}
+	if cap(bufs.Pred) < batch {
+		bufs.Pred = make([]float64, batch)
+	}
+	sse := 0.0
+	err = view.ForEachBatch(ctx, e.cfg.EvalBatch, bufs.X, bufs.Y, func(x, y []float64) error {
+		pred := bufs.Pred[:len(y)]
+		model.PredictFlat(x, pred)
+		for i, yi := range y {
+			d := yi - pred[i]
+			sse += d * d
+		}
+		return nil
+	})
+	if err != nil {
+		return EvalResult{}, err
+	}
+	return EvalResult{MSE: sse / float64(n), Samples: n, Epoch: snap.Epoch}, nil
+}

@@ -52,10 +52,9 @@ func (c LocalClient) Train(ctx context.Context, req TrainRequest) (TrainResponse
 	return c.Node.TrainContext(ctx, req)
 }
 
-// Evaluate implements Client.
+// Evaluate implements Client. Cancellation propagates into the node's
+// engine: the job honors ctx while queued, during the subspace filter
+// scan and between prediction mini-batches.
 func (c LocalClient) Evaluate(ctx context.Context, req EvalRequest) (EvalResponse, error) {
-	if err := ctx.Err(); err != nil {
-		return EvalResponse{}, err
-	}
-	return c.Node.Evaluate(req)
+	return c.Node.EvaluateContext(ctx, req)
 }

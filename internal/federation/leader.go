@@ -271,7 +271,19 @@ func (l *Leader) evaluateWarmup(ctx context.Context, nodeID string) (float64, er
 	if err != nil {
 		return 0, err
 	}
+	l.signalEpoch(nodeID, resp.SummaryEpoch)
 	return resp.MSE, nil
+}
+
+// signalEpoch feeds a node-reported advertisement version into the
+// registry's drift detection; evaluation responses carry epochs just
+// like training responses, so pre-test scoring doubles as a drift
+// probe. Zero epochs (older daemons) are ignored.
+func (l *Leader) signalEpoch(nodeID string, epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	l.reg.SignalNodeEpoch(nodeID, epoch)
 }
 
 // SelectionContext builds the Context handed to selectors: the
@@ -451,6 +463,7 @@ func (l *Leader) EvaluateGlobalContext(ctx context.Context, params ml.Params, bo
 		if err != nil {
 			return 0, 0, fmt.Errorf("federation: evaluate on %s: %w", c.ID(), err)
 		}
+		l.signalEpoch(c.ID(), resp.SummaryEpoch)
 		totalSq += resp.MSE * float64(resp.Samples)
 		samples += resp.Samples
 	}

@@ -14,11 +14,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"qens/internal/cluster"
 	"qens/internal/dataset"
+	"qens/internal/engine"
 	"qens/internal/geometry"
 	"qens/internal/ml"
 	"qens/internal/rng"
@@ -28,20 +28,35 @@ import (
 // quantization of that dataset, and the compute to train models on
 // request. It never ships raw data — only cluster summaries, model
 // parameters and scalar losses.
+//
+// All node state transits through an internal/engine.Engine: jobs
+// (Train/Evaluate) execute against epoch-pinned snapshots under a
+// bounded-concurrency executor, and mutations (AddSamples/Requantize)
+// publish fresh snapshots copy-on-write, so a Node is safe for fully
+// concurrent use.
 type Node struct {
-	id    string
-	data  *dataset.Dataset
-	quant *cluster.Quantization
-	k     int
-	src   *rng.Source
-	// summaryEpoch versions the node's advertisement: bumped on every
-	// requantization, echoed on summaries and training responses so
-	// the leader's registry can detect drift out-of-band.
-	summaryEpoch atomic.Uint64
+	id  string
+	k   int
+	src *rng.Source
+	eng *engine.Engine
+}
+
+// NodeOption customizes node construction.
+type NodeOption func(*nodeOptions)
+
+type nodeOptions struct {
+	trainConcurrency int
+}
+
+// WithTrainConcurrency bounds how many Train/Evaluate jobs the node
+// executes at once (the engine's semaphore width); excess requests
+// queue. Zero or negative keeps the default (GOMAXPROCS).
+func WithTrainConcurrency(n int) NodeOption {
+	return func(o *nodeOptions) { o.trainConcurrency = n }
 }
 
 // NewNode quantizes data into k clusters and returns the participant.
-func NewNode(id string, data *dataset.Dataset, k int, src *rng.Source) (*Node, error) {
+func NewNode(id string, data *dataset.Dataset, k int, src *rng.Source, opts ...NodeOption) (*Node, error) {
 	if id == "" {
 		return nil, errors.New("federation: empty node id")
 	}
@@ -55,44 +70,57 @@ func NewNode(id string, data *dataset.Dataset, k int, src *rng.Source) (*Node, e
 	if err != nil {
 		return nil, fmt.Errorf("federation: node %s: %w", id, err)
 	}
-	n := &Node{id: id, data: data, quant: quant, k: k, src: src}
-	n.summaryEpoch.Store(1)
-	return n, nil
+	return newNode(id, data, quant, k, src, opts), nil
 }
 
 // NewNodeFromQuantization builds a participant around a pre-computed
 // quantization (e.g. cluster.GridQuantize), for deployments that use a
 // synopsis other than k-means. Requantize on such a node re-runs
 // k-means with K equal to the current cluster count.
-func NewNodeFromQuantization(id string, quant *cluster.Quantization, src *rng.Source) (*Node, error) {
+func NewNodeFromQuantization(id string, quant *cluster.Quantization, src *rng.Source, opts ...NodeOption) (*Node, error) {
 	if id == "" {
 		return nil, errors.New("federation: empty node id")
 	}
 	if quant == nil || quant.Data == nil || quant.Data.Len() == 0 {
 		return nil, fmt.Errorf("federation: node %s has no quantization", id)
 	}
-	n := &Node{
-		id:    id,
-		data:  quant.Data,
-		quant: quant,
-		k:     len(quant.Result.Clusters),
-		src:   src,
+	return newNode(id, quant.Data, quant, len(quant.Result.Clusters), src, opts), nil
+}
+
+// newNode wires the engine around the initial snapshot (epoch 1).
+func newNode(id string, data *dataset.Dataset, quant *cluster.Quantization, k int, src *rng.Source, opts []NodeOption) *Node {
+	var o nodeOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
-	n.summaryEpoch.Store(1)
-	return n, nil
+	eng := engine.New(engine.Config{NodeID: id, Parallelism: o.trainConcurrency}, data, quant)
+	return &Node{id: id, k: k, src: src, eng: eng}
 }
 
 // AddSamples appends newly collected rows to the node's local dataset
 // and re-runs the quantization so the next advertisement reflects the
 // fresh data space (the leader must InvalidateSummaries to pick it
 // up). Rows must match the node's schema.
+//
+// The update is copy-on-write: concurrent Train/Evaluate jobs keep the
+// snapshot they started with and the new state becomes visible — with
+// a bumped epoch — only to jobs admitted after AddSamples returns.
 func (n *Node) AddSamples(rows [][]float64) error {
-	for i, r := range rows {
-		if err := n.data.Append(r); err != nil {
-			return fmt.Errorf("federation: node %s row %d: %w", n.id, i, err)
+	err := n.eng.Mutate(func(cur *engine.Snapshot) (*dataset.Dataset, *cluster.Quantization, error) {
+		data, err := cur.Data.CopyAppend(rows)
+		if err != nil {
+			return nil, nil, err
 		}
+		quant, err := cluster.Quantize(data, cluster.Config{K: n.k}, n.src.Split())
+		if err != nil {
+			return nil, nil, err
+		}
+		return data, quant, nil
+	})
+	if err != nil {
+		return fmt.Errorf("federation: node %s: %w", n.id, err)
 	}
-	return n.Requantize()
+	return nil
 }
 
 // Requantize recomputes the node's k-means quantization over the
@@ -100,30 +128,41 @@ func (n *Node) AddSamples(rows [][]float64) error {
 // that see the new epoch echoed on later RPCs know their cached
 // summaries drifted.
 func (n *Node) Requantize() error {
-	quant, err := cluster.Quantize(n.data, cluster.Config{K: n.k}, n.src.Split())
+	err := n.eng.Mutate(func(cur *engine.Snapshot) (*dataset.Dataset, *cluster.Quantization, error) {
+		quant, err := cluster.Quantize(cur.Data, cluster.Config{K: n.k}, n.src.Split())
+		if err != nil {
+			return nil, nil, err
+		}
+		return cur.Data, quant, nil
+	})
 	if err != nil {
 		return fmt.Errorf("federation: node %s: %w", n.id, err)
 	}
-	n.quant = quant
-	n.summaryEpoch.Add(1)
 	return nil
 }
 
 // ID returns the node identifier.
 func (n *Node) ID() string { return n.id }
 
-// Data exposes the local dataset for in-process test evaluation; the
-// federation protocol itself never reads it remotely.
-func (n *Node) Data() *dataset.Dataset { return n.data }
+// Data exposes the current local dataset snapshot for in-process test
+// evaluation; the federation protocol itself never reads it remotely.
+func (n *Node) Data() *dataset.Dataset { return n.eng.Current().Data }
+
+// Engine exposes the node's training engine (metrics, concurrency
+// introspection); primarily for daemons and tests.
+func (n *Node) Engine() *engine.Engine { return n.eng }
 
 // SummaryEpoch returns the node's current advertisement version.
-func (n *Node) SummaryEpoch() uint64 { return n.summaryEpoch.Load() }
+func (n *Node) SummaryEpoch() uint64 { return n.eng.Epoch() }
 
 // Summary returns the cluster advertisement sent to the leader,
-// stamped with the node's current epoch.
+// stamped with the node's current epoch. The quantization and epoch
+// come from one snapshot, so a concurrent requantization can never
+// produce a torn advertisement.
 func (n *Node) Summary() cluster.NodeSummary {
-	s := n.quant.Summarize(n.id)
-	s.Epoch = n.summaryEpoch.Load()
+	snap := n.eng.Current()
+	s := snap.Quant.Summarize(n.id)
+	s.Epoch = snap.Epoch
 	return s
 }
 
@@ -156,12 +195,14 @@ type TrainResponse struct {
 	SamplesUsed int `json:"samples_used"`
 	// TotalSamples is the node's |D_i|.
 	TotalSamples int `json:"total_samples"`
-	// TrainTime is the wall-clock training duration on the node.
+	// TrainTime is the wall-clock training duration on the node,
+	// including any time spent queued for an engine slot.
 	TrainTime time.Duration `json:"train_time"`
-	// SummaryEpoch echoes the node's current advertisement version.
-	// A value newer than what the leader's registry snapshot recorded
-	// means the node requantized since the advertisement was fetched —
-	// the drift signal that triggers a registry refresh.
+	// SummaryEpoch echoes the advertisement version of the snapshot
+	// the round actually trained on. A value newer than what the
+	// leader's registry snapshot recorded means the node requantized
+	// since the advertisement was fetched — the drift signal that
+	// triggers a registry refresh.
 	SummaryEpoch uint64 `json:"summary_epoch,omitempty"`
 }
 
@@ -174,10 +215,9 @@ func (n *Node) Train(req TrainRequest) (TrainResponse, error) {
 }
 
 // TrainContext is Train with deadline/cancellation support: the
-// context is checked before the round starts and between supporting
-// clusters, so an expired query stops consuming node compute at the
-// next cluster boundary (individual PartialFit calls are not
-// interruptible).
+// context is honored while the job queues for an engine slot, between
+// supporting clusters, and at every mini-batch boundary inside the
+// fit, so an expired query stops consuming node compute promptly.
 func (n *Node) TrainContext(ctx context.Context, req TrainRequest) (TrainResponse, error) {
 	if err := ctx.Err(); err != nil {
 		return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
@@ -185,46 +225,23 @@ func (n *Node) TrainContext(ctx context.Context, req TrainRequest) (TrainRespons
 	if req.LocalEpochs < 1 {
 		return TrainResponse{}, fmt.Errorf("federation: node %s: local epochs %d < 1", n.id, req.LocalEpochs)
 	}
-	model, err := n.buildModel(req.Spec, req.Params)
-	if err != nil {
-		return TrainResponse{}, err
-	}
 	start := time.Now()
-	used := 0
-	if len(req.Clusters) == 0 {
-		x, y := n.data.XY()
-		if err := model.PartialFit(x, y, req.LocalEpochs); err != nil {
-			return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
-		}
-		used = n.data.Len()
-	} else {
-		for _, c := range req.Clusters {
-			if err := ctx.Err(); err != nil {
-				return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
-			}
-			cd, err := n.quant.ClusterData(c)
-			if err != nil {
-				return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
-			}
-			if cd.Len() == 0 {
-				continue
-			}
-			x, y := cd.XY()
-			if err := model.PartialFit(x, y, req.LocalEpochs); err != nil {
-				return TrainResponse{}, fmt.Errorf("federation: node %s cluster %d: %w", n.id, c, err)
-			}
-			used += cd.Len()
-		}
-		if used == 0 {
-			return TrainResponse{}, fmt.Errorf("federation: node %s: no data in requested clusters %v", n.id, req.Clusters)
-		}
+	res, err := n.eng.Train(ctx, engine.TrainJob{
+		Spec:     req.Spec,
+		Seed:     uint64(n.src.Int63()),
+		Params:   req.Params,
+		Clusters: req.Clusters,
+		Epochs:   req.LocalEpochs,
+	})
+	if err != nil {
+		return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
 	}
 	return TrainResponse{
-		Params:       model.Params(),
-		SamplesUsed:  used,
-		TotalSamples: n.data.Len(),
+		Params:       res.Params,
+		SamplesUsed:  res.SamplesUsed,
+		TotalSamples: res.TotalSamples,
 		TrainTime:    time.Since(start),
-		SummaryEpoch: n.summaryEpoch.Load(),
+		SummaryEpoch: res.Epoch,
 	}, nil
 }
 
@@ -248,38 +265,34 @@ type EvalResponse struct {
 	MSE float64 `json:"mse"`
 	// Samples is how many local samples were evaluated.
 	Samples int `json:"samples"`
+	// SummaryEpoch echoes the advertisement version of the snapshot
+	// the evaluation ran against, so evaluations double as drift
+	// signals exactly like training responses.
+	SummaryEpoch uint64 `json:"summary_epoch,omitempty"`
 }
 
 // Evaluate implements the pre-test and scoring step: the node runs the
 // provided model over (a subspace of) its local data and reports the
 // loss — the data itself never leaves the node.
 func (n *Node) Evaluate(req EvalRequest) (EvalResponse, error) {
-	model, err := n.buildModel(req.Spec, req.Params)
-	if err != nil {
-		return EvalResponse{}, err
-	}
-	data := n.data
-	if req.Bounds != nil {
-		data = n.data.FilterInRect(*req.Bounds)
-	}
-	if data.Len() == 0 {
-		return EvalResponse{Samples: 0}, nil
-	}
-	x, y := data.XY()
-	return EvalResponse{MSE: ml.MSE(y, model.PredictBatch(x)), Samples: data.Len()}, nil
+	return n.EvaluateContext(context.Background(), req)
 }
 
-// buildModel instantiates the spec and loads params into it.
-func (n *Node) buildModel(spec ml.Spec, params ml.Params) (ml.Model, error) {
-	spec.Seed = uint64(n.src.Int63())
-	model, err := spec.New()
+// EvaluateContext is Evaluate with deadline/cancellation support: the
+// context is honored while queued, during the subspace filter scan
+// (huge nodes cancel mid-scan) and between prediction mini-batches.
+func (n *Node) EvaluateContext(ctx context.Context, req EvalRequest) (EvalResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return EvalResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
+	}
+	res, err := n.eng.Evaluate(ctx, engine.EvalJob{
+		Spec:   req.Spec,
+		Seed:   uint64(n.src.Int63()),
+		Params: req.Params,
+		Bounds: req.Bounds,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("federation: node %s: %w", n.id, err)
+		return EvalResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
 	}
-	if len(params.Values) > 0 {
-		if err := model.SetParams(params); err != nil {
-			return nil, fmt.Errorf("federation: node %s: %w", n.id, err)
-		}
-	}
-	return model, nil
+	return EvalResponse{MSE: res.MSE, Samples: res.Samples, SummaryEpoch: res.Epoch}, nil
 }

@@ -163,10 +163,19 @@ func MulInto(dst, a, b *Dense) {
 
 // MulTransA returns aᵀ * b without materializing the transpose.
 func MulTransA(a, b *Dense) *Dense {
-	if a.rows != b.rows {
+	out := NewDense(a.cols, b.cols)
+	MulTransAInto(out, a, b)
+	return out
+}
+
+// MulTransAInto computes dst = aᵀ * b, reusing dst's storage. dst must
+// be a.cols x b.cols and must not alias a or b. The accumulation order
+// is identical to MulTransA, so results are bit-exact across the two.
+func MulTransAInto(dst, a, b *Dense) {
+	if a.rows != b.rows || dst.rows != a.cols || dst.cols != b.cols {
 		panic(ErrShape)
 	}
-	out := NewDense(a.cols, b.cols)
+	dst.Zero()
 	for r := 0; r < a.rows; r++ {
 		arow := a.data[r*a.cols : (r+1)*a.cols]
 		brow := b.data[r*b.cols : (r+1)*b.cols]
@@ -174,24 +183,31 @@ func MulTransA(a, b *Dense) *Dense {
 			if av == 0 {
 				continue
 			}
-			orow := out.data[i*out.cols : (i+1)*out.cols]
+			orow := dst.data[i*dst.cols : (i+1)*dst.cols]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MulTransB returns a * bᵀ without materializing the transpose.
 func MulTransB(a, b *Dense) *Dense {
-	if a.cols != b.cols {
+	out := NewDense(a.rows, b.rows)
+	MulTransBInto(out, a, b)
+	return out
+}
+
+// MulTransBInto computes dst = a * bᵀ, reusing dst's storage. dst must
+// be a.rows x b.rows and must not alias a or b. The accumulation order
+// is identical to MulTransB, so results are bit-exact across the two.
+func MulTransBInto(dst, a, b *Dense) {
+	if a.cols != b.cols || dst.rows != a.rows || dst.cols != b.rows {
 		panic(ErrShape)
 	}
-	out := NewDense(a.rows, b.rows)
 	for i := 0; i < a.rows; i++ {
 		arow := a.data[i*a.cols : (i+1)*a.cols]
-		orow := out.data[i*out.cols : (i+1)*out.cols]
+		orow := dst.data[i*dst.cols : (i+1)*dst.cols]
 		for j := 0; j < b.rows; j++ {
 			brow := b.data[j*b.cols : (j+1)*b.cols]
 			sum := 0.0
@@ -201,7 +217,6 @@ func MulTransB(a, b *Dense) *Dense {
 			orow[j] = sum
 		}
 	}
-	return out
 }
 
 // Add returns a + b element-wise.
@@ -288,13 +303,25 @@ func (m *Dense) AddRowVector(v []float64) {
 // ColSums returns the per-column sum of m.
 func (m *Dense) ColSums() []float64 {
 	out := make([]float64, m.cols)
+	m.ColSumsInto(out)
+	return out
+}
+
+// ColSumsInto writes the per-column sum of m into out, which must have
+// length Cols(). Summation order matches ColSums bit-exactly.
+func (m *Dense) ColSumsInto(out []float64) {
+	if len(out) != m.cols {
+		panic(ErrShape)
+	}
+	for j := range out {
+		out[j] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
 			out[j] += v
 		}
 	}
-	return out
 }
 
 // Norm returns the Frobenius norm of m.

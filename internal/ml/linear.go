@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 
 	"qens/internal/matrix"
@@ -20,6 +21,17 @@ type linear struct {
 	opt     optimizer
 	src     *rng.Source
 	history History
+
+	// scratch holds reusable epoch buffers (permutation, gradient,
+	// flattened params, normalized input) so the steady-state
+	// training loop performs zero allocations. Lazily sized; makes
+	// the model unsafe for concurrent use (see Model docs).
+	scratch struct {
+		perm   []int
+		grad   []float64
+		params []float64
+		xn     []float64
+	}
 }
 
 func newLinear(spec Spec, src *rng.Source) *linear {
@@ -49,7 +61,9 @@ func (m *linear) Fit(x [][]float64, y []float64) error {
 	}
 	m.stats.observe(tx, ty)
 	for epoch := 0; epoch < m.spec.Epochs; epoch++ {
-		m.runEpoch(tx, ty)
+		if err := m.runEpoch(context.Background(), tx, nil, ty); err != nil {
+			return err
+		}
 		m.history.TrainLoss = append(m.history.TrainLoss, MSE(ty, m.PredictBatch(tx)))
 		if len(vx) > 0 {
 			m.history.ValLoss = append(m.history.ValLoss, MSE(vy, m.PredictBatch(vx)))
@@ -64,30 +78,76 @@ func (m *linear) Fit(x [][]float64, y []float64) error {
 
 // PartialFit continues training on a batch without resetting weights.
 func (m *linear) PartialFit(x [][]float64, y []float64, epochs int) error {
+	return m.PartialFitContext(context.Background(), x, y, epochs)
+}
+
+// PartialFitContext is PartialFit with cancellation at mini-batch
+// boundaries.
+func (m *linear) PartialFitContext(ctx context.Context, x [][]float64, y []float64, epochs int) error {
 	if err := checkXY(x, y, m.spec.InputDim); err != nil {
 		return err
 	}
+	return m.partialFit(ctx, x, nil, y, epochs)
+}
+
+// PartialFitBatch is the flat, zero-copy training path: x is
+// row-major with stride InputDim. Bit-exact with PartialFit over the
+// equivalent [][]float64 batch.
+func (m *linear) PartialFitBatch(ctx context.Context, x []float64, y []float64, epochs int) error {
+	if err := checkFlatXY(x, y, m.spec.InputDim); err != nil {
+		return err
+	}
+	return m.partialFit(ctx, nil, x, y, epochs)
+}
+
+// partialFit drives epochs over either data representation.
+func (m *linear) partialFit(ctx context.Context, x2 [][]float64, xf []float64, y []float64, epochs int) error {
 	if epochs < 1 {
 		return fmt.Errorf("ml: partial fit epochs %d < 1", epochs)
 	}
-	m.stats.observe(x, y)
+	if x2 != nil {
+		m.stats.observe(x2, y)
+	} else {
+		m.stats.observeFlat(xf, y, m.spec.InputDim)
+	}
 	for e := 0; e < epochs; e++ {
-		m.runEpoch(x, y)
+		if err := m.runEpoch(ctx, x2, xf, y); err != nil {
+			return err
+		}
 		m.applyDecay()
 	}
 	return nil
 }
 
-// runEpoch performs one pass of shuffled mini-batch updates.
-func (m *linear) runEpoch(x [][]float64, y []float64) {
-	perm := m.src.Perm(len(x))
-	grad := make([]float64, m.spec.InputDim+1)
-	params := make([]float64, m.spec.InputDim+1)
-	xn := make([]float64, m.spec.InputDim)
-	for start := 0; start < len(perm); start += m.spec.BatchSize {
+// ensureScratch sizes the reusable epoch buffers for n samples.
+func (m *linear) ensureScratch(n int) {
+	d := m.spec.InputDim
+	if cap(m.scratch.perm) < n {
+		m.scratch.perm = make([]int, n)
+	}
+	if m.scratch.grad == nil {
+		m.scratch.grad = make([]float64, d+1)
+		m.scratch.params = make([]float64, d+1)
+		m.scratch.xn = make([]float64, d)
+	}
+}
+
+// runEpoch performs one pass of shuffled mini-batch updates, checking
+// ctx before every mini-batch. All working memory comes from the
+// model's scratch, so a steady-state epoch allocates nothing.
+func (m *linear) runEpoch(ctx context.Context, x2 [][]float64, xf []float64, y []float64) error {
+	n := len(y)
+	m.ensureScratch(n)
+	d := m.spec.InputDim
+	perm := m.src.PermInto(m.scratch.perm[:n])
+	grad, params, xn := m.scratch.grad, m.scratch.params, m.scratch.xn
+	for start := 0; start < n; start += m.spec.BatchSize {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		end := start + m.spec.BatchSize
-		if end > len(perm) {
-			end = len(perm)
+		if end > n {
+			end = n
 		}
 		for i := range grad {
 			grad[i] = 0
@@ -95,7 +155,7 @@ func (m *linear) runEpoch(x [][]float64, y []float64) {
 		batch := perm[start:end]
 		invN := 1 / float64(len(batch))
 		for _, idx := range batch {
-			m.stats.normX(xn, x[idx])
+			m.stats.normX(xn, rowAt(x2, xf, d, idx))
 			pred := m.bias
 			for j, w := range m.weights {
 				pred += w * xn[j]
@@ -104,7 +164,7 @@ func (m *linear) runEpoch(x [][]float64, y []float64) {
 			for j := range m.weights {
 				grad[j] += 2 * err * xn[j] * invN
 			}
-			grad[m.spec.InputDim] += 2 * err * invN
+			grad[d] += 2 * err * invN
 		}
 		if m.spec.L2 > 0 {
 			for j, w := range m.weights {
@@ -113,17 +173,23 @@ func (m *linear) runEpoch(x [][]float64, y []float64) {
 		}
 		clipGradient(grad, 10)
 		copy(params, m.weights)
-		params[m.spec.InputDim] = m.bias
+		params[d] = m.bias
 		m.opt.step(params, grad)
-		copy(m.weights, params[:m.spec.InputDim])
-		m.bias = params[m.spec.InputDim]
+		copy(m.weights, params[:d])
+		m.bias = params[d]
 	}
+	return nil
 }
 
 // Predict returns the raw-scale prediction for one input.
 func (m *linear) Predict(x []float64) float64 {
 	xn := make([]float64, m.spec.InputDim)
 	m.stats.normX(xn, x)
+	return m.predictNormed(xn)
+}
+
+// predictNormed scores one standardized input.
+func (m *linear) predictNormed(xn []float64) float64 {
 	out := m.bias
 	for j, w := range m.weights {
 		out += w * xn[j]
@@ -138,6 +204,39 @@ func (m *linear) PredictBatch(x [][]float64) []float64 {
 		out[i] = m.Predict(row)
 	}
 	return out
+}
+
+// PredictFlat writes raw-scale predictions for the flat row-major
+// input buffer into out, allocation-free at steady state.
+func (m *linear) PredictFlat(x []float64, out []float64) {
+	d := m.spec.InputDim
+	if len(x) != len(out)*d {
+		panic(fmt.Sprintf("ml: flat predict length %d != %d samples x %d features", len(x), len(out), d))
+	}
+	m.ensureScratch(0)
+	xn := m.scratch.xn
+	for i := range out {
+		m.stats.normX(xn, x[i*d:(i+1)*d])
+		out[i] = m.predictNormed(xn)
+	}
+}
+
+// Reinit re-seeds and re-initializes the model in place (see Model).
+func (m *linear) Reinit(seed uint64, params Params) error {
+	m.src = rng.New(seed)
+	// Same draws, in the same order, as newLinear.
+	for i := range m.weights {
+		m.weights[i] = m.src.Uniform(-0.05, 0.05)
+	}
+	m.bias = 0
+	m.stats.reset()
+	m.opt.reset()
+	m.opt.setLR(m.spec.LearningRate)
+	m.history = History{}
+	if len(params.Values) > 0 {
+		return m.SetParams(params)
+	}
+	return nil
 }
 
 // Params exports weights, bias and normalization state.

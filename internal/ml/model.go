@@ -10,6 +10,7 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -17,6 +18,12 @@ import (
 )
 
 // Model is a trainable regression model.
+//
+// A Model is not safe for concurrent use: the flat-batch methods
+// reuse per-model scratch buffers (gradients, activations,
+// permutations) across calls, which is what keeps the training inner
+// loop allocation-free. The node-side engine (internal/engine) hands
+// each in-flight request its own pooled model instance.
 type Model interface {
 	// Fit trains from scratch for the spec's configured number of
 	// epochs, using the spec's validation split for held-out loss
@@ -27,14 +34,38 @@ type Model interface {
 	// per-cluster incremental step (each supporting cluster is a
 	// mini-batch, §IV-A Remark).
 	PartialFit(x [][]float64, y []float64, epochs int) error
+	// PartialFitContext is PartialFit with cancellation: ctx is
+	// checked at every mini-batch boundary, so a slow fit stops
+	// consuming compute shortly after its deadline expires instead
+	// of outliving it.
+	PartialFitContext(ctx context.Context, x [][]float64, y []float64, epochs int) error
+	// PartialFitBatch is the zero-copy training path: x is a flat
+	// row-major feature buffer with stride InputDim (len(x) ==
+	// len(y)*InputDim), typically filled by dataset.View.XYInto into
+	// a pooled buffer. Arithmetic is bit-exact with PartialFit over
+	// the equivalent [][]float64 batch. ctx is checked at mini-batch
+	// boundaries.
+	PartialFitBatch(ctx context.Context, x []float64, y []float64, epochs int) error
 	// Predict returns the model output for a single input.
 	Predict(x []float64) float64
 	// PredictBatch returns outputs for many inputs.
 	PredictBatch(x [][]float64) []float64
+	// PredictFlat writes predictions for the flat row-major input
+	// buffer (stride InputDim, len(x) == len(out)*InputDim) into
+	// out, reusing model scratch instead of allocating.
+	PredictFlat(x []float64, out []float64)
 	// Params exports the parameters for transport or aggregation.
 	Params() Params
 	// SetParams loads previously exported parameters.
 	SetParams(Params) error
+	// Reinit re-seeds and re-initializes the model in place, as if
+	// freshly constructed by Spec.New with the given seed, then
+	// loads params when non-empty. Weight and scratch storage is
+	// reused — this is the model pool's arena-reuse hook
+	// (internal/engine). The resulting state is bit-exact with a
+	// fresh construction: the same RNG draws happen in the same
+	// order.
+	Reinit(seed uint64, params Params) error
 	// Clone returns an independent copy with identical parameters.
 	Clone() Model
 	// History returns per-epoch losses from the most recent Fit.
@@ -256,6 +287,40 @@ func (s Spec) MustNew() Model {
 		panic(err)
 	}
 	return m
+}
+
+// Fingerprint returns a stable identity for the model architecture
+// and training hyper-parameters, excluding the Seed: two specs with
+// equal fingerprints produce interchangeable model instances up to
+// re-seeding. The node-side model pool (internal/engine) keys its
+// arenas on this.
+func (s Spec) Fingerprint() string {
+	s = s.withDefaults()
+	return fmt.Sprintf("%s|in=%d|h=%v|lr=%g|ep=%d|bs=%d|vs=%g|opt=%s|act=%s|l2=%g|dec=%g|pat=%d",
+		s.Kind, s.InputDim, s.Hidden, s.LearningRate, s.Epochs, s.BatchSize,
+		s.ValidationSplit, s.Optimizer, s.Activation, s.L2, s.LRDecay, s.Patience)
+}
+
+// checkFlatXY validates a flat row-major training batch: len(x) must
+// be len(y)*inputDim.
+func checkFlatXY(x []float64, y []float64, inputDim int) error {
+	if len(y) == 0 {
+		return errors.New("ml: empty training batch")
+	}
+	if len(x) != len(y)*inputDim {
+		return fmt.Errorf("ml: flat batch length %d != %d samples x %d features", len(x), len(y), inputDim)
+	}
+	return nil
+}
+
+// rowAt returns row idx of a design matrix stored either as row
+// slices (x2) or as a flat row-major buffer (xf with stride d).
+// Exactly one of x2/xf is non-nil.
+func rowAt(x2 [][]float64, xf []float64, d, idx int) []float64 {
+	if x2 != nil {
+		return x2[idx]
+	}
+	return xf[idx*d : (idx+1)*d]
 }
 
 // checkXY validates a training batch against the expected input

@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,6 +23,35 @@ type neuralNet struct {
 	opt     optimizer
 	src     *rng.Source
 	history History
+
+	// scratch holds the reusable forward/backward working set: the
+	// permutation, the normalized input matrix, per-layer activation
+	// and delta backings, the flat gradient and parameter vectors.
+	// Sized lazily to the largest batch seen; reuse across batches
+	// and epochs keeps steady-state training allocation-light and is
+	// what the engine's model pool recycles. Makes the model unsafe
+	// for concurrent use (see Model docs).
+	scratch struct {
+		perm     []int
+		input    []float64
+		actBuf   [][]float64 // index l+1: backing for layer l's output
+		deltaBuf [][]float64 // index l: backing for deltas with widths[l] cols
+		target   []float64
+		grad     []float64
+		params   []float64
+		xn       []float64
+		pred     []float64
+	}
+}
+
+// widths returns the layer widths including input and output.
+func (m *neuralNet) widths() []int {
+	out := make([]int, 0, len(m.layers)+1)
+	out = append(out, m.spec.InputDim)
+	for _, l := range m.layers {
+		out = append(out, l.w.Cols())
+	}
+	return out
 }
 
 // denseLayer holds weights (in x out) and biases (out). hidden marks
@@ -85,7 +115,9 @@ func (m *neuralNet) Fit(x [][]float64, y []float64) error {
 	}
 	m.stats.observe(tx, ty)
 	for epoch := 0; epoch < m.spec.Epochs; epoch++ {
-		m.runEpoch(tx, ty)
+		if err := m.runEpoch(context.Background(), tx, nil, ty); err != nil {
+			return err
+		}
 		m.history.TrainLoss = append(m.history.TrainLoss, MSE(ty, m.PredictBatch(tx)))
 		if len(vx) > 0 {
 			m.history.ValLoss = append(m.history.ValLoss, MSE(vy, m.PredictBatch(vx)))
@@ -100,40 +132,114 @@ func (m *neuralNet) Fit(x [][]float64, y []float64) error {
 
 // PartialFit continues training on a batch without resetting weights.
 func (m *neuralNet) PartialFit(x [][]float64, y []float64, epochs int) error {
+	return m.PartialFitContext(context.Background(), x, y, epochs)
+}
+
+// PartialFitContext is PartialFit with cancellation at mini-batch
+// boundaries.
+func (m *neuralNet) PartialFitContext(ctx context.Context, x [][]float64, y []float64, epochs int) error {
 	if err := checkXY(x, y, m.spec.InputDim); err != nil {
 		return err
 	}
+	return m.partialFit(ctx, x, nil, y, epochs)
+}
+
+// PartialFitBatch is the flat, zero-copy training path: x is
+// row-major with stride InputDim. Bit-exact with PartialFit over the
+// equivalent [][]float64 batch.
+func (m *neuralNet) PartialFitBatch(ctx context.Context, x []float64, y []float64, epochs int) error {
+	if err := checkFlatXY(x, y, m.spec.InputDim); err != nil {
+		return err
+	}
+	return m.partialFit(ctx, nil, x, y, epochs)
+}
+
+// partialFit drives epochs over either data representation.
+func (m *neuralNet) partialFit(ctx context.Context, x2 [][]float64, xf []float64, y []float64, epochs int) error {
 	if epochs < 1 {
 		return fmt.Errorf("ml: partial fit epochs %d < 1", epochs)
 	}
-	m.stats.observe(x, y)
+	if x2 != nil {
+		m.stats.observe(x2, y)
+	} else {
+		m.stats.observeFlat(xf, y, m.spec.InputDim)
+	}
 	for e := 0; e < epochs; e++ {
-		m.runEpoch(x, y)
+		if err := m.runEpoch(ctx, x2, xf, y); err != nil {
+			return err
+		}
 		m.applyDecay()
 	}
 	return nil
 }
 
-// runEpoch performs one shuffled pass of mini-batch backprop.
-func (m *neuralNet) runEpoch(x [][]float64, y []float64) {
-	perm := m.src.Perm(len(x))
-	for start := 0; start < len(perm); start += m.spec.BatchSize {
-		end := start + m.spec.BatchSize
-		if end > len(perm) {
-			end = len(perm)
+// runEpoch performs one shuffled pass of mini-batch backprop,
+// checking ctx before every mini-batch.
+func (m *neuralNet) runEpoch(ctx context.Context, x2 [][]float64, xf []float64, y []float64) error {
+	n := len(y)
+	if cap(m.scratch.perm) < n {
+		m.scratch.perm = make([]int, n)
+	}
+	nb := m.spec.BatchSize
+	if n < nb {
+		nb = n
+	}
+	m.ensureBatchScratch(nb)
+	perm := m.src.PermInto(m.scratch.perm[:n])
+	for start := 0; start < n; start += m.spec.BatchSize {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		m.trainBatch(x, y, perm[start:end])
+		end := start + m.spec.BatchSize
+		if end > n {
+			end = n
+		}
+		m.trainBatch(x2, xf, y, perm[start:end])
+	}
+	return nil
+}
+
+// ensureBatchScratch grows the batch-shaped scratch (input matrix,
+// activation and delta backings, targets) to hold nb rows, and the
+// flat gradient/parameter vectors. Growth is monotonic, so steady
+// state never reallocates.
+func (m *neuralNet) ensureBatchScratch(nb int) {
+	widths := m.widths()
+	if cap(m.scratch.input) < nb*m.spec.InputDim {
+		m.scratch.input = make([]float64, nb*m.spec.InputDim)
+	}
+	if m.scratch.actBuf == nil {
+		m.scratch.actBuf = make([][]float64, len(m.layers)+1)
+		m.scratch.deltaBuf = make([][]float64, len(m.layers)+1)
+	}
+	for l := 1; l <= len(m.layers); l++ {
+		if cap(m.scratch.actBuf[l]) < nb*widths[l] {
+			m.scratch.actBuf[l] = make([]float64, nb*widths[l])
+		}
+		if cap(m.scratch.deltaBuf[l]) < nb*widths[l] {
+			m.scratch.deltaBuf[l] = make([]float64, nb*widths[l])
+		}
+	}
+	if cap(m.scratch.target) < nb {
+		m.scratch.target = make([]float64, nb)
+	}
+	if m.scratch.grad == nil {
+		m.scratch.grad = make([]float64, m.paramCount())
+		m.scratch.params = make([]float64, m.paramCount())
 	}
 }
 
-// trainBatch runs forward + backward on one mini-batch and applies the
-// optimizer step.
-func (m *neuralNet) trainBatch(x [][]float64, y []float64, batch []int) {
+// trainBatch runs forward + backward on one mini-batch and applies
+// the optimizer step. All matrices are views over the model's scratch
+// backings; the arithmetic (and therefore the result) is bit-exact
+// with the historical allocate-per-batch implementation.
+func (m *neuralNet) trainBatch(x2 [][]float64, xf []float64, y []float64, batch []int) {
 	n := len(batch)
-	input := matrix.NewDense(n, m.spec.InputDim)
-	target := make([]float64, n)
+	d := m.spec.InputDim
+	input := matrix.NewDenseData(n, d, m.scratch.input[:n*d])
+	target := m.scratch.target[:n]
 	for i, idx := range batch {
-		m.stats.normX(input.Row(i), x[idx])
+		m.stats.normX(input.Row(i), rowAt(x2, xf, d, idx))
 		target[i] = m.stats.normY(y[idx])
 	}
 
@@ -141,7 +247,8 @@ func (m *neuralNet) trainBatch(x [][]float64, y []float64, batch []int) {
 	acts := make([]*matrix.Dense, len(m.layers)+1)
 	acts[0] = input
 	for l, layer := range m.layers {
-		z := matrix.Mul(acts[l], layer.w)
+		z := matrix.NewDenseData(n, layer.w.Cols(), m.scratch.actBuf[l+1][:n*layer.w.Cols()])
+		matrix.MulInto(z, acts[l], layer.w)
 		z.AddRowVector(layer.b)
 		if layer.hidden {
 			z.Apply(m.act.fn)
@@ -151,14 +258,17 @@ func (m *neuralNet) trainBatch(x [][]float64, y []float64, batch []int) {
 
 	// Output delta: dL/dz = 2(pred - target)/n for MSE.
 	out := acts[len(m.layers)]
-	delta := matrix.NewDense(n, 1)
+	delta := matrix.NewDenseData(n, 1, m.scratch.deltaBuf[len(m.layers)][:n])
 	invN := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		delta.Set(i, 0, 2*(out.At(i, 0)-target[i])*invN)
 	}
 
-	// Backward pass accumulating a flat gradient.
-	grad := make([]float64, m.paramCount())
+	// Backward pass accumulating a flat gradient. The per-layer
+	// weight and bias gradients are computed directly into their
+	// segments of the flat vector (the Into kernels zero their
+	// destination first), so no separate zeroing pass is needed.
+	grad := m.scratch.grad
 	offset := len(grad)
 	for l := len(m.layers) - 1; l >= 0; l-- {
 		layer := m.layers[l]
@@ -166,16 +276,16 @@ func (m *neuralNet) trainBatch(x [][]float64, y []float64, batch []int) {
 		offset -= wRows*wCols + wCols
 
 		// Gradient wrt weights: actsᵀ · delta.
-		gw := matrix.MulTransA(acts[l], delta)
-		copy(grad[offset:offset+wRows*wCols], gw.Data())
+		gw := matrix.NewDenseData(wRows, wCols, grad[offset:offset+wRows*wCols])
+		matrix.MulTransAInto(gw, acts[l], delta)
 		// Gradient wrt biases: column sums of delta.
-		gb := delta.ColSums()
-		copy(grad[offset+wRows*wCols:offset+wRows*wCols+wCols], gb)
+		delta.ColSumsInto(grad[offset+wRows*wCols : offset+wRows*wCols+wCols])
 
 		if l > 0 {
 			// Propagate: delta_prev = (delta · wᵀ) ⊙ f'(acts[l]),
 			// with f' expressed in terms of the activation output.
-			next := matrix.MulTransB(delta, layer.w)
+			next := matrix.NewDenseData(n, wRows, m.scratch.deltaBuf[l][:n*wRows])
+			matrix.MulTransBInto(next, delta, layer.w)
 			prevAct := acts[l]
 			for i := 0; i < next.Rows(); i++ {
 				row := next.Row(i)
@@ -202,7 +312,7 @@ func (m *neuralNet) trainBatch(x [][]float64, y []float64, batch []int) {
 	}
 
 	clipGradient(grad, 50)
-	params := m.flattenParams()
+	params := m.flattenParamsInto(m.scratch.params)
 	m.opt.step(params, grad)
 	m.loadParams(params)
 }
@@ -265,10 +375,16 @@ func (m *neuralNet) PredictBatch(x [][]float64) []float64 {
 
 // flattenParams serializes weights+biases layer by layer.
 func (m *neuralNet) flattenParams() []float64 {
-	out := make([]float64, 0, m.paramCount())
+	return m.flattenParamsInto(make([]float64, m.paramCount()))
+}
+
+// flattenParamsInto serializes weights+biases into the given buffer
+// (length paramCount) and returns it.
+func (m *neuralNet) flattenParamsInto(out []float64) []float64 {
+	offset := 0
 	for _, l := range m.layers {
-		out = append(out, l.w.Data()...)
-		out = append(out, l.b...)
+		offset += copy(out[offset:], l.w.Data())
+		offset += copy(out[offset:], l.b)
 	}
 	return out
 }
@@ -305,6 +421,66 @@ func (m *neuralNet) SetParams(p Params) error {
 	m.loadParams(p.Values[:n])
 	m.stats.unflatten(p.Values[n:])
 	m.opt.reset()
+	return nil
+}
+
+// PredictFlat writes raw-scale predictions for the flat row-major
+// input buffer into out via one batched forward pass over the model's
+// scratch backings.
+func (m *neuralNet) PredictFlat(x []float64, out []float64) {
+	n := len(out)
+	d := m.spec.InputDim
+	if len(x) != n*d {
+		panic(fmt.Sprintf("ml: flat predict length %d != %d samples x %d features", len(x), n, d))
+	}
+	if n == 0 {
+		return
+	}
+	m.ensureBatchScratch(n)
+	input := matrix.NewDenseData(n, d, m.scratch.input[:n*d])
+	for i := 0; i < n; i++ {
+		m.stats.normX(input.Row(i), x[i*d:(i+1)*d])
+	}
+	cur := input
+	for l, layer := range m.layers {
+		z := matrix.NewDenseData(n, layer.w.Cols(), m.scratch.actBuf[l+1][:n*layer.w.Cols()])
+		matrix.MulInto(z, cur, layer.w)
+		z.AddRowVector(layer.b)
+		if layer.hidden {
+			z.Apply(m.act.fn)
+		}
+		cur = z
+	}
+	for i := range out {
+		out[i] = m.stats.denormY(cur.At(i, 0))
+	}
+}
+
+// Reinit re-seeds and re-initializes the model in place (see Model).
+// Weight matrices, bias vectors and scratch are reused; the RNG draws
+// mirror newNeuralNet exactly, so the state is bit-exact with a fresh
+// construction.
+func (m *neuralNet) Reinit(seed uint64, params Params) error {
+	m.src = rng.New(seed)
+	for _, layer := range m.layers {
+		in, out := layer.w.Rows(), layer.w.Cols()
+		scale := math.Sqrt(2 / float64(in))
+		for i := 0; i < in; i++ {
+			for j := 0; j < out; j++ {
+				layer.w.Set(i, j, m.src.Normal(0, scale))
+			}
+		}
+		for j := range layer.b {
+			layer.b[j] = 0
+		}
+	}
+	m.stats.reset()
+	m.opt.reset()
+	m.opt.setLR(m.spec.LearningRate)
+	m.history = History{}
+	if len(params.Values) > 0 {
+		return m.SetParams(params)
+	}
 	return nil
 }
 

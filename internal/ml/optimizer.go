@@ -17,6 +17,9 @@ type optimizer interface {
 	clone() optimizer
 	// scaleLR multiplies the learning rate (for per-epoch decay).
 	scaleLR(factor float64)
+	// setLR restores the learning rate to an absolute value (model
+	// Reinit undoes any accumulated decay without reallocating).
+	setLR(lr float64)
 }
 
 // newOptimizer builds the optimizer named by the spec.
@@ -43,6 +46,7 @@ func (o *sgd) step(params, grad []float64) {
 func (o *sgd) reset()                 {}
 func (o *sgd) clone() optimizer       { return &sgd{lr: o.lr} }
 func (o *sgd) scaleLR(factor float64) { o.lr *= factor }
+func (o *sgd) setLR(lr float64)       { o.lr = lr }
 
 // momentum is SGD with classical momentum.
 type momentum struct {
@@ -68,6 +72,8 @@ func (o *momentum) clone() optimizer {
 }
 
 func (o *momentum) scaleLR(factor float64) { o.lr *= factor }
+
+func (o *momentum) setLR(lr float64) { o.lr = lr }
 
 // adam is the Adam optimizer (Kingma & Ba 2015).
 type adam struct {
@@ -103,6 +109,8 @@ func (o *adam) clone() optimizer {
 }
 
 func (o *adam) scaleLR(factor float64) { o.lr *= factor }
+
+func (o *adam) setLR(lr float64) { o.lr = lr }
 
 // clipGradient rescales grad in place if its L2 norm exceeds maxNorm,
 // a standard guard against exploding updates on badly conditioned

@@ -23,15 +23,38 @@ func newRunningStats(dim int) *runningStats {
 // observe folds a batch into the statistics.
 func (s *runningStats) observe(x [][]float64, y []float64) {
 	for i, row := range x {
-		s.count++
-		for j, v := range row {
-			delta := v - s.mean[j]
-			s.mean[j] += delta / s.count
-			s.m2[j] += delta * (v - s.mean[j])
-		}
-		dy := y[i] - s.yMean
-		s.yMean += dy / s.count
-		s.yM2 += dy * (y[i] - s.yMean)
+		s.observeRow(row, y[i])
+	}
+}
+
+// observeFlat folds a flat row-major batch (stride d) into the
+// statistics, bit-exact with observe over the equivalent row slices.
+func (s *runningStats) observeFlat(x []float64, y []float64, d int) {
+	for i := range y {
+		s.observeRow(x[i*d:(i+1)*d], y[i])
+	}
+}
+
+// observeRow folds one sample into the statistics (Welford update).
+func (s *runningStats) observeRow(row []float64, y float64) {
+	s.count++
+	for j, v := range row {
+		delta := v - s.mean[j]
+		s.mean[j] += delta / s.count
+		s.m2[j] += delta * (v - s.mean[j])
+	}
+	dy := y - s.yMean
+	s.yMean += dy / s.count
+	s.yM2 += dy * (y - s.yMean)
+}
+
+// reset returns the statistics to the freshly-constructed state
+// without reallocating (model pool reuse).
+func (s *runningStats) reset() {
+	s.count, s.yMean, s.yM2 = 0, 0, 0
+	for i := range s.mean {
+		s.mean[i] = 0
+		s.m2[i] = 0
 	}
 }
 

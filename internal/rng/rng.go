@@ -117,6 +117,25 @@ func (s *Source) Perm(n int) []int {
 	return s.r.Perm(n)
 }
 
+// PermInto writes a random permutation of [0, len(buf)) into buf and
+// returns it, drawing exactly the same variates as Perm(len(buf)) —
+// a caller that switches between the two observes identical
+// permutations and leaves the stream in an identical state. This is
+// the allocation-free variant used by the training hot path
+// (internal/ml flat-batch epochs).
+func (s *Source) PermInto(buf []int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Mirror math/rand's Perm: an inside-out Fisher–Yates that calls
+	// Intn(i+1) once per element.
+	for i := range buf {
+		j := s.r.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return buf
+}
+
 // Shuffle pseudo-randomizes the order of n elements using swap.
 func (s *Source) Shuffle(n int, swap func(i, j int)) {
 	s.mu.Lock()

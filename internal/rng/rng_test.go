@@ -251,3 +251,34 @@ func TestDeterminismWithLocking(t *testing.T) {
 		t.Fatal("split children diverged")
 	}
 }
+
+// TestPermIntoMatchesPerm verifies the allocation-free permutation is
+// draw-for-draw identical to Perm — the property the flat training
+// path's bit-exactness rests on — and leaves the stream in the same
+// state.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 33, 256} {
+		a, b := New(11), New(11)
+		want := a.Perm(n)
+		buf := make([]int, n)
+		got := b.PermInto(buf)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: PermInto[%d] = %d, Perm = %d", n, i, got[i], want[i])
+			}
+		}
+		if a.Int63() != b.Int63() {
+			t.Fatalf("n=%d: stream state diverged after permutation", n)
+		}
+	}
+}
+
+// TestPermIntoZeroAlloc pins the allocation-free contract.
+func TestPermIntoZeroAlloc(t *testing.T) {
+	src := New(3)
+	buf := make([]int, 128)
+	allocs := testing.AllocsPerRun(100, func() { src.PermInto(buf) })
+	if allocs != 0 {
+		t.Fatalf("PermInto allocates %v per run", allocs)
+	}
+}

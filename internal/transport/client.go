@@ -116,6 +116,11 @@ func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 	if err := ctx.Err(); err != nil {
 		return response{}, err
 	}
+	// Propagate the caller's deadline into the envelope so the daemon
+	// can abandon work — not just the response — once it expires.
+	if d, ok := ctx.Deadline(); ok {
+		req.DeadlineUnixMS = d.UnixMilli()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error
@@ -240,5 +245,11 @@ func (c *Client) Evaluate(ctx context.Context, req federation.EvalRequest) (fede
 	if resp.Eval == nil {
 		return federation.EvalResponse{}, errors.New("transport: daemon returned no eval response")
 	}
-	return *resp.Eval, nil
+	out := *resp.Eval
+	if out.SummaryEpoch == 0 {
+		// Older daemons only stamp the envelope; lift it so
+		// evaluations double as drift signals like train responses.
+		out.SummaryEpoch = resp.SummaryEpoch
+	}
+	return out, nil
 }

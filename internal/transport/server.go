@@ -18,13 +18,17 @@ import (
 // request is the wire envelope sent by the leader. TraceID and SpanID
 // are optional (backward-compatible) observability fields: when the
 // leader runs a traced query, they attribute the daemon-side work to
-// the originating query's trace.
+// the originating query's trace. DeadlineUnixMS (optional, epoch
+// milliseconds) carries the caller's context deadline across the
+// wire, so the daemon can stop training/evaluating — not just stop
+// responding — once the query has expired.
 type request struct {
-	Type    string                   `json:"type"`
-	TraceID string                   `json:"trace_id,omitempty"`
-	SpanID  string                   `json:"span_id,omitempty"`
-	Train   *federation.TrainRequest `json:"train,omitempty"`
-	Eval    *federation.EvalRequest  `json:"eval,omitempty"`
+	Type           string                   `json:"type"`
+	TraceID        string                   `json:"trace_id,omitempty"`
+	SpanID         string                   `json:"span_id,omitempty"`
+	DeadlineUnixMS int64                    `json:"deadline_unix_ms,omitempty"`
+	Train          *federation.TrainRequest `json:"train,omitempty"`
+	Eval           *federation.EvalRequest  `json:"eval,omitempty"`
 }
 
 // response is the wire envelope returned by a participant. Code
@@ -113,14 +117,21 @@ func (m *serverMetrics) addBytes(in, out int64) {
 }
 
 // Server exposes one federation.Node over TCP. Each connection may
-// issue any number of requests; requests against the node are
-// serialized because node training is stateful on its RNG.
+// issue any number of requests, and requests from different
+// connections execute concurrently: the node's training engine
+// bounds actual parallelism (see federation.WithTrainConcurrency),
+// so the transport no longer serializes dispatch.
 type Server struct {
 	node    *federation.Node
 	ln      net.Listener
 	metrics *serverMetrics
 
-	mu        sync.Mutex // serializes node access
+	// baseCtx parents every per-request context; cancel fires when
+	// the server force-closes so in-flight training aborts at the
+	// next mini-batch boundary.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	wg        sync.WaitGroup
@@ -128,6 +139,11 @@ type Server struct {
 
 	active    atomic.Int64 // RPCs currently executing (for graceful drain)
 	lastTrain atomic.Int64 // unix nanos of the last completed train round
+
+	// gate, when set (tests only), is invoked by every dispatch before
+	// it executes — the shutdown tests use it to pin an RPC in flight
+	// now that dispatch no longer serializes on a lock.
+	gate atomic.Pointer[func()]
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -145,10 +161,13 @@ func Serve(node *federation.Node, addr string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		node:    node,
 		ln:      ln,
 		metrics: newServerMetrics(telemetry.Default(), node.ID()),
+		baseCtx: baseCtx,
+		cancel:  cancel,
 		closed:  make(chan struct{}),
 		logf:    log.Printf,
 		conns:   make(map[net.Conn]struct{}),
@@ -239,8 +258,10 @@ func (s *Server) stopAccepting() error {
 }
 
 // closeConns force-closes every tracked connection, kicking handlers
-// out of blocking reads.
+// out of blocking reads, and cancels the base context so in-flight
+// node jobs abandon work at the next cancellation point.
 func (s *Server) closeConns() {
+	s.cancel()
 	s.connMu.Lock()
 	for conn := range s.conns {
 		conn.Close()
@@ -319,12 +340,21 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 // dispatch executes one request against the node, recording metrics
-// and a structured per-RPC log line attributed to the request's trace.
+// and a structured per-RPC log line attributed to the request's
+// trace. Dispatches run concurrently across connections; the node's
+// engine bounds how many actually execute at once.
 func (s *Server) dispatch(req request) response {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if g := s.gate.Load(); g != nil {
+		(*g)()
+	}
+	ctx := s.baseCtx
+	if req.DeadlineUnixMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.UnixMilli(req.DeadlineUnixMS))
+		defer cancel()
+	}
 	start := time.Now()
-	resp := s.handle(req)
+	resp := s.handle(ctx, req)
 	elapsed := time.Since(start)
 
 	if s.metrics.observeRPC(req.Type, elapsed, resp.Error != "") {
@@ -352,14 +382,13 @@ func (s *Server) dispatch(req request) response {
 }
 
 // Requantize re-runs the served node's quantization over its current
-// local data, bumping the advertisement epoch. It holds the dispatch
-// lock, so it never interleaves with an in-flight RPC; leaders learn of
-// the new epoch from the next response envelope they receive. Exposed
-// so qensd can requantize on demand (e.g. on SIGHUP) after local data
-// collection.
+// local data, bumping the advertisement epoch. Node mutation is
+// copy-on-write (see internal/engine), so it is safe to call while
+// RPCs are in flight: running jobs keep their pinned snapshot and
+// leaders learn of the new epoch from the next response envelope they
+// receive. Exposed so qensd can requantize on demand (e.g. on SIGHUP)
+// after local data collection.
 func (s *Server) Requantize() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.node.Requantize()
 }
 
@@ -367,8 +396,18 @@ func (s *Server) Requantize() error {
 // (surfaced by the qensd /healthz endpoint).
 func (s *Server) SummaryEpoch() uint64 { return s.node.SummaryEpoch() }
 
-// handle runs the per-type logic. Callers hold s.mu.
-func (s *Server) handle(req request) response {
+// TrainSlots reports the node engine's concurrency bound (the
+// -train-concurrency setting after defaulting).
+func (s *Server) TrainSlots() int { return s.node.Engine().Parallelism() }
+
+// TrainInflight reports how many jobs are executing inside the node
+// engine right now (always <= TrainSlots).
+func (s *Server) TrainInflight() int64 { return s.node.Engine().Inflight() }
+
+// handle runs the per-type logic. ctx carries the server lifetime and
+// any wire-propagated request deadline into the node's cancellation
+// points (engine admission queue, cluster boundaries, mini-batches).
+func (s *Server) handle(ctx context.Context, req request) response {
 	switch req.Type {
 	case typePing:
 		return response{NodeID: s.node.ID()}
@@ -379,7 +418,7 @@ func (s *Server) handle(req request) response {
 		if req.Train == nil {
 			return response{Error: "train request missing body", Code: CodeBadRequest}
 		}
-		out, err := s.node.Train(*req.Train)
+		out, err := s.node.TrainContext(ctx, *req.Train)
 		if err != nil {
 			return response{Error: err.Error()}
 		}
@@ -388,7 +427,7 @@ func (s *Server) handle(req request) response {
 		if req.Eval == nil {
 			return response{Error: "evaluate request missing body", Code: CodeBadRequest}
 		}
-		out, err := s.node.Evaluate(*req.Eval)
+		out, err := s.node.EvaluateContext(ctx, *req.Eval)
 		if err != nil {
 			return response{Error: err.Error()}
 		}

@@ -35,12 +35,17 @@ func TestServerShutdownIdle(t *testing.T) {
 	}
 }
 
-// TestServerShutdownWaitsForInFlight wedges the node lock so a ping is
-// stuck inside dispatch, then verifies Shutdown waits for it (graceful
-// drain) instead of cutting the connection, and that the blocked
-// client still receives its response.
+// TestServerShutdownWaitsForInFlight pins a ping inside dispatch via
+// the server's test gate, then verifies Shutdown waits for it
+// (graceful drain) instead of cutting the connection, and that the
+// blocked client still receives its response.
 func TestServerShutdownWaitsForInFlight(t *testing.T) {
 	srv, _ := startServer(t, 2, 1.5, 0, 10)
+
+	// Pin the next dispatch until we release it.
+	release := make(chan struct{})
+	hold := func() { <-release }
+	srv.gate.Store(&hold)
 
 	// Raw connection so we control framing directly.
 	conn, err := net.Dial("tcp", srv.Addr())
@@ -49,17 +54,14 @@ func TestServerShutdownWaitsForInFlight(t *testing.T) {
 	}
 	defer conn.Close()
 
-	srv.mu.Lock() // wedge dispatch: the next RPC blocks inside the handler
 	if err := writeFrame(conn, request{Type: typePing}); err != nil {
-		srv.mu.Unlock()
 		t.Fatal(err)
 	}
 	// Wait until the handler has read the frame and is executing
-	// (active > 0), i.e. blocked on srv.mu.
+	// (active > 0), i.e. blocked on the gate.
 	deadline := time.Now().Add(2 * time.Second)
 	for srv.active.Load() == 0 {
 		if time.Now().After(deadline) {
-			srv.mu.Unlock()
 			t.Fatal("handler never started executing the RPC")
 		}
 		time.Sleep(time.Millisecond)
@@ -73,12 +75,11 @@ func TestServerShutdownWaitsForInFlight(t *testing.T) {
 	// The drain must not finish while the RPC is executing.
 	select {
 	case err := <-done:
-		srv.mu.Unlock()
 		t.Fatalf("shutdown returned %v while an RPC was in flight", err)
 	case <-time.After(100 * time.Millisecond):
 	}
 
-	srv.mu.Unlock() // let the RPC finish
+	close(release) // let the RPC finish
 	select {
 	case err := <-done:
 		if err != nil {
@@ -104,21 +105,22 @@ func TestServerShutdownWaitsForInFlight(t *testing.T) {
 func TestServerShutdownDeadline(t *testing.T) {
 	srv, _ := startServer(t, 3, 1, 0, 10)
 
+	release := make(chan struct{})
+	hold := func() { <-release }
+	srv.gate.Store(&hold)
+
 	conn, err := net.Dial("tcp", srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer conn.Close()
 
-	srv.mu.Lock()
 	if err := writeFrame(conn, request{Type: typePing}); err != nil {
-		srv.mu.Unlock()
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for srv.active.Load() == 0 {
 		if time.Now().After(deadline) {
-			srv.mu.Unlock()
 			t.Fatal("handler never started executing the RPC")
 		}
 		time.Sleep(time.Millisecond)
@@ -127,9 +129,9 @@ func TestServerShutdownDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	err = srv.Shutdown(ctx)
-	srv.mu.Unlock()
+	close(release)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
 	}
-	srv.wg.Wait() // handlers unwind once the lock is released
+	srv.wg.Wait() // handlers unwind once the gate is released
 }
