@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-paper clean
+.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-wire bench-paper clean
 
 all: check
 
@@ -21,6 +21,7 @@ loadsmoke:
 # Short fuzz campaigns over the wire-facing parsers.
 fuzz:
 	$(GO) test -fuzz FuzzReadWorkload -fuzztime 30s ./internal/query/
+	$(GO) test -run '^$$' -fuzz FuzzWireV2 -fuzztime 30s ./internal/transport/
 
 fmt:
 	gofmt -w .
@@ -55,6 +56,13 @@ bench:
 # edge over the copy path at 10k samples.
 bench-train:
 	sh scripts/bench_train.sh
+
+# Wire-protocol microbenchmarks (BenchmarkWireEncode/Decode/RPC, v1
+# JSON vs v2 binary) rendered as BENCH_wire.json; fails if the v2
+# encode path allocates, loses its >=2x encode / >=3x encode+decode /
+# >=2x wire-size edge, or pipelined RPCs drop below 1.5x serialized v1.
+bench-wire:
+	sh scripts/bench_wire.sh
 
 # Paper-figure macro benchmarks (Tables I-II, Figures 6-9); these
 # train real fleets and take minutes.

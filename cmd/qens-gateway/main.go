@@ -61,6 +61,7 @@ func main() {
 		summaryRefresh = flag.Duration("summary-refresh", 0, "background summary refresh interval; re-fetches fleet advertisements off the query path (0 disables)")
 
 		dialTimeout  = flag.Duration("dial-timeout", 2*time.Minute, "remote client dial/request timeout")
+		wireProto    = flag.Int("wire-proto", transport.WireProtoV2, "maximum wire protocol to negotiate with qensd daemons (1 = JSON, 2 = binary multiplexed)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		tracePath    = flag.String("trace", "", "write per-query spans as JSONL to this file")
 	)
@@ -80,7 +81,7 @@ func main() {
 		}()
 	}
 
-	leader, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout, *summaryTTL)
+	leader, transportStats, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout, *summaryTTL, *wireProto)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -109,6 +110,7 @@ func main() {
 		CoalesceIoU:    *coalesceIoU,
 		DefaultEpsilon: *epsilon,
 		DefaultTopL:    *topL,
+		TransportStats: transportStats,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -142,15 +144,16 @@ func main() {
 }
 
 // buildLeader wires either a simulated in-process fleet or a roster of
-// remote qensd daemons.
-func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model string, dialTimeout, summaryTTL time.Duration) (*federation.Leader, func(), error) {
+// remote qensd daemons. For a remote fleet it also returns the
+// /v1/stats transport hook reporting each connection's negotiated wire
+// protocol, in-flight RPC count and byte counters.
+func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model string, dialTimeout, summaryTTL time.Duration, wireProto int) (*federation.Leader, func() any, func(), error) {
 	if addrs != "" {
+		var remotes []*transport.Client
 		var clients []federation.Client
 		closeAll := func() {
-			for _, c := range clients {
-				if tc, ok := c.(*transport.Client); ok {
-					tc.Close()
-				}
+			for _, c := range remotes {
+				c.Close()
 			}
 		}
 		for _, a := range strings.Split(addrs, ",") {
@@ -158,12 +161,13 @@ func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model
 			if a == "" {
 				continue
 			}
-			c, err := transport.Dial(a, transport.DialOptions{Timeout: dialTimeout})
+			c, err := transport.Dial(a, transport.DialOptions{Timeout: dialTimeout, MaxProto: wireProto})
 			if err != nil {
 				closeAll()
-				return nil, nil, fmt.Errorf("dial %s: %w", a, err)
+				return nil, nil, nil, fmt.Errorf("dial %s: %w", a, err)
 			}
-			fmt.Printf("qens-gateway: connected to %s (%s)\n", c.ID(), a)
+			fmt.Printf("qens-gateway: connected to %s (%s, wire v%d)\n", c.ID(), a, c.Proto())
+			remotes = append(remotes, c)
 			clients = append(clients, c)
 		}
 		leader, err := federation.NewLeader(federation.Config{
@@ -172,25 +176,44 @@ func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model
 		}, nil, clients)
 		if err != nil {
 			closeAll()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return leader, closeAll, nil
+		stats := func() any {
+			type nodeWire struct {
+				ID       string `json:"id"`
+				Addr     string `json:"addr"`
+				Proto    int    `json:"proto"`
+				Inflight int64  `json:"inflight_rpcs"`
+				BytesOut int64  `json:"bytes_out"`
+				BytesIn  int64  `json:"bytes_in"`
+			}
+			out := make([]nodeWire, 0, len(remotes))
+			for _, c := range remotes {
+				sent, recv := c.BytesMoved()
+				out = append(out, nodeWire{
+					ID: c.ID(), Addr: c.Addr(), Proto: c.Proto(),
+					Inflight: c.InflightRPCs(), BytesOut: sent, BytesIn: recv,
+				})
+			}
+			return out
+		}
+		return leader, stats, closeAll, nil
 	}
 
 	data, err := dataset.PaperNodeDatasets(dataset.Config{
 		Nodes: nodes, SamplesPerNode: samples, Seed: seed,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	fleet, err := federation.NewSimulatedFleet(data, federation.Config{
 		Spec: specFor(model, data[0].Dims()-1), ClusterK: k, LocalEpochs: epochs, Seed: seed,
 		SummaryTTL: summaryTTL,
 	}, federation.FleetOptions{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return fleet.Leader, func() {}, nil
+	return fleet.Leader, nil, func() {}, nil
 }
 
 func specFor(model string, inputDim int) ml.Spec {

@@ -42,6 +42,7 @@ func main() {
 		tracePath    = flag.String("trace", "", "write per-RPC spans as JSONL to this file (flushed on shutdown)")
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget before in-flight RPCs are aborted")
 		trainConc    = flag.Int("train-concurrency", 0, "max concurrent training/evaluation jobs (0 = GOMAXPROCS); excess requests queue")
+		wireProto    = flag.Int("wire-proto", transport.WireProtoV2, "maximum wire protocol to negotiate (1 = JSON, 2 = binary multiplexed)")
 	)
 	flag.Parse()
 
@@ -72,12 +73,12 @@ func main() {
 	if err != nil {
 		fatal("build node: %v", err)
 	}
-	srv, err := transport.Serve(node, *addr)
+	srv, err := transport.Serve(node, *addr, transport.WithMaxWireProto(*wireProto))
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("qensd: node %s serving %d samples (K=%d, train-concurrency=%d) on %s\n",
-		nodeID, data.Len(), *k, node.Engine().Parallelism(), srv.Addr())
+	fmt.Printf("qensd: node %s serving %d samples (K=%d, train-concurrency=%d, wire<=v%d) on %s\n",
+		nodeID, data.Len(), *k, node.Engine().Parallelism(), srv.MaxWireProto(), srv.Addr())
 
 	if *metricsAddr != "" {
 		obs, err := telemetry.ServeHTTP(*metricsAddr, telemetry.Default(), healthFunc(srv, nodeID, data.Len(), *k))
@@ -123,6 +124,7 @@ func main() {
 // node identity, shard size, K and the age of the last training round.
 func healthFunc(srv *transport.Server, nodeID string, shardSize, k int) telemetry.HealthFunc {
 	return func() map[string]any {
+		v1, v2 := srv.WireConns()
 		doc := map[string]any{
 			"node":           nodeID,
 			"addr":           srv.Addr(),
@@ -131,6 +133,9 @@ func healthFunc(srv *transport.Server, nodeID string, shardSize, k int) telemetr
 			"summary_epoch":  srv.SummaryEpoch(),
 			"train_slots":    srv.TrainSlots(),
 			"train_inflight": srv.TrainInflight(),
+			"wire_proto_max": srv.MaxWireProto(),
+			"wire_conns_v1":  v1,
+			"wire_conns_v2":  v2,
 		}
 		if age, ok := srv.LastTrainAge(); ok {
 			doc["last_round_age_s"] = age.Seconds()

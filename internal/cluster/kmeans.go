@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"qens/internal/geometry"
 	"qens/internal/matrix"
@@ -118,10 +120,8 @@ func lloyd(points [][]float64, cfg Config, src *rng.Source) *Result {
 
 	iterations := 0
 	for ; iterations < cfg.MaxIterations; iterations++ {
-		// Assignment step.
-		for i, p := range points {
-			assign[i] = nearest(p, centroids)
-		}
+		// Assignment step (parallel across GOMAXPROCS; bit-exact).
+		assignPoints(points, centroids, assign)
 		// Update step.
 		for k := range sums {
 			counts[k] = 0
@@ -159,10 +159,54 @@ func lloyd(points [][]float64, cfg Config, src *rng.Source) *Result {
 	}
 
 	// Final assignment with the settled centroids.
-	for i, p := range points {
-		assign[i] = nearest(p, centroids)
-	}
+	assignPoints(points, centroids, assign)
 	return buildResult(points, centroids, assign, iterations)
+}
+
+// assignParallelThreshold is the dataset size below which sharding the
+// assignment step costs more in goroutine churn than it saves. Small
+// node partitions (the common per-edge case) stay on the sequential
+// path.
+const assignParallelThreshold = 2048
+
+// assignPoints computes assign[i] = nearest(points[i], centroids),
+// sharding the loop across GOMAXPROCS workers for large datasets.
+// Each point's nearest centroid depends only on that point and the
+// (read-only) centroids, and every worker writes a disjoint slice of
+// assign, so the parallel result is bit-for-bit identical to the
+// sequential loop — the update and inertia accumulations, whose float
+// summation order matters, stay sequential in the caller.
+func assignPoints(points [][]float64, centroids [][]float64, assign []int) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(points) < assignParallelThreshold || workers < 2 {
+		for i, p := range points {
+			assign[i] = nearest(p, centroids)
+		}
+		return
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	chunk := (len(points) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(points) {
+			hi = len(points)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				assign[i] = nearest(points[i], centroids)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // seedPlusPlus performs k-means++ initialization.

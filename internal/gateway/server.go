@@ -51,6 +51,13 @@ type ServerConfig struct {
 
 	// Registry receives gateway metrics (default telemetry.Default()).
 	Registry *telemetry.Registry
+
+	// TransportStats, when non-nil, is invoked per GET /v1/stats and
+	// its result embedded under "transport" — the gateway layer stays
+	// agnostic of the fleet wiring (in-process vs TCP) while remote
+	// deployments surface per-node wire-protocol state (negotiated
+	// version, in-flight RPCs, byte counters).
+	TransportStats func() any
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -658,9 +665,10 @@ type statsResponse struct {
 		P99MS  float64 `json:"p99_ms"`
 		MaxMS  float64 `json:"max_ms"`
 	} `json:"latency"`
-	Nodes    []string        `json:"nodes"`
-	Space    *geometry.Rect  `json:"space,omitempty"`
-	Registry *registry.Stats `json:"registry,omitempty"`
+	Nodes     []string        `json:"nodes"`
+	Space     *geometry.Rect  `json:"space,omitempty"`
+	Registry  *registry.Stats `json:"registry,omitempty"`
+	Transport any             `json:"transport,omitempty"`
 }
 
 // handleStats serves GET /v1/stats: scheduler counters, reuse-cache
@@ -694,6 +702,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if reg := s.cfg.Leader.Registry(); reg != nil {
 		st := reg.Stats()
 		resp.Registry = &st
+	}
+	if s.cfg.TransportStats != nil {
+		resp.Transport = s.cfg.TransportStats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

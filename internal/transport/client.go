@@ -6,32 +6,50 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qens/internal/cluster"
 	"qens/internal/federation"
+	"qens/internal/telemetry"
 )
 
 // Client is a TCP-backed federation.Client: the leader's handle on a
 // remote participant daemon. It keeps one persistent connection,
-// reconnecting on failure, and serializes requests (the protocol is
-// strictly request/response per connection).
+// reconnecting on failure, and negotiates the wire protocol on the
+// ping handshake:
 //
-// Every RPC takes a context.Context: the connection deadline is the
-// earlier of the context deadline and the client's configured timeout,
-// and an in-flight round-trip is aborted (by slamming the connection
-// deadline) the moment the context is canceled — this is how a
-// gateway query deadline propagates onto the wire.
+//   - v2 (binary codec, default against a v2 daemon): the connection
+//     is multiplexed. Every request frame carries a request id, one
+//     reader goroutine routes responses to waiting callers through a
+//     pending-call map, and writes interleave under a write lock — so
+//     N concurrent RPCs to the same node pipeline on one connection
+//     instead of queueing head-of-line. The server dispatches
+//     concurrently (see Server), so in-flight calls genuinely overlap.
+//   - v1 (JSON codec, against a pre-v2 daemon): strictly serialized
+//     request/response round-trips, exactly the legacy behaviour.
+//
+// Every RPC takes a context.Context: the effective deadline is the
+// earlier of the context deadline and the client's configured
+// timeout. On v2 a canceled call simply abandons its pending slot —
+// the tagged response is dropped on arrival and the connection stays
+// healthy for the other in-flight calls; the deadline also crosses
+// the wire (deadline_unix_ms) so the daemon abandons the work itself.
+// On v1 cancellation slams the connection deadline, as before.
 type Client struct {
-	addr    string
-	timeout time.Duration
+	addr     string
+	timeout  time.Duration
+	maxProto int
 
-	mu   sync.Mutex
-	conn net.Conn
+	mu   sync.Mutex // guards conn replacement and dialing
+	conn *wireConn
 	id   string
 
-	bytesOut int64
-	bytesIn  int64
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+	inflight atomic.Int64
+
+	inflightGauge *telemetry.Gauge
 }
 
 var _ federation.Client = (*Client)(nil)
@@ -41,10 +59,14 @@ type DialOptions struct {
 	// Timeout bounds dialing and each request round-trip
 	// (default 30s; training large nodes dominates it).
 	Timeout time.Duration
+	// MaxProto caps the wire protocol the client will negotiate:
+	// WireProtoV1 forces the legacy JSON codec (and serialized
+	// round-trips), 0 defaults to WireProtoV2.
+	MaxProto int
 }
 
-// Dial connects to a participant daemon and learns its node id via a
-// ping.
+// Dial connects to a participant daemon and learns its node id via
+// the ping handshake (which also negotiates the wire protocol).
 func Dial(addr string, opts DialOptions) (*Client, error) {
 	return DialContext(context.Background(), addr, opts)
 }
@@ -54,15 +76,29 @@ func DialContext(ctx context.Context, addr string, opts DialOptions) (*Client, e
 	if opts.Timeout == 0 {
 		opts.Timeout = 30 * time.Second
 	}
-	c := &Client{addr: addr, timeout: opts.Timeout}
-	resp, err := c.roundTrip(ctx, request{Type: typePing})
+	if opts.MaxProto == 0 {
+		opts.MaxProto = WireProtoV2
+	}
+	if opts.MaxProto < WireProtoV1 || opts.MaxProto > WireProtoV2 {
+		return nil, fmt.Errorf("transport: dial %s: unsupported wire protocol %d", addr, opts.MaxProto)
+	}
+	c := &Client{
+		addr:          addr,
+		timeout:       opts.Timeout,
+		maxProto:      opts.MaxProto,
+		inflightGauge: telemetry.Default().Gauge("qens_wire_inflight_rpcs", telemetry.L("peer", addr)...),
+	}
+	c.mu.Lock()
+	conn, err := c.ensureConnLocked(ctx)
+	c.mu.Unlock()
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	if resp.NodeID == "" {
+	if conn.nodeID == "" {
+		c.Close()
 		return nil, fmt.Errorf("transport: dial %s: daemon returned no node id", addr)
 	}
-	c.id = resp.NodeID
+	c.id = conn.nodeID
 	return c, nil
 }
 
@@ -72,30 +108,62 @@ func (c *Client) ID() string { return c.id }
 // Addr returns the daemon address.
 func (c *Client) Addr() string { return c.addr }
 
-// Close tears down the connection.
-func (c *Client) Close() error {
+// Proto reports the wire protocol negotiated on the current
+// connection (0 when disconnected).
+func (c *Client) Proto() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		return err
+	if c.conn == nil {
+		return 0
+	}
+	return c.conn.proto
+}
+
+// InflightRPCs reports how many RPCs this client has on the wire
+// right now (pipelined on v2; at most 1 on v1).
+func (c *Client) InflightRPCs() int64 { return c.inflight.Load() }
+
+// Close tears down the connection, failing any in-flight calls.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
 	}
 	return nil
 }
 
-// ensureConn dials if no live connection exists. Caller holds c.mu.
-func (c *Client) ensureConn(ctx context.Context) error {
+// ensureConnLocked dials and handshakes if no live connection exists.
+// Caller holds c.mu.
+func (c *Client) ensureConnLocked(ctx context.Context) (*wireConn, error) {
 	if c.conn != nil {
-		return nil
+		return c.conn, nil
 	}
 	d := net.Dialer{Timeout: c.timeout}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	conn, err := handshake(ctx, nc, c)
+	if err != nil {
+		nc.Close()
+		return nil, err
 	}
 	c.conn = conn
-	return nil
+	return conn, nil
+}
+
+// dropConn discards conn if it is still the client's current
+// connection, so the next call redials.
+func (c *Client) dropConn(conn *wireConn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+	}
+	c.mu.Unlock()
 }
 
 // deadlineFor merges the client timeout with the context deadline,
@@ -108,10 +176,8 @@ func (c *Client) deadlineFor(ctx context.Context) time.Time {
 	return deadline
 }
 
-// roundTrip sends one request and reads its response, retrying once on
-// a stale connection. The context bounds the whole exchange:
-// cancellation mid-flight closes out the blocked read by moving the
-// connection deadline into the past.
+// roundTrip sends one request and reads its response, retrying once
+// on a stale connection. The context bounds the whole exchange.
 func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 	if err := ctx.Err(); err != nil {
 		return response{}, err
@@ -121,8 +187,12 @@ func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 	if d, ok := ctx.Deadline(); ok {
 		req.DeadlineUnixMS = d.UnixMilli()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.inflight.Add(1)
+	c.inflightGauge.Set(float64(c.inflight.Load()))
+	defer func() {
+		c.inflightGauge.Set(float64(c.inflight.Add(-1)))
+	}()
+
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -131,39 +201,33 @@ func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 			}
 			return response{}, err
 		}
-		if err := c.ensureConn(ctx); err != nil {
-			lastErr = err
-			continue
-		}
-		conn := c.conn
-		_ = conn.SetDeadline(c.deadlineFor(ctx))
-		// Abort the in-flight exchange the moment ctx is canceled:
-		// moving the deadline into the past unblocks any Read/Write.
-		stop := context.AfterFunc(ctx, func() {
-			_ = conn.SetDeadline(time.Unix(1, 0))
-		})
-		out := &countingConn{Conn: conn}
-		if err := writeFrame(out, req); err != nil {
-			stop()
+		c.mu.Lock()
+		conn, err := c.ensureConnLocked(ctx)
+		c.mu.Unlock()
+		if err != nil {
 			lastErr = wrapCtxErr(ctx, err)
-			conn.Close()
-			c.conn = nil
 			continue
 		}
-		var resp response
-		if err := readFrame(out, &resp); err != nil {
-			stop()
+		resp, err := conn.do(ctx, c, &req)
+		if err != nil {
+			if !isConnError(err) {
+				// Server-side application error or caller
+				// cancellation: the connection itself is fine.
+				return response{}, err
+			}
 			lastErr = wrapCtxErr(ctx, err)
-			conn.Close()
-			c.conn = nil
+			c.dropConn(conn)
 			continue
 		}
-		stop()
-		c.bytesOut += out.written
-		c.bytesIn += out.read
 		if resp.Error != "" {
 			if resp.Code == CodeUnknownType {
 				return response{}, fmt.Errorf("%w: %s", ErrUnknownType, resp.Error)
+			}
+			// If the caller's context has expired, the server-side
+			// failure is almost certainly the propagated deadline
+			// biting remotely; attribute it so errors.Is matches.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return response{}, fmt.Errorf("%w: %s", ctxErr, resp.Error)
 			}
 			return response{}, errors.New(resp.Error)
 		}
@@ -172,11 +236,23 @@ func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 	return response{}, lastErr
 }
 
+// connError marks transport-level failures that invalidate the
+// connection (as opposed to per-call application or context errors).
+type connError struct{ err error }
+
+func (e connError) Error() string { return e.err.Error() }
+func (e connError) Unwrap() error { return e.err }
+
+func isConnError(err error) bool {
+	var ce connError
+	return errors.As(err, &ce)
+}
+
 // wrapCtxErr attributes an I/O failure to the context when the context
 // is what killed the exchange, so callers can match context.Canceled /
 // DeadlineExceeded with errors.Is.
 func wrapCtxErr(ctx context.Context, err error) error {
-	if ctxErr := ctx.Err(); ctxErr != nil {
+	if ctxErr := ctx.Err(); ctxErr != nil && !errors.Is(err, ctxErr) {
 		return fmt.Errorf("%w: %v", ctxErr, err)
 	}
 	return err
@@ -195,9 +271,7 @@ func (c *Client) Ping() (string, error) {
 // received — ground truth for the communication accounting the
 // experiments otherwise estimate from parameter sizes.
 func (c *Client) BytesMoved() (out, in int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytesOut, c.bytesIn
+	return c.bytesOut.Load(), c.bytesIn.Load()
 }
 
 // Summary implements federation.Client.
@@ -252,4 +326,259 @@ func (c *Client) Evaluate(ctx context.Context, req federation.EvalRequest) (fede
 		out.SummaryEpoch = resp.SummaryEpoch
 	}
 	return out, nil
+}
+
+// ---- connection state ----
+
+// wireConn is one live negotiated connection. On v1 it serializes
+// round-trips under callMu; on v2 it multiplexes: callers register in
+// pending, write their tagged frame under writeMu, and the readLoop
+// goroutine routes tagged responses back.
+type wireConn struct {
+	nc     net.Conn // raw conn: deadlines and Close
+	ncIO   net.Conn // counted wrapper: all reads/writes
+	proto  int
+	nodeID string
+
+	callMu sync.Mutex // v1: one round-trip at a time
+
+	writeMu sync.Mutex // v2: interleaved frame writes
+	nextID  atomic.Uint64
+	pendMu  sync.Mutex
+	pending map[uint64]chan response
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	closeErr  atomic.Pointer[error]
+}
+
+// countedConn adapts a net.Conn so every read/write feeds the
+// client's byte counters (atomics: the mux reader and concurrent
+// writers race on them by design).
+type countedConn struct {
+	net.Conn
+	out *atomic.Int64
+	in  *atomic.Int64
+}
+
+func (c *countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}
+
+// handshake performs the version-negotiating ping on a fresh TCP
+// connection: a v1 JSON ping advertising the client's maximum
+// protocol, answered by a v1 JSON response carrying the server's
+// pick. A pre-v2 daemon ignores the unknown field and answers a
+// plain ping — the connection stays on v1.
+func handshake(ctx context.Context, nc net.Conn, c *Client) (*wireConn, error) {
+	counted := &countedConn{Conn: nc, out: &c.bytesOut, in: &c.bytesIn}
+	conn := &wireConn{
+		nc:     nc,
+		ncIO:   counted,
+		proto:  WireProtoV1,
+		closed: make(chan struct{}),
+	}
+
+	hello := request{Type: typePing}
+	if c.maxProto >= WireProtoV2 {
+		hello.WireProto = c.maxProto
+	}
+	_ = nc.SetDeadline(c.deadlineFor(ctx))
+	if err := writeFrame(counted, hello); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := readFrame(counted, &resp); err != nil {
+		return nil, err
+	}
+	_ = nc.SetDeadline(time.Time{})
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	conn.nodeID = resp.NodeID
+	if resp.WireProto >= WireProtoV2 && c.maxProto >= WireProtoV2 {
+		conn.proto = WireProtoV2
+		conn.pending = make(map[uint64]chan response)
+		go conn.readLoop()
+	}
+	return conn, nil
+}
+
+// Close tears the connection down and fails every pending call.
+func (w *wireConn) Close() error {
+	w.closeWithErr(errors.New("transport: connection closed"))
+	return nil
+}
+
+func (w *wireConn) closeWithErr(err error) {
+	w.closeOnce.Do(func() {
+		w.closeErr.Store(&err)
+		close(w.closed)
+		w.nc.Close()
+		if w.proto == WireProtoV2 {
+			w.pendMu.Lock()
+			pending := w.pending
+			w.pending = nil
+			w.pendMu.Unlock()
+			for _, ch := range pending {
+				close(ch)
+			}
+		}
+	})
+}
+
+func (w *wireConn) err() error {
+	if p := w.closeErr.Load(); p != nil {
+		return *p
+	}
+	return errors.New("transport: connection closed")
+}
+
+// do executes one RPC over the connection using the negotiated codec.
+func (w *wireConn) do(ctx context.Context, c *Client, req *request) (response, error) {
+	if w.proto >= WireProtoV2 {
+		return w.doV2(ctx, c, req)
+	}
+	return w.doV1(ctx, c, req)
+}
+
+// doV1 is the legacy serialized round-trip: one exchange at a time,
+// connection deadline as the cancellation lever.
+func (w *wireConn) doV1(ctx context.Context, c *Client, req *request) (response, error) {
+	w.callMu.Lock()
+	defer w.callMu.Unlock()
+	select {
+	case <-w.closed:
+		return response{}, connError{w.err()}
+	default:
+	}
+	_ = w.nc.SetDeadline(c.deadlineFor(ctx))
+	// Abort the in-flight exchange the moment ctx is canceled:
+	// moving the deadline into the past unblocks any Read/Write.
+	stop := context.AfterFunc(ctx, func() {
+		_ = w.nc.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
+	if err := writeFrame(w.ncIO, *req); err != nil {
+		return response{}, connError{err}
+	}
+	var resp response
+	if err := readFrame(w.ncIO, &resp); err != nil {
+		return response{}, connError{err}
+	}
+	return resp, nil
+}
+
+// doV2 issues one multiplexed RPC: register a pending slot, write the
+// tagged frame, then wait for the reader to deliver the matching
+// response. Cancellation and per-call timeouts abandon the slot
+// without poisoning the connection — the tagged response is dropped
+// whenever it arrives.
+func (w *wireConn) doV2(ctx context.Context, c *Client, req *request) (response, error) {
+	id := w.nextID.Add(1)
+	ch := make(chan response, 1)
+
+	w.pendMu.Lock()
+	if w.pending == nil {
+		w.pendMu.Unlock()
+		return response{}, connError{w.err()}
+	}
+	w.pending[id] = ch
+	w.pendMu.Unlock()
+
+	// Bail before touching the socket if the caller already gave up:
+	// skipping the write keeps the shared stream pristine.
+	if err := ctx.Err(); err != nil {
+		w.forget(id)
+		return response{}, err
+	}
+
+	// Writes interleave whole frames under the write lock. The write
+	// deadline is the client timeout — never the per-call context —
+	// because a deadline firing mid-write would leave half a frame on
+	// the shared stream and desynchronize every other call on it.
+	// Cancellation is instead handled below by abandoning the slot.
+	w.writeMu.Lock()
+	_ = w.nc.SetWriteDeadline(time.Now().Add(c.timeout))
+	_, err := writeWireRequest(w.ncIO, id, req)
+	w.writeMu.Unlock()
+	if err != nil {
+		// A failed write may have emitted a partial frame; the stream
+		// is unrecoverable, so tear the connection down immediately
+		// rather than letting other in-flight calls hang on it.
+		w.forget(id)
+		w.closeWithErr(connError{fmt.Errorf("transport: write frame: %w", err)})
+		return response{}, connError{err}
+	}
+
+	// The timer enforces only the client-level timeout; the context
+	// deadline already has its own select arm, so folding it into the
+	// timer would just race ctx.Done() and misattribute the error.
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return response{}, connError{w.err()}
+		}
+		return resp, nil
+	case <-ctx.Done():
+		w.forget(id)
+		return response{}, ctx.Err()
+	case <-timer.C:
+		w.forget(id)
+		if err := ctx.Err(); err != nil {
+			return response{}, err
+		}
+		return response{}, fmt.Errorf("transport: rpc %d timed out after %v", id, c.timeout)
+	case <-w.closed:
+		w.forget(id)
+		return response{}, connError{w.err()}
+	}
+}
+
+// forget abandons a pending call slot (cancellation, timeout, or
+// write failure). A response arriving later finds no slot and is
+// dropped by the readLoop.
+func (w *wireConn) forget(id uint64) {
+	w.pendMu.Lock()
+	delete(w.pending, id)
+	w.pendMu.Unlock()
+}
+
+// readLoop is the single reader goroutine of a v2 connection: it
+// decodes tagged response frames and routes each to its pending
+// caller. Any read or decode error tears the connection down,
+// failing all in-flight calls.
+func (w *wireConn) readLoop() {
+	for {
+		buf, err := readFrameBody(w.ncIO)
+		if err != nil {
+			w.closeWithErr(connError{fmt.Errorf("transport: read frame: %w", err)})
+			return
+		}
+		id, resp, err := decodeWireResponse(*buf)
+		putFrameBuf(buf)
+		if err != nil {
+			w.closeWithErr(connError{err})
+			return
+		}
+		w.pendMu.Lock()
+		ch, ok := w.pending[id]
+		if ok {
+			delete(w.pending, id)
+		}
+		w.pendMu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
 }

@@ -3,19 +3,25 @@
 // and a Client implementing federation.Client so the leader can drive
 // remote participants exactly like in-process ones.
 //
-// The wire format is deliberately simple and debuggable: each message
-// is a 4-byte big-endian length prefix followed by a JSON body, with a
-// hard size cap. Only summaries, model parameters and scalar losses
-// cross the wire — never raw samples — preserving the paper's privacy
-// model and its O(1)-per-node communication story.
+// Two codecs share one outer framing — a 4-byte big-endian length
+// prefix with a hard size cap. Wire protocol v1 frames a JSON body:
+// deliberately simple and debuggable, and what any pre-v2 peer
+// speaks. Wire protocol v2 (see wire.go) frames a hand-rolled binary
+// body with raw little-endian float payloads and per-frame request
+// ids, negotiated on the ping handshake and multiplexed by the
+// client. Only summaries, model parameters and scalar losses cross
+// the wire in either codec — never raw samples — preserving the
+// paper's privacy model and its O(1)-per-node communication story.
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxFrameSize caps a single message (16 MiB fits any realistic model
@@ -25,44 +31,75 @@ const MaxFrameSize = 16 << 20
 // ErrFrameTooLarge reports an over-sized frame.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
 
+// jsonBufPool recycles the scratch buffers writeFrame encodes into,
+// so the v1 codec allocates no fresh body buffer per frame either.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // writeFrame encodes v as JSON and writes one length-prefixed frame.
+// The header and body go out in a single Write through a pooled
+// buffer (one syscall, no per-frame buffer allocation).
 func writeFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= poolMaxRetain {
+			buf.Reset()
+			jsonBufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		return fmt.Errorf("transport: encode: %w", err)
 	}
-	if len(body) > MaxFrameSize {
+	b := buf.Bytes()
+	if len(b)-4 > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(len(body)))
-	if _, err := w.Write(header[:]); err != nil {
-		return fmt.Errorf("transport: write header: %w", err)
-	}
-	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("transport: write body: %w", err)
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
 	}
 	return nil
 }
 
-// readFrame reads one length-prefixed frame and decodes it into v.
-func readFrame(r io.Reader, v any) error {
+// readFrameBody reads one length-prefixed frame into a pooled buffer.
+// The caller must release the returned buffer with putFrameBuf once
+// done with the body bytes. A clean EOF on the header is surfaced as
+// io.EOF so connection loops can distinguish peer departure.
+func readFrameBody(r io.Reader) (*[]byte, error) {
 	var header [4]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		if errors.Is(err, io.EOF) {
-			return io.EOF
+			return nil, io.EOF
 		}
-		return fmt.Errorf("transport: read header: %w", err)
+		return nil, fmt.Errorf("transport: read header: %w", err)
 	}
 	size := binary.BigEndian.Uint32(header[:])
 	if size > MaxFrameSize {
-		return ErrFrameTooLarge
+		return nil, ErrFrameTooLarge
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return fmt.Errorf("transport: read body: %w", err)
+	buf := getFrameBuf()
+	if cap(*buf) < int(size) {
+		*buf = make([]byte, size)
+	} else {
+		*buf = (*buf)[:size]
 	}
-	if err := json.Unmarshal(body, v); err != nil {
+	if _, err := io.ReadFull(r, *buf); err != nil {
+		putFrameBuf(buf)
+		return nil, fmt.Errorf("transport: read body: %w", err)
+	}
+	return buf, nil
+}
+
+// readFrame reads one length-prefixed frame and decodes its JSON body
+// into v (wire protocol v1). The body transits a pooled buffer.
+func readFrame(r io.Reader, v any) error {
+	buf, err := readFrameBody(r)
+	if err != nil {
+		return err
+	}
+	defer putFrameBuf(buf)
+	if err := json.Unmarshal(*buf, v); err != nil {
 		return fmt.Errorf("transport: decode: %w", err)
 	}
 	return nil

@@ -2,7 +2,12 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
+	"reflect"
 	"testing"
+
+	"qens/internal/federation"
+	"qens/internal/ml"
 )
 
 // FuzzReadFrame hardens the wire decoder: arbitrary bytes must either
@@ -22,6 +27,75 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzWireV2 hardens the binary codec. Each input is interpreted two
+// ways:
+//
+//  1. As a raw v2 frame body: decode must never panic and never
+//     allocate past the section sizes actually present (the count
+//     guards in wireDec enforce this; a panic or OOM fails the fuzz).
+//  2. As fuzz-chosen field values for a request: encode → decode must
+//     reproduce the request exactly, bit-for-bit on floats.
+func FuzzWireV2(f *testing.F) {
+	// Seed with a real encoded frame, its truncations, and junk.
+	full := fullRequest()
+	frame, err := appendWireRequest(nil, 7, &full)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame[4:], "train", int64(123), 0.5, uint64(3))
+	f.Add(frame[4:len(frame)/2], "evaluate", int64(-1), -0.0, uint64(0))
+	f.Add([]byte{wireMagic, frameRequest}, "ping", int64(0), 1e308, uint64(1))
+	f.Add([]byte{}, "", int64(9), 0.0, uint64(2))
+	f.Fuzz(func(t *testing.T, raw []byte, typ string, dl int64, v float64, n uint64) {
+		// Property 1: arbitrary bytes never panic the decoder, and a
+		// forged count can never make it allocate beyond the body.
+		var junk request
+		_, _ = decodeWireRequest(raw, &junk)
+		_, _, _ = decodeWireResponse(raw)
+
+		// Property 2: encode→decode round-trips fuzz-chosen values.
+		vals := make([]float64, n%64)
+		for i := range vals {
+			vals[i] = v * float64(i+1)
+		}
+		in := request{
+			Type:           typ,
+			TraceID:        typ + "-trace",
+			DeadlineUnixMS: dl,
+		}
+		if len(vals) > 0 {
+			in.Train = &federation.TrainRequest{
+				TraceID: in.TraceID,
+				Params:  ml.Params{Kind: ml.KindLinear, Dims: []int{len(vals)}, Values: vals},
+			}
+		}
+		enc, err := appendWireRequest(nil, n, &in)
+		if err != nil {
+			t.Fatalf("encode rejected a legal request: %v", err)
+		}
+		if in.Type == "" {
+			// Typeless requests are not legal protocol messages; the
+			// decoder must refuse what the encoder never sends alone.
+			return
+		}
+		// The length prefix must match the body exactly.
+		if got := binary.BigEndian.Uint32(enc[:4]); int(got) != len(enc)-4 {
+			t.Fatalf("length prefix %d for %d-byte body", got, len(enc)-4)
+		}
+		var out request
+		id, err := decodeWireRequest(enc[4:], &out)
+		if err != nil {
+			t.Fatalf("decode(encode(x)) failed: %v", err)
+		}
+		if id != n {
+			t.Fatalf("request id %d round-tripped as %d", n, id)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round-trip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+	})
+}
+
 // FuzzDispatch drives the server's request dispatcher with decoded
 // fuzz inputs; every outcome must be a well-formed response.
 func FuzzDispatch(f *testing.F) {
@@ -34,7 +108,8 @@ func FuzzDispatch(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	srv := &Server{node: node, logf: silent}
+	srv := &Server{node: node}
+	srv.SetLogger(silent)
 	f.Fuzz(func(t *testing.T, reqType string) {
 		resp := srv.dispatch(request{Type: reqType})
 		if resp.Error == "" && resp.NodeID == "" {

@@ -21,9 +21,12 @@ import (
 // the originating query's trace. DeadlineUnixMS (optional, epoch
 // milliseconds) carries the caller's context deadline across the
 // wire, so the daemon can stop training/evaluating — not just stop
-// responding — once the query has expired.
+// responding — once the query has expired. WireProto, stamped only on
+// the ping handshake, advertises the highest wire protocol the client
+// speaks (absent/0 means v1-only; see wire.go).
 type request struct {
 	Type           string                   `json:"type"`
+	WireProto      int                      `json:"wire_proto,omitempty"`
 	TraceID        string                   `json:"trace_id,omitempty"`
 	SpanID         string                   `json:"span_id,omitempty"`
 	DeadlineUnixMS int64                    `json:"deadline_unix_ms,omitempty"`
@@ -36,10 +39,14 @@ type request struct {
 // echoes the request's trace for client-side correlation. SummaryEpoch
 // is stamped on every successful response with the node's current
 // advertisement version, so any RPC — not just summaries — doubles as
-// a drift signal the leader's registry can act on.
+// a drift signal the leader's registry can act on. WireProto, stamped
+// only on the ping-handshake response, confirms the negotiated
+// protocol: after a response carrying wire_proto >= 2 both sides
+// switch the connection to the binary v2 codec.
 type response struct {
 	Error        string                    `json:"error,omitempty"`
 	Code         string                    `json:"code,omitempty"`
+	WireProto    int                       `json:"wire_proto,omitempty"`
 	TraceID      string                    `json:"trace_id,omitempty"`
 	NodeID       string                    `json:"node_id,omitempty"`
 	SummaryEpoch uint64                    `json:"summary_epoch,omitempty"`
@@ -47,6 +54,9 @@ type response struct {
 	Train        *federation.TrainResponse `json:"train,omitempty"`
 	Eval         *federation.EvalResponse  `json:"eval,omitempty"`
 }
+
+// codec labels for wire metrics.
+var codecLabel = map[int]string{WireProtoV1: "v1", WireProtoV2: "v2"}
 
 // serverMetrics holds the daemon-side metric handles, resolved once at
 // Serve time so the per-RPC hot path is pure atomics.
@@ -58,12 +68,21 @@ type serverMetrics struct {
 	errorsTotal  *telemetry.Counter
 	bytesIn      *telemetry.Counter
 	bytesOut     *telemetry.Counter
+
+	// Per-codec wire accounting: frame bytes by direction and the
+	// response encode latency (for v1 the encode and the frame write
+	// are fused, so the v1 series includes the write syscall).
+	wireBytesIn  map[int]*telemetry.Counter
+	wireBytesOut map[int]*telemetry.Counter
+	encodeUS     map[int]*telemetry.Histogram
 }
 
 func newServerMetrics(reg *telemetry.Registry, nodeID string) *serverMetrics {
 	node := telemetry.L("node", nodeID)
 	reg.SetHelp("qens_train_rounds_total", "Training rounds executed by this node.")
 	reg.SetHelp("qens_train_round_ms", "Wall-clock latency of one local training round (ms).")
+	reg.SetHelp("qens_wire_bytes_total", "Wire bytes by codec and direction.")
+	reg.SetHelp("qens_wire_encode_us", "Response encode latency by codec (µs).")
 	m := &serverMetrics{
 		trainRounds:  reg.Counter("qens_train_rounds_total", node...),
 		trainRoundMS: reg.Histogram("qens_train_round_ms", node...),
@@ -72,10 +91,21 @@ func newServerMetrics(reg *telemetry.Registry, nodeID string) *serverMetrics {
 		errorsTotal:  reg.Counter("qens_errors_total", node...),
 		bytesIn:      reg.Counter("qens_bytes_received_total", node...),
 		bytesOut:     reg.Counter("qens_bytes_sent_total", node...),
+		wireBytesIn:  map[int]*telemetry.Counter{},
+		wireBytesOut: map[int]*telemetry.Counter{},
+		encodeUS:     map[int]*telemetry.Histogram{},
 	}
 	for _, t := range []string{typePing, typeSummary, typeTrain, typeEvaluate, "unknown"} {
 		m.rpcTotal[t] = reg.Counter("qens_rpc_total",
 			telemetry.Label{Key: "node", Value: nodeID}, telemetry.Label{Key: "type", Value: t})
+	}
+	for proto, codec := range codecLabel {
+		m.wireBytesIn[proto] = reg.Counter("qens_wire_bytes_total",
+			telemetry.L("node", nodeID, "codec", codec, "dir", "in")...)
+		m.wireBytesOut[proto] = reg.Counter("qens_wire_bytes_total",
+			telemetry.L("node", nodeID, "codec", codec, "dir", "out")...)
+		m.encodeUS[proto] = reg.Histogram("qens_wire_encode_us",
+			telemetry.L("node", nodeID, "codec", codec)...)
 	}
 	return m
 }
@@ -103,28 +133,63 @@ func (m *serverMetrics) observeRPC(reqType string, elapsed time.Duration, errore
 	return false
 }
 
-// addBytes tallies per-connection wire bytes (nil-safe).
-func (m *serverMetrics) addBytes(in, out int64) {
+// addBytes tallies per-connection wire bytes under the connection's
+// negotiated codec (nil-safe).
+func (m *serverMetrics) addBytes(proto int, in, out int64) {
 	if m == nil {
 		return
 	}
 	if in > 0 {
 		m.bytesIn.Add(in)
+		if c, ok := m.wireBytesIn[proto]; ok {
+			c.Add(in)
+		}
 	}
 	if out > 0 {
 		m.bytesOut.Add(out)
+		if c, ok := m.wireBytesOut[proto]; ok {
+			c.Add(out)
+		}
+	}
+}
+
+// observeEncode records one response-encode duration (nil-safe).
+func (m *serverMetrics) observeEncode(proto int, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	if h, ok := m.encodeUS[proto]; ok {
+		h.Observe(float64(elapsed) / float64(time.Microsecond))
+	}
+}
+
+// ServeOption customizes a Server.
+type ServeOption func(*Server)
+
+// WithMaxWireProto caps the wire protocol the server will negotiate.
+// WireProtoV1 disables the binary codec entirely (every connection
+// stays on length-prefixed JSON); the default is WireProtoV2.
+func WithMaxWireProto(proto int) ServeOption {
+	return func(s *Server) {
+		if proto >= WireProtoV1 && proto <= WireProtoV2 {
+			s.maxProto = proto
+		}
 	}
 }
 
 // Server exposes one federation.Node over TCP. Each connection may
-// issue any number of requests, and requests from different
-// connections execute concurrently: the node's training engine
-// bounds actual parallelism (see federation.WithTrainConcurrency),
-// so the transport no longer serializes dispatch.
+// issue any number of requests, and requests execute concurrently —
+// across connections on both protocols, and within one connection on
+// wire protocol v2 (tagged frames, per-request dispatch goroutines,
+// responses written as they finish in any order). The node's training
+// engine bounds actual parallelism (see
+// federation.WithTrainConcurrency), so the transport never serializes
+// dispatch.
 type Server struct {
-	node    *federation.Node
-	ln      net.Listener
-	metrics *serverMetrics
+	node     *federation.Node
+	ln       net.Listener
+	metrics  *serverMetrics
+	maxProto int
 
 	// baseCtx parents every per-request context; cancel fires when
 	// the server force-closes so in-flight training aborts at the
@@ -135,7 +200,7 @@ type Server struct {
 	closeOnce sync.Once
 	closed    chan struct{}
 	wg        sync.WaitGroup
-	logf      func(format string, args ...any)
+	logf      atomic.Pointer[func(format string, args ...any)]
 
 	active    atomic.Int64 // RPCs currently executing (for graceful drain)
 	lastTrain atomic.Int64 // unix nanos of the last completed train round
@@ -146,14 +211,14 @@ type Server struct {
 	gate atomic.Pointer[func()]
 
 	connMu sync.Mutex
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]int // live connections → negotiated proto
 }
 
 // Serve starts a participant daemon for node on addr (e.g.
 // "127.0.0.1:0") and begins accepting connections in the background.
 // RPC metrics are registered in the process-default telemetry
 // registry under the node's id label.
-func Serve(node *federation.Node, addr string) (*Server, error) {
+func Serve(node *federation.Node, addr string, opts ...ServeOption) (*Server, error) {
 	if node == nil {
 		return nil, errors.New("transport: nil node")
 	}
@@ -163,31 +228,40 @@ func Serve(node *federation.Node, addr string) (*Server, error) {
 	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		node:    node,
-		ln:      ln,
-		metrics: newServerMetrics(telemetry.Default(), node.ID()),
-		baseCtx: baseCtx,
-		cancel:  cancel,
-		closed:  make(chan struct{}),
-		logf:    log.Printf,
-		conns:   make(map[net.Conn]struct{}),
+		node:     node,
+		ln:       ln,
+		metrics:  newServerMetrics(telemetry.Default(), node.ID()),
+		maxProto: WireProtoV2,
+		baseCtx:  baseCtx,
+		cancel:   cancel,
+		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]int),
+	}
+	s.SetLogger(log.Printf)
+	for _, opt := range opts {
+		opt(s)
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
 
-// SetLogger replaces the server's log function (tests use a silent one).
+// SetLogger replaces the server's log function (tests use a silent
+// one). Safe to call while the server is accepting traffic.
 func (s *Server) SetLogger(logf func(format string, args ...any)) {
 	if logf != nil {
-		s.logf = logf
+		s.logf.Store(&logf)
 	}
 }
 
 // logkv emits one structured key=value log line through the server's
 // log function.
 func (s *Server) logkv(kvs ...any) {
-	s.logf("%s", telemetry.FormatKV(append([]any{"component", "transport", "node", s.node.ID()}, kvs...)...))
+	logf := log.Printf
+	if p := s.logf.Load(); p != nil {
+		logf = *p
+	}
+	logf("%s", telemetry.FormatKV(append([]any{"component", "transport", "node", s.node.ID()}, kvs...)...))
 }
 
 // Addr returns the listening address.
@@ -195,6 +269,25 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // NodeID returns the served node's id.
 func (s *Server) NodeID() string { return s.node.ID() }
+
+// MaxWireProto reports the highest wire protocol this server will
+// negotiate (surfaced by the qensd /healthz endpoint).
+func (s *Server) MaxWireProto() int { return s.maxProto }
+
+// WireConns reports how many live connections are speaking each
+// protocol right now.
+func (s *Server) WireConns() (v1, v2 int) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for _, proto := range s.conns {
+		if proto >= WireProtoV2 {
+			v2++
+		} else {
+			v1++
+		}
+	}
+	return v1, v2
+}
 
 // LastTrainAge reports how long ago the last training round completed
 // (ok is false when the daemon has never trained) — surfaced by the
@@ -279,8 +372,17 @@ func (s *Server) trackConn(conn net.Conn) bool {
 		return false
 	default:
 	}
-	s.conns[conn] = struct{}{}
+	s.conns[conn] = WireProtoV1
 	return true
+}
+
+// setConnProto records a connection's upgrade to a negotiated proto.
+func (s *Server) setConnProto(conn net.Conn, proto int) {
+	s.connMu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		s.conns[conn] = proto
+	}
+	s.connMu.Unlock()
 }
 
 // untrackConn removes a finished connection.
@@ -317,32 +419,97 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handleConn serves request/response pairs until the peer disconnects.
+// handleConn serves a connection. It starts in wire protocol v1
+// (length-prefixed JSON, strict request/response) and upgrades to the
+// v2 binary multiplexed codec when a ping handshake negotiates it.
 func (s *Server) handleConn(conn net.Conn) {
 	cc := &countingConn{Conn: conn}
 	for {
 		var req request
 		if err := readFrame(cc, &req); err != nil {
-			s.metrics.addBytes(cc.takeRead(), cc.takeWritten())
+			s.metrics.addBytes(WireProtoV1, cc.takeRead(), cc.takeWritten())
 			return // EOF or a broken peer; either way, drop the conn
 		}
+		upgrade := req.Type == typePing && req.WireProto >= WireProtoV2 && s.maxProto >= WireProtoV2
 		s.active.Add(1)
 		resp := s.dispatch(req)
+		if upgrade && resp.Error == "" {
+			resp.WireProto = WireProtoV2
+		}
+		start := time.Now()
 		err := writeFrame(cc, resp)
+		s.metrics.observeEncode(WireProtoV1, time.Since(start))
 		s.active.Add(-1)
+		s.metrics.addBytes(WireProtoV1, cc.takeRead(), cc.takeWritten())
 		if err != nil {
 			s.logkv("event", "write_error", "type", req.Type, "trace", req.TraceID, "err", err)
-			s.metrics.addBytes(cc.takeRead(), cc.takeWritten())
 			return
 		}
-		s.metrics.addBytes(cc.takeRead(), cc.takeWritten())
+		if upgrade && resp.Error == "" {
+			s.setConnProto(conn, WireProtoV2)
+			s.logkv("event", "wire_upgrade", "proto", WireProtoV2)
+			s.serveV2(cc)
+			return
+		}
+	}
+}
+
+// serveV2 runs the multiplexed phase of a connection: tagged binary
+// request frames dispatch concurrently, each response is written
+// (under a write lock) as soon as its handler finishes — in whatever
+// order that happens. A malformed frame drops the connection; every
+// spawned handler is awaited before the connection handler returns,
+// so server Close/Shutdown semantics are unchanged.
+func (s *Server) serveV2(cc *countingConn) {
+	var (
+		writeMu sync.Mutex
+		wg      sync.WaitGroup
+	)
+	defer wg.Wait()
+	for {
+		buf, err := readFrameBody(cc)
+		if err != nil {
+			s.metrics.addBytes(WireProtoV2, cc.takeRead(), cc.takeWritten())
+			return
+		}
+		var req request
+		id, err := decodeWireRequest(*buf, &req)
+		putFrameBuf(buf)
+		if err != nil {
+			s.logkv("event", "decode_error", "proto", 2, "err", err)
+			s.metrics.addBytes(WireProtoV2, cc.takeRead(), cc.takeWritten())
+			return
+		}
+		s.active.Add(1)
+		wg.Add(1)
+		go func(id uint64, req request) {
+			defer wg.Done()
+			resp := s.dispatch(req)
+			start := time.Now()
+			buf := getFrameBuf()
+			frame, err := appendWireResponse((*buf)[:0], id, &resp)
+			s.metrics.observeEncode(WireProtoV2, time.Since(start))
+			if err == nil {
+				*buf = frame
+				writeMu.Lock()
+				_, err = cc.Write(frame)
+				writeMu.Unlock()
+			}
+			putFrameBuf(buf)
+			s.active.Add(-1)
+			s.metrics.addBytes(WireProtoV2, cc.takeRead(), cc.takeWritten())
+			if err != nil {
+				s.logkv("event", "write_error", "type", req.Type, "trace", req.TraceID, "err", err)
+			}
+		}(id, req)
 	}
 }
 
 // dispatch executes one request against the node, recording metrics
 // and a structured per-RPC log line attributed to the request's
-// trace. Dispatches run concurrently across connections; the node's
-// engine bounds how many actually execute at once.
+// trace. Dispatches run concurrently across connections (and within a
+// v2 connection); the node's engine bounds how many actually execute
+// at once.
 func (s *Server) dispatch(req request) response {
 	if g := s.gate.Load(); g != nil {
 		(*g)()
@@ -440,34 +607,26 @@ func (s *Server) handle(ctx context.Context, req request) response {
 	}
 }
 
-// countingConn tallies bytes crossing a net.Conn; take* drains the
-// tallies so callers can feed per-request deltas into counters.
+// countingConn tallies bytes crossing a net.Conn with atomics (v2
+// request handlers write concurrently); take* drains the tallies so
+// callers can feed deltas into counters.
 type countingConn struct {
 	net.Conn
-	written int64
-	read    int64
+	written atomic.Int64
+	read    atomic.Int64
 }
 
 func (cc *countingConn) Write(p []byte) (int, error) {
 	n, err := cc.Conn.Write(p)
-	cc.written += int64(n)
+	cc.written.Add(int64(n))
 	return n, err
 }
 
 func (cc *countingConn) Read(p []byte) (int, error) {
 	n, err := cc.Conn.Read(p)
-	cc.read += int64(n)
+	cc.read.Add(int64(n))
 	return n, err
 }
 
-func (cc *countingConn) takeRead() int64 {
-	n := cc.read
-	cc.read = 0
-	return n
-}
-
-func (cc *countingConn) takeWritten() int64 {
-	n := cc.written
-	cc.written = 0
-	return n
-}
+func (cc *countingConn) takeRead() int64    { return cc.read.Swap(0) }
+func (cc *countingConn) takeWritten() int64 { return cc.written.Swap(0) }

@@ -1,0 +1,710 @@
+// Wire protocol v2: a hand-rolled binary codec for the leader→node
+// RPC envelopes. v1 frames a JSON body behind a 4-byte length prefix;
+// v2 keeps the identical outer framing (so the size cap and the
+// read-loop are shared) but replaces the body with typed binary
+// sections:
+//
+//	body := magic(u8=0xC2) kind(u8) reqID(u64 LE) section*
+//	section := tag(u8) len(u32 LE) payload
+//
+// Sections unknown to a decoder are skipped by length, so fields can
+// be added without a version bump. Model parameters, summary
+// rectangles and predictions — the dominant payloads — are raw
+// little-endian []float64 (bit-exact round-trip via math.Float64bits,
+// no decimal text, no reflection). The reqID makes frames
+// self-describing for the multiplexed client: responses may return in
+// any order and are matched to callers through it.
+//
+// Protocol selection is negotiated on the ping handshake (see
+// client.go/server.go): a v2-capable client stamps wire_proto=2 on
+// its v1 JSON ping, a v2-capable server echoes the negotiated version
+// and both sides switch the connection to v2 framing; either side
+// predating v2 simply never mentions wire_proto and the connection
+// stays on v1 JSON. All encode paths borrow pooled buffers.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+
+	"qens/internal/cluster"
+	"qens/internal/federation"
+	"qens/internal/geometry"
+	"qens/internal/ml"
+)
+
+// Wire protocol versions. V1 is the length-prefixed JSON codec the
+// seed shipped with; V2 is the binary codec in this file.
+const (
+	WireProtoV1 = 1
+	WireProtoV2 = 2
+)
+
+// wireMagic is the first body byte of every v2 frame — a cheap guard
+// against a v1 peer (JSON bodies start with '{' = 0x7B) or garbage.
+const wireMagic = 0xC2
+
+// Frame kinds.
+const (
+	frameRequest  = 0
+	frameResponse = 1
+)
+
+// Section tags. Request-side and response-side tags share one
+// namespace so a decoder can reject misplaced sections cheaply.
+const (
+	secType      byte = 1  // str rpc type
+	secTrace     byte = 2  // str trace, str span
+	secDeadline  byte = 3  // varint deadline_unix_ms
+	secTrainReq  byte = 4  // spec, params, ints clusters, uvarint epochs
+	secEvalReq   byte = 5  // spec, params, u8 hasBounds [+ rect]
+	secError     byte = 6  // str code, str message
+	secNodeID    byte = 7  // str node id
+	secEpoch     byte = 8  // uvarint summary epoch
+	secSummary   byte = 9  // node summary
+	secTrainResp byte = 10 // params, uvarint used, uvarint total, varint ns, uvarint epoch
+	secEvalResp  byte = 11 // f64 mse, uvarint samples, uvarint epoch
+)
+
+// ErrMalformedFrame reports a v2 body that violates the wire grammar.
+var ErrMalformedFrame = errors.New("transport: malformed v2 frame")
+
+// internTable maps the handful of strings that cross the wire on
+// every RPC to shared constants, so the steady-state decode path
+// performs zero string allocations. Lookups with a []byte key compile
+// to an allocation-free map access.
+var internTable = map[string]string{
+	typePing:        typePing,
+	typeSummary:     typeSummary,
+	typeTrain:       typeTrain,
+	typeEvaluate:    typeEvaluate,
+	ml.KindLinear:   ml.KindLinear,
+	ml.KindNN:       ml.KindNN,
+	"sgd":           "sgd",
+	"momentum":      "momentum",
+	"adam":          "adam",
+	"relu":          "relu",
+	"tanh":          "tanh",
+	"sigmoid":       "sigmoid",
+	CodeUnknownType: CodeUnknownType,
+	CodeBadRequest:  CodeBadRequest,
+}
+
+func internString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := internTable[string(b)]; ok {
+		return s
+	}
+	return string(b)
+}
+
+// ---- encoder ----
+
+// wireEnc appends the v2 grammar onto a byte slice. The slice is
+// caller-owned (append semantics) so hot paths can reuse one buffer
+// frame after frame.
+type wireEnc struct{ b []byte }
+
+func (e *wireEnc) u8(v byte)        { e.b = append(e.b, v) }
+func (e *wireEnc) u64(v uint64)     { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *wireEnc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *wireEnc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *wireEnc) f64(v float64)    { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+
+func (e *wireEnc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// floats is the payload that motivates v2: raw little-endian IEEE-754
+// bits, 8 bytes per value, bit-exact and memcpy-fast.
+func (e *wireEnc) floats(v []float64) {
+	e.uvarint(uint64(len(v)))
+	for _, f := range v {
+		e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(f))
+	}
+}
+
+func (e *wireEnc) ints(v []int) {
+	e.uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.b = binary.AppendVarint(e.b, int64(x))
+	}
+}
+
+// beginSection writes the tag and reserves a fixed 4-byte length slot
+// that endSection patches once the payload is known.
+func (e *wireEnc) beginSection(tag byte) int {
+	e.u8(tag)
+	e.b = append(e.b, 0, 0, 0, 0)
+	return len(e.b)
+}
+
+func (e *wireEnc) endSection(mark int) {
+	binary.LittleEndian.PutUint32(e.b[mark-4:mark], uint32(len(e.b)-mark))
+}
+
+func (e *wireEnc) rect(r geometry.Rect) {
+	e.floats(r.Min)
+	e.floats(r.Max)
+}
+
+func (e *wireEnc) params(p ml.Params) {
+	e.str(p.Kind)
+	e.ints(p.Dims)
+	e.floats(p.Values)
+}
+
+func (e *wireEnc) spec(s ml.Spec) {
+	e.str(s.Kind)
+	e.varint(int64(s.InputDim))
+	e.ints(s.Hidden)
+	e.f64(s.LearningRate)
+	e.varint(int64(s.Epochs))
+	e.varint(int64(s.BatchSize))
+	e.f64(s.ValidationSplit)
+	e.str(s.Optimizer)
+	e.str(s.Activation)
+	e.f64(s.L2)
+	e.f64(s.LRDecay)
+	e.varint(int64(s.Patience))
+	e.uvarint(s.Seed)
+}
+
+func (e *wireEnc) summary(s *cluster.NodeSummary) {
+	e.str(s.NodeID)
+	e.uvarint(uint64(s.TotalSamples))
+	e.uvarint(s.Epoch)
+	e.uvarint(uint64(len(s.Clusters)))
+	for i := range s.Clusters {
+		c := &s.Clusters[i]
+		e.rect(c.Bounds)
+		e.floats(c.Centroid)
+		e.uvarint(uint64(c.Size))
+	}
+}
+
+// appendWireRequest appends one complete v2 request frame (4-byte BE
+// length prefix included) for req tagged with id onto dst.
+func appendWireRequest(dst []byte, id uint64, req *request) ([]byte, error) {
+	e := wireEnc{b: dst}
+	hdr := len(e.b)
+	e.b = append(e.b, 0, 0, 0, 0) // frame length placeholder
+	e.u8(wireMagic)
+	e.u8(frameRequest)
+	e.u64(id)
+
+	m := e.beginSection(secType)
+	e.str(req.Type)
+	e.endSection(m)
+	if req.TraceID != "" || req.SpanID != "" {
+		m = e.beginSection(secTrace)
+		e.str(req.TraceID)
+		e.str(req.SpanID)
+		e.endSection(m)
+	}
+	if req.DeadlineUnixMS != 0 {
+		m = e.beginSection(secDeadline)
+		e.varint(req.DeadlineUnixMS)
+		e.endSection(m)
+	}
+	if req.Train != nil {
+		m = e.beginSection(secTrainReq)
+		e.spec(req.Train.Spec)
+		e.params(req.Train.Params)
+		e.ints(req.Train.Clusters)
+		e.varint(int64(req.Train.LocalEpochs))
+		e.endSection(m)
+	}
+	if req.Eval != nil {
+		m = e.beginSection(secEvalReq)
+		e.spec(req.Eval.Spec)
+		e.params(req.Eval.Params)
+		if req.Eval.Bounds != nil {
+			e.u8(1)
+			e.rect(*req.Eval.Bounds)
+		} else {
+			e.u8(0)
+		}
+		e.endSection(m)
+	}
+	return finishWireFrame(e.b, hdr)
+}
+
+// appendWireResponse appends one complete v2 response frame for resp
+// tagged with id onto dst.
+func appendWireResponse(dst []byte, id uint64, resp *response) ([]byte, error) {
+	e := wireEnc{b: dst}
+	hdr := len(e.b)
+	e.b = append(e.b, 0, 0, 0, 0)
+	e.u8(wireMagic)
+	e.u8(frameResponse)
+	e.u64(id)
+
+	if resp.Error != "" {
+		m := e.beginSection(secError)
+		e.str(resp.Code)
+		e.str(resp.Error)
+		e.endSection(m)
+	}
+	if resp.TraceID != "" {
+		m := e.beginSection(secTrace)
+		e.str(resp.TraceID)
+		e.str("")
+		e.endSection(m)
+	}
+	if resp.NodeID != "" {
+		m := e.beginSection(secNodeID)
+		e.str(resp.NodeID)
+		e.endSection(m)
+	}
+	if resp.SummaryEpoch != 0 {
+		m := e.beginSection(secEpoch)
+		e.uvarint(resp.SummaryEpoch)
+		e.endSection(m)
+	}
+	if resp.Summary != nil {
+		m := e.beginSection(secSummary)
+		e.summary(resp.Summary)
+		e.endSection(m)
+	}
+	if resp.Train != nil {
+		m := e.beginSection(secTrainResp)
+		e.params(resp.Train.Params)
+		e.uvarint(uint64(resp.Train.SamplesUsed))
+		e.uvarint(uint64(resp.Train.TotalSamples))
+		e.varint(int64(resp.Train.TrainTime))
+		e.uvarint(resp.Train.SummaryEpoch)
+		e.endSection(m)
+	}
+	if resp.Eval != nil {
+		m := e.beginSection(secEvalResp)
+		e.f64(resp.Eval.MSE)
+		e.uvarint(uint64(resp.Eval.Samples))
+		e.uvarint(resp.Eval.SummaryEpoch)
+		e.endSection(m)
+	}
+	return finishWireFrame(e.b, hdr)
+}
+
+// finishWireFrame patches the 4-byte big-endian length prefix at hdr
+// and enforces the frame cap.
+func finishWireFrame(b []byte, hdr int) ([]byte, error) {
+	body := len(b) - hdr - 4
+	if body > MaxFrameSize {
+		return b[:hdr], ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(b[hdr:hdr+4], uint32(body))
+	return b, nil
+}
+
+// ---- decoder ----
+
+// wireDec walks a v2 body with a sticky error: after the first
+// malformed read every subsequent accessor is a no-op returning zero,
+// so decode call-sites stay linear and a final err check suffices.
+// All reads are bounds-checked; counts are validated against the
+// bytes remaining before any allocation, so a forged header cannot
+// force an over-allocation past the frame cap.
+type wireDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *wireDec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrMalformedFrame, what, d.off)
+	}
+}
+
+func (d *wireDec) remaining() int { return len(d.b) - d.off }
+
+func (d *wireDec) u8() byte {
+	if d.err != nil || d.remaining() < 1 {
+		d.fail("u8")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *wireDec) u64() uint64 {
+	if d.err != nil || d.remaining() < 8 {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *wireDec) u32() uint32 {
+	if d.err != nil || d.remaining() < 4 {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *wireDec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wireDec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *wireDec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a uvarint element count and rejects it unless at least
+// elemSize*count bytes remain — the allocation guard.
+func (d *wireDec) count(elemSize int) int {
+	n := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	if n > uint64(d.remaining()/elemSize) {
+		d.fail("count exceeds frame")
+		return 0
+	}
+	return int(n)
+}
+
+func (d *wireDec) str() string {
+	n := d.count(1)
+	if d.err != nil {
+		return ""
+	}
+	s := internString(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// floats decodes a raw []float64 run, reusing dst's backing array
+// when its capacity suffices (the steady-state zero-alloc path).
+func (d *wireDec) floats(dst []float64) []float64 {
+	n := d.count(8)
+	if d.err != nil {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off+8*i:]))
+	}
+	d.off += 8 * n
+	return dst
+}
+
+func (d *wireDec) ints(dst []int) []int {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]int, n)
+	}
+	for i := range dst {
+		dst[i] = int(d.varint())
+	}
+	if d.err != nil {
+		return nil
+	}
+	return dst
+}
+
+func (d *wireDec) rect(dst *geometry.Rect) {
+	dst.Min = d.floats(dst.Min)
+	dst.Max = d.floats(dst.Max)
+}
+
+func (d *wireDec) params(dst *ml.Params) {
+	dst.Kind = d.str()
+	dst.Dims = d.ints(dst.Dims)
+	dst.Values = d.floats(dst.Values)
+}
+
+func (d *wireDec) spec(dst *ml.Spec) {
+	dst.Kind = d.str()
+	dst.InputDim = int(d.varint())
+	dst.Hidden = d.ints(dst.Hidden)
+	dst.LearningRate = d.f64()
+	dst.Epochs = int(d.varint())
+	dst.BatchSize = int(d.varint())
+	dst.ValidationSplit = d.f64()
+	dst.Optimizer = d.str()
+	dst.Activation = d.str()
+	dst.L2 = d.f64()
+	dst.LRDecay = d.f64()
+	dst.Patience = int(d.varint())
+	dst.Seed = d.uvarint()
+}
+
+func (d *wireDec) summary(dst *cluster.NodeSummary) {
+	dst.NodeID = d.str()
+	dst.TotalSamples = int(d.uvarint())
+	dst.Epoch = d.uvarint()
+	n := d.count(1)
+	if d.err != nil {
+		return
+	}
+	if cap(dst.Clusters) >= n {
+		dst.Clusters = dst.Clusters[:n]
+	} else {
+		dst.Clusters = make([]cluster.Summary, n)
+	}
+	for i := range dst.Clusters {
+		c := &dst.Clusters[i]
+		d.rect(&c.Bounds)
+		c.Centroid = d.floats(c.Centroid)
+		c.Size = int(d.uvarint())
+	}
+}
+
+// section reads the next section header, returning its tag and
+// payload sub-decoder. ok is false at end-of-body or on error.
+func (d *wireDec) section() (tag byte, payload wireDec, ok bool) {
+	if d.err != nil || d.remaining() == 0 {
+		return 0, wireDec{}, false
+	}
+	tag = d.u8()
+	n := int(d.u32())
+	if d.err != nil || n > d.remaining() {
+		d.fail("section length exceeds frame")
+		return 0, wireDec{}, false
+	}
+	payload = wireDec{b: d.b[d.off : d.off+n]}
+	d.off += n
+	return tag, payload, true
+}
+
+// decodeWireHeader validates the magic/kind preamble and returns the
+// request id.
+func decodeWireHeader(d *wireDec, wantKind byte) (id uint64) {
+	if d.u8() != wireMagic {
+		d.fail("bad magic")
+		return 0
+	}
+	if d.u8() != wantKind {
+		d.fail("bad frame kind")
+		return 0
+	}
+	return d.u64()
+}
+
+// decodeWireRequest parses a v2 request body into req, reusing req's
+// nested allocations where capacities allow.
+func decodeWireRequest(body []byte, req *request) (id uint64, err error) {
+	d := wireDec{b: body}
+	id = decodeWireHeader(&d, frameRequest)
+	*req = request{Train: req.Train, Eval: req.Eval}
+	sawTrain, sawEval := false, false
+	for {
+		tag, p, ok := d.section()
+		if !ok {
+			break
+		}
+		switch tag {
+		case secType:
+			req.Type = p.str()
+		case secTrace:
+			req.TraceID = p.str()
+			req.SpanID = p.str()
+		case secDeadline:
+			req.DeadlineUnixMS = p.varint()
+		case secTrainReq:
+			if req.Train == nil {
+				req.Train = &federation.TrainRequest{}
+			}
+			t := req.Train
+			*t = federation.TrainRequest{Spec: ml.Spec{Hidden: t.Spec.Hidden},
+				Params: ml.Params{Dims: t.Params.Dims, Values: t.Params.Values}, Clusters: t.Clusters}
+			p.spec(&t.Spec)
+			p.params(&t.Params)
+			t.Clusters = p.ints(t.Clusters)
+			t.LocalEpochs = int(p.varint())
+			sawTrain = true
+		case secEvalReq:
+			if req.Eval == nil {
+				req.Eval = &federation.EvalRequest{}
+			}
+			ev := req.Eval
+			bounds := ev.Bounds
+			*ev = federation.EvalRequest{Spec: ml.Spec{Hidden: ev.Spec.Hidden},
+				Params: ml.Params{Dims: ev.Params.Dims, Values: ev.Params.Values}}
+			p.spec(&ev.Spec)
+			p.params(&ev.Params)
+			if p.u8() == 1 {
+				if bounds == nil {
+					bounds = &geometry.Rect{}
+				}
+				p.rect(bounds)
+				ev.Bounds = bounds
+			}
+			sawEval = true
+		}
+		if p.err != nil {
+			return id, p.err
+		}
+	}
+	if !sawTrain {
+		req.Train = nil
+	}
+	if !sawEval {
+		req.Eval = nil
+	}
+	if d.err != nil {
+		return id, d.err
+	}
+	if req.Type == "" {
+		// Every request carries a type section; a typeless frame is a
+		// truncation or a forgery, not a protocol message.
+		return id, fmt.Errorf("%w: request without type section", ErrMalformedFrame)
+	}
+	// Trace ids ride the envelope only; mirror them into the typed
+	// bodies exactly like the JSON codec's struct tags would.
+	if req.Train != nil {
+		req.Train.TraceID, req.Train.SpanID = req.TraceID, req.SpanID
+	}
+	if req.Eval != nil {
+		req.Eval.TraceID, req.Eval.SpanID = req.TraceID, req.SpanID
+	}
+	return id, nil
+}
+
+// decodeWireResponse parses a v2 response body into resp. resp is
+// reset first; nested slices are freshly allocated because responses
+// escape to callers (the mux reader never reuses them).
+func decodeWireResponse(body []byte) (id uint64, resp response, err error) {
+	d := wireDec{b: body}
+	id = decodeWireHeader(&d, frameResponse)
+	for {
+		tag, p, ok := d.section()
+		if !ok {
+			break
+		}
+		switch tag {
+		case secError:
+			resp.Code = p.str()
+			resp.Error = p.str()
+		case secTrace:
+			resp.TraceID = p.str()
+			p.str() // span slot, unused on responses
+		case secNodeID:
+			resp.NodeID = p.str()
+		case secEpoch:
+			resp.SummaryEpoch = p.uvarint()
+		case secSummary:
+			resp.Summary = &cluster.NodeSummary{}
+			p.summary(resp.Summary)
+		case secTrainResp:
+			t := &federation.TrainResponse{}
+			p.params(&t.Params)
+			t.SamplesUsed = int(p.uvarint())
+			t.TotalSamples = int(p.uvarint())
+			t.TrainTime = time.Duration(p.varint())
+			t.SummaryEpoch = p.uvarint()
+			resp.Train = t
+		case secEvalResp:
+			ev := &federation.EvalResponse{}
+			ev.MSE = p.f64()
+			ev.Samples = int(p.uvarint())
+			ev.SummaryEpoch = p.uvarint()
+			resp.Eval = ev
+		}
+		if p.err != nil {
+			return id, response{}, p.err
+		}
+	}
+	if d.err != nil {
+		return id, response{}, d.err
+	}
+	return id, resp, nil
+}
+
+// ---- pooled frame I/O ----
+
+// framePool recycles encode buffers for v2 frames and read buffers
+// for both codecs. Buffers above poolMaxRetain are dropped on release
+// so one giant model frame does not pin memory forever.
+const poolMaxRetain = 1 << 20
+
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) > poolMaxRetain {
+		return
+	}
+	*b = (*b)[:0]
+	framePool.Put(b)
+}
+
+// writeWireRequest encodes req as one v2 frame through a pooled
+// buffer and writes it with a single Write call.
+func writeWireRequest(w io.Writer, id uint64, req *request) (int, error) {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	b, err := appendWireRequest((*buf)[:0], id, req)
+	if err != nil {
+		return 0, err
+	}
+	*buf = b
+	return w.Write(b)
+}
+
+// writeWireResponse is writeWireRequest for the server side.
+func writeWireResponse(w io.Writer, id uint64, resp *response) (int, error) {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	b, err := appendWireResponse((*buf)[:0], id, resp)
+	if err != nil {
+		return 0, err
+	}
+	*buf = b
+	return w.Write(b)
+}

@@ -1,0 +1,698 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qens/internal/cluster"
+	"qens/internal/federation"
+	"qens/internal/geometry"
+	"qens/internal/ml"
+	"qens/internal/rng"
+	"qens/internal/telemetry"
+)
+
+// fullRequest returns a request exercising every envelope field and
+// every nested type the codec must carry.
+func fullRequest() request {
+	bounds := geometry.MustRect([]float64{-1.5, 0}, []float64{2.25, 7})
+	return request{
+		Type:           typeTrain,
+		TraceID:        "trace-0ddba11",
+		SpanID:         "span-5ca1ab1e",
+		DeadlineUnixMS: 1754464000123,
+		Train: &federation.TrainRequest{
+			Spec: ml.Spec{
+				Kind: ml.KindNN, InputDim: 3, Hidden: []int{16, 8},
+				LearningRate: 0.015, Epochs: 100, BatchSize: 32,
+				ValidationSplit: 0.2, Optimizer: "adam", Activation: "tanh",
+				L2: 1e-4, LRDecay: 0.99, Patience: 5, Seed: 42,
+			},
+			Params: ml.Params{
+				Kind: ml.KindNN, Dims: []int{3, 16, 8, 1},
+				Values: []float64{0.1, -2.5, math.Pi, 1e-300, -0.0, math.MaxFloat64},
+			},
+			Clusters:    []int{0, 2, 4},
+			LocalEpochs: 7,
+			TraceID:     "trace-0ddba11",
+			SpanID:      "span-5ca1ab1e",
+		},
+		Eval: &federation.EvalRequest{
+			Spec:    ml.Spec{Kind: ml.KindLinear, InputDim: 2, LearningRate: 0.03},
+			Params:  ml.Params{Kind: ml.KindLinear, Dims: []int{3}, Values: []float64{1, 2, 3}},
+			Bounds:  &bounds,
+			TraceID: "trace-0ddba11",
+			SpanID:  "span-5ca1ab1e",
+		},
+	}
+}
+
+func fullResponse() response {
+	return response{
+		TraceID:      "trace-0ddba11",
+		NodeID:       "node-A",
+		SummaryEpoch: 9,
+		Summary: &cluster.NodeSummary{
+			NodeID:       "node-A",
+			TotalSamples: 1200,
+			Epoch:        9,
+			Clusters: []cluster.Summary{
+				{
+					Bounds:   geometry.MustRect([]float64{0, 0}, []float64{1, 1}),
+					Centroid: []float64{0.5, 0.5},
+					Size:     600,
+				},
+				{
+					Bounds:   geometry.MustRect([]float64{-3, 2}, []float64{-1, 8}),
+					Centroid: []float64{-2, 5.5},
+					Size:     600,
+				},
+			},
+		},
+		Train: &federation.TrainResponse{
+			Params:       ml.Params{Kind: ml.KindLinear, Dims: []int{2}, Values: []float64{1.25, -0.5}},
+			SamplesUsed:  512,
+			TotalSamples: 1200,
+			TrainTime:    437 * time.Millisecond,
+			SummaryEpoch: 9,
+		},
+		Eval: &federation.EvalResponse{MSE: 0.03125, Samples: 640, SummaryEpoch: 9},
+	}
+}
+
+// TestWireV2RequestRoundTrip: decode(encode(x)) == x for a request
+// touching every field, bit-exactly (including subnormal/-0/MaxFloat
+// float payloads that JSON would re-parse through decimal text).
+func TestWireV2RequestRoundTrip(t *testing.T) {
+	in := fullRequest()
+	frame, err := appendWireRequest(nil, 77, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out request
+	id, err := decodeWireRequest(frame[4:], &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 77 {
+		t.Fatalf("request id %d, want 77", id)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	// Float payloads must be bit-identical, not merely equal.
+	for i, v := range in.Train.Params.Values {
+		if math.Float64bits(v) != math.Float64bits(out.Train.Params.Values[i]) {
+			t.Fatalf("value %d: bits %x != %x", i, math.Float64bits(v), math.Float64bits(out.Train.Params.Values[i]))
+		}
+	}
+}
+
+func TestWireV2ResponseRoundTrip(t *testing.T) {
+	in := fullResponse()
+	frame, err := appendWireResponse(nil, 12345, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, out, err := decodeWireResponse(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 12345 {
+		t.Fatalf("response id %d, want 12345", id)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+// TestWireV2ErrorRoundTrip covers the error envelope path.
+func TestWireV2ErrorRoundTrip(t *testing.T) {
+	in := response{Error: `unknown request type "compress"`, Code: CodeUnknownType}
+	frame, err := appendWireResponse(nil, 3, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out, err := decodeWireResponse(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Error != in.Error || out.Code != CodeUnknownType {
+		t.Fatalf("error round trip = %+v", out)
+	}
+}
+
+// TestWireV2NaNBitPatterns: v2 carries NaN and ±Inf bit-exactly —
+// payloads the v1 JSON codec cannot represent at all.
+func TestWireV2NaNBitPatterns(t *testing.T) {
+	payload := []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)}
+	in := request{Type: typeTrain, Train: &federation.TrainRequest{
+		Spec:   ml.Spec{Kind: ml.KindLinear, InputDim: 1},
+		Params: ml.Params{Kind: ml.KindLinear, Dims: []int{len(payload)}, Values: payload},
+	}}
+	frame, err := appendWireRequest(nil, 1, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out request
+	if _, err := decodeWireRequest(frame[4:], &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range payload {
+		if math.Float64bits(v) != math.Float64bits(out.Train.Params.Values[i]) {
+			t.Fatalf("value %d lost its bit pattern", i)
+		}
+	}
+}
+
+// TestWireV2UnknownSectionSkipped: a frame with an unrecognized
+// section must decode cleanly (forward compatibility).
+func TestWireV2UnknownSectionSkipped(t *testing.T) {
+	in := request{Type: typePing}
+	frame, err := appendWireRequest(nil, 9, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a bogus section (tag 200, 3 payload bytes) and fix the
+	// frame length prefix.
+	body := append(append([]byte{}, frame[4:]...), 200, 3, 0, 0, 0, 0xAA, 0xBB, 0xCC)
+	var out request
+	if _, err := decodeWireRequest(body, &out); err != nil {
+		t.Fatalf("unknown section not skipped: %v", err)
+	}
+	if out.Type != typePing {
+		t.Fatalf("type = %q", out.Type)
+	}
+}
+
+// TestWireV2MalformedRejected: truncations and forged counts at every
+// prefix length must error out without panicking or over-allocating.
+func TestWireV2MalformedRejected(t *testing.T) {
+	in := fullRequest()
+	frame, err := appendWireRequest(nil, 5, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := frame[4:]
+	// Truncating exactly at a section boundary legitimately yields a
+	// shorter frame with trailing optional sections absent — but the
+	// mandatory type section must have survived, and there are only a
+	// handful of boundaries. Everything else must be rejected.
+	boundaries := 0
+	for n := 0; n < len(body); n++ {
+		var out request
+		if _, err := decodeWireRequest(body[:n], &out); err == nil {
+			if out.Type != in.Type {
+				t.Fatalf("truncation at %d accepted with type %q", n, out.Type)
+			}
+			boundaries++
+		}
+	}
+	if boundaries > 4 {
+		t.Fatalf("%d truncation points accepted; only whole-section boundaries should decode", boundaries)
+	}
+	// Forged float count far beyond the body must be rejected before
+	// any allocation.
+	forged := append([]byte{}, body...)
+	forged[len(forged)-1] = 0xFF
+	var out request
+	_, _ = decodeWireRequest(forged, &out) // must not panic
+}
+
+// TestWireV2ZeroAllocSteadyState is the pooled-buffer satellite's
+// contract: once buffers and destination structs are warm, encoding
+// and decoding a model-parameter train frame performs zero heap
+// allocations per frame.
+func TestWireV2ZeroAllocSteadyState(t *testing.T) {
+	req := request{Type: typeTrain, Train: &federation.TrainRequest{
+		Spec: ml.Spec{Kind: ml.KindLinear, InputDim: 8, LearningRate: 0.03, Epochs: 100},
+		Params: ml.Params{Kind: ml.KindLinear, Dims: []int{9},
+			Values: make([]float64, 4096)},
+		LocalEpochs: 5,
+	}}
+	for i := range req.Train.Params.Values {
+		req.Train.Params.Values[i] = float64(i) * 1.000001
+	}
+
+	var buf []byte
+	var dst request
+	// Warm the destination's nested allocations.
+	b, err := appendWireRequest(buf[:0], 1, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = b
+	if _, err := decodeWireRequest(buf[4:], &dst); err != nil {
+		t.Fatal(err)
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		b, err := appendWireRequest(buf[:0], 2, &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = b
+	}); allocs != 0 {
+		t.Fatalf("v2 encode allocates %.1f/op at steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := decodeWireRequest(buf[4:], &dst); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("v2 decode allocates %.1f/op at steady state, want 0", allocs)
+	}
+	if !reflect.DeepEqual(dst.Train.Params.Values, req.Train.Params.Values) {
+		t.Fatal("steady-state decode corrupted the payload")
+	}
+}
+
+// TestWireCodecFieldDriftGuard fails when a wire-crossing struct
+// gains or loses fields without the binary codec being updated.
+// Reflection is test-only; the codec itself stays reflection-free.
+func TestWireCodecFieldDriftGuard(t *testing.T) {
+	want := []struct {
+		typ reflect.Type
+		n   int
+	}{
+		{reflect.TypeOf(ml.Spec{}), 13},
+		{reflect.TypeOf(ml.Params{}), 3},
+		{reflect.TypeOf(geometry.Rect{}), 2},
+		{reflect.TypeOf(cluster.Summary{}), 3},
+		{reflect.TypeOf(cluster.NodeSummary{}), 4},
+		{reflect.TypeOf(federation.TrainRequest{}), 6},
+		{reflect.TypeOf(federation.TrainResponse{}), 5},
+		{reflect.TypeOf(federation.EvalRequest{}), 5},
+		{reflect.TypeOf(federation.EvalResponse{}), 3},
+		{reflect.TypeOf(request{}), 7},
+		{reflect.TypeOf(response{}), 9},
+	}
+	for _, w := range want {
+		if got := w.typ.NumField(); got != w.n {
+			t.Errorf("%s now has %d fields (codec written for %d) — update wire.go and this guard",
+				w.typ, got, w.n)
+		}
+	}
+}
+
+// ---- version-skew interop ----
+
+// startServerProto boots a daemon capped at serverMax and dials it
+// with a client capped at clientMax.
+func startServerProto(t *testing.T, seed uint64, serverMax, clientMax int) (*Server, *Client) {
+	t.Helper()
+	node, err := federation.NewNode("node-A", lineDataset(300, 2, 1, 0, 50, seed), 5, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(node, "127.0.0.1:0", WithMaxWireProto(serverMax))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(silent)
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(srv.Addr(), DialOptions{Timeout: 30 * time.Second, MaxProto: clientMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+// TestWireVersionSkew runs the full RPC surface across every protocol
+// pairing: v2↔v2 negotiates the binary codec, while either side
+// capped at v1 transparently falls back to JSON — and all pairings
+// produce identical results.
+func TestWireVersionSkew(t *testing.T) {
+	cases := []struct {
+		name                 string
+		serverMax, clientMax int
+		wantProto            int
+	}{
+		{"v2-client_v2-server", WireProtoV2, WireProtoV2, WireProtoV2},
+		{"v2-client_v1-server", WireProtoV1, WireProtoV2, WireProtoV1},
+		{"v1-client_v2-server", WireProtoV2, WireProtoV1, WireProtoV1},
+		{"v1-client_v1-server", WireProtoV1, WireProtoV1, WireProtoV1},
+	}
+	var baseline *federation.TrainResponse
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, client := startServerProto(t, 7, tc.serverMax, tc.clientMax)
+			if got := client.Proto(); got != tc.wantProto {
+				t.Fatalf("negotiated proto %d, want %d", got, tc.wantProto)
+			}
+			v1Conns, v2Conns := srv.WireConns()
+			if tc.wantProto == WireProtoV2 && v2Conns != 1 {
+				t.Fatalf("server sees (v1=%d, v2=%d) conns, want one v2", v1Conns, v2Conns)
+			}
+			if tc.wantProto == WireProtoV1 && v1Conns != 1 {
+				t.Fatalf("server sees (v1=%d, v2=%d) conns, want one v1", v1Conns, v2Conns)
+			}
+
+			sum, err := client.Summary(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sum.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if sum.NodeID != "node-A" || sum.K() != 5 || sum.TotalSamples != 300 || sum.Epoch != 1 {
+				t.Fatalf("summary %+v", sum)
+			}
+
+			// Every pairing must produce the bit-identical training
+			// result: node RNG and data are seeded the same, so only a
+			// codec bug can make the pairings diverge.
+			tr, err := client.Train(context.Background(), federation.TrainRequest{
+				Spec: ml.PaperLR(1), LocalEpochs: 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if baseline == nil {
+				baseline = &tr
+			} else if !reflect.DeepEqual(baseline.Params, tr.Params) {
+				t.Fatalf("params diverge from first pairing:\n%v\nvs\n%v", baseline.Params, tr.Params)
+			}
+
+			ev, err := client.Evaluate(context.Background(), federation.EvalRequest{
+				Spec: ml.PaperLR(1), Params: tr.Params,
+				Bounds: &geometry.Rect{Min: []float64{0, -100}, Max: []float64{50, 200}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Samples == 0 || ev.SummaryEpoch != 1 {
+				t.Fatalf("eval %+v", ev)
+			}
+
+			// Structured errors survive both codecs.
+			if _, err := client.roundTrip(context.Background(), request{Type: "compress"}); !errors.Is(err, ErrUnknownType) {
+				t.Fatalf("unknown type error = %v", err)
+			}
+		})
+	}
+}
+
+// TestWireSkewTraceDeadlineEpoch runs the trace/deadline/epoch
+// envelope assertions under both negotiated protocols.
+func TestWireSkewTraceDeadlineEpoch(t *testing.T) {
+	for _, clientMax := range []int{WireProtoV1, WireProtoV2} {
+		name := map[int]string{WireProtoV1: "v1", WireProtoV2: "v2"}[clientMax]
+		t.Run(name, func(t *testing.T) {
+			srv, client := startServerProto(t, 11, WireProtoV2, clientMax)
+
+			// Trace attribution end to end.
+			var lc logCapture
+			srv.SetLogger(lc.logf)
+			resp, err := client.roundTrip(context.Background(), request{
+				Type: typeTrain, TraceID: "trace-aa", SpanID: "span-bb",
+				Train: &federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.TraceID != "trace-aa" {
+				t.Fatalf("response trace %q", resp.TraceID)
+			}
+			if logs := lc.joined(); !strings.Contains(logs, "trace=trace-aa") || !strings.Contains(logs, "span=span-bb") {
+				t.Fatalf("daemon log missing trace attribution:\n%s", logs)
+			}
+
+			// Expired envelope deadline refused server-side.
+			if _, err := client.roundTrip(context.Background(), request{
+				Type:           typeTrain,
+				DeadlineUnixMS: time.Now().Add(-time.Second).UnixMilli(),
+				Train:          &federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 3},
+			}); err == nil || !strings.Contains(err.Error(), "deadline") {
+				t.Fatalf("expired deadline err = %v", err)
+			}
+
+			// Requantization drift visible on the next eval.
+			if err := srv.Requantize(); err != nil {
+				t.Fatal(err)
+			}
+			ev, err := client.Evaluate(context.Background(), federation.EvalRequest{Spec: ml.PaperLR(1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.SummaryEpoch != 2 {
+				t.Fatalf("post-requantize epoch %d, want 2", ev.SummaryEpoch)
+			}
+		})
+	}
+}
+
+// TestWireV2EquivalentToLocal drives two identically-seeded nodes —
+// one in-process, one over a negotiated v2 TCP connection — through
+// the same request sequence and demands bit-identical responses: the
+// binary codec must be invisible to the learning pipeline.
+func TestWireV2EquivalentToLocal(t *testing.T) {
+	build := func() federation.Client {
+		node, err := federation.NewNode("twin", lineDataset(250, 1.5, 2, 0, 40, 77), 5, rng.New(77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return federation.LocalClient{Node: node}
+	}
+	local := build()
+
+	node, err := federation.NewNode("twin", lineDataset(250, 1.5, 2, 0, 40, 77), 5, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve(node, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetLogger(silent)
+	t.Cleanup(func() { srv.Close() })
+	remote, err := Dial(srv.Addr(), DialOptions{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { remote.Close() })
+	if remote.Proto() != WireProtoV2 {
+		t.Fatalf("negotiated %d, want v2", remote.Proto())
+	}
+
+	ctx := context.Background()
+	sumL, err := local.Summary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumR, err := remote.Summary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sumL, sumR) {
+		t.Fatalf("summaries diverge:\nlocal:  %+v\nremote: %+v", sumL, sumR)
+	}
+
+	var params ml.Params
+	for round := 0; round < 3; round++ {
+		reqT := federation.TrainRequest{Spec: ml.PaperLR(1), Params: params, LocalEpochs: 5, Clusters: []int{0, 1}}
+		trL, err := local.Train(ctx, reqT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trR, err := remote.Train(ctx, reqT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(trL.Params, trR.Params) || trL.SamplesUsed != trR.SamplesUsed {
+			t.Fatalf("round %d: train diverges:\nlocal:  %+v\nremote: %+v", round, trL, trR)
+		}
+		params = trL.Params
+
+		evL, err := local.Evaluate(ctx, federation.EvalRequest{Spec: ml.PaperLR(1), Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evR, err := remote.Evaluate(ctx, federation.EvalRequest{Spec: ml.PaperLR(1), Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(evL.MSE) != math.Float64bits(evR.MSE) || evL.Samples != evR.Samples {
+			t.Fatalf("round %d: eval diverges: %+v vs %+v", round, evL, evR)
+		}
+	}
+}
+
+// ---- multiplexing behaviour ----
+
+// TestMuxPipelining proves true pipelining: with the node's engine held
+// by a gate, several calls from one client must all be in flight on
+// one connection simultaneously — impossible on the serialized v1
+// path.
+func TestMuxPipelining(t *testing.T) {
+	srv, client := startServer(t, 21, 2, 0, 30)
+
+	const calls = 6
+	release := make(chan struct{})
+	started := make(chan struct{}, calls)
+	hold := func() {
+		started <- struct{}{}
+		<-release
+	}
+	srv.gate.Store(&hold)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Ping(); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	// All six dispatches must start concurrently over the single
+	// connection while the gate pins them.
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < calls; i++ {
+		select {
+		case <-started:
+		case <-deadline:
+			t.Fatalf("only %d/%d RPCs in flight on one connection", i, calls)
+		}
+	}
+	if got := client.InflightRPCs(); got != calls {
+		t.Fatalf("client reports %d in-flight, want %d", got, calls)
+	}
+	srv.gate.Store(nil)
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := client.InflightRPCs(); got != 0 {
+		t.Fatalf("in-flight %d after drain", got)
+	}
+}
+
+// TestMuxCancellationDoesNotPoisonConnection: canceling one pipelined
+// call must not disturb its neighbours or the connection — the tagged
+// response is simply dropped when it arrives.
+func TestMuxCancellationDoesNotPoisonConnection(t *testing.T) {
+	_, client := startServer(t, 22, 2, 0, 30)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Train(ctx, federation.TrainRequest{Spec: ml.PaperNN(1), LocalEpochs: 400})
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled call returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled call did not return")
+	}
+	// The same connection keeps serving without a reconnect.
+	before, _ := client.BytesMoved()
+	if _, err := client.Summary(context.Background()); err != nil {
+		t.Fatalf("connection poisoned by cancellation: %v", err)
+	}
+	if after, _ := client.BytesMoved(); after <= before {
+		t.Fatal("no bytes moved on the surviving connection")
+	}
+	if client.Proto() != WireProtoV2 {
+		t.Fatal("client reconnected (or downgraded) after cancellation")
+	}
+}
+
+// TestMuxConcurrentStress hammers one multiplexed connection with
+// mixed Train/Evaluate/Summary/Ping traffic plus mid-flight
+// cancellations, under -race in CI. Every non-canceled call must
+// succeed and the connection must stay on v2 throughout.
+func TestMuxConcurrentStress(t *testing.T) {
+	_, client := startServer(t, 23, 2, 0, 30)
+	spec := ml.PaperLR(1)
+
+	const workers = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					if _, err := client.Train(context.Background(), federation.TrainRequest{Spec: spec, LocalEpochs: 1}); err != nil {
+						errs <- err
+					}
+				case 1:
+					if _, err := client.Evaluate(context.Background(), federation.EvalRequest{Spec: spec}); err != nil {
+						errs <- err
+					}
+				case 2:
+					if _, err := client.Summary(context.Background()); err != nil {
+						errs <- err
+					}
+				default:
+					// Cancellation mid-flight: a tiny deadline races
+					// the RPC; both outcomes are legal, crashes and
+					// poisoned connections are not.
+					ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i)*time.Millisecond)
+					_, err := client.Train(ctx, federation.TrainRequest{Spec: spec, LocalEpochs: 3})
+					cancel()
+					// The envelope deadline is millisecond-truncated,
+					// so the daemon can refuse a hair before the local
+					// ctx expires; that surfaces as a stringified
+					// remote deadline error. All three are legal.
+					if err != nil && !errors.Is(err, context.DeadlineExceeded) &&
+						!errors.Is(err, context.Canceled) &&
+						!strings.Contains(err.Error(), "deadline exceeded") {
+						errs <- err
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if client.Proto() != WireProtoV2 {
+		t.Fatalf("connection degraded to proto %d under stress", client.Proto())
+	}
+	if got := client.InflightRPCs(); got != 0 {
+		t.Fatalf("in-flight %d after stress drain", got)
+	}
+}
+
+// TestWireMetricsByCodec: the per-codec byte counters and encode
+// histograms must advance for the codec actually in use.
+func TestWireMetricsByCodec(t *testing.T) {
+	reg := telemetry.Default()
+	v2In := reg.Counter("qens_wire_bytes_total", telemetry.L("node", "node-A", "codec", "v2", "dir", "in")...)
+	v2Enc := reg.Histogram("qens_wire_encode_us", telemetry.L("node", "node-A", "codec", "v2")...)
+	in0, enc0 := v2In.Value(), v2Enc.Count()
+
+	_, client := startServer(t, 24, 2, 0, 30)
+	if _, err := client.Train(context.Background(), federation.TrainRequest{Spec: ml.PaperLR(1), LocalEpochs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := v2In.Value(); got <= in0 {
+		t.Fatalf("v2 byte counter did not advance: %v -> %v", in0, got)
+	}
+	if got := v2Enc.Count(); got <= enc0 {
+		t.Fatalf("v2 encode histogram did not advance: %d -> %d", enc0, got)
+	}
+}
