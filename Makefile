@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-wire bench-paper clean
+.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-wire bench-telemetry bench-paper clean
 
 all: check
 
@@ -63,6 +63,13 @@ bench-train:
 # >=2x wire-size edge, or pipelined RPCs drop below 1.5x serialized v1.
 bench-wire:
 	sh scripts/bench_wire.sh
+
+# Rolling-window telemetry microbenchmarks (BenchmarkRollingObserve /
+# BenchmarkRollingStats) rendered as BENCH_telemetry.json; fails if the
+# rolling Observe hot path allocates or the memoized merged read
+# exceeds 200ns/op.
+bench-telemetry:
+	sh scripts/bench_telemetry.sh
 
 # Paper-figure macro benchmarks (Tables I-II, Figures 6-9); these
 # train real fleets and take minutes.

@@ -31,6 +31,7 @@ import (
 
 	"qens/internal/dataset"
 	"qens/internal/federation"
+	"qens/internal/fleet"
 	"qens/internal/gateway"
 	"qens/internal/ml"
 	"qens/internal/telemetry"
@@ -67,21 +68,31 @@ func main() {
 	)
 	flag.Parse()
 
+	// Tracing is always on: retained spans back GET /v1/trace/{id} and
+	// /v1/traces even without a file sink. -trace additionally streams
+	// every span to disk as JSONL.
+	var traceFile *os.File
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatal("trace file: %v", err)
 		}
-		tracer := telemetry.NewTracer(f)
-		tracer.SetRetention(4096)
-		telemetry.SetDefaultTracer(tracer)
+		traceFile = f
+	}
+	tracer := telemetry.NewTracer(traceFile) // nil sink = memory-only
+	tracer.SetRetention(4096)
+	telemetry.SetDefaultTracer(tracer)
+	if traceFile != nil {
 		defer func() {
-			f.Close()
+			if err := tracer.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "qens-gateway: trace flush: %v\n", err)
+			}
+			traceFile.Close()
 			fmt.Printf("qens-gateway: trace written to %s\n", *tracePath)
 		}()
 	}
 
-	leader, transportStats, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout, *summaryTTL, *wireProto)
+	leader, transportStats, wireStatus, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout, *summaryTTL, *wireProto)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -111,6 +122,8 @@ func main() {
 		DefaultEpsilon: *epsilon,
 		DefaultTopL:    *topL,
 		TransportStats: transportStats,
+		Tracer:         tracer,
+		WireStatus:     wireStatus,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -146,8 +159,9 @@ func main() {
 // buildLeader wires either a simulated in-process fleet or a roster of
 // remote qensd daemons. For a remote fleet it also returns the
 // /v1/stats transport hook reporting each connection's negotiated wire
-// protocol, in-flight RPC count and byte counters.
-func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model string, dialTimeout, summaryTTL time.Duration, wireProto int) (*federation.Leader, func() any, func(), error) {
+// protocol, in-flight RPC count and byte counters, plus the typed
+// per-node wire status merged into GET /v1/fleet.
+func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model string, dialTimeout, summaryTTL time.Duration, wireProto int) (*federation.Leader, func() any, func() []fleet.WireStatus, func(), error) {
 	if addrs != "" {
 		var remotes []*transport.Client
 		var clients []federation.Client
@@ -164,7 +178,7 @@ func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model
 			c, err := transport.Dial(a, transport.DialOptions{Timeout: dialTimeout, MaxProto: wireProto})
 			if err != nil {
 				closeAll()
-				return nil, nil, nil, fmt.Errorf("dial %s: %w", a, err)
+				return nil, nil, nil, nil, fmt.Errorf("dial %s: %w", a, err)
 			}
 			fmt.Printf("qens-gateway: connected to %s (%s, wire v%d)\n", c.ID(), a, c.Proto())
 			remotes = append(remotes, c)
@@ -176,44 +190,37 @@ func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model
 		}, nil, clients)
 		if err != nil {
 			closeAll()
-			return nil, nil, nil, err
+			return nil, nil, nil, nil, err
 		}
-		stats := func() any {
-			type nodeWire struct {
-				ID       string `json:"id"`
-				Addr     string `json:"addr"`
-				Proto    int    `json:"proto"`
-				Inflight int64  `json:"inflight_rpcs"`
-				BytesOut int64  `json:"bytes_out"`
-				BytesIn  int64  `json:"bytes_in"`
-			}
-			out := make([]nodeWire, 0, len(remotes))
+		wires := func() []fleet.WireStatus {
+			out := make([]fleet.WireStatus, 0, len(remotes))
 			for _, c := range remotes {
 				sent, recv := c.BytesMoved()
-				out = append(out, nodeWire{
-					ID: c.ID(), Addr: c.Addr(), Proto: c.Proto(),
-					Inflight: c.InflightRPCs(), BytesOut: sent, BytesIn: recv,
+				out = append(out, fleet.WireStatus{
+					NodeID: c.ID(), Addr: c.Addr(), Proto: c.Proto(),
+					InflightRPCs: c.InflightRPCs(), BytesOut: sent, BytesIn: recv,
 				})
 			}
 			return out
 		}
-		return leader, stats, closeAll, nil
+		stats := func() any { return wires() }
+		return leader, stats, wires, closeAll, nil
 	}
 
 	data, err := dataset.PaperNodeDatasets(dataset.Config{
 		Nodes: nodes, SamplesPerNode: samples, Seed: seed,
 	})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	fleet, err := federation.NewSimulatedFleet(data, federation.Config{
+	sim, err := federation.NewSimulatedFleet(data, federation.Config{
 		Spec: specFor(model, data[0].Dims()-1), ClusterK: k, LocalEpochs: epochs, Seed: seed,
 		SummaryTTL: summaryTTL,
 	}, federation.FleetOptions{})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return fleet.Leader, nil, func() {}, nil
+	return sim.Leader, nil, nil, func() {}, nil
 }
 
 func specFor(model string, inputDim int) ml.Spec {

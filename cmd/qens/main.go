@@ -70,6 +70,9 @@ func main() {
 		tracer.SetRetention(100_000)
 		telemetry.SetDefaultTracer(tracer)
 		defer func() {
+			if err := tracer.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "qens: trace flush: %v\n", err)
+			}
 			if sum, err := experiments.SummarizeTraceSpans(tracer.Spans()); err == nil {
 				fmt.Printf("\ntrace written to %s\n%s", *tracePath, sum)
 			}

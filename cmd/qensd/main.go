@@ -55,6 +55,9 @@ func main() {
 		tracer.SetRetention(4096)
 		telemetry.SetDefaultTracer(tracer)
 		defer func() {
+			if err := tracer.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "qensd: trace flush: %v\n", err)
+			}
 			f.Close()
 			fmt.Printf("qensd: trace written to %s\n", *tracePath)
 		}()

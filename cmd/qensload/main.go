@@ -119,9 +119,21 @@ func main() {
 			pct(latencies, 0.50), pct(latencies, 0.95), pct(latencies, 0.99),
 			latencies[len(latencies)-1].Round(time.Millisecond))
 	}
-	if stats, err := fetchStats(*baseURL); err == nil {
+	if doc, err := getStats(*baseURL); err == nil {
+		reuseHits := "n/a"
+		if doc.Reuse != nil {
+			reuseHits = strconv.Itoa(doc.Reuse.Hits)
+		}
 		fmt.Printf("server   admitted=%v coalesced=%v rejected=%v reuse_hits=%v\n",
-			stats["admitted"], stats["coalesced"], stats["rejected_queue_full"], stats["reuse_hits"])
+			doc.Scheduler.Admitted, doc.Scheduler.Coalesced, doc.Scheduler.RejectedFull, reuseHits)
+		// The server-side rolling window covers only the last minute, so
+		// it reflects this run (server-observed, excludes queue-admission
+		// shaping and client overhead) next to our closed-loop numbers.
+		w := doc.Latency.Window
+		if w.Count > 0 {
+			fmt.Printf("server   last %.0fs: n=%d p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+				w.WindowS, w.Count, w.P50MS, w.P95MS, w.P99MS, w.MaxMS)
+		}
 	}
 	if failed.Load() > 0 {
 		os.Exit(1)
@@ -162,6 +174,16 @@ type statsDoc struct {
 	Reuse *struct {
 		Hits int `json:"hits"`
 	} `json:"reuse_cache"`
+	Latency struct {
+		Window struct {
+			WindowS float64 `json:"window_s"`
+			Count   int64   `json:"count"`
+			P50MS   float64 `json:"p50_ms"`
+			P95MS   float64 `json:"p95_ms"`
+			P99MS   float64 `json:"p99_ms"`
+			MaxMS   float64 `json:"max_ms"`
+		} `json:"window"`
+	} `json:"latency"`
 	Space *geometry.Rect `json:"space"`
 }
 
@@ -200,24 +222,6 @@ func getStats(baseURL string) (*statsDoc, error) {
 		return nil, err
 	}
 	return &doc, nil
-}
-
-// fetchStats flattens the interesting counters for the final report.
-func fetchStats(baseURL string) (map[string]string, error) {
-	doc, err := getStats(baseURL)
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]string{
-		"admitted":            strconv.FormatInt(doc.Scheduler.Admitted, 10),
-		"coalesced":           strconv.FormatInt(doc.Scheduler.Coalesced, 10),
-		"rejected_queue_full": strconv.FormatInt(doc.Scheduler.RejectedFull, 10),
-		"reuse_hits":          "n/a",
-	}
-	if doc.Reuse != nil {
-		out["reuse_hits"] = strconv.Itoa(doc.Reuse.Hits)
-	}
-	return out, nil
 }
 
 func fatal(format string, args ...any) {

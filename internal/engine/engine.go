@@ -174,8 +174,10 @@ func (e *Engine) Mutate(fn func(cur *Snapshot) (*dataset.Dataset, *cluster.Quant
 }
 
 // acquire claims an execution slot, waiting in the admission queue
-// until one frees or ctx is done. It returns the release function.
-func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
+// until one frees or ctx is done. It returns the release function and
+// the time spent queued (the same value qens_node_train_queue_ms
+// observes, surfaced so jobs can attribute it in their phase report).
+func (e *Engine) acquire(ctx context.Context) (release func(), wait time.Duration, err error) {
 	start := time.Now()
 	select {
 	case e.sem <- struct{}{}:
@@ -184,10 +186,11 @@ func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
 		select {
 		case e.sem <- struct{}{}:
 		case <-ctx.Done():
-			return nil, fmt.Errorf("engine: queued for train slot: %w", ctx.Err())
+			return nil, 0, fmt.Errorf("engine: queued for train slot: %w", ctx.Err())
 		}
 	}
-	e.metrics.queueMS.ObserveDuration(time.Since(start))
+	wait = time.Since(start)
+	e.metrics.queueMS.ObserveDuration(wait)
 	e.metrics.inflight.Set(float64(e.inflight.Add(1)))
 	e.metrics.jobsTotal.Inc()
 	var once sync.Once
@@ -196,7 +199,7 @@ func (e *Engine) acquire(ctx context.Context) (release func(), err error) {
 			e.metrics.inflight.Set(float64(e.inflight.Add(-1)))
 			<-e.sem
 		})
-	}, nil
+	}, wait, nil
 }
 
 // Buffers is the pooled per-job working memory: flat feature/target

@@ -96,7 +96,7 @@ func TestEngineQueuedJobHonorsContext(t *testing.T) {
 	e := testEngine(t, 1)
 
 	// Occupy the only slot.
-	release, err := e.acquire(context.Background())
+	release, _, err := e.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

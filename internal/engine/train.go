@@ -22,6 +22,26 @@ type TrainJob struct {
 	Epochs   int
 }
 
+// Phases is the engine-side wall-clock decomposition of one job,
+// captured as plain values on the hot path (no allocation) so remote
+// callers can reassemble a cross-process trace. Fields not applicable
+// to a job kind stay zero.
+type Phases struct {
+	// QueuedAt is when the job entered the admission queue.
+	QueuedAt time.Time
+	// Queue is the time spent waiting for an engine slot.
+	Queue time.Duration
+	// Stage is the cumulative data-staging time: cluster view
+	// resolution plus XYInto copies (Train) or the subspace filter
+	// scan (Evaluate).
+	Stage time.Duration
+	// Fit is the cumulative model-compute time: PartialFitBatch
+	// (Train) or the batched predict loop (Evaluate).
+	Fit time.Duration
+	// Done is when the job finished.
+	Done time.Time
+}
+
 // TrainResult carries the updated params and accounting for one round.
 type TrainResult struct {
 	Params       ml.Params
@@ -30,6 +50,8 @@ type TrainResult struct {
 	// Epoch is the snapshot epoch the round trained against — the
 	// drift signal echoed to the leader.
 	Epoch uint64
+	// Phases decomposes the round's wall time (queue/stage/fit).
+	Phases Phases
 }
 
 // Train executes one training round: queue for a slot, pin the
@@ -46,11 +68,13 @@ func (e *Engine) Train(ctx context.Context, job TrainJob) (TrainResult, error) {
 	if job.Epochs < 1 {
 		return TrainResult{}, fmt.Errorf("engine: local epochs %d < 1", job.Epochs)
 	}
-	release, err := e.acquire(ctx)
+	queuedAt := time.Now()
+	release, wait, err := e.acquire(ctx)
 	if err != nil {
 		return TrainResult{}, err
 	}
 	defer release()
+	phases := Phases{QueuedAt: queuedAt, Queue: wait}
 
 	snap := e.Current() // pinned: mutations after this line are invisible
 	model, putModel, err := e.acquireModel(job.Spec, job.Seed, job.Params)
@@ -64,42 +88,53 @@ func (e *Engine) Train(ctx context.Context, job TrainJob) (TrainResult, error) {
 	used := 0
 	if len(job.Clusters) == 0 {
 		view := snap.Data.View()
+		stageStart := time.Now()
 		x, y := view.XYInto(bufs.X[:0], bufs.Y[:0])
 		bufs.X, bufs.Y = x, y
+		fitStart := time.Now()
+		phases.Stage += fitStart.Sub(stageStart)
 		if err := model.PartialFitBatch(ctx, x, y, job.Epochs); err != nil {
 			return TrainResult{}, err
 		}
+		phases.Fit += time.Since(fitStart)
 		used = view.Len()
 	} else {
 		for _, c := range job.Clusters {
 			if err := ctx.Err(); err != nil {
 				return TrainResult{}, err
 			}
+			stageStart := time.Now()
 			view, err := snap.Quant.ClusterView(c)
 			if err != nil {
 				return TrainResult{}, err
 			}
 			if view.Len() == 0 {
+				phases.Stage += time.Since(stageStart)
 				continue
 			}
 			x, y := view.XYInto(bufs.X[:0], bufs.Y[:0])
 			bufs.X, bufs.Y = x, y
 			start := time.Now()
+			phases.Stage += start.Sub(stageStart)
 			if err := model.PartialFitBatch(ctx, x, y, job.Epochs); err != nil {
 				return TrainResult{}, fmt.Errorf("cluster %d: %w", c, err)
 			}
-			e.metrics.clusterMS.ObserveDuration(time.Since(start))
+			fit := time.Since(start)
+			phases.Fit += fit
+			e.metrics.clusterMS.ObserveDuration(fit)
 			used += view.Len()
 		}
 		if used == 0 {
 			return TrainResult{}, fmt.Errorf("no data in requested clusters %v", job.Clusters)
 		}
 	}
+	phases.Done = time.Now()
 	return TrainResult{
 		Params:       model.Params(),
 		SamplesUsed:  used,
 		TotalSamples: snap.Data.Len(),
 		Epoch:        snap.Epoch,
+		Phases:       phases,
 	}, nil
 }
 
@@ -119,6 +154,8 @@ type EvalResult struct {
 	Samples int
 	// Epoch is the snapshot epoch the score was computed against.
 	Epoch uint64
+	// Phases decomposes the job's wall time (queue/stage/fit).
+	Phases Phases
 }
 
 // Evaluate executes one scoring job under the same admission
@@ -128,11 +165,13 @@ type EvalResult struct {
 // arbitrarily large evaluations are ctx-responsive and allocation-free
 // at steady state.
 func (e *Engine) Evaluate(ctx context.Context, job EvalJob) (EvalResult, error) {
-	release, err := e.acquire(ctx)
+	queuedAt := time.Now()
+	release, wait, err := e.acquire(ctx)
 	if err != nil {
 		return EvalResult{}, err
 	}
 	defer release()
+	phases := Phases{QueuedAt: queuedAt, Queue: wait}
 
 	snap := e.Current()
 	// Build the model before filtering, mirroring the pre-engine
@@ -144,6 +183,7 @@ func (e *Engine) Evaluate(ctx context.Context, job EvalJob) (EvalResult, error) 
 	}
 	defer putModel()
 
+	stageStart := time.Now()
 	view := snap.Data.View()
 	if job.Bounds != nil {
 		view, err = snap.Data.FilterInRectContext(ctx, *job.Bounds)
@@ -151,9 +191,11 @@ func (e *Engine) Evaluate(ctx context.Context, job EvalJob) (EvalResult, error) 
 			return EvalResult{}, err
 		}
 	}
+	phases.Stage = time.Since(stageStart)
 	n := view.Len()
 	if n == 0 {
-		return EvalResult{Samples: 0, Epoch: snap.Epoch}, nil
+		phases.Done = time.Now()
+		return EvalResult{Samples: 0, Epoch: snap.Epoch, Phases: phases}, nil
 	}
 	bufs := e.getBuffers()
 	defer e.putBuffers(bufs)
@@ -171,6 +213,7 @@ func (e *Engine) Evaluate(ctx context.Context, job EvalJob) (EvalResult, error) 
 		bufs.Pred = make([]float64, batch)
 	}
 	sse := 0.0
+	fitStart := time.Now()
 	err = view.ForEachBatch(ctx, e.cfg.EvalBatch, bufs.X, bufs.Y, func(x, y []float64) error {
 		pred := bufs.Pred[:len(y)]
 		model.PredictFlat(x, pred)
@@ -183,5 +226,7 @@ func (e *Engine) Evaluate(ctx context.Context, job EvalJob) (EvalResult, error) 
 	if err != nil {
 		return EvalResult{}, err
 	}
-	return EvalResult{MSE: sse / float64(n), Samples: n, Epoch: snap.Epoch}, nil
+	phases.Fit = time.Since(fitStart)
+	phases.Done = time.Now()
+	return EvalResult{MSE: sse / float64(n), Samples: n, Epoch: snap.Epoch, Phases: phases}, nil
 }

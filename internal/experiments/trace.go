@@ -26,8 +26,20 @@ type TraceSummary struct {
 	Spans int
 	// Errors is the number of spans that recorded an error.
 	Errors int
+	// Procs is the number of distinct processes contributing spans
+	// (leader plus node engines whose phase spans were piggybacked
+	// back); 1 means the stream is leader-only.
+	Procs int
 	// ByName aggregates per span name.
 	ByName map[string]SpanAggregate
+	// ByCategory is the critical-path decomposition summed across every
+	// assemblable trace (see telemetry.CriticalPath): milliseconds of
+	// root wall time attributed to queue, plan, rpc, wire, train,
+	// aggregate, or other. Empty when no trace in the stream had a root.
+	ByCategory map[string]float64
+	// CriticalMS is the total critical-path time (the sum of
+	// ByCategory).
+	CriticalMS float64
 }
 
 // SpanAggregate is the per-name aggregate of a trace summary.
@@ -47,13 +59,19 @@ func (a SpanAggregate) Mean() time.Duration {
 
 // SummarizeTraceSpans aggregates already-parsed spans.
 func SummarizeTraceSpans(spans []telemetry.Span) (*TraceSummary, error) {
-	s := &TraceSummary{ByName: map[string]SpanAggregate{}}
+	s := &TraceSummary{ByName: map[string]SpanAggregate{}, ByCategory: map[string]float64{}}
 	traces := map[string]bool{}
+	procs := map[string]bool{}
 	for _, sp := range spans {
 		if sp.TraceID == "" || sp.Name == "" {
 			return nil, fmt.Errorf("experiments: malformed span (trace=%q name=%q)", sp.TraceID, sp.Name)
 		}
 		traces[sp.TraceID] = true
+		if p := sp.Attrs["proc"]; p != "" {
+			procs[p] = true
+		} else {
+			procs["leader"] = true
+		}
 		s.Spans++
 		if sp.Error != "" {
 			s.Errors++
@@ -68,6 +86,21 @@ func SummarizeTraceSpans(spans []telemetry.Span) (*TraceSummary, error) {
 		s.ByName[sp.Name] = agg
 	}
 	s.Traces = len(traces)
+	s.Procs = len(procs)
+	// Cross-process critical-path rollup: assemble each trace and sum
+	// its per-category attribution. Traces that cannot be assembled
+	// (rootless fragments from a partial stream) are skipped — the
+	// per-name table above still covers them.
+	for id := range traces {
+		tree, err := telemetry.AssembleTrace(spans, id)
+		if err != nil {
+			continue
+		}
+		for cat, ms := range tree.CriticalPath().ByCategory {
+			s.ByCategory[cat] += ms
+			s.CriticalMS += ms
+		}
+	}
 	return s, nil
 }
 
@@ -91,10 +124,12 @@ func SummarizeTraceFile(path string) (*TraceSummary, error) {
 }
 
 // String renders the summary as an aligned table, span names sorted by
-// total time descending.
+// total time descending, followed by the cross-process critical-path
+// rollup when any trace could be assembled.
 func (s *TraceSummary) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace summary: %d traces, %d spans, %d errors\n", s.Traces, s.Spans, s.Errors)
+	fmt.Fprintf(&b, "trace summary: %d traces, %d spans, %d errors, %d processes\n",
+		s.Traces, s.Spans, s.Errors, s.Procs)
 	names := make([]string, 0, len(s.ByName))
 	for n := range s.ByName {
 		names = append(names, n)
@@ -111,6 +146,23 @@ func (s *TraceSummary) String() string {
 		fmt.Fprintf(&b, "  %-14s %8d %12s %12s %12s\n",
 			n, a.Count, a.Total.Round(time.Microsecond),
 			a.Mean().Round(time.Microsecond), a.Max.Round(time.Microsecond))
+	}
+	if s.CriticalMS > 0 {
+		cats := make([]string, 0, len(s.ByCategory))
+		for c := range s.ByCategory {
+			cats = append(cats, c)
+		}
+		sort.Slice(cats, func(i, j int) bool {
+			if s.ByCategory[cats[i]] != s.ByCategory[cats[j]] {
+				return s.ByCategory[cats[i]] > s.ByCategory[cats[j]]
+			}
+			return cats[i] < cats[j]
+		})
+		fmt.Fprintf(&b, "critical path: %.3fms across %d traces\n", s.CriticalMS, s.Traces)
+		for _, c := range cats {
+			ms := s.ByCategory[c]
+			fmt.Fprintf(&b, "  %-14s %11.3fms %6.1f%%\n", c, ms, 100*ms/s.CriticalMS)
+		}
 	}
 	return b.String()
 }

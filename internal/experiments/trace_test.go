@@ -34,6 +34,9 @@ func traceFixture(t *testing.T) *bytes.Buffer {
 	failed := q2.Child("train")
 	failed.End(errTest)
 	q2.End(errTest)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	return &buf
 }
 

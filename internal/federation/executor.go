@@ -117,6 +117,7 @@ func (e *Executor) run(ctx context.Context, qspan *telemetry.SpanHandle, pl *pla
 					TraceID:     tspan.TraceID(),
 					SpanID:      tspan.SpanID(),
 				})
+				recordNodeSpans(l.activeTracer(), tspan, p.NodeID, resp.Spans)
 				tspan.End(err)
 				outs[i] = trainOut{resp: resp, err: err, elapsed: time.Since(roundStart)}
 			}(i, participantRef{NodeID: p.NodeID, Clusters: p.Clusters})
@@ -131,12 +132,14 @@ func (e *Executor) run(ctx context.Context, qspan *telemetry.SpanHandle, pl *pla
 			roundStart := time.Now()
 			resp, err := l.trainOn(ctx, p, initial, tspan)
 			elapsed := time.Since(roundStart)
+			recordNodeSpans(l.activeTracer(), tspan, p.NodeID, resp.Spans)
 			tspan.End(err)
 			outs[i] = trainOut{resp: resp, err: err, elapsed: elapsed}
 			if err != nil && !l.cfg.TolerateFailures {
 				// Mirror the legacy sequential contract: abort on the
 				// first failure without contacting later participants.
 				l.metrics.round(p.NodeID, elapsed)
+				l.health.ObserveRound(p.NodeID, elapsed, err.Error())
 				res.NodeRounds = append(res.NodeRounds, NodeRound{
 					NodeID: p.NodeID, Elapsed: elapsed, Err: err.Error(),
 				})
@@ -157,6 +160,7 @@ func (e *Executor) run(ctx context.Context, qspan *telemetry.SpanHandle, pl *pla
 		l.metrics.round(p.NodeID, o.elapsed)
 		if o.err != nil {
 			round.Err = o.err.Error()
+			l.health.ObserveRound(p.NodeID, o.elapsed, round.Err)
 			res.NodeRounds = append(res.NodeRounds, round)
 			if l.cfg.TolerateFailures {
 				res.Failed = append(res.Failed, p.NodeID)
@@ -167,6 +171,7 @@ func (e *Executor) run(ctx context.Context, qspan *telemetry.SpanHandle, pl *pla
 			}
 			continue
 		}
+		l.health.ObserveRound(p.NodeID, o.elapsed, "")
 		e.observeEpoch(p.NodeID, o.resp.SummaryEpoch)
 		res.NodeRounds = append(res.NodeRounds, round)
 		res.LocalParams = append(res.LocalParams, o.resp.Params)

@@ -9,6 +9,7 @@ import (
 
 	"qens/internal/cluster"
 	"qens/internal/dataset"
+	"qens/internal/fleet"
 	"qens/internal/geometry"
 	"qens/internal/ml"
 	"qens/internal/plan"
@@ -108,6 +109,7 @@ type Leader struct {
 
 	tracer  *telemetry.Tracer // nil: fall back to telemetry.DefaultTracer
 	metrics *leaderMetrics
+	health  *fleet.Tracker // per-node round latency/error EWMAs
 }
 
 // NewLeader builds a leader over the given participants. leaderData is
@@ -132,6 +134,7 @@ func NewLeader(cfg Config, leaderData *dataset.Dataset, clients []Client) (*Lead
 	l := &Leader{
 		cfg: cfg, data: leaderData, clients: clients, src: rng.New(cfg.Seed),
 		metrics: newLeaderMetrics(telemetry.Default()),
+		health:  fleet.NewTracker(telemetry.Default()),
 	}
 	reg, err := registry.New(registry.Config{
 		Fetch: l.fetchSummaries,
@@ -210,6 +213,11 @@ func (l *Leader) Planner() *plan.Planner { return l.planner }
 
 // Executor exposes the I/O-bound execution stage.
 func (l *Leader) Executor() *Executor { return l.exec }
+
+// Health exposes the leader's fleet health tracker: per-node round
+// latency/error EWMAs fed by every executed round, scored for the
+// gateway's /v1/fleet endpoint and the qens_fleet_* gauges.
+func (l *Leader) Health() *fleet.Tracker { return l.health }
 
 // SummaryEpoch returns the current advertisement epoch (0 before the
 // first fetch). Lock-free.

@@ -187,6 +187,61 @@ type TrainRequest struct {
 	SpanID  string `json:"span_id,omitempty"`
 }
 
+// NodeSpan is one node-side timed phase of an RPC, piggybacked on the
+// response when the request carried a trace context. The node reports
+// only name + wall-clock interval; the leader mints span IDs and
+// parents the span under the RPC span it holds, reassembling the
+// cross-process trace tree without a separate span-shipping channel.
+// On the v2 wire these travel in a dedicated self-delimiting section
+// (skipped by length by older peers); on v1 JSON they are an optional
+// field omitted when empty.
+type NodeSpan struct {
+	// Name identifies the phase: "node.queue" (engine admission
+	// wait), "node.stage" (cluster staging/filter scan), "node.fit"
+	// (model compute), "node.eval" (batched prediction scoring).
+	Name string `json:"name"`
+	// StartUnixNS is the phase start as Unix nanoseconds on the
+	// node's clock.
+	StartUnixNS int64 `json:"start_unix_ns"`
+	// DurationNS is the phase length in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// Start returns the phase start as a time.Time.
+func (s NodeSpan) Start() time.Time { return time.Unix(0, s.StartUnixNS) }
+
+// End returns the phase end as a time.Time.
+func (s NodeSpan) End() time.Time { return time.Unix(0, s.StartUnixNS+s.DurationNS) }
+
+// phaseSpans converts an engine phase report into the piggybacked
+// span list. The queue span starts at admission; stage and fit are
+// laid out sequentially after it, which matches how the engine
+// actually interleaves them closely enough for attribution (their
+// durations are exact; only their ordering within the slot is
+// flattened). evalName swaps the compute span's name for evaluations.
+func phaseSpans(p engine.Phases, evalName string) []NodeSpan {
+	if p.QueuedAt.IsZero() {
+		return nil
+	}
+	out := make([]NodeSpan, 0, 3)
+	cursor := p.QueuedAt
+	add := func(name string, d time.Duration) {
+		if d <= 0 {
+			return
+		}
+		out = append(out, NodeSpan{Name: name, StartUnixNS: cursor.UnixNano(), DurationNS: int64(d)})
+		cursor = cursor.Add(d)
+	}
+	add("node.queue", p.Queue)
+	add("node.stage", p.Stage)
+	fitName := "node.fit"
+	if evalName != "" {
+		fitName = evalName
+	}
+	add(fitName, p.Fit)
+	return out
+}
+
 // TrainResponse carries the updated local model and accounting.
 type TrainResponse struct {
 	// Params is the locally updated model w_i^E.
@@ -204,6 +259,9 @@ type TrainResponse struct {
 	// since the advertisement was fetched — the drift signal that
 	// triggers a registry refresh.
 	SummaryEpoch uint64 `json:"summary_epoch,omitempty"`
+	// Spans reports the node-side phase timings when the request
+	// carried a trace context (see NodeSpan); empty otherwise.
+	Spans []NodeSpan `json:"spans,omitempty"`
 }
 
 // Train implements the §IV-B participant step: load the global model,
@@ -236,13 +294,17 @@ func (n *Node) TrainContext(ctx context.Context, req TrainRequest) (TrainRespons
 	if err != nil {
 		return TrainResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
 	}
-	return TrainResponse{
+	out := TrainResponse{
 		Params:       res.Params,
 		SamplesUsed:  res.SamplesUsed,
 		TotalSamples: res.TotalSamples,
 		TrainTime:    time.Since(start),
 		SummaryEpoch: res.Epoch,
-	}, nil
+	}
+	if req.TraceID != "" {
+		out.Spans = phaseSpans(res.Phases, "")
+	}
+	return out, nil
 }
 
 // EvalRequest asks a node to score a model against its local data.
@@ -269,6 +331,9 @@ type EvalResponse struct {
 	// the evaluation ran against, so evaluations double as drift
 	// signals exactly like training responses.
 	SummaryEpoch uint64 `json:"summary_epoch,omitempty"`
+	// Spans reports the node-side phase timings when the request
+	// carried a trace context (see NodeSpan); empty otherwise.
+	Spans []NodeSpan `json:"spans,omitempty"`
 }
 
 // Evaluate implements the pre-test and scoring step: the node runs the
@@ -294,5 +359,9 @@ func (n *Node) EvaluateContext(ctx context.Context, req EvalRequest) (EvalRespon
 	if err != nil {
 		return EvalResponse{}, fmt.Errorf("federation: node %s: %w", n.id, err)
 	}
-	return EvalResponse{MSE: res.MSE, Samples: res.Samples, SummaryEpoch: res.Epoch}, nil
+	out := EvalResponse{MSE: res.MSE, Samples: res.Samples, SummaryEpoch: res.Epoch}
+	if req.TraceID != "" {
+		out.Spans = phaseSpans(res.Phases, "node.eval")
+	}
+	return out, nil
 }

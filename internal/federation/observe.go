@@ -102,3 +102,25 @@ func startTrainSpan(parent *telemetry.SpanHandle, nodeID string, round int) *tel
 	}
 	return sp
 }
+
+// recordNodeSpans folds the node-side phase spans piggybacked on an
+// RPC response into the leader's tracer, parented under the RPC span
+// that solicited them: the leader mints span IDs, stamps the node's
+// identity as the span's process, and the flat retained list now holds
+// the complete cross-process tree for telemetry.AssembleTrace. No-op
+// when tracing is off or the response carried no spans.
+func recordNodeSpans(t *telemetry.Tracer, rpc *telemetry.SpanHandle, nodeID string, spans []NodeSpan) {
+	if t == nil || rpc == nil || len(spans) == 0 {
+		return
+	}
+	for _, s := range spans {
+		t.RecordSpan(telemetry.Span{
+			TraceID:  rpc.TraceID(),
+			ParentID: rpc.SpanID(),
+			Name:     s.Name,
+			Start:    s.Start(),
+			End:      s.End(),
+			Attrs:    map[string]string{"node": nodeID, "proc": nodeID},
+		})
+	}
+}

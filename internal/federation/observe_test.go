@@ -133,8 +133,12 @@ func TestExecuteParallelNodeRounds(t *testing.T) {
 func TestTracedFailureSpans(t *testing.T) {
 	leader, _, _ := failureFleet(t, true)
 	var buf bytes.Buffer
-	leader.SetTracer(telemetry.NewTracer(&buf))
+	tr := telemetry.NewTracer(&buf)
+	leader.SetTracer(tr)
 	if _, err := leader.Execute(midQuery(t), selection.AllNodes{}, ModelAveraging); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	spans, err := telemetry.ReadJSONL(&buf)

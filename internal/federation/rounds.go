@@ -110,14 +110,17 @@ func (l *Leader) ExecuteRoundsContext(ctx context.Context, q query.Query, sel se
 				SpanID:      tspan.SpanID(),
 			})
 			elapsed := time.Since(roundStart)
+			recordNodeSpans(l.activeTracer(), tspan, p.NodeID, resp.Spans)
 			tspan.End(err)
 			l.metrics.round(p.NodeID, elapsed)
 			round := NodeRound{NodeID: p.NodeID, Round: r, Elapsed: elapsed}
 			if err != nil {
 				round.Err = err.Error()
+				l.health.ObserveRound(p.NodeID, elapsed, round.Err)
 				out.NodeRounds = append(out.NodeRounds, round)
 				return nil, fmt.Errorf("federation: round %d on %s: %w", r, p.NodeID, err)
 			}
+			l.health.ObserveRound(p.NodeID, elapsed, "")
 			out.NodeRounds = append(out.NodeRounds, round)
 			if resp.SummaryEpoch > 0 {
 				l.reg.SignalNodeEpoch(p.NodeID, resp.SummaryEpoch)

@@ -179,6 +179,7 @@ type schedMetrics struct {
 	completedErr  *telemetry.Counter
 	completedTime *telemetry.Counter
 	e2eMS         *telemetry.Histogram
+	e2eWin        *telemetry.RollingHistogram
 	queueWaitMS   *telemetry.Histogram
 }
 
@@ -191,6 +192,14 @@ func newSchedMetrics(reg *telemetry.Registry) *schedMetrics {
 	reg.SetHelp("qens_gateway_completed_total", "Finished queries, by status.")
 	reg.SetHelp("qens_gateway_e2e_ms", "Admission-to-completion latency (ms).")
 	reg.SetHelp("qens_gateway_queue_wait_ms", "Time spent queued before a worker picked the query up (ms).")
+	e2e := reg.Histogram("qens_gateway_e2e_ms")
+	win := e2e.Window()
+	if win == nil {
+		// The rolling view answers "how is the gateway behaving right
+		// now" next to the cumulative series; /metrics renders it as
+		// *_win_* companions and /v1/stats embeds it under latency.
+		win = e2e.EnableWindow(defaultLatencyWindow, 6)
+	}
 	return &schedMetrics{
 		queueDepth:    reg.Gauge("qens_gateway_queue_depth"),
 		inflight:      reg.Gauge("qens_gateway_inflight"),
@@ -202,10 +211,15 @@ func newSchedMetrics(reg *telemetry.Registry) *schedMetrics {
 		completedOK:   reg.Counter("qens_gateway_completed_total", telemetry.L("status", "ok")...),
 		completedErr:  reg.Counter("qens_gateway_completed_total", telemetry.L("status", "error")...),
 		completedTime: reg.Counter("qens_gateway_completed_total", telemetry.L("status", "timeout")...),
-		e2eMS:         reg.Histogram("qens_gateway_e2e_ms"),
+		e2eMS:         e2e,
+		e2eWin:        win,
 		queueWaitMS:   reg.Histogram("qens_gateway_queue_wait_ms"),
 	}
 }
+
+// defaultLatencyWindow is the rolling span of the "last minute" view
+// on the gateway's end-to-end latency.
+const defaultLatencyWindow = 60 * time.Second
 
 // Scheduler is the gateway's admission-controlled worker pool.
 type Scheduler struct {
@@ -460,6 +474,12 @@ func (s *Scheduler) SchedStats() Stats {
 // (admission to completion, milliseconds).
 func (s *Scheduler) LatencySnapshot() telemetry.HistogramSnapshot {
 	return s.m.e2eMS.Snapshot()
+}
+
+// LatencyWindow returns the rolling last-window view of the same
+// end-to-end latency (see telemetry.RollingHistogram).
+func (s *Scheduler) LatencyWindow() telemetry.WindowStats {
+	return s.m.e2eWin.Stats()
 }
 
 // LeaderExecutor adapts a federation.Leader (optionally fronted by a

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"qens/internal/federation"
+	"qens/internal/fleet"
 	"qens/internal/geometry"
 	"qens/internal/plan"
 	"qens/internal/query"
@@ -58,6 +59,16 @@ type ServerConfig struct {
 	// deployments surface per-node wire-protocol state (negotiated
 	// version, in-flight RPCs, byte counters).
 	TransportStats func() any
+
+	// Tracer backs GET /v1/trace/{id} and /v1/traces; when nil the
+	// process-default tracer (telemetry.DefaultTracer) serves them. The
+	// endpoints 404 when neither is installed. NewServer pins a non-nil
+	// Tracer to the leader, so query spans land in the same store the
+	// endpoints serve.
+	Tracer *telemetry.Tracer
+	// WireStatus, when non-nil, supplies typed per-node transport state
+	// merged into GET /v1/fleet for remote fleets.
+	WireStatus func() []fleet.WireStatus
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -121,6 +132,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Tracer != nil {
+		cfg.Leader.SetTracer(cfg.Tracer)
+	}
 	s := &Server{
 		cfg:          cfg,
 		sched:        sched,
@@ -133,6 +147,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("GET /v1/query/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	obs := telemetry.NewHTTPHandler(cfg.Registry, s.health, s.start)
 	mux.Handle("/metrics", obs)
 	mux.Handle("/healthz", obs)
@@ -648,6 +665,17 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec)
 }
 
+// windowJSON is a rolling-window latency summary on the wire.
+type windowJSON struct {
+	WindowS float64 `json:"window_s"`
+	Count   int64   `json:"count"`
+	MeanMS  float64 `json:"mean_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
 // statsResponse is the GET /v1/stats document.
 type statsResponse struct {
 	UptimeS   float64 `json:"uptime_s"`
@@ -664,6 +692,9 @@ type statsResponse struct {
 		P95MS  float64 `json:"p95_ms"`
 		P99MS  float64 `json:"p99_ms"`
 		MaxMS  float64 `json:"max_ms"`
+		// Window summarizes only the last rolling window (see
+		// Scheduler.LatencyWindow) next to the cumulative numbers.
+		Window windowJSON `json:"window"`
 	} `json:"latency"`
 	Nodes     []string        `json:"nodes"`
 	Space     *geometry.Rect  `json:"space,omitempty"`
@@ -696,6 +727,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Latency.P95MS = snap.P95
 	resp.Latency.P99MS = snap.P99
 	resp.Latency.MaxMS = snap.Max
+	win := s.sched.LatencyWindow()
+	resp.Latency.Window = windowJSON{
+		WindowS: win.Window.Seconds(),
+		Count:   win.Count,
+		MeanMS:  win.Mean(),
+		P50MS:   win.P50,
+		P95MS:   win.P95,
+		P99MS:   win.P99,
+		MaxMS:   win.Max,
+	}
 	if space, err := s.space(r.Context()); err == nil {
 		resp.Space = &space
 	}
@@ -728,6 +769,132 @@ func (s *Server) space(ctx context.Context) (geometry.Rect, error) {
 		bounds = append(bounds, node)
 	}
 	return query.GlobalSpace(bounds)
+}
+
+// tracer resolves the tracer backing the trace endpoints: the
+// configured one, else the process default (possibly nil).
+func (s *Server) tracer() *telemetry.Tracer {
+	if s.cfg.Tracer != nil {
+		return s.cfg.Tracer
+	}
+	return telemetry.DefaultTracer()
+}
+
+// traceResponse is the GET /v1/trace/{id} document: the assembled
+// cross-process span tree plus its critical-path decomposition.
+type traceResponse struct {
+	*telemetry.TraceTree
+	CriticalPath telemetry.CriticalPathReport `json:"critical_path"`
+}
+
+// handleTrace serves GET /v1/trace/{id}: the assembled tree for one
+// query's trace — leader spans plus the node-side spans piggybacked on
+// RPC responses — with wall time attributed per phase category.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing is not enabled on this gateway")
+		return
+	}
+	id := r.PathValue("id")
+	spans := tr.TraceSpans(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "no retained spans for trace %q", id)
+		return
+	}
+	tree, err := telemetry.AssembleTrace(spans, id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "trace %q: %v", id, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, traceResponse{TraceTree: tree, CriticalPath: tree.CriticalPath()})
+}
+
+// traceListEntry is one retained trace root in GET /v1/traces.
+type traceListEntry struct {
+	TraceID    string    `json:"trace_id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Query      string    `json:"query,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+// handleTraces serves GET /v1/traces: the most recent retained trace
+// roots, newest first — the index for /v1/trace/{id}.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	tr := s.tracer()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "tracing is not enabled on this gateway")
+		return
+	}
+	const maxList = 64
+	spans := tr.Spans()
+	out := make([]traceListEntry, 0, maxList)
+	for i := len(spans) - 1; i >= 0 && len(out) < maxList; i-- {
+		sp := spans[i]
+		if sp.ParentID != "" {
+			continue
+		}
+		out = append(out, traceListEntry{
+			TraceID:    sp.TraceID,
+			Name:       sp.Name,
+			Start:      sp.Start,
+			DurationMS: sp.DurationMS,
+			Query:      sp.Attrs["query"],
+			Error:      sp.Error,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": out})
+}
+
+// fleetResponse is the GET /v1/fleet document.
+type fleetResponse struct {
+	Nodes []fleet.NodeHealth `json:"nodes"`
+	// RegistryEpoch/RegistryStale mirror the summary registry's state
+	// at report time.
+	RegistryEpoch uint64 `json:"registry_epoch"`
+	RegistryStale bool   `json:"registry_stale"`
+}
+
+// handleFleet serves GET /v1/fleet: per-node health scores from the
+// leader's round observations, merged with summary-epoch staleness
+// from the registry and (for remote fleets) wire-level transport
+// state.
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	var resp fleetResponse
+	meta := map[string]fleet.Meta{}
+	// Seed the roster so nodes that never answered a round still
+	// appear.
+	for _, id := range s.cfg.Leader.NodeIDs() {
+		meta[id] = fleet.Meta{}
+	}
+	if reg := s.cfg.Leader.Registry(); reg != nil {
+		st := reg.Stats()
+		resp.RegistryEpoch = st.Epoch
+		resp.RegistryStale = st.Stale
+		if snap, ok := reg.Current(); ok {
+			for _, n := range snap.Nodes {
+				m := meta[n.NodeID]
+				m.SummaryEpoch = snap.NodeSummaryEpoch(n.NodeID)
+				// The registry invalidates as a whole when any node
+				// signals drift; until the refresh lands every node is
+				// planned against potentially stale geometry.
+				m.Stale = st.Stale
+				meta[n.NodeID] = m
+			}
+		}
+	}
+	if s.cfg.WireStatus != nil {
+		for _, ws := range s.cfg.WireStatus() {
+			ws := ws
+			m := meta[ws.NodeID]
+			m.Wire = &ws
+			meta[ws.NodeID] = m
+		}
+	}
+	resp.Nodes = s.cfg.Leader.Health().Report(meta)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // recordStatus is a stored query's lifecycle phase.

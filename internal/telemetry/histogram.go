@@ -50,6 +50,9 @@ type Histogram struct {
 	// — and a valid starting point (0.0) for max.
 	minBits atomic.Uint64
 	maxBits atomic.Uint64
+	// window, when set, receives a copy of every observation so the
+	// last-W seconds are queryable alongside the cumulative totals.
+	window atomic.Pointer[RollingHistogram]
 }
 
 // bucketIndex maps a value to its bucket (histBuckets = overflow).
@@ -78,7 +81,24 @@ func (h *Histogram) Observe(v float64) {
 	addFloat(&h.sumBits, v)
 	casMin(&h.minBits, v)
 	casMax(&h.maxBits, v)
+	if w := h.window.Load(); w != nil {
+		w.Observe(v)
+	}
 }
+
+// EnableWindow attaches a rolling last-`window` view fed by every
+// subsequent Observe (see RollingHistogram). Shards controls the
+// ring granularity; values < 2 pick the default. Returns the attached
+// rolling histogram; calling EnableWindow again replaces it.
+func (h *Histogram) EnableWindow(window time.Duration, shards int) *RollingHistogram {
+	r := NewRollingHistogram(window, shards)
+	h.window.Store(r)
+	return r
+}
+
+// Window returns the attached rolling view (nil unless EnableWindow
+// was called).
+func (h *Histogram) Window() *RollingHistogram { return h.window.Load() }
 
 // ObserveDuration records a latency in float milliseconds — the unit
 // every *_ms metric family in this repo uses.
@@ -126,17 +146,40 @@ func (h *Histogram) Mean() float64 {
 // estimate's relative error is bounded by the bucket growth factor
 // (~19%). Returns 0 when the histogram is empty.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
+	var counts [histBuckets + 1]int64
+	total := h.loadBuckets(&counts)
+	return quantileFromCounts(&counts, total, q, h.Min(), h.Max())
+}
+
+// loadBuckets copies the live bucket counts into counts in one pass
+// and returns their sum. Deriving totals from the same loads that fill
+// the array is what makes snapshots self-consistent: the count can
+// never disagree with the buckets it was summed from, even under
+// concurrent Observe.
+func (h *Histogram) loadBuckets(counts *[histBuckets + 1]int64) int64 {
+	total := int64(0)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		counts[i] = n
+		total += n
+	}
+	return total
+}
+
+// quantileFromCounts estimates the q-quantile from an immutable bucket
+// count array, interpolating geometrically inside the winning bucket
+// and clamping to the [min, max] observed range.
+func quantileFromCounts(counts *[histBuckets + 1]int64, total int64, q, min, max float64) float64 {
 	if total == 0 || q <= 0 {
-		return h.Min()
+		return min
 	}
 	if q >= 1 {
-		return h.Max()
+		return max
 	}
 	rank := q * float64(total)
 	cum := 0.0
 	for i := 0; i <= histBuckets; i++ {
-		n := float64(h.buckets[i].Load())
+		n := float64(counts[i])
 		if n == 0 {
 			continue
 		}
@@ -144,10 +187,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 			lo, hi := bucketBounds(i)
 			// Clamp the interpolation to the observed extremes so
 			// the estimate never leaves the data's range.
-			if min := h.Min(); lo < min {
+			if lo < min {
 				lo = min
 			}
-			if max := h.Max(); hi > max || i == histBuckets {
+			if hi > max || i == histBuckets {
 				hi = max
 			}
 			if lo <= 0 {
@@ -161,12 +204,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += n
 	}
-	return h.Max()
+	return max
 }
 
-// Snapshot captures a consistent-enough view for rendering: per-bucket
-// cumulative counts alongside the scalar summaries. Buckets with zero
-// observations are skipped (upper bounds remain strictly increasing).
+// Snapshot captures a self-consistent view for rendering: the bucket
+// counts are loaded exactly once, and Count, the quantiles, and the
+// cumulative Buckets are all derived from that single pass, so a
+// snapshot taken under concurrent Observe can never report a Count
+// that disagrees with its own buckets. Buckets with zero observations
+// are skipped (upper bounds remain strictly increasing).
 type HistogramSnapshot struct {
 	Count    int64
 	Sum      float64
@@ -187,18 +233,22 @@ type BucketCount struct {
 
 // Snapshot renders the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count: h.count.Load(),
-		Sum:   h.Sum(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+	var counts [histBuckets + 1]int64
+	total := h.loadBuckets(&counts)
+	s := HistogramSnapshot{Count: total, Sum: h.Sum()}
+	if total == 0 {
+		return s
 	}
+	// math.Abs folds both the unset sentinel (+0.0 bits) and the
+	// observed-zero sentinel (-0.0 bits) to plain zero.
+	min := math.Abs(math.Float64frombits(h.minBits.Load()))
+	max := math.Float64frombits(h.maxBits.Load())
+	s.Min, s.Max = min, max
+	s.P50 = quantileFromCounts(&counts, total, 0.50, min, max)
+	s.P95 = quantileFromCounts(&counts, total, 0.95, min, max)
+	s.P99 = quantileFromCounts(&counts, total, 0.99, min, max)
 	cum := int64(0)
-	for i := 0; i <= histBuckets; i++ {
-		n := h.buckets[i].Load()
+	for i, n := range counts {
 		if n == 0 {
 			continue
 		}

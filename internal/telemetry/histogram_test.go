@@ -178,6 +178,51 @@ func TestHistogramSnapshotCumulative(t *testing.T) {
 	}
 }
 
+// TestHistogramSnapshotSelfConsistentConcurrent takes snapshots while
+// writers hammer Observe: because Count and the cumulative buckets are
+// derived from one pass over the same loads, every snapshot must agree
+// with itself — the final cumulative equals Count and the quantiles
+// stay inside [Min, Max] — no matter where the writers are.
+func TestHistogramSnapshotSelfConsistentConcurrent(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64((w*7919 + i) % 1000))
+			}
+		}(w)
+	}
+	for i := 0; i < 500; i++ {
+		snap := h.Snapshot()
+		if snap.Count == 0 {
+			continue
+		}
+		cum := int64(0)
+		if n := len(snap.Buckets); n > 0 {
+			cum = snap.Buckets[n-1].Cumulative
+		}
+		if cum != snap.Count {
+			t.Fatalf("snapshot %d: cumulative %d != count %d", i, cum, snap.Count)
+		}
+		for _, q := range []float64{snap.P50, snap.P95, snap.P99} {
+			if q < snap.Min || q > snap.Max {
+				t.Fatalf("snapshot %d: quantile %v outside [%v, %v]", i, q, snap.Min, snap.Max)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestHistogramObserveDurationAndReset(t *testing.T) {
 	var h Histogram
 	h.ObserveDuration(1500 * time.Microsecond)

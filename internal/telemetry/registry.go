@@ -338,6 +338,24 @@ func writeHistogram(w io.Writer, name string, s *series) error {
 			return err
 		}
 	}
+	// Histograms with a rolling window attached additionally export
+	// last-window companions (window seconds as a label), so dashboards
+	// can plot "now" next to "since start".
+	if win := s.hist.Window(); win != nil {
+		st := win.Stats()
+		winLabel := &Label{"window", formatFloat(st.Window.Seconds()) + "s"}
+		if _, err := fmt.Fprintf(w, "%s_win_count%s %d\n", name, renderLabels(s.labels, winLabel), st.Count); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			suffix string
+			v      float64
+		}{{"win_p50", st.P50}, {"win_p95", st.P95}, {"win_p99", st.P99}} {
+			if _, err := fmt.Fprintf(w, "%s_%s%s %s\n", name, q.suffix, renderLabels(s.labels, winLabel), formatFloat(q.v)); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"bufio"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -37,14 +38,24 @@ type Span struct {
 // instrumented code never branches on "is tracing on".
 type Tracer struct {
 	mu    sync.Mutex
-	w     io.Writer // optional JSONL sink; may be nil
-	spans []Span    // finished spans retained in memory
-	max   int       // retention cap (0 = unlimited)
+	bw    *bufio.Writer // buffers the JSONL sink; nil when w is nil
+	enc   *json.Encoder // persistent encoder over bw (one per tracer, not per span)
+	spans []Span        // finished spans retained in memory
+	max   int           // retention cap (0 = unlimited)
 }
 
 // NewTracer returns a tracer streaming finished spans to w as JSONL
-// (w may be nil to only retain them in memory).
-func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+// (w may be nil to only retain them in memory). The sink is buffered:
+// call Flush (or WriteJSONL, which flushes) before handing the
+// underlying writer to a reader or closing it.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{}
+	if w != nil {
+		t.bw = bufio.NewWriter(w)
+		t.enc = json.NewEncoder(t.bw)
+	}
+	return t
+}
 
 // SetRetention caps the number of finished spans kept in memory
 // (oldest dropped first). JSONL streaming is unaffected.
@@ -201,10 +212,42 @@ func (t *Tracer) record(span Span) {
 	if t.max > 0 && len(t.spans) > t.max {
 		t.spans = t.spans[len(t.spans)-t.max:]
 	}
-	if t.w != nil {
-		enc := json.NewEncoder(t.w)
-		_ = enc.Encode(span) // best effort: a broken sink must not fail queries
+	if t.enc != nil {
+		_ = t.enc.Encode(span) // best effort: a broken sink must not fail queries
 	}
+}
+
+// RecordSpan records an externally finished span — typically one
+// shipped back from a remote process so the leader's tracer holds the
+// complete cross-process tree. A missing SpanID is minted, and a zero
+// DurationMS is derived from End-Start. No-op on a nil tracer.
+func (t *Tracer) RecordSpan(span Span) {
+	if t == nil {
+		return
+	}
+	if span.SpanID == "" {
+		span.SpanID = newID()
+	}
+	if span.DurationMS == 0 && span.End.After(span.Start) {
+		span.DurationMS = float64(span.End.Sub(span.Start)) / float64(time.Millisecond)
+	}
+	t.record(span)
+}
+
+// Flush forces buffered JSONL output through to the underlying sink.
+// Call before closing the sink or handing it to a reader; spans
+// recorded afterwards buffer again. No-op on a nil tracer or a
+// memory-only one.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bw == nil {
+		return nil
+	}
+	return t.bw.Flush()
 }
 
 // Spans returns a copy of the finished spans (nil on a nil tracer).
@@ -219,6 +262,23 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// TraceSpans returns the retained spans belonging to one trace, in
+// completion order (nil on a nil tracer or an unknown trace).
+func (t *Tracer) TraceSpans(traceID string) []Span {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	for _, s := range t.spans {
+		if s.TraceID == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Reset drops the retained spans (the JSONL sink is untouched).
 func (t *Tracer) Reset() {
 	if t == nil {
@@ -230,10 +290,16 @@ func (t *Tracer) Reset() {
 }
 
 // WriteJSONL exports every retained span to w, one JSON object per
-// line — the same schema the streaming sink emits.
+// line — the same schema the streaming sink emits. It also flushes the
+// tracer's own buffered sink, so a drain that exports retained spans
+// leaves the streaming file complete too.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
 	for _, span := range t.Spans() {
-		if err := json.NewEncoder(w).Encode(span); err != nil {
+		if err := enc.Encode(span); err != nil {
 			return err
 		}
 	}

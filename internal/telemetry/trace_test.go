@@ -3,9 +3,11 @@ package telemetry
 import (
 	"bytes"
 	"errors"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestTracerSpans(t *testing.T) {
@@ -77,6 +79,9 @@ func TestTracerJSONLRoundTrip(t *testing.T) {
 	root := tr.StartTrace("query")
 	root.Child("selection").End(nil)
 	root.End(nil)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
 
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 2 {
@@ -122,6 +127,117 @@ func TestTracerRetention(t *testing.T) {
 	}
 	if n := len(tr.Spans()); n != 3 {
 		t.Fatalf("retained %d spans, want 3", n)
+	}
+}
+
+// TestTracerRetentionDropsOldestConcurrent verifies the retention trim
+// keeps a suffix of the record order even when spans End concurrently:
+// per goroutine, the retained indices must be a contiguous run ending
+// at that goroutine's last span (an earlier span surviving a later one
+// would mean the trim dropped from the middle).
+func TestTracerRetentionDropsOldestConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		each    = 200
+		keep    = 50
+	)
+	tr := NewTracer(nil)
+	tr.SetRetention(keep)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sp := tr.StartTrace("t")
+				sp.SetAttr("worker", strconv.Itoa(w))
+				sp.SetAttr("seq", strconv.Itoa(i))
+				sp.End(nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	spans := tr.Spans()
+	if len(spans) != keep {
+		t.Fatalf("retained %d spans, want %d", len(spans), keep)
+	}
+	perWorker := map[string][]int{}
+	for _, s := range spans {
+		seq, err := strconv.Atoi(s.Attrs["seq"])
+		if err != nil {
+			t.Fatalf("span missing seq attr: %+v", s)
+		}
+		perWorker[s.Attrs["worker"]] = append(perWorker[s.Attrs["worker"]], seq)
+	}
+	for w, seqs := range perWorker {
+		for i := 1; i < len(seqs); i++ {
+			if seqs[i] != seqs[i-1]+1 {
+				t.Fatalf("worker %s retained non-contiguous seqs %v", w, seqs)
+			}
+		}
+		if last := seqs[len(seqs)-1]; last != each-1 {
+			t.Fatalf("worker %s's retained run ends at %d, want %d (oldest-first drop)", w, last, each-1)
+		}
+	}
+}
+
+func TestTracerRecordSpan(t *testing.T) {
+	tr := NewTracer(nil)
+	start := time.Now().Add(-10 * time.Millisecond)
+	tr.RecordSpan(Span{TraceID: "t", Name: "node.fit", Start: start, End: start.Add(4 * time.Millisecond)})
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if spans[0].SpanID == "" {
+		t.Fatal("RecordSpan did not mint a span id")
+	}
+	if d := spans[0].DurationMS; d < 3.9 || d > 4.1 {
+		t.Fatalf("derived duration %v, want ~4ms", d)
+	}
+	var nilTr *Tracer
+	nilTr.RecordSpan(Span{TraceID: "x", Name: "noop"}) // must not panic
+}
+
+func TestTracerTraceSpans(t *testing.T) {
+	tr := NewTracer(nil)
+	a := tr.StartTrace("qa")
+	a.Child("selection").End(nil)
+	a.End(nil)
+	b := tr.StartTrace("qb")
+	b.End(nil)
+
+	got := tr.TraceSpans(a.TraceID())
+	if len(got) != 2 {
+		t.Fatalf("trace %s has %d spans, want 2", a.TraceID(), len(got))
+	}
+	if got[0].Name != "selection" || got[1].Name != "qa" {
+		t.Fatalf("completion order lost: %v, %v", got[0].Name, got[1].Name)
+	}
+	if tr.TraceSpans("") != nil || tr.TraceSpans("missing") != nil {
+		t.Fatal("unknown trace returned spans")
+	}
+}
+
+// TestTracerFlushBuffering: the JSONL sink is buffered, so spans are
+// not visible downstream until Flush.
+func TestTracerFlushBuffering(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.StartTrace("q").End(nil)
+	if buf.Len() != 0 {
+		t.Fatalf("sink has %d bytes before Flush (unbuffered write?)", buf.Len())
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("sink empty after Flush")
+	}
+	spans, err := ReadJSONL(&buf)
+	if err != nil || len(spans) != 1 {
+		t.Fatalf("flushed stream parse: %v (%d spans)", err, len(spans))
 	}
 }
 

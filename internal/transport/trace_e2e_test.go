@@ -68,7 +68,11 @@ func TestTraceEndToEndOverTCP(t *testing.T) {
 		t.Fatalf("ensemble = %+v", res.Ensemble)
 	}
 
-	// The trace must have streamed as JSONL and parse back.
+	// The trace must have streamed as JSONL and parse back. Flush
+	// first: the tracer sinks through a buffered encoder.
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	spans, err := telemetry.ReadJSONL(bytes.NewReader(jsonl.Bytes()))
 	if err != nil {
 		t.Fatalf("parse JSONL trace: %v", err)
@@ -110,16 +114,77 @@ func TestTraceEndToEndOverTCP(t *testing.T) {
 		}
 	}
 
-	// Every span shares the root's trace ID and points back at it.
+	// Every span shares the root's trace ID; leader-side spans point
+	// back at the root, node-side spans at the train RPC span that
+	// solicited them.
+	trainIDs := map[string]bool{}
+	for _, sp := range trains {
+		trainIDs[sp.SpanID] = true
+	}
 	for _, sp := range spans {
 		if sp.TraceID != root.TraceID {
 			t.Fatalf("span %s has trace %s, want %s", sp.Name, sp.TraceID, root.TraceID)
 		}
-		if sp.Name != "query" && sp.ParentID != root.SpanID {
-			t.Fatalf("span %s parent = %s, want root %s", sp.Name, sp.ParentID, root.SpanID)
+		switch {
+		case sp.Name == "query":
+		case len(sp.Name) > 5 && sp.Name[:5] == "node.":
+			if !trainIDs[sp.ParentID] {
+				t.Fatalf("node span %s parent = %s, not a train span", sp.Name, sp.ParentID)
+			}
+		default:
+			if sp.ParentID != root.SpanID {
+				t.Fatalf("span %s parent = %s, want root %s", sp.Name, sp.ParentID, root.SpanID)
+			}
 		}
 		if sp.DurationMS < 0 {
 			t.Fatalf("span %s has negative duration %v", sp.Name, sp.DurationMS)
+		}
+	}
+
+	// Cross-process assembly: the tree must contain spans from the
+	// leader process plus every node engine, all under one trace ID.
+	tree, err := telemetry.AssembleTrace(spans, root.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("assembled trace has %d orphans", len(tree.Orphans))
+	}
+	if len(tree.Procs) < 2 {
+		t.Fatalf("trace spans %d processes, want >= 2 (leader + node engines): %v", len(tree.Procs), tree.Procs)
+	}
+	procs := map[string]bool{}
+	for _, p := range tree.Procs {
+		procs[p] = true
+	}
+	if !procs["leader"] {
+		t.Fatalf("no leader-process spans in %v", tree.Procs)
+	}
+	for _, name := range names {
+		if !procs[name] {
+			t.Fatalf("no spans from node process %s in %v", name, tree.Procs)
+		}
+	}
+	if tree.Spans != len(spans) {
+		t.Fatalf("assembled %d spans, recorded %d", tree.Spans, len(spans))
+	}
+	if len(byName["node.fit"]) == 0 {
+		t.Fatal("assembled trace carries no node.fit span")
+	}
+
+	// Critical-path attribution must decompose the root span's wall
+	// time: categories sum to the root duration within 5%.
+	cp := tree.CriticalPath()
+	if cp.TotalMS <= 0 {
+		t.Fatalf("critical path total = %v", cp.TotalMS)
+	}
+	rootMS := tree.Root.DurationMS
+	if diff := cp.TotalMS - rootMS; diff < -0.05*rootMS || diff > 0.05*rootMS {
+		t.Fatalf("critical path total %.3fms vs root %.3fms (>5%% apart): %+v", cp.TotalMS, rootMS, cp.ByCategory)
+	}
+	for _, cat := range []string{"plan", "aggregate"} {
+		if cp.ByCategory[cat] < 0 {
+			t.Fatalf("category %s negative: %+v", cat, cp.ByCategory)
 		}
 	}
 

@@ -69,6 +69,15 @@ const (
 	secSummary   byte = 9  // node summary
 	secTrainResp byte = 10 // params, uvarint used, uvarint total, varint ns, uvarint epoch
 	secEvalResp  byte = 11 // f64 mse, uvarint samples, uvarint epoch
+	secSpans     byte = 12 // u8 owner, uvarint count, {str name, varint start_unix_ns, varint dur_ns}*
+)
+
+// Owner byte inside a secSpans section: which typed body the span
+// list belongs to. The encoder always emits secSpans after the owning
+// body's section, so the decoder can attach in one pass.
+const (
+	spanOwnerTrain byte = 0
+	spanOwnerEval  byte = 1
 )
 
 // ErrMalformedFrame reports a v2 body that violates the wire grammar.
@@ -291,7 +300,31 @@ func appendWireResponse(dst []byte, id uint64, resp *response) ([]byte, error) {
 		e.uvarint(resp.Eval.SummaryEpoch)
 		e.endSection(m)
 	}
+	// Piggybacked node-side phase spans ride in their own section so v1
+	// of this codec (which stops at secEvalResp) skips them by length.
+	// They are emitted after the owning body section — attachment during
+	// the decoder's single pass relies on that order.
+	if resp.Train != nil && len(resp.Train.Spans) > 0 {
+		e.spanSection(spanOwnerTrain, resp.Train.Spans)
+	}
+	if resp.Eval != nil && len(resp.Eval.Spans) > 0 {
+		e.spanSection(spanOwnerEval, resp.Eval.Spans)
+	}
 	return finishWireFrame(e.b, hdr)
+}
+
+// spanSection emits one secSpans section carrying a node-span list for
+// the body identified by owner.
+func (e *wireEnc) spanSection(owner byte, spans []federation.NodeSpan) {
+	m := e.beginSection(secSpans)
+	e.u8(owner)
+	e.uvarint(uint64(len(spans)))
+	for _, s := range spans {
+		e.str(s.Name)
+		e.varint(s.StartUnixNS)
+		e.varint(s.DurationNS)
+	}
+	e.endSection(m)
 }
 
 // finishWireFrame patches the 4-byte big-endian length prefix at hdr
@@ -651,6 +684,32 @@ func decodeWireResponse(body []byte) (id uint64, resp response, err error) {
 			ev.Samples = int(p.uvarint())
 			ev.SummaryEpoch = p.uvarint()
 			resp.Eval = ev
+		case secSpans:
+			owner := p.u8()
+			// Minimum 3 bytes per span: empty-name length byte plus one
+			// varint byte each for start and duration.
+			n := p.count(3)
+			if p.err != nil {
+				return id, response{}, p.err
+			}
+			spans := make([]federation.NodeSpan, n)
+			for i := range spans {
+				spans[i].Name = p.str()
+				spans[i].StartUnixNS = p.varint()
+				spans[i].DurationNS = p.varint()
+			}
+			// Attach to the owning body; a spans section arriving before
+			// its body (a peer bug) is dropped rather than erroring.
+			switch owner {
+			case spanOwnerTrain:
+				if resp.Train != nil {
+					resp.Train.Spans = spans
+				}
+			case spanOwnerEval:
+				if resp.Eval != nil {
+					resp.Eval.Spans = spans
+				}
+			}
 		}
 		if p.err != nil {
 			return id, response{}, p.err

@@ -81,8 +81,18 @@ func fullResponse() response {
 			TotalSamples: 1200,
 			TrainTime:    437 * time.Millisecond,
 			SummaryEpoch: 9,
+			Spans: []federation.NodeSpan{
+				{Name: "node.queue", StartUnixNS: 1754464000123000000, DurationNS: 1500},
+				{Name: "node.stage", StartUnixNS: 1754464000123001500, DurationNS: 42000},
+				{Name: "node.fit", StartUnixNS: 1754464000123043500, DurationNS: 437000000},
+			},
 		},
-		Eval: &federation.EvalResponse{MSE: 0.03125, Samples: 640, SummaryEpoch: 9},
+		Eval: &federation.EvalResponse{
+			MSE: 0.03125, Samples: 640, SummaryEpoch: 9,
+			Spans: []federation.NodeSpan{
+				{Name: "node.eval", StartUnixNS: 1754464000999000000, DurationNS: 2750000},
+			},
+		},
 	}
 }
 
@@ -191,6 +201,49 @@ func TestWireV2UnknownSectionSkipped(t *testing.T) {
 	}
 }
 
+// TestWireV2SpanSectionSkippedByLength: the secSpans section is
+// self-delimiting, so a peer that predates it (or postdates it with
+// yet-newer tags) keeps decoding cleanly. Simulated both ways: an
+// unknown future tag appended after the span sections must be skipped,
+// and a frame whose span section is surgically removed must still
+// yield the full typed bodies — exactly what an old decoder sees.
+func TestWireV2SpanSectionSkippedByLength(t *testing.T) {
+	in := fullResponse()
+	frame, err := appendWireResponse(nil, 4, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Future tag after the span sections.
+	body := append(append([]byte{}, frame[4:]...), 213, 2, 0, 0, 0, 0x01, 0x02)
+	_, out, err := decodeWireResponse(body)
+	if err != nil {
+		t.Fatalf("future tag after spans broke decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("payload corrupted around unknown tag:\n in: %+v\nout: %+v", in, out)
+	}
+
+	// Span-free encode of the same response must round-trip to the same
+	// bodies minus spans — the v1-peer view of the world.
+	bare := fullResponse()
+	bare.Train.Spans = nil
+	bare.Eval.Spans = nil
+	bareFrame, err := appendWireResponse(nil, 5, &bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bareFrame) >= len(frame) {
+		t.Fatalf("span sections added no bytes: %d vs %d", len(frame), len(bareFrame))
+	}
+	_, bareOut, err := decodeWireResponse(bareFrame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bareOut.Train.Spans != nil || bareOut.Eval.Spans != nil {
+		t.Fatalf("spans materialized from nothing: %+v", bareOut)
+	}
+}
+
 // TestWireV2MalformedRejected: truncations and forged counts at every
 // prefix length must error out without panicking or over-allocating.
 func TestWireV2MalformedRejected(t *testing.T) {
@@ -287,9 +340,9 @@ func TestWireCodecFieldDriftGuard(t *testing.T) {
 		{reflect.TypeOf(cluster.Summary{}), 3},
 		{reflect.TypeOf(cluster.NodeSummary{}), 4},
 		{reflect.TypeOf(federation.TrainRequest{}), 6},
-		{reflect.TypeOf(federation.TrainResponse{}), 5},
+		{reflect.TypeOf(federation.TrainResponse{}), 6},
 		{reflect.TypeOf(federation.EvalRequest{}), 5},
-		{reflect.TypeOf(federation.EvalResponse{}), 3},
+		{reflect.TypeOf(federation.EvalResponse{}), 4},
 		{reflect.TypeOf(request{}), 7},
 		{reflect.TypeOf(response{}), 9},
 	}
@@ -368,9 +421,12 @@ func TestWireVersionSkew(t *testing.T) {
 
 			// Every pairing must produce the bit-identical training
 			// result: node RNG and data are seeded the same, so only a
-			// codec bug can make the pairings diverge.
+			// codec bug can make the pairings diverge. The request is
+			// traced, so the node must piggyback its phase spans on the
+			// response regardless of codec — secSpans on v2, the JSON
+			// spans field on v1 — with zero decode errors either way.
 			tr, err := client.Train(context.Background(), federation.TrainRequest{
-				Spec: ml.PaperLR(1), LocalEpochs: 10,
+				Spec: ml.PaperLR(1), LocalEpochs: 10, TraceID: "trace-skew",
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -380,16 +436,46 @@ func TestWireVersionSkew(t *testing.T) {
 			} else if !reflect.DeepEqual(baseline.Params, tr.Params) {
 				t.Fatalf("params diverge from first pairing:\n%v\nvs\n%v", baseline.Params, tr.Params)
 			}
+			names := map[string]bool{}
+			for _, s := range tr.Spans {
+				if s.DurationNS < 0 || s.StartUnixNS <= 0 {
+					t.Fatalf("span %+v has impossible timing", s)
+				}
+				names[s.Name] = true
+			}
+			if !names["node.fit"] {
+				t.Fatalf("traced train response lost node spans over proto %d: %+v", tc.wantProto, tr.Spans)
+			}
+
+			// An untraced request must stay span-free on every pairing:
+			// the node only measures phases when asked to.
+			quiet, err := client.Train(context.Background(), federation.TrainRequest{
+				Spec: ml.PaperLR(1), LocalEpochs: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(quiet.Spans) != 0 {
+				t.Fatalf("untraced response carries %d spans", len(quiet.Spans))
+			}
 
 			ev, err := client.Evaluate(context.Background(), federation.EvalRequest{
 				Spec: ml.PaperLR(1), Params: tr.Params,
-				Bounds: &geometry.Rect{Min: []float64{0, -100}, Max: []float64{50, 200}},
+				Bounds:  &geometry.Rect{Min: []float64{0, -100}, Max: []float64{50, 200}},
+				TraceID: "trace-skew",
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if ev.Samples == 0 || ev.SummaryEpoch != 1 {
 				t.Fatalf("eval %+v", ev)
+			}
+			evNames := map[string]bool{}
+			for _, s := range ev.Spans {
+				evNames[s.Name] = true
+			}
+			if !evNames["node.eval"] {
+				t.Fatalf("traced eval response lost node spans over proto %d: %+v", tc.wantProto, ev.Spans)
 			}
 
 			// Structured errors survive both codecs.

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Runs the rolling-window telemetry microbenchmarks
+# (BenchmarkRollingObserve: the per-observation write path every
+# request on the serving hot path pays; BenchmarkRollingStats: the
+# memoized merged read behind /metrics scrapes and /v1/stats) and
+# renders the results as BENCH_telemetry.json at the repo root.
+#
+#   BENCHTIME=100ms sh scripts/bench_telemetry.sh   # CI smoke
+#   sh scripts/bench_telemetry.sh                   # local, default 1s/op
+#
+# The script exits non-zero on any contract regression:
+#   - BenchmarkRollingObserve reports a nonzero allocs/op: the rolling
+#     write path is contractually wait-free and allocation-free.
+#   - BenchmarkRollingStats exceeds 200 ns/op: the memoized read must
+#     stay one atomic load on the common path, not a full ring merge.
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${BENCHTIME:-1s}"
+
+out=$(go test -run '^$' -bench '^BenchmarkRolling(Observe|Stats)$' -benchmem -benchtime "$benchtime" ./internal/telemetry/)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+  BEGIN { printf "[\n"; bad = 0 }
+  $1 ~ /^BenchmarkRolling/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns_op = ""; bytes_op = ""; allocs_op = ""
+    for (i = 3; i <= NF; i++) {
+      if ($i == "ns/op")     ns_op = $(i-1)
+      if ($i == "B/op")      bytes_op = $(i-1)
+      if ($i == "allocs/op") allocs_op = $(i-1)
+    }
+    if (ns_op == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns_op
+    if (bytes_op != "")  printf ", \"bytes_per_op\": %s", bytes_op
+    if (allocs_op != "") printf ", \"allocs_per_op\": %s", allocs_op
+    printf "}"
+    ns[name] = ns_op; allocs[name] = allocs_op
+  }
+  END {
+    printf "\n]\n"
+    ob = "BenchmarkRollingObserve"; st = "BenchmarkRollingStats"
+    if (!(ob in ns) || !(st in ns)) {
+      printf "MISSING CASES: rolling benchmarks did not all run\n" > "/dev/stderr"
+      exit 1
+    }
+    if (allocs[ob] + 0 != 0) {
+      bad = 1
+      printf "ALLOC REGRESSION: %s reports %s allocs/op, want 0\n", ob, allocs[ob] > "/dev/stderr"
+    }
+    if (ns[st] + 0 > 200) {
+      bad = 1
+      printf "READ REGRESSION: %s at %s ns/op exceeds the 200 ns/op budget for the memoized merge\n", \
+        st, ns[st] > "/dev/stderr"
+    }
+    exit bad
+  }
+' > BENCH_telemetry.json
+
+count=$(grep -c '"name"' BENCH_telemetry.json)
+echo "bench_telemetry: wrote BENCH_telemetry.json ($count results, benchtime $benchtime)"

@@ -35,6 +35,47 @@ echo "loadsmoke: running closed-loop load"
 "$BIN/qensload" -url "$URL" -clients 8 -requests 64 -distinct 6 \
     -topl 2 -timeout-ms 30000 -wait 15s
 
+echo "loadsmoke: checking fleet health endpoint"
+fleet_json=$(curl -sf "$URL/v1/fleet")
+case "$fleet_json" in
+    *'"node_id":"node-0"'*) ;;
+    *)
+        echo "loadsmoke: FAIL /v1/fleet missing node-0 entry: $fleet_json" >&2
+        exit 1
+        ;;
+esac
+case "$fleet_json" in
+    *'"score":'*) ;;
+    *)
+        echo "loadsmoke: FAIL /v1/fleet entries carry no health score: $fleet_json" >&2
+        exit 1
+        ;;
+esac
+
+echo "loadsmoke: checking cross-process trace assembly"
+trace_id=$(curl -sf "$URL/v1/traces" \
+    | sed -n 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/p' | head -n 1)
+if [ -z "$trace_id" ]; then
+    echo "loadsmoke: FAIL /v1/traces lists no retained traces" >&2
+    exit 1
+fi
+trace_json=$(curl -sf "$URL/v1/trace/$trace_id")
+case "$trace_json" in
+    *'"critical_path"'*) ;;
+    *)
+        echo "loadsmoke: FAIL /v1/trace/$trace_id has no critical-path report" >&2
+        exit 1
+        ;;
+esac
+case "$trace_json" in
+    *'"name":"node.'*) ;;
+    *)
+        echo "loadsmoke: FAIL assembled trace $trace_id carries no node-side spans" >&2
+        exit 1
+        ;;
+esac
+echo "loadsmoke: trace $trace_id assembled with node spans and critical path"
+
 echo "loadsmoke: draining gateway (SIGTERM)"
 kill -TERM "$GW_PID"
 i=0
