@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-wire bench-telemetry bench-paper clean
+.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-wire bench-telemetry bench-shard bench-paper clean
 
 all: check
 
@@ -70,6 +70,13 @@ bench-wire:
 # exceeds 200ns/op.
 bench-telemetry:
 	sh scripts/bench_telemetry.sh
+
+# Sharded-topology serving benchmark (BenchmarkShardServe, single
+# leader vs 2-region root coordinator over the same fleet) rendered as
+# BENCH_shard.json; fails if the 2-region topology serves less than
+# 1.6x the single-leader throughput.
+bench-shard:
+	sh scripts/bench_shard.sh
 
 # Paper-figure macro benchmarks (Tables I-II, Figures 6-9); these
 # train real fleets and take minutes.

@@ -12,6 +12,12 @@
 //
 //	qens-gateway -addr :8080 -addrs 127.0.0.1:7001,127.0.0.1:7002
 //
+// Sharded topology — the gateway becomes the root coordinator over
+// qens-region daemons, routing each query to the overlapping regions
+// and aggregating cross-region results:
+//
+//	qens-gateway -addr :8080 -region-addrs 127.0.0.1:7101,127.0.0.1:7102
+//
 // Shutdown is graceful: SIGINT/SIGTERM stops admission (503 on new
 // queries), drains in-flight work, then closes the listener and
 // flushes the trace file.
@@ -34,20 +40,22 @@ import (
 	"qens/internal/fleet"
 	"qens/internal/gateway"
 	"qens/internal/ml"
+	"qens/internal/region"
 	"qens/internal/telemetry"
 	"qens/internal/transport"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
-		addrs   = flag.String("addrs", "", "comma-separated qensd daemon addresses (remote fleet; empty runs a simulated fleet)")
-		nodes   = flag.Int("nodes", 6, "simulated fleet size")
-		samples = flag.Int("samples", 500, "samples per simulated node")
-		k       = flag.Int("k", 5, "per-node k-means clusters")
-		epochs  = flag.Int("epochs", 5, "local epochs per supporting cluster")
-		seed    = flag.Uint64("seed", 1, "simulation / leader seed")
-		model   = flag.String("model", "lr", "model family: lr or nn")
+		addr        = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		addrs       = flag.String("addrs", "", "comma-separated qensd daemon addresses (remote fleet; empty runs a simulated fleet)")
+		regionAddrs = flag.String("region-addrs", "", "comma-separated qens-region daemon addresses (sharded topology; mutually exclusive with -addrs)")
+		nodes       = flag.Int("nodes", 6, "simulated fleet size")
+		samples     = flag.Int("samples", 500, "samples per simulated node")
+		k           = flag.Int("k", 5, "per-node k-means clusters")
+		epochs      = flag.Int("epochs", 5, "local epochs per supporting cluster")
+		seed        = flag.Uint64("seed", 1, "simulation / leader seed")
+		model       = flag.String("model", "lr", "model family: lr or nn")
 
 		workers     = flag.Int("workers", 4, "worker pool size (concurrent queries on the fleet)")
 		queueDepth  = flag.Int("queue", 64, "admission queue depth (overflow returns 429)")
@@ -92,39 +100,59 @@ func main() {
 		}()
 	}
 
-	leader, transportStats, wireStatus, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout, *summaryTTL, *wireProto)
-	if err != nil {
-		fatal("%v", err)
-	}
-	defer cleanup()
-
-	if *summaryRefresh > 0 {
-		leader.Registry().StartRefresh(*summaryRefresh)
-		defer leader.Registry().Stop()
-		fmt.Printf("qens-gateway: refreshing fleet summaries every %v\n", *summaryRefresh)
+	if *addrs != "" && *regionAddrs != "" {
+		fatal("-addrs and -region-addrs are mutually exclusive")
 	}
 
-	var cache *federation.ReuseCache
-	if *reuseIoU > 0 {
-		cache, err = federation.NewReuseCache(*reuseIoU, *reuseCap)
-		if err != nil {
-			fatal("%v", err)
-		}
-	}
-
-	gw, err := gateway.NewServer(gateway.ServerConfig{
-		Leader:         leader,
-		Cache:          cache,
+	cfg := gateway.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: *timeout,
 		CoalesceIoU:    *coalesceIoU,
 		DefaultEpsilon: *epsilon,
 		DefaultTopL:    *topL,
-		TransportStats: transportStats,
 		Tracer:         tracer,
-		WireStatus:     wireStatus,
-	})
+	}
+	var fleetSize int
+	if *regionAddrs != "" {
+		router, transportStats, cleanup, err := buildRouter(*regionAddrs, *epochs, *seed, *model, *dialTimeout, *wireProto, *reuseIoU, *reuseCap)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer cleanup()
+		cfg.Router = router
+		cfg.TransportStats = transportStats
+		ids, err := router.NodeIDs(context.Background())
+		if err != nil {
+			fatal("fleet roster: %v", err)
+		}
+		fleetSize = len(ids)
+	} else {
+		leader, transportStats, wireStatus, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout, *summaryTTL, *wireProto)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer cleanup()
+
+		if *summaryRefresh > 0 {
+			leader.Registry().StartRefresh(*summaryRefresh)
+			defer leader.Registry().Stop()
+			fmt.Printf("qens-gateway: refreshing fleet summaries every %v\n", *summaryRefresh)
+		}
+		if *reuseIoU > 0 {
+			cache, err := federation.NewReuseCache(*reuseIoU, *reuseCap)
+			if err != nil {
+				fatal("%v", err)
+			}
+			cfg.Cache = cache
+		}
+		cfg.Leader = leader
+		cfg.TransportStats = transportStats
+		cfg.WireStatus = wireStatus
+		fleetSize = len(leader.NodeIDs())
+	}
+
+	gw, err := gateway.NewServer(cfg)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -136,8 +164,13 @@ func main() {
 	httpSrv := &http.Server{Handler: gw.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = httpSrv.Serve(ln) }() // returns ErrServerClosed on Shutdown
 
-	fmt.Printf("qens-gateway: serving %d nodes on http://%s (POST /v1/query, GET /v1/stats, /metrics)\n",
-		len(leader.NodeIDs()), ln.Addr())
+	if cfg.Router != nil {
+		fmt.Printf("qens-gateway: root over %d regions / %d nodes on http://%s (POST /v1/query, GET /v1/stats, /metrics)\n",
+			len(cfg.Router.Regions()), fleetSize, ln.Addr())
+	} else {
+		fmt.Printf("qens-gateway: serving %d nodes on http://%s (POST /v1/query, GET /v1/stats, /metrics)\n",
+			fleetSize, ln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -154,6 +187,57 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qens-gateway: http shutdown: %v\n", err)
 	}
 	fmt.Println("qens-gateway: stopped")
+}
+
+// buildRouter dials every qens-region daemon and wires the root
+// coordinator over them. Result reuse lives in the router itself
+// (epoch-fenced per region), not in the gateway's single-leader
+// cache, so -reuse-iou/-reuse-cap feed the router config here.
+func buildRouter(regionAddrs string, epochs int, seed uint64, model string, dialTimeout time.Duration, wireProto int, reuseIoU float64, reuseCap int) (*region.Router, func() any, func(), error) {
+	var remotes []*transport.RegionClient
+	var services []region.Service
+	closeAll := func() {
+		for _, rc := range remotes {
+			rc.Close()
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), dialTimeout)
+	defer cancel()
+	for _, a := range strings.Split(regionAddrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		rc, err := transport.DialRegion(ctx, a, transport.DialOptions{Timeout: dialTimeout, MaxProto: wireProto})
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, err
+		}
+		fmt.Printf("qens-gateway: connected to %s (%s, wire v%d)\n", rc.ID(), a, rc.Client().Proto())
+		remotes = append(remotes, rc)
+		services = append(services, rc)
+	}
+	router, err := region.NewRouter(region.Config{
+		Spec: specFor(model, 1), LocalEpochs: epochs, Seed: seed,
+		ReuseIoU: reuseIoU, ReuseCap: reuseCap,
+	}, services)
+	if err != nil {
+		closeAll()
+		return nil, nil, nil, err
+	}
+	stats := func() any {
+		out := make([]fleet.WireStatus, 0, len(remotes))
+		for _, rc := range remotes {
+			c := rc.Client()
+			sent, recv := c.BytesMoved()
+			out = append(out, fleet.WireStatus{
+				NodeID: c.ID(), Addr: c.Addr(), Proto: c.Proto(),
+				InflightRPCs: c.InflightRPCs(), BytesOut: sent, BytesIn: recv,
+			})
+		}
+		return out
+	}
+	return router, stats, closeAll, nil
 }
 
 // buildLeader wires either a simulated in-process fleet or a roster of

@@ -134,6 +134,26 @@ func main() {
 			fmt.Printf("server   last %.0fs: n=%d p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
 				w.WindowS, w.Count, w.P50MS, w.P95MS, w.P99MS, w.MaxMS)
 		}
+		// Against a sharded topology, show how the root distributed the
+		// workload's rectangles across regions: "routed" counts each
+		// region's participation in fanned-out queries, so the sum
+		// exceeds the query count whenever rectangles span shards.
+		if rt := doc.Router; rt != nil && len(rt.Regions) > 0 {
+			fmt.Printf("routing  %d queries, %d spanning fan-outs, %d no-route rejects\n",
+				rt.Queries, rt.Spanning, rt.NoRoute)
+			var fanouts int64
+			for _, reg := range rt.Regions {
+				fanouts += reg.Routed
+			}
+			for _, reg := range rt.Regions {
+				share := 0.0
+				if fanouts > 0 {
+					share = 100 * float64(reg.Routed) / float64(fanouts)
+				}
+				fmt.Printf("routing  %-12s %d nodes  routed=%d (%.1f%% of fan-outs)\n",
+					reg.RegionID, reg.Nodes, reg.Routed, share)
+			}
+		}
 	}
 	if failed.Load() > 0 {
 		os.Exit(1)
@@ -174,6 +194,16 @@ type statsDoc struct {
 	Reuse *struct {
 		Hits int `json:"hits"`
 	} `json:"reuse_cache"`
+	Router *struct {
+		Queries  int64 `json:"queries"`
+		Spanning int64 `json:"spanning_fanouts"`
+		NoRoute  int64 `json:"no_route_rejects"`
+		Regions  []struct {
+			RegionID string `json:"region_id"`
+			Nodes    int    `json:"nodes"`
+			Routed   int64  `json:"routed"`
+		} `json:"regions"`
+	} `json:"router"`
 	Latency struct {
 		Window struct {
 			WindowS float64 `json:"window_s"`

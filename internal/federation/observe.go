@@ -110,6 +110,16 @@ func startTrainSpan(parent *telemetry.SpanHandle, nodeID string, round int) *tel
 // the complete cross-process tree for telemetry.AssembleTrace. No-op
 // when tracing is off or the response carried no spans.
 func recordNodeSpans(t *telemetry.Tracer, rpc *telemetry.SpanHandle, nodeID string, spans []NodeSpan) {
+	RecordRemoteSpans(t, rpc, nodeID, spans)
+}
+
+// RecordRemoteSpans re-parents phase spans reported by a remote process
+// (a node, or a regional leader in the hierarchical topology) under the
+// local RPC span that solicited them, stamping proc as the span's
+// owning process. The root coordinator uses this to fold regional and
+// node spans piggybacked on region RPCs into one cross-process trace
+// tree. No-op when tracing is off or the response carried no spans.
+func RecordRemoteSpans(t *telemetry.Tracer, rpc *telemetry.SpanHandle, proc string, spans []NodeSpan) {
 	if t == nil || rpc == nil || len(spans) == 0 {
 		return
 	}
@@ -120,7 +130,7 @@ func recordNodeSpans(t *telemetry.Tracer, rpc *telemetry.SpanHandle, nodeID stri
 			Name:     s.Name,
 			Start:    s.Start(),
 			End:      s.End(),
-			Attrs:    map[string]string{"node": nodeID, "proc": nodeID},
+			Attrs:    map[string]string{"node": proc, "proc": proc},
 		})
 	}
 }

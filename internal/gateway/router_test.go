@@ -1,0 +1,216 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"qens/internal/cluster"
+	"qens/internal/federation"
+	"qens/internal/ml"
+	"qens/internal/region"
+	"qens/internal/rng"
+	"qens/internal/telemetry"
+)
+
+// routerFixture builds a 4-node fleet split into two spatial shards
+// under a root region router. The left shard covers x∈[0,22], the
+// right x∈[40,62]; data follows y = 2x+1, so a query disjoint from the
+// fleet in both dimensions is a genuine no-candidates miss.
+func routerFixture(t *testing.T) *region.Router {
+	t.Helper()
+	slabs := [][2]float64{{0, 10}, {12, 22}, {40, 50}, {52, 62}}
+	cfg := federation.Config{Spec: ml.PaperLR(1), ClusterK: 3, LocalEpochs: 2, Seed: 42}
+	summaries := make([]cluster.NodeSummary, len(slabs))
+	nodes := make([]*federation.Node, len(slabs))
+	rosterIndex := make(map[string]int, len(slabs))
+	for i, s := range slabs {
+		n, err := federation.NewNode(fmt.Sprintf("node-%d", i),
+			lineDataset(150, 2, 1, s[0], s[1], 10+uint64(i)), 3, rng.New(1000+uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		summaries[i] = n.Summary()
+		rosterIndex[n.ID()] = i
+	}
+	shards, err := region.Partition(summaries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	services := make([]region.Service, 0, len(shards))
+	for r, shard := range shards {
+		clients := make([]federation.Client, 0, len(shard))
+		for _, idx := range shard {
+			clients = append(clients, federation.LocalClient{Node: nodes[idx]})
+		}
+		fed, err := federation.NewLeader(cfg, nil, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lead, err := region.NewLeader(fmt.Sprintf("region-%d", r), fed, rosterIndex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		services = append(services, lead)
+	}
+	router, err := region.NewRouter(region.Config{
+		Spec: cfg.Spec, LocalEpochs: cfg.LocalEpochs, Seed: cfg.Seed,
+	}, services)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return router
+}
+
+func getJSONDoc(t *testing.T, url string) map[string]any {
+	t.Helper()
+	var doc map[string]any
+	if code := getJSON(t, url, &doc); code != http.StatusOK {
+		t.Fatalf("GET %s: %d: %v", url, code, doc)
+	}
+	return doc
+}
+
+// TestRouterModeEndToEnd drives the full HTTP surface against a
+// sharded topology: query execution, EXPLAIN, per-region stats and the
+// per-region fleet report.
+func TestRouterModeEndToEnd(t *testing.T) {
+	_, ts := newGatewayServer(t, ServerConfig{
+		Router: routerFixture(t), Workers: 2, QueueDepth: 8,
+	})
+
+	// A left-band query (x and y windows both over the left shard).
+	code, doc, _, err := doPost(ts.URL,
+		`{"id":"left","bounds":{"min":[1,-500],"max":[20,75]},"selector":"query-driven","epsilon":1e-9,"top_l":2}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("left query: %d: %v", code, doc)
+	}
+	parts, _ := doc["participants"].([]any)
+	if len(parts) == 0 {
+		t.Fatalf("left query selected no participants: %v", doc)
+	}
+
+	// EXPLAIN reports the cross-region merged ranking and the regions.
+	resp, err := http.Post(ts.URL+"/v1/plan", "application/json",
+		strings.NewReader(`{"bounds":{"min":[1,-500],"max":[60,500]},"selector":"query-driven","epsilon":1e-9,"top_l":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: %d: %s", resp.StatusCode, raw)
+	}
+	var plan map[string]any
+	if err := json.Unmarshal(raw, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if regions, _ := plan["regions"].([]any); len(regions) != 2 {
+		t.Fatalf("plan regions = %v, want 2 entries", plan["regions"])
+	}
+	if ranks, _ := plan["rankings"].([]any); len(ranks) != 4 {
+		t.Fatalf("plan rankings = %d rows, want full fleet (4)", len(plan["rankings"].([]any)))
+	}
+
+	// /v1/stats carries the router block with per-region membership,
+	// epochs and routing counts.
+	stats := getJSONDoc(t, ts.URL+"/v1/stats")
+	router, ok := stats["router"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats has no router block: %v", stats)
+	}
+	regions, _ := router["regions"].([]any)
+	if len(regions) != 2 {
+		t.Fatalf("router stats regions = %v, want 2", router["regions"])
+	}
+	var routedTotal float64
+	for _, r := range regions {
+		reg := r.(map[string]any)
+		if reg["region_id"] == "" || reg["nodes"].(float64) != 2 || reg["epoch"].(float64) == 0 {
+			t.Fatalf("region stat incomplete: %v", reg)
+		}
+		routedTotal += reg["routed"].(float64)
+	}
+	if routedTotal == 0 {
+		t.Fatal("no routed queries recorded in region stats")
+	}
+	if nodes, _ := stats["nodes"].([]any); len(nodes) != 4 {
+		t.Fatalf("stats nodes = %v, want the 4-node global roster", stats["nodes"])
+	}
+	if stats["space"] == nil {
+		t.Fatal("stats missing the global space rect")
+	}
+
+	// /v1/fleet reports per-region health blocks.
+	fleetDoc := getJSONDoc(t, ts.URL+"/v1/fleet")
+	fleetRegions, _ := fleetDoc["regions"].([]any)
+	if len(fleetRegions) != 2 {
+		t.Fatalf("fleet regions = %v, want 2", fleetDoc["regions"])
+	}
+	for _, r := range fleetRegions {
+		reg := r.(map[string]any)
+		if ids, _ := reg["node_ids"].([]any); len(ids) != 2 {
+			t.Fatalf("fleet region %v: want 2 node ids", reg)
+		}
+		if reg["registry_epoch"].(float64) == 0 {
+			t.Fatalf("fleet region %v: unresolved registry epoch", reg)
+		}
+	}
+	if nodes, _ := fleetDoc["nodes"].([]any); len(nodes) != 4 {
+		t.Fatalf("fleet nodes = %d entries, want 4", len(fleetDoc["nodes"].([]any)))
+	}
+}
+
+// TestRouterModeZeroOverlapRejected422: a query rectangle disjoint
+// from every region in every dimension is a property of the query, not
+// a server fault — the gateway rejects it with the no-candidates
+// taxonomy (422) at admission, before it can occupy a queue slot.
+func TestRouterModeZeroOverlapRejected422(t *testing.T) {
+	_, ts := newGatewayServer(t, ServerConfig{
+		Router: routerFixture(t), Workers: 1, QueueDepth: 2,
+	})
+	code, doc, _, err := doPost(ts.URL,
+		`{"id":"miss","bounds":{"min":[500,2000],"max":[600,3000]},"selector":"query-driven","epsilon":1e-9,"top_l":2}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("zero-overlap query: status %d (%v), want 422", code, doc)
+	}
+	msg, _ := doc["error"].(string)
+	if !strings.Contains(msg, "no node supports the query") {
+		t.Fatalf("zero-overlap query error %q lacks the no-candidates taxonomy", msg)
+	}
+}
+
+// TestRouterModeConfigValidation: the topology backends are mutually
+// exclusive and the single-leader cache cannot front a router.
+func TestRouterModeConfigValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Fatal("no backend accepted")
+	}
+	router := routerFixture(t)
+	fleet := testFleet(t)
+	if _, err := NewServer(ServerConfig{Leader: fleet.Leader, Router: router}); err == nil {
+		t.Fatal("both backends accepted")
+	}
+	cache, err := federation.NewReuseCache(0.9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(ServerConfig{Router: router, Cache: cache}); err == nil {
+		t.Fatal("router + leader cache accepted")
+	}
+	srv, err := NewServer(ServerConfig{Router: router, Workers: 1, QueueDepth: 1, Registry: &telemetry.Registry{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+}

@@ -16,6 +16,7 @@ import (
 	"qens/internal/geometry"
 	"qens/internal/plan"
 	"qens/internal/query"
+	"qens/internal/region"
 	"qens/internal/registry"
 	"qens/internal/selection"
 	"qens/internal/telemetry"
@@ -23,9 +24,17 @@ import (
 
 // ServerConfig parameterizes the HTTP serving layer.
 type ServerConfig struct {
-	// Leader executes queries. Required.
+	// Leader executes queries against a single-leader fleet. Exactly
+	// one of Leader and Router must be set.
 	Leader *federation.Leader
-	// Cache, when non-nil, fronts the leader with result reuse.
+	// Router executes queries against a spatially sharded multi-leader
+	// topology (see internal/region): every endpoint — submit, plan,
+	// stats, fleet — routes through the root coordinator instead of a
+	// single leader. Exactly one of Leader and Router must be set.
+	Router *region.Router
+	// Cache, when non-nil, fronts the leader with result reuse. Only
+	// valid with Leader: the router carries its own epoch-fenced reuse
+	// cache (region.Config.ReuseIoU).
 	Cache *federation.ReuseCache
 
 	// Workers, QueueDepth, DefaultTimeout and CoalesceIoU configure
@@ -111,29 +120,41 @@ type Server struct {
 	statefulSels map[string]selection.Selector
 }
 
-// NewServer builds a gateway server (and its scheduler) over a leader.
+// NewServer builds a gateway server (and its scheduler) over a leader
+// or a region router.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Leader == nil {
-		return nil, errors.New("gateway: server needs a leader")
+	if (cfg.Leader == nil) == (cfg.Router == nil) {
+		return nil, errors.New("gateway: server needs exactly one of Leader and Router")
+	}
+	if cfg.Router != nil && cfg.Cache != nil {
+		return nil, errors.New("gateway: Cache is a single-leader option; the router has its own reuse cache")
 	}
 	coalesce := cfg.CoalesceIoU
 	if coalesce < 0 {
 		coalesce = 0 // explicit opt-out
+	}
+	var exec Executor = cfg.Router
+	if cfg.Leader != nil {
+		exec = LeaderExecutor{Leader: cfg.Leader, Cache: cfg.Cache}
 	}
 	sched, err := NewScheduler(Config{
 		Workers:        cfg.Workers,
 		QueueDepth:     cfg.QueueDepth,
 		DefaultTimeout: cfg.DefaultTimeout,
 		CoalesceIoU:    coalesce,
-		Executor:       LeaderExecutor{Leader: cfg.Leader, Cache: cfg.Cache},
+		Executor:       exec,
 		Registry:       cfg.Registry,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Tracer != nil {
-		cfg.Leader.SetTracer(cfg.Tracer)
+		if cfg.Leader != nil {
+			cfg.Leader.SetTracer(cfg.Tracer)
+		} else {
+			cfg.Router.SetTracer(cfg.Tracer)
+		}
 	}
 	s := &Server{
 		cfg:          cfg,
@@ -175,12 +196,32 @@ func (s *Server) Close() { s.sched.Close() }
 // health feeds the /healthz document.
 func (s *Server) health() map[string]any {
 	st := s.sched.SchedStats()
-	return map[string]any{
+	doc := map[string]any{
 		"draining":    st.Draining,
 		"queue_depth": st.QueueDepth,
 		"inflight":    st.InFlight,
-		"nodes":       len(s.cfg.Leader.NodeIDs()),
 	}
+	if s.cfg.Leader != nil {
+		doc["nodes"] = len(s.cfg.Leader.NodeIDs())
+	} else {
+		nodes, _ := s.cfg.Router.NodeIDs(context.Background())
+		doc["nodes"] = len(nodes)
+		doc["regions"] = len(s.cfg.Router.Regions())
+	}
+	return doc
+}
+
+// nodeIDs resolves the global roster from whichever topology backs the
+// gateway.
+func (s *Server) nodeIDs(ctx context.Context) []string {
+	if s.cfg.Leader != nil {
+		return s.cfg.Leader.NodeIDs()
+	}
+	ids, err := s.cfg.Router.NodeIDs(ctx)
+	if err != nil {
+		return nil
+	}
+	return ids
 }
 
 // queryRequest is the POST /v1/query body.
@@ -335,6 +376,16 @@ func (s *Server) planAheadKey(ctx context.Context, q query.Query, sel selection.
 	case selection.QueryDriven, selection.AllNodes:
 	default:
 		return "", nil
+	}
+	if s.cfg.Router != nil {
+		key, err := s.cfg.Router.PlanKey(ctx, q, sel)
+		if err != nil {
+			if errors.Is(err, selection.ErrNoCandidates) {
+				return "", err
+			}
+			return "", nil
+		}
+		return key, nil
 	}
 	pl, err := s.cfg.Leader.PlanContext(ctx, q, sel)
 	if err != nil {
@@ -557,12 +608,16 @@ func buildResponse(id string, out *Outcome, includeParams bool) queryResponse {
 // leader would execute for the query, plus the full per-node ranking
 // behind it, produced without a single training RPC.
 type planResponse struct {
-	ID           string            `json:"id"`
-	Epoch        uint64            `json:"epoch"`
-	Selector     string            `json:"selector"`
-	Epsilon      float64           `json:"epsilon"`
-	Key          string            `json:"key"`
-	Candidates   int               `json:"candidates"`
+	ID         string  `json:"id"`
+	Epoch      uint64  `json:"epoch"`
+	Selector   string  `json:"selector"`
+	Epsilon    float64 `json:"epsilon"`
+	Key        string  `json:"key,omitempty"`
+	Candidates int     `json:"candidates"`
+	// Regions lists the sharded topology's regions (router mode only);
+	// Epoch is then the routing-topology generation, not a registry
+	// epoch.
+	Regions      []string          `json:"regions,omitempty"`
 	Participants []participantJSON `json:"participants"`
 	Rankings     []rankJSON        `json:"rankings,omitempty"`
 }
@@ -608,21 +663,64 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "selector %q is stateful; planning it would advance its state", sel.Name())
 		return
 	}
+	if s.cfg.Router != nil {
+		ex, err := s.cfg.Router.ExplainQuery(r.Context(), q, sel)
+		if err != nil {
+			writePlanError(w, id, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, buildExplainResponse(id, sel.Name(), ex))
+		return
+	}
 	pl, err := s.cfg.Leader.PlanContext(r.Context(), q, sel)
 	if err != nil {
-		switch {
-		case errors.Is(err, selection.ErrNoCandidates):
-			writeError(w, http.StatusUnprocessableEntity, "query %s: %v", id, err)
-		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-			writeError(w, http.StatusGatewayTimeout, "query %s: %v", id, err)
-		default:
-			writeError(w, http.StatusBadGateway, "query %s: %v", id, err)
-		}
+		writePlanError(w, id, err)
 		return
 	}
 	resp := buildPlanResponse(id, pl)
 	pl.Release()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func writePlanError(w http.ResponseWriter, id string, err error) {
+	switch {
+	case errors.Is(err, selection.ErrNoCandidates):
+		writeError(w, http.StatusUnprocessableEntity, "query %s: %v", id, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, "query %s: %v", id, err)
+	default:
+		writeError(w, http.StatusBadGateway, "query %s: %v", id, err)
+	}
+}
+
+// buildExplainResponse shapes a router-mode EXPLAIN: the cross-region
+// merged ranking over the whole fleet (routing pruning does not apply
+// to EXPLAIN) and the participants the policy would select.
+func buildExplainResponse(id, selector string, ex *region.Explain) planResponse {
+	resp := planResponse{
+		ID:         id,
+		Epoch:      ex.Generation,
+		Selector:   selector,
+		Epsilon:    ex.Epsilon,
+		Candidates: len(ex.Rankings),
+		Regions:    ex.Regions,
+	}
+	for _, p := range ex.Participants {
+		resp.Participants = append(resp.Participants, participantJSON{
+			NodeID: p.NodeID, Rank: p.Rank, Clusters: append([]int(nil), p.Clusters...),
+		})
+	}
+	for _, nr := range ex.Rankings {
+		resp.Rankings = append(resp.Rankings, rankJSON{
+			NodeID:            nr.NodeID,
+			Rank:              nr.Rank,
+			Potential:         nr.Potential,
+			Supporting:        append([]int(nil), nr.Supporting...),
+			SupportingSamples: nr.SupportingSamples,
+			TotalSamples:      nr.TotalSamples,
+		})
+	}
+	return resp
 }
 
 // buildPlanResponse shapes a plan for the wire. Every slice is deep-
@@ -696,10 +794,14 @@ type statsResponse struct {
 		// Scheduler.LatencyWindow) next to the cumulative numbers.
 		Window windowJSON `json:"window"`
 	} `json:"latency"`
-	Nodes     []string        `json:"nodes"`
-	Space     *geometry.Rect  `json:"space,omitempty"`
-	Registry  *registry.Stats `json:"registry,omitempty"`
-	Transport any             `json:"transport,omitempty"`
+	Nodes    []string        `json:"nodes"`
+	Space    *geometry.Rect  `json:"space,omitempty"`
+	Registry *registry.Stats `json:"registry,omitempty"`
+	// Router carries the sharded topology's routing view — per-region
+	// shard membership, routed-query counts and epochs (router mode
+	// only).
+	Router    *region.RouterStats `json:"router,omitempty"`
+	Transport any                 `json:"transport,omitempty"`
 }
 
 // handleStats serves GET /v1/stats: scheduler counters, reuse-cache
@@ -709,7 +811,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp statsResponse
 	resp.UptimeS = time.Since(s.start).Seconds()
 	resp.Scheduler = s.sched.SchedStats()
-	resp.Nodes = s.cfg.Leader.NodeIDs()
+	resp.Nodes = s.nodeIDs(r.Context())
 	if s.cfg.Cache != nil {
 		hits, misses := s.cfg.Cache.Stats()
 		resp.Reuse = &struct {
@@ -740,9 +842,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if space, err := s.space(r.Context()); err == nil {
 		resp.Space = &space
 	}
-	if reg := s.cfg.Leader.Registry(); reg != nil {
-		st := reg.Stats()
-		resp.Registry = &st
+	if s.cfg.Leader != nil {
+		if reg := s.cfg.Leader.Registry(); reg != nil {
+			st := reg.Stats()
+			resp.Registry = &st
+		}
+	} else if rs, err := s.cfg.Router.Stats(r.Context()); err == nil {
+		resp.Router = &rs
 	}
 	if s.cfg.TransportStats != nil {
 		resp.Transport = s.cfg.TransportStats()
@@ -753,6 +859,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // space computes the union of every advertised cluster rectangle — the
 // global data space queries are drawn over.
 func (s *Server) space(ctx context.Context) (geometry.Rect, error) {
+	if s.cfg.Router != nil {
+		return s.cfg.Router.Space(ctx)
+	}
 	summaries, err := s.cfg.Leader.SummariesContext(ctx)
 	if err != nil {
 		return geometry.Rect{}, err
@@ -852,16 +961,34 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 type fleetResponse struct {
 	Nodes []fleet.NodeHealth `json:"nodes"`
 	// RegistryEpoch/RegistryStale mirror the summary registry's state
-	// at report time.
+	// at report time (single-leader mode).
 	RegistryEpoch uint64 `json:"registry_epoch"`
 	RegistryStale bool   `json:"registry_stale"`
+	// Regions carries per-region shard membership and health in router
+	// mode; Nodes is then the concatenation across regions.
+	Regions []regionFleetJSON `json:"regions,omitempty"`
+}
+
+// regionFleetJSON is one region's block in a router-mode /v1/fleet.
+type regionFleetJSON struct {
+	RegionID      string             `json:"region_id"`
+	Nodes         []fleet.NodeHealth `json:"nodes"`
+	NodeIDs       []string           `json:"node_ids"`
+	RegistryEpoch uint64             `json:"registry_epoch"`
+	RegistryStale bool               `json:"registry_stale"`
+	TotalSamples  int                `json:"total_samples"`
 }
 
 // handleFleet serves GET /v1/fleet: per-node health scores from the
 // leader's round observations, merged with summary-epoch staleness
 // from the registry and (for remote fleets) wire-level transport
-// state.
+// state. In router mode the report is assembled per region from each
+// regional leader's own registry and health tracker.
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Router != nil {
+		s.handleRegionFleet(w, r)
+		return
+	}
 	var resp fleetResponse
 	meta := map[string]fleet.Meta{}
 	// Seed the roster so nodes that never answered a round still
@@ -894,6 +1021,33 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Nodes = s.cfg.Leader.Health().Report(meta)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRegionFleet assembles the router-mode /v1/fleet document from
+// every region's Stats report.
+func (s *Server) handleRegionFleet(w http.ResponseWriter, r *http.Request) {
+	reports, err := s.cfg.Router.FleetReport(r.Context())
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "fleet report: %v", err)
+		return
+	}
+	var resp fleetResponse
+	for _, rep := range reports {
+		ids := make([]string, 0, len(rep.Info.Nodes))
+		for _, n := range rep.Info.Nodes {
+			ids = append(ids, n.NodeID)
+		}
+		resp.Regions = append(resp.Regions, regionFleetJSON{
+			RegionID:      rep.Info.RegionID,
+			Nodes:         rep.Health,
+			NodeIDs:       ids,
+			RegistryEpoch: rep.Registry.Epoch,
+			RegistryStale: rep.Registry.Stale,
+			TotalSamples:  rep.Info.TotalSamples,
+		})
+		resp.Nodes = append(resp.Nodes, rep.Health...)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -34,11 +34,13 @@ import (
 	"qens/internal/selection"
 )
 
-// defaultEpsilon is the permissive support threshold used to rank for
+// DefaultEpsilon is the permissive support threshold used to rank for
 // selectors that carry no intrinsic ε (Random, AllNodes, Fairness, …):
 // any overlap counts, so EXPLAIN output still shows which clusters
-// touch the query even when the mechanism ignores the ranking.
-const defaultEpsilon = 1e-9
+// touch the query even when the mechanism ignores the ranking. The
+// region tier's root coordinator uses the same value so merged
+// cross-region rankings match single-leader plans bit-for-bit.
+const DefaultEpsilon = 1e-9
 
 // Plan is one immutable planning outcome. All exported slices are
 // either arena-backed (query-driven fast path) or selector-owned;
@@ -182,7 +184,7 @@ func (p *Planner) PlanOn(snap *registry.Snapshot, q query.Query, sel selection.S
 		return p.planQueryDriven(snap, q, s)
 	}
 
-	eps := defaultEpsilon
+	eps := DefaultEpsilon
 	if ec, ok := sel.(selection.EpsilonCarrier); ok {
 		if e := ec.SupportEpsilon(); e > 0 {
 			eps = e
@@ -207,6 +209,47 @@ func (p *Planner) PlanOn(snap *registry.Snapshot, q query.Query, sel selection.S
 	}
 	pl.Participants = parts
 	return pl, nil
+}
+
+// Rank resolves a fresh-enough snapshot and computes the full Eq. 2–4
+// ranking at the given ε without applying any selection policy. The
+// returned rows own their memory (safe to retain, mutate or serialize
+// after the call) and come with the snapshot epoch they derive from.
+// This is the region-tier entry point: a regional leader ranks its own
+// shard and ships the rows to the root coordinator, which merges them
+// into a global candidate set — running the exact arena kernel the
+// single-leader path uses keeps the cross-tier arithmetic bit-identical.
+func (p *Planner) Rank(ctx context.Context, q query.Query, epsilon float64) ([]selection.NodeRank, uint64, error) {
+	snap, err := p.reg.Snapshot(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p.RankOn(snap, q, epsilon)
+}
+
+// RankOn is Rank against an explicit snapshot.
+func (p *Planner) RankOn(snap *registry.Snapshot, q query.Query, epsilon float64) ([]selection.NodeRank, uint64, error) {
+	if snap == nil {
+		return nil, 0, fmt.Errorf("plan: nil snapshot")
+	}
+	pl, err := p.rank(snap, q, epsilon, "")
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]selection.NodeRank, len(pl.Rankings))
+	for i, r := range pl.Rankings {
+		out[i] = r
+		// Overlaps and Supporting are arena sub-slices that die with
+		// Release; Sizes points into the immutable snapshot and is safe
+		// to retain as-is.
+		out[i].Overlaps = append([]float64(nil), r.Overlaps...)
+		if r.Supporting != nil {
+			out[i].Supporting = append([]int(nil), r.Supporting...)
+		}
+	}
+	epoch := pl.Epoch
+	pl.Release()
+	return out, epoch, nil
 }
 
 // planQueryDriven is the allocation-free Eq. 2–4 pipeline.

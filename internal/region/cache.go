@@ -1,0 +1,132 @@
+package region
+
+import (
+	"fmt"
+	"sync"
+
+	"qens/internal/federation"
+	"qens/internal/geometry"
+	"qens/internal/query"
+)
+
+// epochPair records which member epoch one cached result (or plan)
+// derives from. An entry is valid only while every member it routed
+// through still reports the epoch it was built against — so a node
+// requantizing inside one shard invalidates exactly the entries that
+// touched that region, and nothing else.
+type epochPair struct {
+	member int
+	epoch  uint64
+}
+
+// ReuseStats counts root-side reuse cache activity.
+type ReuseStats struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Fenced       int64 `json:"fenced"`
+	Evictions    int64 `json:"evictions"`
+	Size         int   `json:"size"`
+	ThresholdPct int   `json:"threshold_pct"`
+}
+
+type reuseEntry struct {
+	bounds   geometry.Rect
+	selector string
+	agg      string
+	basis    []epochPair
+	res      *federation.Result
+}
+
+// reuseCache is the root coordinator's result reuse cache: a bounded
+// scan list matched by IoU over query rectangles, fenced by per-region
+// epoch basis. It mirrors the gateway's single-leader reuse semantics
+// but validates against the sharded topology's per-region epochs
+// instead of one registry epoch.
+type reuseCache struct {
+	mu        sync.Mutex
+	entries   []*reuseEntry // most recent last
+	threshold float64
+	cap       int
+
+	hits      int64
+	misses    int64
+	fenced    int64
+	evictions int64
+}
+
+func newReuseCache(threshold float64, capacity int) (*reuseCache, error) {
+	if threshold <= 0 || threshold > 1 {
+		return nil, fmt.Errorf("region: reuse IoU threshold %v outside (0,1]", threshold)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("region: reuse cache capacity %d < 1", capacity)
+	}
+	return &reuseCache{threshold: threshold, cap: capacity}, nil
+}
+
+// lookup returns a cached result whose query rectangle matches q at or
+// above the IoU threshold with an intact epoch basis. Entries whose
+// basis drifted are dropped eagerly (fenced), whether or not they
+// matched the probe.
+func (c *reuseCache) lookup(q query.Query, selector, agg string, epochOf func(int) uint64) *federation.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var hit *federation.Result
+	kept := c.entries[:0]
+	for _, e := range c.entries {
+		valid := true
+		for _, p := range e.basis {
+			if epochOf(p.member) != p.epoch {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			c.fenced++
+			continue
+		}
+		kept = append(kept, e)
+		if hit == nil && e.selector == selector && e.agg == agg &&
+			e.bounds.Dims() == q.Bounds.Dims() && geometry.IoU(e.bounds, q.Bounds) >= c.threshold {
+			hit = e.res
+		}
+	}
+	c.entries = kept
+	if hit != nil {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return hit
+}
+
+// store records a freshly executed result with its epoch basis.
+func (c *reuseCache) store(q query.Query, selector, agg string, res *federation.Result, basis []epochPair) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) >= c.cap {
+		n := copy(c.entries, c.entries[1:])
+		c.entries = c.entries[:n]
+		c.evictions++
+	}
+	c.entries = append(c.entries, &reuseEntry{
+		bounds:   q.Bounds.Clone(),
+		selector: selector,
+		agg:      agg,
+		basis:    append([]epochPair(nil), basis...),
+		res:      res,
+	})
+}
+
+func (c *reuseCache) stats() ReuseStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ReuseStats{
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Fenced:       c.fenced,
+		Evictions:    c.evictions,
+		Size:         len(c.entries),
+		ThresholdPct: int(c.threshold * 100),
+	}
+}

@@ -77,6 +77,16 @@ type Snapshot struct {
 	TotalClusters int
 	// TotalSamples is the fleet-wide Σ|D_i|.
 	TotalSamples int
+	// NodeBounds holds each node's covering rectangle (the union of
+	// its advertised cluster bounds), index-aligned with Nodes.
+	NodeBounds []geometry.Rect
+	// Index is an immutable R-tree over NodeBounds, built once per
+	// refresh; entry IDs are roster indices into Nodes. Region routing
+	// and planner pruning probe it to skip nodes whose advertised
+	// space cannot intersect a query rectangle. Like every other
+	// snapshot field it dies with the epoch: a refresh publishes a
+	// freshly built index.
+	Index *geometry.RTree
 
 	epochByNode map[string]uint64
 }
@@ -345,15 +355,29 @@ func buildSnapshot(summaries []cluster.NodeSummary) (*Snapshot, error) {
 			SummaryEpoch: s.Epoch,
 		}
 		rects := make([]geometry.Rect, len(s.Clusters))
+		bound := s.Clusters[0].Bounds.Clone()
 		for i, c := range s.Clusters {
 			rects[i] = c.Bounds
 			g.Sizes = append(g.Sizes, c.Size)
+			if i > 0 {
+				bound = bound.Union(c.Bounds)
+			}
 		}
 		g.Mins, g.Maxs = geometry.FlattenRects(g.Mins, g.Maxs, rects)
 		snap.Nodes = append(snap.Nodes, g)
+		snap.NodeBounds = append(snap.NodeBounds, bound)
 		snap.TotalClusters += len(s.Clusters)
 		snap.TotalSamples += s.TotalSamples
 		snap.epochByNode[s.NodeID] = s.Epoch
 	}
+	entries := make([]geometry.Entry, len(snap.NodeBounds))
+	for i, b := range snap.NodeBounds {
+		entries[i] = geometry.Entry{Rect: b, ID: i}
+	}
+	index, err := geometry.BuildRTree(entries, 0)
+	if err != nil {
+		return nil, fmt.Errorf("registry: node index: %w", err)
+	}
+	snap.Index = index
 	return snap, nil
 }

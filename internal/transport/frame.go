@@ -105,12 +105,18 @@ func readFrame(r io.Reader, v any) error {
 	return nil
 }
 
-// Message types.
+// Message types. The region.* family is served only by regional-leader
+// daemons (ServeRegion); a participant daemon answers them with
+// CodeUnknownType, which DialRegion surfaces as a topology mismatch.
 const (
-	typePing     = "ping"
-	typeSummary  = "summary"
-	typeTrain    = "train"
-	typeEvaluate = "evaluate"
+	typePing        = "ping"
+	typeSummary     = "summary"
+	typeTrain       = "train"
+	typeEvaluate    = "evaluate"
+	typeRegionInfo  = "region.info"
+	typeRegionPlan  = "region.plan"
+	typeRegionTrain = "region.train"
+	typeRegionStats = "region.stats"
 )
 
 // Structured error codes carried in the response envelope so clients

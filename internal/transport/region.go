@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qens/internal/region"
+)
+
+// Region-tier RPCs: the root coordinator's handle on a remote regional
+// leader (a ServeRegion daemon). They ride the same negotiated
+// connection as the node family — multiplexed and pipelined on v2,
+// serialized on v1 — so a root fanning one query out to N regions
+// overlaps their plan and train rounds on one socket each.
+
+// RegionInfo fetches the region's membership and covering rectangle.
+func (c *Client) RegionInfo(ctx context.Context) (region.Info, error) {
+	resp, err := c.roundTrip(ctx, request{Type: typeRegionInfo})
+	if err != nil {
+		return region.Info{}, err
+	}
+	if resp.RegionInfo == nil {
+		return region.Info{}, errors.New("transport: daemon returned no region info")
+	}
+	return *resp.RegionInfo, nil
+}
+
+// RegionPlan asks the region to rank its shard for one query.
+func (c *Client) RegionPlan(ctx context.Context, req region.PlanRequest) (region.PlanResponse, error) {
+	resp, err := c.roundTrip(ctx, request{Type: typeRegionPlan, RegionPlan: &req})
+	if err != nil {
+		return region.PlanResponse{}, err
+	}
+	if resp.RegionPlan == nil {
+		return region.PlanResponse{}, errors.New("transport: daemon returned no region plan")
+	}
+	return *resp.RegionPlan, nil
+}
+
+// RegionTrain runs one training round over shard members. The body's
+// trace/span ids are lifted into the envelope so the daemon's RPC log
+// attributes the round to the originating root query.
+func (c *Client) RegionTrain(ctx context.Context, req region.TrainRequest) (region.TrainResponse, error) {
+	resp, err := c.roundTrip(ctx, request{
+		Type: typeRegionTrain, TraceID: req.TraceID, SpanID: req.SpanID, RegionTrain: &req})
+	if err != nil {
+		return region.TrainResponse{}, err
+	}
+	if resp.RegionTrain == nil {
+		return region.TrainResponse{}, errors.New("transport: daemon returned no region train response")
+	}
+	return *resp.RegionTrain, nil
+}
+
+// RegionStats fetches the region's registry and fleet-health report.
+func (c *Client) RegionStats(ctx context.Context) (region.Stats, error) {
+	resp, err := c.roundTrip(ctx, request{Type: typeRegionStats})
+	if err != nil {
+		return region.Stats{}, err
+	}
+	if resp.RegionStats == nil {
+		return region.Stats{}, errors.New("transport: daemon returned no region stats")
+	}
+	return *resp.RegionStats, nil
+}
+
+// RegionClient adapts a Client into a region.Service, so the root
+// Router drives remote regional leaders exactly like in-process ones.
+type RegionClient struct{ c *Client }
+
+var _ region.Service = (*RegionClient)(nil)
+
+// DialRegion connects to a regional-leader daemon and verifies it
+// actually speaks the region RPC family (a participant daemon answers
+// the handshake fine but rejects region.info — caught here, at dial
+// time, instead of on the first query).
+func DialRegion(ctx context.Context, addr string, opts DialOptions) (*RegionClient, error) {
+	c, err := DialContext(ctx, addr, opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.RegionInfo(ctx); err != nil {
+		c.Close()
+		if errors.Is(err, ErrUnknownType) {
+			return nil, fmt.Errorf("transport: dial region %s: daemon %s is not a regional leader: %w",
+				addr, c.ID(), err)
+		}
+		return nil, fmt.Errorf("transport: dial region %s: %w", addr, err)
+	}
+	return &RegionClient{c: c}, nil
+}
+
+// Client exposes the underlying transport client (byte accounting,
+// negotiated protocol).
+func (r *RegionClient) Client() *Client { return r.c }
+
+// Close tears down the connection.
+func (r *RegionClient) Close() error { return r.c.Close() }
+
+// ID implements region.Service with the region id learned on the ping
+// handshake.
+func (r *RegionClient) ID() string { return r.c.ID() }
+
+// Info implements region.Service.
+func (r *RegionClient) Info(ctx context.Context) (region.Info, error) {
+	return r.c.RegionInfo(ctx)
+}
+
+// Plan implements region.Service.
+func (r *RegionClient) Plan(ctx context.Context, req region.PlanRequest) (region.PlanResponse, error) {
+	return r.c.RegionPlan(ctx, req)
+}
+
+// Train implements region.Service.
+func (r *RegionClient) Train(ctx context.Context, req region.TrainRequest) (region.TrainResponse, error) {
+	return r.c.RegionTrain(ctx, req)
+}
+
+// Stats implements region.Service.
+func (r *RegionClient) Stats(ctx context.Context) (region.Stats, error) {
+	return r.c.RegionStats(ctx)
+}

@@ -12,6 +12,7 @@ import (
 
 	"qens/internal/cluster"
 	"qens/internal/federation"
+	"qens/internal/region"
 	"qens/internal/telemetry"
 )
 
@@ -32,6 +33,8 @@ type request struct {
 	DeadlineUnixMS int64                    `json:"deadline_unix_ms,omitempty"`
 	Train          *federation.TrainRequest `json:"train,omitempty"`
 	Eval           *federation.EvalRequest  `json:"eval,omitempty"`
+	RegionPlan     *region.PlanRequest      `json:"region_plan,omitempty"`
+	RegionTrain    *region.TrainRequest     `json:"region_train,omitempty"`
 }
 
 // response is the wire envelope returned by a participant. Code
@@ -53,6 +56,10 @@ type response struct {
 	Summary      *cluster.NodeSummary      `json:"summary,omitempty"`
 	Train        *federation.TrainResponse `json:"train,omitempty"`
 	Eval         *federation.EvalResponse  `json:"eval,omitempty"`
+	RegionInfo   *region.Info              `json:"region_info,omitempty"`
+	RegionPlan   *region.PlanResponse      `json:"region_plan,omitempty"`
+	RegionTrain  *region.TrainResponse     `json:"region_train,omitempty"`
+	RegionStats  *region.Stats             `json:"region_stats,omitempty"`
 }
 
 // codec labels for wire metrics.
@@ -95,7 +102,8 @@ func newServerMetrics(reg *telemetry.Registry, nodeID string) *serverMetrics {
 		wireBytesOut: map[int]*telemetry.Counter{},
 		encodeUS:     map[int]*telemetry.Histogram{},
 	}
-	for _, t := range []string{typePing, typeSummary, typeTrain, typeEvaluate, "unknown"} {
+	for _, t := range []string{typePing, typeSummary, typeTrain, typeEvaluate,
+		typeRegionInfo, typeRegionPlan, typeRegionTrain, typeRegionStats, "unknown"} {
 		m.rpcTotal[t] = reg.Counter("qens_rpc_total",
 			telemetry.Label{Key: "node", Value: nodeID}, telemetry.Label{Key: "type", Value: t})
 	}
@@ -177,16 +185,18 @@ func WithMaxWireProto(proto int) ServeOption {
 	}
 }
 
-// Server exposes one federation.Node over TCP. Each connection may
-// issue any number of requests, and requests execute concurrently —
-// across connections on both protocols, and within one connection on
-// wire protocol v2 (tagged frames, per-request dispatch goroutines,
-// responses written as they finish in any order). The node's training
-// engine bounds actual parallelism (see
-// federation.WithTrainConcurrency), so the transport never serializes
-// dispatch.
+// Server exposes one federation.Node — or one regional leader (see
+// ServeRegion) — over TCP. Each connection may issue any number of
+// requests, and requests execute concurrently — across connections on
+// both protocols, and within one connection on wire protocol v2
+// (tagged frames, per-request dispatch goroutines, responses written
+// as they finish in any order). The node's training engine bounds
+// actual parallelism (see federation.WithTrainConcurrency), so the
+// transport never serializes dispatch.
 type Server struct {
-	node     *federation.Node
+	node     *federation.Node // nil on a region server
+	region   region.Service   // nil on a participant server
+	id       string           // node id or region id
 	ln       net.Listener
 	metrics  *serverMetrics
 	maxProto int
@@ -222,6 +232,25 @@ func Serve(node *federation.Node, addr string, opts ...ServeOption) (*Server, er
 	if node == nil {
 		return nil, errors.New("transport: nil node")
 	}
+	return serve(node, nil, node.ID(), addr, opts)
+}
+
+// ServeRegion starts a regional-leader daemon for svc on addr: the
+// same listener, framing, protocol negotiation, metrics and drain
+// semantics as a participant daemon, but serving the region.* RPC
+// family instead of the node family. Ping answers with the region id,
+// so DialContext's non-empty-id handshake check holds unchanged.
+func ServeRegion(svc region.Service, addr string, opts ...ServeOption) (*Server, error) {
+	if svc == nil {
+		return nil, errors.New("transport: nil region service")
+	}
+	if svc.ID() == "" {
+		return nil, errors.New("transport: region service with empty id")
+	}
+	return serve(nil, svc, svc.ID(), addr, opts)
+}
+
+func serve(node *federation.Node, svc region.Service, id, addr string, opts []ServeOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
@@ -229,8 +258,10 @@ func Serve(node *federation.Node, addr string, opts ...ServeOption) (*Server, er
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		node:     node,
+		region:   svc,
+		id:       id,
 		ln:       ln,
-		metrics:  newServerMetrics(telemetry.Default(), node.ID()),
+		metrics:  newServerMetrics(telemetry.Default(), id),
 		maxProto: WireProtoV2,
 		baseCtx:  baseCtx,
 		cancel:   cancel,
@@ -261,14 +292,15 @@ func (s *Server) logkv(kvs ...any) {
 	if p := s.logf.Load(); p != nil {
 		logf = *p
 	}
-	logf("%s", telemetry.FormatKV(append([]any{"component", "transport", "node", s.node.ID()}, kvs...)...))
+	logf("%s", telemetry.FormatKV(append([]any{"component", "transport", "node", s.id}, kvs...)...))
 }
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// NodeID returns the served node's id.
-func (s *Server) NodeID() string { return s.node.ID() }
+// NodeID returns the served node's id (the region id on a region
+// server — the handshake identity either way).
+func (s *Server) NodeID() string { return s.id }
 
 // MaxWireProto reports the highest wire protocol this server will
 // negotiate (surfaced by the qensd /healthz endpoint).
@@ -542,7 +574,7 @@ func (s *Server) dispatch(req request) response {
 	s.logkv(kvs...)
 
 	resp.TraceID = req.TraceID
-	if resp.Error == "" {
+	if resp.Error == "" && s.node != nil {
 		resp.SummaryEpoch = s.node.SummaryEpoch()
 	}
 	return resp
@@ -556,25 +588,46 @@ func (s *Server) dispatch(req request) response {
 // receive. Exposed so qensd can requantize on demand (e.g. on SIGHUP)
 // after local data collection.
 func (s *Server) Requantize() error {
+	if s.node == nil {
+		return errors.New("transport: region server has no node to requantize")
+	}
 	return s.node.Requantize()
 }
 
 // SummaryEpoch reports the served node's current advertisement version
-// (surfaced by the qensd /healthz endpoint).
-func (s *Server) SummaryEpoch() uint64 { return s.node.SummaryEpoch() }
+// (surfaced by the qensd /healthz endpoint; 0 on a region server).
+func (s *Server) SummaryEpoch() uint64 {
+	if s.node == nil {
+		return 0
+	}
+	return s.node.SummaryEpoch()
+}
 
 // TrainSlots reports the node engine's concurrency bound (the
-// -train-concurrency setting after defaulting).
-func (s *Server) TrainSlots() int { return s.node.Engine().Parallelism() }
+// -train-concurrency setting after defaulting; 0 on a region server).
+func (s *Server) TrainSlots() int {
+	if s.node == nil {
+		return 0
+	}
+	return s.node.Engine().Parallelism()
+}
 
 // TrainInflight reports how many jobs are executing inside the node
 // engine right now (always <= TrainSlots).
-func (s *Server) TrainInflight() int64 { return s.node.Engine().Inflight() }
+func (s *Server) TrainInflight() int64 {
+	if s.node == nil {
+		return 0
+	}
+	return s.node.Engine().Inflight()
+}
 
 // handle runs the per-type logic. ctx carries the server lifetime and
 // any wire-propagated request deadline into the node's cancellation
 // points (engine admission queue, cluster boundaries, mini-batches).
 func (s *Server) handle(ctx context.Context, req request) response {
+	if s.region != nil {
+		return s.handleRegion(ctx, req)
+	}
 	switch req.Type {
 	case typePing:
 		return response{NodeID: s.node.ID()}
@@ -599,6 +652,52 @@ func (s *Server) handle(ctx context.Context, req request) response {
 			return response{Error: err.Error()}
 		}
 		return response{NodeID: s.node.ID(), Eval: &out}
+	default:
+		return response{
+			Error: fmt.Sprintf("unknown request type %q", req.Type),
+			Code:  CodeUnknownType,
+		}
+	}
+}
+
+// handleRegion runs the per-type logic of a regional-leader daemon.
+// Ping identifies the daemon by its region id; the node RPC family
+// (summary/train/evaluate) is rejected as unknown, so a root that
+// mistakes a region daemon for a participant fails loudly.
+func (s *Server) handleRegion(ctx context.Context, req request) response {
+	switch req.Type {
+	case typePing:
+		return response{NodeID: s.region.ID()}
+	case typeRegionInfo:
+		info, err := s.region.Info(ctx)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{NodeID: s.region.ID(), RegionInfo: &info}
+	case typeRegionPlan:
+		if req.RegionPlan == nil {
+			return response{Error: "region plan request missing body", Code: CodeBadRequest}
+		}
+		out, err := s.region.Plan(ctx, *req.RegionPlan)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{NodeID: s.region.ID(), RegionPlan: &out}
+	case typeRegionTrain:
+		if req.RegionTrain == nil {
+			return response{Error: "region train request missing body", Code: CodeBadRequest}
+		}
+		out, err := s.region.Train(ctx, *req.RegionTrain)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{NodeID: s.region.ID(), RegionTrain: &out}
+	case typeRegionStats:
+		out, err := s.region.Stats(ctx)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{NodeID: s.region.ID(), RegionStats: &out}
 	default:
 		return response{
 			Error: fmt.Sprintf("unknown request type %q", req.Type),

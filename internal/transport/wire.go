@@ -25,6 +25,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ import (
 	"qens/internal/federation"
 	"qens/internal/geometry"
 	"qens/internal/ml"
+	"qens/internal/region"
 )
 
 // Wire protocol versions. V1 is the length-prefixed JSON codec the
@@ -70,6 +72,23 @@ const (
 	secTrainResp byte = 10 // params, uvarint used, uvarint total, varint ns, uvarint epoch
 	secEvalResp  byte = 11 // f64 mse, uvarint samples, uvarint epoch
 	secSpans     byte = 12 // u8 owner, uvarint count, {str name, varint start_unix_ns, varint dur_ns}*
+
+	// Region-tier RPC bodies: u8 subtype followed by a JSON payload.
+	// The region structs nest ranking rows, participants and health
+	// reports whose wire volume is dwarfed by model parameters, so JSON
+	// inside a skippable v2 section buys schema evolution for free while
+	// the connection keeps the multiplexed binary framing. Pre-region
+	// decoders skip both tags by length.
+	secRegionReq  byte = 13 // u8 body kind, JSON body
+	secRegionResp byte = 14 // u8 body kind, JSON body
+)
+
+// Body kinds inside secRegionReq/secRegionResp.
+const (
+	regionBodyPlan  byte = 0
+	regionBodyTrain byte = 1
+	regionBodyInfo  byte = 2
+	regionBodyStats byte = 3
 )
 
 // Owner byte inside a secSpans section: which typed body the span
@@ -92,6 +111,10 @@ var internTable = map[string]string{
 	typeSummary:     typeSummary,
 	typeTrain:       typeTrain,
 	typeEvaluate:    typeEvaluate,
+	typeRegionInfo:  typeRegionInfo,
+	typeRegionPlan:  typeRegionPlan,
+	typeRegionTrain: typeRegionTrain,
+	typeRegionStats: typeRegionStats,
 	ml.KindLinear:   ml.KindLinear,
 	ml.KindNN:       ml.KindNN,
 	"sgd":           "sgd",
@@ -200,6 +223,20 @@ func (e *wireEnc) summary(s *cluster.NodeSummary) {
 	}
 }
 
+// regionSection emits one secRegionReq/secRegionResp section: the body
+// kind byte followed by the JSON-marshaled body.
+func (e *wireEnc) regionSection(tag, kind byte, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("transport: encode region body: %w", err)
+	}
+	m := e.beginSection(tag)
+	e.u8(kind)
+	e.b = append(e.b, b...)
+	e.endSection(m)
+	return nil
+}
+
 // appendWireRequest appends one complete v2 request frame (4-byte BE
 // length prefix included) for req tagged with id onto dst.
 func appendWireRequest(dst []byte, id uint64, req *request) ([]byte, error) {
@@ -243,6 +280,16 @@ func appendWireRequest(dst []byte, id uint64, req *request) ([]byte, error) {
 			e.u8(0)
 		}
 		e.endSection(m)
+	}
+	if req.RegionPlan != nil {
+		if err := e.regionSection(secRegionReq, regionBodyPlan, req.RegionPlan); err != nil {
+			return e.b[:hdr], err
+		}
+	}
+	if req.RegionTrain != nil {
+		if err := e.regionSection(secRegionReq, regionBodyTrain, req.RegionTrain); err != nil {
+			return e.b[:hdr], err
+		}
 	}
 	return finishWireFrame(e.b, hdr)
 }
@@ -310,7 +357,32 @@ func appendWireResponse(dst []byte, id uint64, resp *response) ([]byte, error) {
 	if resp.Eval != nil && len(resp.Eval.Spans) > 0 {
 		e.spanSection(spanOwnerEval, resp.Eval.Spans)
 	}
+	for _, rb := range []struct {
+		kind byte
+		body any
+	}{
+		{regionBodyInfo, anyOrNil(resp.RegionInfo)},
+		{regionBodyPlan, anyOrNil(resp.RegionPlan)},
+		{regionBodyTrain, anyOrNil(resp.RegionTrain)},
+		{regionBodyStats, anyOrNil(resp.RegionStats)},
+	} {
+		if rb.body == nil {
+			continue
+		}
+		if err := e.regionSection(secRegionResp, rb.kind, rb.body); err != nil {
+			return e.b[:hdr], err
+		}
+	}
 	return finishWireFrame(e.b, hdr)
+}
+
+// anyOrNil collapses a typed nil pointer into an untyped nil so the
+// encode loop's nil check works across the region body types.
+func anyOrNil[T any](p *T) any {
+	if p == nil {
+		return nil
+	}
+	return p
 }
 
 // spanSection emits one secSpans section carrying a node-span list for
@@ -433,6 +505,17 @@ func (d *wireDec) count(elemSize int) int {
 		return 0
 	}
 	return int(n)
+}
+
+// rest consumes and returns every remaining byte of the (sub)decoder —
+// the JSON payload of a region section.
+func (d *wireDec) rest() []byte {
+	if d.err != nil {
+		return nil
+	}
+	b := d.b[d.off:]
+	d.off = len(d.b)
+	return b
 }
 
 func (d *wireDec) str() string {
@@ -615,6 +698,24 @@ func decodeWireRequest(body []byte, req *request) (id uint64, err error) {
 				ev.Bounds = bounds
 			}
 			sawEval = true
+		case secRegionReq:
+			kind := p.u8()
+			body := p.rest()
+			if p.err != nil {
+				return id, p.err
+			}
+			switch kind {
+			case regionBodyPlan:
+				req.RegionPlan = &region.PlanRequest{}
+				if err := json.Unmarshal(body, req.RegionPlan); err != nil {
+					return id, fmt.Errorf("%w: region plan body: %v", ErrMalformedFrame, err)
+				}
+			case regionBodyTrain:
+				req.RegionTrain = &region.TrainRequest{}
+				if err := json.Unmarshal(body, req.RegionTrain); err != nil {
+					return id, fmt.Errorf("%w: region train body: %v", ErrMalformedFrame, err)
+				}
+			}
 		}
 		if p.err != nil {
 			return id, p.err
@@ -708,6 +809,34 @@ func decodeWireResponse(body []byte) (id uint64, resp response, err error) {
 			case spanOwnerEval:
 				if resp.Eval != nil {
 					resp.Eval.Spans = spans
+				}
+			}
+		case secRegionResp:
+			kind := p.u8()
+			body := p.rest()
+			if p.err != nil {
+				return id, response{}, p.err
+			}
+			var (
+				dst any
+			)
+			switch kind {
+			case regionBodyInfo:
+				resp.RegionInfo = &region.Info{}
+				dst = resp.RegionInfo
+			case regionBodyPlan:
+				resp.RegionPlan = &region.PlanResponse{}
+				dst = resp.RegionPlan
+			case regionBodyTrain:
+				resp.RegionTrain = &region.TrainResponse{}
+				dst = resp.RegionTrain
+			case regionBodyStats:
+				resp.RegionStats = &region.Stats{}
+				dst = resp.RegionStats
+			}
+			if dst != nil {
+				if err := json.Unmarshal(body, dst); err != nil {
+					return id, response{}, fmt.Errorf("%w: region body %d: %v", ErrMalformedFrame, kind, err)
 				}
 			}
 		}

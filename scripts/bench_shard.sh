@@ -1,0 +1,56 @@
+#!/bin/sh
+# Runs the sharded-topology serving benchmark (BenchmarkShardServe:
+# one leader executing a mixed spanning / shard-local workload through
+# the sequential-round pipeline versus a root coordinator fanning the
+# same queries out to two regional leaders, with node rounds carrying
+# a fixed modeled remote service time) and renders the results as
+# BENCH_shard.json at the repo root.
+#
+#   BENCHTIME=100ms sh scripts/bench_shard.sh   # CI smoke
+#   sh scripts/bench_shard.sh                   # local, default 1s/op
+#
+# The script exits non-zero on the contract regression:
+#   - the 2-region topology serves less than 1.6x the single-leader
+#     throughput (ns/op ratio single/2region < 1.6): the hierarchical
+#     tier no longer overlaps regional training rounds.
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${BENCHTIME:-1s}"
+
+out=$(go test -run '^$' -bench '^BenchmarkShardServe$' -benchmem -benchtime "$benchtime" ./internal/region/)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+  BEGIN { printf "[\n"; bad = 0 }
+  $1 ~ /^BenchmarkShardServe/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns_op = ""
+    for (i = 3; i <= NF; i++) {
+      if ($i == "ns/op") ns_op = $(i-1)
+    }
+    if (ns_op == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, ns_op
+    ns[name] = ns_op
+  }
+  END {
+    printf "\n]\n"
+    s = "BenchmarkShardServe/topology=single"
+    r = "BenchmarkShardServe/topology=2region"
+    if (!(s in ns) || !(r in ns)) {
+      printf "MISSING CASES: single and 2region topologies did not both run\n" > "/dev/stderr"
+      exit 1
+    }
+    ratio = (ns[s] + 0) / (ns[r] + 0)
+    printf "bench_shard: 2-region serves %.2fx single-leader throughput\n", ratio > "/dev/stderr"
+    if (ratio < 1.6) {
+      printf "THROUGHPUT REGRESSION: 2-region (%s ns/op) is not >=1.6x single-leader (%s ns/op)\n", \
+        ns[r], ns[s] > "/dev/stderr"
+      exit 1
+    }
+  }
+' > BENCH_shard.json
+
+count=$(grep -c '"name"' BENCH_shard.json)
+echo "bench_shard: wrote BENCH_shard.json ($count results, benchtime $benchtime)"

@@ -2,19 +2,29 @@
 # loadsmoke.sh — end-to-end smoke of the serving stack: build
 # qens-gateway and qensload, boot a tiny simulated fleet, fire a short
 # closed-loop load run, then SIGTERM the gateway and assert it drains
-# cleanly. Used by `make loadsmoke` / `make ci`.
+# cleanly; then repeat against a sharded topology (two qens-region
+# daemons under a root gateway) and assert the per-region routing
+# surface. Used by `make loadsmoke` / `make ci`.
 set -eu
 
 ADDR="${QENS_SMOKE_ADDR:-127.0.0.1:18080}"
 URL="http://${ADDR}"
+SHARD_ADDR="${QENS_SMOKE_SHARD_ADDR:-127.0.0.1:18081}"
+SHARD_URL="http://${SHARD_ADDR}"
+R0_ADDR="${QENS_SMOKE_R0_ADDR:-127.0.0.1:17101}"
+R1_ADDR="${QENS_SMOKE_R1_ADDR:-127.0.0.1:17102}"
 BIN="$(mktemp -d)"
 GW_PID=""
+R0_PID=""
+R1_PID=""
 
 cleanup() {
     status=$?
-    if [ -n "$GW_PID" ] && kill -0 "$GW_PID" 2>/dev/null; then
-        kill -KILL "$GW_PID" 2>/dev/null || true
-    fi
+    for pid in "$GW_PID" "$R0_PID" "$R1_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$BIN"
     exit $status
 }
@@ -22,6 +32,7 @@ trap cleanup EXIT INT TERM
 
 echo "loadsmoke: building binaries"
 go build -o "$BIN/qens-gateway" ./cmd/qens-gateway
+go build -o "$BIN/qens-region" ./cmd/qens-region
 go build -o "$BIN/qensload" ./cmd/qensload
 
 echo "loadsmoke: starting gateway on $ADDR (3 nodes x 200 samples)"
@@ -98,3 +109,87 @@ if [ ! -s "$BIN/trace.jsonl" ]; then
     exit 1
 fi
 echo "loadsmoke: OK ($(wc -l <"$BIN/trace.jsonl") trace spans flushed)"
+
+# --- Sharded topology: two regional leaders under a root gateway ----
+
+echo "loadsmoke: starting 2 regional leaders (4 nodes x 200 samples)"
+"$BIN/qens-region" -addr "$R0_ADDR" -region 0 -regions 2 \
+    -nodes 4 -samples 200 -k 3 -epochs 2 >"$BIN/region0.log" 2>&1 &
+R0_PID=$!
+"$BIN/qens-region" -addr "$R1_ADDR" -region 1 -regions 2 \
+    -nodes 4 -samples 200 -k 3 -epochs 2 >"$BIN/region1.log" 2>&1 &
+R1_PID=$!
+
+# Wait for both daemons to report their shard before the root dials.
+i=0
+until grep -q "serving shard" "$BIN/region0.log" 2>/dev/null \
+    && grep -q "serving shard" "$BIN/region1.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "loadsmoke: FAIL regional leaders not up within 30s" >&2
+        cat "$BIN/region0.log" "$BIN/region1.log" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "loadsmoke: starting root gateway on $SHARD_ADDR"
+"$BIN/qens-gateway" -addr "$SHARD_ADDR" -region-addrs "$R0_ADDR,$R1_ADDR" \
+    -workers 4 -queue 32 &
+GW_PID=$!
+
+echo "loadsmoke: running closed-loop load against the sharded topology"
+load_out=$("$BIN/qensload" -url "$SHARD_URL" -clients 4 -requests 32 -distinct 6 \
+    -topl 2 -timeout-ms 30000 -wait 15s)
+printf '%s\n' "$load_out"
+case "$load_out" in
+    *'routing  region-0'*) ;;
+    *)
+        echo "loadsmoke: FAIL qensload printed no per-region routing distribution" >&2
+        exit 1
+        ;;
+esac
+
+echo "loadsmoke: checking per-region stats and fleet surfaces"
+stats_json=$(curl -sf "$SHARD_URL/v1/stats")
+for want in '"router"' '"region_id":"region-0"' '"region_id":"region-1"' '"routed"'; do
+    case "$stats_json" in
+        *"$want"*) ;;
+        *)
+            echo "loadsmoke: FAIL /v1/stats missing $want: $stats_json" >&2
+            exit 1
+            ;;
+    esac
+done
+fleet_json=$(curl -sf "$SHARD_URL/v1/fleet")
+for want in '"regions"' '"region_id":"region-0"' '"registry_epoch"' '"score"'; do
+    case "$fleet_json" in
+        *"$want"*) ;;
+        *)
+            echo "loadsmoke: FAIL sharded /v1/fleet missing $want: $fleet_json" >&2
+            exit 1
+            ;;
+    esac
+done
+
+echo "loadsmoke: draining sharded topology (SIGTERM)"
+for pid in "$GW_PID" "$R0_PID" "$R1_PID"; do
+    kill -TERM "$pid"
+done
+i=0
+for pid in "$GW_PID" "$R0_PID" "$R1_PID"; do
+    while kill -0 "$pid" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "loadsmoke: FAIL sharded topology did not exit within 30s of SIGTERM" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if ! wait "$pid"; then
+        echo "loadsmoke: FAIL pid $pid exited non-zero after SIGTERM" >&2
+        exit 1
+    fi
+done
+GW_PID=""; R0_PID=""; R1_PID=""
+echo "loadsmoke: OK (sharded topology served, reported per-region stats, drained cleanly)"
