@@ -22,6 +22,7 @@ loadsmoke:
 fuzz:
 	$(GO) test -fuzz FuzzReadWorkload -fuzztime 30s ./internal/query/
 	$(GO) test -run '^$$' -fuzz FuzzWireV2 -fuzztime 30s ./internal/transport/
+	$(GO) test -run '^$$' -fuzz FuzzRTreePrune -fuzztime 30s ./internal/geometry/
 
 fmt:
 	gofmt -w .

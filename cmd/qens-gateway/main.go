@@ -67,6 +67,7 @@ func main() {
 		topL        = flag.Int("topl", 3, "default query-driven top-l")
 
 		summaryTTL     = flag.Duration("summary-ttl", 0, "summary registry snapshot TTL; after this age the next query refetches the fleet advertisement (0 caches until invalidated)")
+		summaryDelta   = flag.Bool("summary-delta", false, "refresh fleet summaries via per-node epoch-conditional deltas instead of full re-fetch (bytes proportional to churn)")
 		summaryRefresh = flag.Duration("summary-refresh", 0, "background summary refresh interval; re-fetches fleet advertisements off the query path (0 disables)")
 
 		dialTimeout  = flag.Duration("dial-timeout", 2*time.Minute, "remote client dial/request timeout")
@@ -128,7 +129,7 @@ func main() {
 		}
 		fleetSize = len(ids)
 	} else {
-		leader, transportStats, wireStatus, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout, *summaryTTL, *wireProto)
+		leader, transportStats, wireStatus, cleanup, err := buildLeader(*addrs, *nodes, *samples, *k, *epochs, *seed, *model, *dialTimeout, *summaryTTL, *summaryDelta, *wireProto)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -245,7 +246,7 @@ func buildRouter(regionAddrs string, epochs int, seed uint64, model string, dial
 // /v1/stats transport hook reporting each connection's negotiated wire
 // protocol, in-flight RPC count and byte counters, plus the typed
 // per-node wire status merged into GET /v1/fleet.
-func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model string, dialTimeout, summaryTTL time.Duration, wireProto int) (*federation.Leader, func() any, func() []fleet.WireStatus, func(), error) {
+func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model string, dialTimeout, summaryTTL time.Duration, summaryDelta bool, wireProto int) (*federation.Leader, func() any, func() []fleet.WireStatus, func(), error) {
 	if addrs != "" {
 		var remotes []*transport.Client
 		var clients []federation.Client
@@ -270,7 +271,7 @@ func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model
 		}
 		leader, err := federation.NewLeader(federation.Config{
 			Spec: specFor(model, 1), ClusterK: k, LocalEpochs: epochs, Seed: seed,
-			SummaryTTL: summaryTTL,
+			SummaryTTL: summaryTTL, SummaryDelta: summaryDelta,
 		}, nil, clients)
 		if err != nil {
 			closeAll()
@@ -299,7 +300,7 @@ func buildLeader(addrs string, nodes, samples, k, epochs int, seed uint64, model
 	}
 	sim, err := federation.NewSimulatedFleet(data, federation.Config{
 		Spec: specFor(model, data[0].Dims()-1), ClusterK: k, LocalEpochs: epochs, Seed: seed,
-		SummaryTTL: summaryTTL,
+		SummaryTTL: summaryTTL, SummaryDelta: summaryDelta,
 	}, federation.FleetOptions{})
 	if err != nil {
 		return nil, nil, nil, nil, err

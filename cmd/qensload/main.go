@@ -139,8 +139,8 @@ func main() {
 		// region's participation in fanned-out queries, so the sum
 		// exceeds the query count whenever rectangles span shards.
 		if rt := doc.Router; rt != nil && len(rt.Regions) > 0 {
-			fmt.Printf("routing  %d queries, %d spanning fan-outs, %d no-route rejects\n",
-				rt.Queries, rt.Spanning, rt.NoRoute)
+			fmt.Printf("routing  %d queries, %d spanning fan-outs, %d no-route rejects, %d regions pruned\n",
+				rt.Queries, rt.Spanning, rt.NoRoute, rt.RegionsPruned)
 			var fanouts int64
 			for _, reg := range rt.Regions {
 				fanouts += reg.Routed
@@ -153,6 +153,35 @@ func main() {
 				fmt.Printf("routing  %-12s %d nodes  routed=%d (%.1f%% of fan-outs)\n",
 					reg.RegionID, reg.Nodes, reg.Routed, share)
 			}
+		}
+		// Planner index/prune and delta-refresh volume: top-level
+		// registry in single-leader mode, summed per-region registries
+		// against a sharded topology.
+		var reg registryBlock
+		if doc.Registry != nil {
+			reg = *doc.Registry
+		} else if doc.Router != nil {
+			for _, rg := range doc.Router.Regions {
+				if rg.Registry != nil {
+					reg.add(*rg.Registry)
+				}
+			}
+		}
+		if reg.IndexedPlans+reg.BrutePlans > 0 {
+			prunedPct := 0.0
+			if reg.NodesRanked > 0 {
+				prunedPct = 100 * float64(reg.NodesPruned) / float64(reg.NodesRanked)
+			}
+			fmt.Printf("planner  indexed=%d brute=%d  pruned=%d/%d nodes (%.1f%% per-query mean)\n",
+				reg.IndexedPlans, reg.BrutePlans, reg.NodesPruned, reg.NodesRanked, prunedPct)
+		}
+		if reg.DeltaRefreshes > 0 {
+			deltaPct := 0.0
+			if reg.FullBytes > 0 {
+				deltaPct = 100 * float64(reg.DeltaBytes) / float64(reg.FullBytes)
+			}
+			fmt.Printf("refresh  delta=%d full=%d  bytes delta=%d vs full=%d (%.1f%%)\n",
+				reg.DeltaRefreshes, reg.FullRefreshes, reg.DeltaBytes, reg.FullBytes, deltaPct)
 		}
 	}
 	if failed.Load() > 0 {
@@ -184,6 +213,32 @@ func post(c *http.Client, url string, body []byte) (int, string) {
 	return resp.StatusCode, doc.Error
 }
 
+// registryBlock is the slice of registry.Stats qensload renders:
+// planner index/prune counters and delta-vs-full refresh volume.
+type registryBlock struct {
+	IndexedPlans   int64 `json:"indexed_plans"`
+	BrutePlans     int64 `json:"brute_plans"`
+	NodesRanked    int64 `json:"nodes_ranked"`
+	NodesPruned    int64 `json:"nodes_pruned"`
+	DeltaRefreshes int64 `json:"delta_refreshes"`
+	FullRefreshes  int64 `json:"full_refreshes"`
+	DeltaBytes     int64 `json:"delta_refresh_bytes"`
+	FullBytes      int64 `json:"full_refresh_bytes"`
+}
+
+// add folds another registry block in (router mode sums per-region
+// registries into one fleet view).
+func (r *registryBlock) add(o registryBlock) {
+	r.IndexedPlans += o.IndexedPlans
+	r.BrutePlans += o.BrutePlans
+	r.NodesRanked += o.NodesRanked
+	r.NodesPruned += o.NodesPruned
+	r.DeltaRefreshes += o.DeltaRefreshes
+	r.FullRefreshes += o.FullRefreshes
+	r.DeltaBytes += o.DeltaBytes
+	r.FullBytes += o.FullBytes
+}
+
 // statsDoc is the part of /v1/stats qensload consumes.
 type statsDoc struct {
 	Scheduler struct {
@@ -194,14 +249,17 @@ type statsDoc struct {
 	Reuse *struct {
 		Hits int `json:"hits"`
 	} `json:"reuse_cache"`
-	Router *struct {
-		Queries  int64 `json:"queries"`
-		Spanning int64 `json:"spanning_fanouts"`
-		NoRoute  int64 `json:"no_route_rejects"`
-		Regions  []struct {
-			RegionID string `json:"region_id"`
-			Nodes    int    `json:"nodes"`
-			Routed   int64  `json:"routed"`
+	Registry *registryBlock `json:"registry"`
+	Router   *struct {
+		Queries       int64 `json:"queries"`
+		Spanning      int64 `json:"spanning_fanouts"`
+		NoRoute       int64 `json:"no_route_rejects"`
+		RegionsPruned int64 `json:"regions_pruned"`
+		Regions       []struct {
+			RegionID string         `json:"region_id"`
+			Nodes    int            `json:"nodes"`
+			Routed   int64          `json:"routed"`
+			Registry *registryBlock `json:"registry"`
 		} `json:"regions"`
 	} `json:"router"`
 	Latency struct {

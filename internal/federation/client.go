@@ -29,6 +29,16 @@ type Client interface {
 	Evaluate(ctx context.Context, req EvalRequest) (EvalResponse, error)
 }
 
+// DeltaSummaryClient is an optional Client capability used by the
+// registry's delta refresh: an epoch-conditional summary probe that
+// answers unchanged=true (no summary body) when the node's
+// advertisement still carries the epoch the leader already holds.
+// Clients without the capability are probed with a plain Summary call
+// — correct, just not byte-proportional to churn.
+type DeltaSummaryClient interface {
+	SummaryIfChanged(ctx context.Context, known uint64) (cluster.NodeSummary, bool, error)
+}
+
 // LocalClient adapts an in-process Node to the Client interface.
 type LocalClient struct {
 	Node *Node
@@ -43,6 +53,21 @@ func (c LocalClient) Summary(ctx context.Context) (cluster.NodeSummary, error) {
 		return cluster.NodeSummary{}, err
 	}
 	return c.Node.Summary(), nil
+}
+
+// SummaryIfChanged implements DeltaSummaryClient. The epoch check and
+// the summary read race benignly with a concurrent requantize: a stale
+// "unchanged" answer is impossible because the node bumps its epoch
+// before publishing the new summary, so at worst the probe returns the
+// fresh summary for an epoch that was current a moment ago.
+func (c LocalClient) SummaryIfChanged(ctx context.Context, known uint64) (cluster.NodeSummary, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return cluster.NodeSummary{}, false, err
+	}
+	if known != 0 && known == c.Node.SummaryEpoch() {
+		return cluster.NodeSummary{}, true, nil
+	}
+	return c.Node.Summary(), false, nil
 }
 
 // Train implements Client. Training is CPU-bound and in-process, so

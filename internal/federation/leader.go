@@ -44,6 +44,19 @@ type Config struct {
 	// InvalidateSummaries or a node-signalled drift — the legacy
 	// behaviour.
 	SummaryTTL time.Duration
+	// SummaryDelta switches registry refreshes after the first from
+	// full-fleet summary re-fetch to per-node epoch-conditional
+	// deltas: nodes whose advertisement epoch is unchanged answer a
+	// tiny "unchanged" probe instead of shipping their summary, so a
+	// refresh moves bytes proportional to churn, not fleet size.
+	// Participants that don't implement DeltaSummaryClient degrade to
+	// a full Summary fetch transparently.
+	SummaryDelta bool
+	// RebuildChurn overrides the registry's churn threshold above
+	// which a delta refresh rebuilds the spatial index from scratch
+	// instead of patching it (default registry.DefaultRebuildChurn).
+	// Ignored without SummaryDelta.
+	RebuildChurn float64
 }
 
 func (c Config) withDefaults() Config {
@@ -136,10 +149,15 @@ func NewLeader(cfg Config, leaderData *dataset.Dataset, clients []Client) (*Lead
 		metrics: newLeaderMetrics(telemetry.Default()),
 		health:  fleet.NewTracker(telemetry.Default()),
 	}
-	reg, err := registry.New(registry.Config{
+	regCfg := registry.Config{
 		Fetch: l.fetchSummaries,
 		TTL:   cfg.SummaryTTL,
-	})
+	}
+	if cfg.SummaryDelta {
+		regCfg.FetchDelta = l.fetchSummaryDeltas
+		regCfg.RebuildChurn = cfg.RebuildChurn
+	}
+	reg, err := registry.New(regCfg)
 	if err != nil {
 		return nil, fmt.Errorf("federation: %w", err)
 	}
@@ -162,6 +180,45 @@ func (l *Leader) fetchSummaries(ctx context.Context) ([]cluster.NodeSummary, err
 			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
 		}
 		out = append(out, s)
+	}
+	return out, nil
+}
+
+// fetchSummaryDeltas is the registry's DeltaFetchFunc: one delta per
+// participant in roster order. Nodes whose advertisement epoch matches
+// the registry's known epoch answer with a summary-free "unchanged"
+// probe; everyone else (and every client without the DeltaSummaryClient
+// capability) ships a validated full summary.
+func (l *Leader) fetchSummaryDeltas(ctx context.Context, known []registry.NodeEpoch) ([]registry.Delta, error) {
+	if len(known) != len(l.clients) {
+		return nil, fmt.Errorf("federation: delta refresh over %d known epochs, roster has %d", len(known), len(l.clients))
+	}
+	out := make([]registry.Delta, 0, len(l.clients))
+	for i, c := range l.clients {
+		if known[i].NodeID != c.ID() {
+			return nil, fmt.Errorf("federation: delta roster mismatch at %d: %s vs %s", i, known[i].NodeID, c.ID())
+		}
+		var (
+			s         cluster.NodeSummary
+			unchanged bool
+			err       error
+		)
+		if dc, ok := c.(DeltaSummaryClient); ok {
+			s, unchanged, err = dc.SummaryIfChanged(ctx, known[i].Epoch)
+		} else {
+			s, err = c.Summary(ctx)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
+		}
+		if unchanged {
+			out = append(out, registry.Delta{NodeID: c.ID(), Unchanged: true})
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("federation: summary from %s: %w", c.ID(), err)
+		}
+		out = append(out, registry.Delta{NodeID: c.ID(), Summary: s})
 	}
 	return out, nil
 }
@@ -429,6 +486,23 @@ func (l *Leader) PlanContext(ctx context.Context, q query.Query, sel selection.S
 		return nil, err
 	}
 	pl, err := l.planner.PlanOn(snap, q, sel, l.selectionContext(ctx))
+	if err != nil {
+		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
+	}
+	return pl, nil
+}
+
+// ExplainContext is PlanContext with the spatial-index fast path
+// disabled: every ranking row carries full per-dimension overlap
+// detail, which is what the gateway's EXPLAIN endpoint renders. The
+// participant set is identical to PlanContext's. The caller must
+// Release the returned plan.
+func (l *Leader) ExplainContext(ctx context.Context, q query.Query, sel selection.Selector) (*plan.Plan, error) {
+	snap, err := l.reg.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := l.planner.ExplainOn(snap, q, sel, l.selectionContext(ctx))
 	if err != nil {
 		return nil, fmt.Errorf("federation: %s selection for %s: %w", sel.Name(), q.ID, err)
 	}

@@ -672,7 +672,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, buildExplainResponse(id, sel.Name(), ex))
 		return
 	}
-	pl, err := s.cfg.Leader.PlanContext(r.Context(), q, sel)
+	pl, err := s.cfg.Leader.ExplainContext(r.Context(), q, sel)
 	if err != nil {
 		writePlanError(w, id, err)
 		return

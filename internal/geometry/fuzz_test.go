@@ -40,6 +40,65 @@ func FuzzIntervalOverlap(f *testing.F) {
 	})
 }
 
+// FuzzRTreePrune drives random fleets and probes through the pruned
+// candidate walk and checks the planner's soundness contract: the
+// candidate set is exactly the brute-force predicate set, and in
+// particular a superset of every entry whose Eq. 2 mean-overlap rate
+// clears ε — so pruning can never change a query-driven ranking.
+func FuzzRTreePrune(f *testing.F) {
+	f.Add(uint64(1), 2, 50, 10.0, 20.0, 0.5)
+	f.Add(uint64(7), 4, 200, -5.0, 3.0, 0.25)
+	f.Add(uint64(42), 1, 10, 0.0, 0.1, 1.0)
+	f.Fuzz(func(t *testing.T, seed uint64, dims, n int, origin, width, eps float64) {
+		if dims < 1 || dims > 8 || n < 1 || n > 512 {
+			t.Skip()
+		}
+		for _, v := range []float64{origin, width, eps} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				t.Skip()
+			}
+		}
+		entries := randomEntries(n, dims, seed)
+		tree, err := BuildRTree(entries, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := make([]float64, dims)
+		max := make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			min[d] = origin + float64(d)
+			max[d] = min[d] + math.Abs(width)
+		}
+		probe := MustRect(min, max)
+
+		got, err := tree.AppendOverlapCandidates(probe, eps, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make(map[int]bool, len(got))
+		for _, id := range got {
+			if in[id] {
+				t.Fatalf("candidate %d emitted twice", id)
+			}
+			in[id] = true
+		}
+		want := brutePruneCandidates(entries, probe, eps)
+		if len(want) != len(got) {
+			t.Fatalf("%d candidates vs %d brute", len(got), len(want))
+		}
+		for _, id := range want {
+			if !in[id] {
+				t.Fatalf("brute candidate %d missing from tree walk", id)
+			}
+		}
+		for _, e := range entries {
+			if rate := OverlapRate(probe, e.Rect); rate >= eps && !in[e.ID] {
+				t.Fatalf("entry %d scores %v >= eps %v but was pruned", e.ID, rate, eps)
+			}
+		}
+	})
+}
+
 func FuzzIoU(f *testing.F) {
 	f.Add(0.0, 0.0, 10.0, 10.0, 5.0, 5.0, 15.0, 15.0)
 	f.Add(0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0)

@@ -1,0 +1,201 @@
+package geometry
+
+import (
+	"sort"
+	"testing"
+
+	"qens/internal/rng"
+)
+
+// brutePruneCandidates applies AppendOverlapCandidates' predicate
+// entry by entry: at least minDims-of-dims per-dimension overlap,
+// with minDims derived from minFrac by the exact float comparison the
+// kernel's callers use.
+func brutePruneCandidates(entries []Entry, probe Rect, minFrac float64) []int {
+	dims := probe.Dims()
+	minDims := 0
+	for minDims <= dims && float64(minDims)/float64(dims) < minFrac {
+		minDims++
+	}
+	if minDims > dims {
+		return nil
+	}
+	var ids []int
+	for _, e := range entries {
+		if overlapDimCount(probe, e.Rect) >= minDims {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func TestAppendOverlapCandidatesMatchesBrute(t *testing.T) {
+	for _, dims := range []int{1, 2, 5} {
+		entries := randomEntries(400, dims, uint64(10+dims))
+		tree, err := BuildRTree(entries, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(uint64(20 + dims))
+		for trial := 0; trial < 40; trial++ {
+			min := make([]float64, dims)
+			max := make([]float64, dims)
+			for d := 0; d < dims; d++ {
+				a := src.Uniform(-10, 90)
+				min[d] = a
+				max[d] = a + src.Uniform(0.5, 40)
+			}
+			probe := MustRect(min, max)
+			for _, frac := range []float64{0.1, 0.5, 0.9, 1.0, 1.5} {
+				want := brutePruneCandidates(entries, probe, frac)
+				got, err := tree.AppendOverlapCandidates(probe, frac, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sort.Ints(got)
+				if len(got) != len(want) {
+					t.Fatalf("dims=%d trial=%d frac=%v: %d vs %d candidates", dims, trial, frac, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("dims=%d trial=%d frac=%v: candidate mismatch at %d", dims, trial, frac, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The pruning bound must be sound against Eq. 2: every entry whose
+// overlap rate (mean of per-dimension interval overlaps) clears ε must
+// be in the candidate set, and every pruned entry must provably score
+// below ε.
+func TestAppendOverlapCandidatesEq2Sound(t *testing.T) {
+	entries := randomEntries(300, 3, 33)
+	tree, err := BuildRTree(entries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(34)
+	for trial := 0; trial < 60; trial++ {
+		a, b, c := src.Uniform(0, 80), src.Uniform(0, 80), src.Uniform(0, 80)
+		probe := MustRect([]float64{a, b, c}, []float64{a + 20, b + 20, c + 20})
+		for _, eps := range []float64{0.05, 1.0 / 3, 0.5, 0.67, 1} {
+			got, err := tree.AppendOverlapCandidates(probe, eps, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := map[int]bool{}
+			for _, id := range got {
+				in[id] = true
+			}
+			for _, e := range entries {
+				rate := OverlapRate(probe, e.Rect)
+				if rate >= eps && !in[e.ID] {
+					t.Fatalf("trial=%d eps=%v: entry %d rate %v pruned", trial, eps, e.ID, rate)
+				}
+				if !in[e.ID] && rate >= eps {
+					t.Fatalf("trial=%d eps=%v: pruned entry %d scores %v >= eps", trial, eps, e.ID, rate)
+				}
+			}
+		}
+	}
+}
+
+func TestAppendOverlapCandidatesAppendSemantics(t *testing.T) {
+	entries := randomEntries(64, 2, 44)
+	tree, _ := BuildRTree(entries, 0)
+	probe := MustRect([]float64{0, 0}, []float64{100, 100})
+
+	dst := append(make([]int, 0, 128), -1)
+	got, err := tree.AppendOverlapCandidates(probe, 0.5, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -1 {
+		t.Fatal("append clobbered existing prefix")
+	}
+	if len(got) != 65 {
+		t.Fatalf("spanning probe matched %d of 64", len(got)-1)
+	}
+
+	// With pre-grown capacity the walk is allocation-free — the planner
+	// fast path's 0 allocs/op depends on it.
+	buf := make([]int, 0, 128)
+	if allocs := testing.AllocsPerRun(100, func() {
+		buf = buf[:0]
+		buf, _ = tree.AppendOverlapCandidates(probe, 0.5, buf)
+	}); allocs != 0 {
+		t.Fatalf("pre-grown candidate walk allocates %.1f/op", allocs)
+	}
+
+	if _, err := tree.AppendOverlapCandidates(MustRect([]float64{0}, []float64{1}), 0.5, nil); err == nil {
+		t.Fatal("accepted probe with wrong dims")
+	}
+}
+
+func TestRTreePatch(t *testing.T) {
+	entries := randomEntries(200, 2, 55)
+	tree, err := BuildRTree(entries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Move a handful of rectangles and patch.
+	updates := map[int]Rect{}
+	patched := append([]Entry(nil), entries...)
+	src := rng.New(56)
+	for _, id := range []int{3, 17, 42, 99, 180} {
+		a, b := src.Uniform(0, 80), src.Uniform(0, 80)
+		r := MustRect([]float64{a, b}, []float64{a + 5, b + 5})
+		updates[id] = r
+		patched[id].Rect = r
+	}
+	pt, err := tree.Patch(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Len() != tree.Len() || pt.Dims() != tree.Dims() {
+		t.Fatalf("patched tree meta %d/%d", pt.Len(), pt.Dims())
+	}
+
+	for trial := 0; trial < 40; trial++ {
+		a, b := src.Uniform(0, 80), src.Uniform(0, 80)
+		probe := MustRect([]float64{a, b}, []float64{a + src.Uniform(1, 30), b + src.Uniform(1, 30)})
+		want := bruteIntersecting(patched, probe)
+		got := treeIntersecting(t, pt, probe)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: %d vs %d results after patch", trial, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: result mismatch after patch", trial)
+			}
+		}
+		// The receiver stays immutable: searches still see the original
+		// rectangles.
+		wantOld := bruteIntersecting(entries, probe)
+		gotOld := treeIntersecting(t, tree, probe)
+		if len(wantOld) != len(gotOld) {
+			t.Fatalf("trial %d: patch mutated the receiver", trial)
+		}
+	}
+}
+
+func TestRTreePatchErrors(t *testing.T) {
+	tree, _ := BuildRTree(randomEntries(20, 2, 66), 0)
+
+	if pt, err := tree.Patch(nil); err != nil || pt != tree {
+		t.Fatalf("empty patch: %v %p vs %p", err, pt, tree)
+	}
+	if _, err := tree.Patch(map[int]Rect{999: MustRect([]float64{0, 0}, []float64{1, 1})}); err == nil {
+		t.Fatal("accepted unknown entry id")
+	}
+	if _, err := tree.Patch(map[int]Rect{0: MustRect([]float64{0}, []float64{1})}); err == nil {
+		t.Fatal("accepted dim mismatch")
+	}
+	if _, err := tree.Patch(map[int]Rect{0: {Min: []float64{1, 1}, Max: []float64{0, 0}}}); err == nil {
+		t.Fatal("accepted invalid rectangle")
+	}
+}

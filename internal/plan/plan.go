@@ -70,14 +70,16 @@ type Plan struct {
 	// Arenas. overlapArena backs every NodeRank.Overlaps, supportArena
 	// every NodeRank.Supporting and Participant.Clusters, rankArena
 	// backs Rankings, partArena backs fast-path Participants, ranked
-	// is the sort scratch. They are pre-grown to the snapshot's totals
-	// before filling, so mid-loop appends can never reallocate and
-	// invalidate earlier sub-slices.
+	// is the sort scratch, candArena the index walk's candidate roster
+	// indices. They are pre-grown to the snapshot's totals before
+	// filling, so mid-loop appends can never reallocate and invalidate
+	// earlier sub-slices.
 	overlapArena []float64
 	supportArena []int
 	rankArena    []selection.NodeRank
 	partArena    []selection.Participant
 	ranked       []selection.NodeRank
+	candArena    []int
 }
 
 // Snapshot returns the registry snapshot the plan was derived from.
@@ -176,12 +178,25 @@ func (p *Planner) Plan(ctx context.Context, q query.Query, sel selection.Selecto
 // PlanOn plans the query against an explicit snapshot (tests and
 // benchmarks pin snapshots; the serving path uses Plan).
 func (p *Planner) PlanOn(snap *registry.Snapshot, q query.Query, sel selection.Selector, sctx *selection.Context) (*Plan, error) {
+	return p.planOn(snap, q, sel, sctx, false)
+}
+
+// ExplainOn is PlanOn with the R-tree fast path disabled: every
+// ranking row carries full per-dimension overlap detail, including the
+// nodes the index would prove zero. The participant set is identical
+// to PlanOn's — this exists for EXPLAIN surfaces, which show the
+// complete fleet ranking.
+func (p *Planner) ExplainOn(snap *registry.Snapshot, q query.Query, sel selection.Selector, sctx *selection.Context) (*Plan, error) {
+	return p.planOn(snap, q, sel, sctx, true)
+}
+
+func (p *Planner) planOn(snap *registry.Snapshot, q query.Query, sel selection.Selector, sctx *selection.Context, brute bool) (*Plan, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("plan: nil snapshot")
 	}
 	// Fast path: the paper's query-driven mechanism, fully arena-backed.
 	if s, ok := sel.(selection.QueryDriven); ok {
-		return p.planQueryDriven(snap, q, s)
+		return p.planQueryDriven(snap, q, s, brute)
 	}
 
 	eps := DefaultEpsilon
@@ -252,20 +267,82 @@ func (p *Planner) RankOn(snap *registry.Snapshot, q query.Query, epsilon float64
 	return out, epoch, nil
 }
 
-// planQueryDriven is the allocation-free Eq. 2–4 pipeline.
-func (p *Planner) planQueryDriven(snap *registry.Snapshot, q query.Query, s selection.QueryDriven) (*Plan, error) {
+// RankQueryDriven is Rank through the snapshot's spatial index, for
+// callers serving the query-driven policy: nodes the index proves
+// cannot reach ε are returned as explicit zero rows (rank 0, no
+// overlap detail) instead of being scored by the kernel. Participant
+// selection over these rows is bit-identical to the brute ranking —
+// zero-rank nodes are never selected — but the rows are NOT a full
+// EXPLAIN surface (pruned rows carry nil Overlaps). Falls back to the
+// brute kernel when the snapshot has no index.
+func (p *Planner) RankQueryDriven(ctx context.Context, q query.Query, epsilon float64) ([]selection.NodeRank, uint64, error) {
+	snap, err := p.reg.Snapshot(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p.RankQueryDrivenOn(snap, q, epsilon)
+}
+
+// RankQueryDrivenOn is RankQueryDriven against an explicit snapshot.
+func (p *Planner) RankQueryDrivenOn(snap *registry.Snapshot, q query.Query, epsilon float64) ([]selection.NodeRank, uint64, error) {
+	if snap == nil {
+		return nil, 0, fmt.Errorf("plan: nil snapshot")
+	}
+	if snap.Index == nil {
+		return p.RankOn(snap, q, epsilon)
+	}
+	pl, err := p.rankIndexed(snap, q, epsilon, "")
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]selection.NodeRank, len(pl.Rankings))
+	for i, r := range pl.Rankings {
+		out[i] = r
+		out[i].Overlaps = append([]float64(nil), r.Overlaps...)
+		if r.Supporting != nil {
+			out[i].Supporting = append([]int(nil), r.Supporting...)
+		}
+	}
+	epoch := pl.Epoch
+	pl.Release()
+	return out, epoch, nil
+}
+
+// planQueryDriven is the allocation-free Eq. 2–4 pipeline. On indexed
+// snapshots the ranking walks the R-tree first (see rankIndexed); the
+// participant set is bit-identical either way.
+func (p *Planner) planQueryDriven(snap *registry.Snapshot, q query.Query, s selection.QueryDriven, brute bool) (*Plan, error) {
 	if (s.TopL > 0) == (s.Psi > 0) {
 		return nil, fmt.Errorf("selection: query-driven needs exactly one of TopL (%d) or Psi (%v)", s.TopL, s.Psi)
 	}
-	pl, err := p.rank(snap, q, s.Epsilon, s.Name())
+	var (
+		pl  *Plan
+		err error
+	)
+	if snap.Index != nil && !brute {
+		pl, err = p.rankIndexed(snap, q, s.Epsilon, s.Name())
+	} else {
+		pl, err = p.rank(snap, q, s.Epsilon, s.Name())
+		if err == nil && p.reg != nil {
+			p.reg.RecordPlanBrute()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
 
-	// Sort a copy of the ranking (descending rank, node id tie-break —
-	// identical to selection.SortByRank) in the pooled scratch.
+	// Sort only the positive-rank rows (descending rank, node id
+	// tie-break — identical to selection.SortByRank) in the pooled
+	// scratch. Dropping zero-rank rows before the sort cannot change
+	// the outcome — TopL stops at the first Rank <= 0 and ψ is always
+	// > 0 — and keeps the sort proportional to the candidate count,
+	// not the fleet size.
 	pl.ranked = pl.ranked[:0]
-	pl.ranked = append(pl.ranked, pl.rankArena...)
+	for i := range pl.rankArena {
+		if pl.rankArena[i].Rank > 0 {
+			pl.ranked = append(pl.ranked, pl.rankArena[i])
+		}
+	}
 	slices.SortStableFunc(pl.ranked, compareRank)
 
 	pl.partArena = pl.partArena[:0]
@@ -316,6 +393,66 @@ func compareRank(a, b selection.NodeRank) int {
 // order included) matches selection.RankNodes exactly, so the outcome
 // is bit-identical to the legacy per-summary path.
 func (p *Planner) rank(snap *registry.Snapshot, q query.Query, epsilon float64, selName string) (*Plan, error) {
+	pl, err := p.acquire(snap, q, epsilon, selName)
+	if err != nil {
+		return nil, err
+	}
+	for gi := range snap.Nodes {
+		pl.appendKernelRow(&snap.Nodes[gi], q, epsilon)
+	}
+	pl.Rankings = pl.rankArena
+	return pl, nil
+}
+
+// rankIndexed is rank through the snapshot's R-tree: the index walk
+// collects the roster indices whose covering rectangle overlaps the
+// query in at least an ε fraction of dimensions — the only nodes Eq. 2
+// can score at or above ε (per-cluster rates are per-dimension means,
+// and every cluster nests inside its node's covering rectangle). The
+// kernel runs on those candidates only; every pruned node is emitted
+// as an explicit zero row (rank 0, potential 0, no supporting set —
+// exactly the values the brute kernel computes for it, with nil
+// Overlaps standing in for the all-below-ε detail the selection and
+// EXPLAIN surfaces never read). Rankings keep full roster order, so
+// downstream consumers see the same shape as the brute path.
+func (p *Planner) rankIndexed(snap *registry.Snapshot, q query.Query, epsilon float64, selName string) (*Plan, error) {
+	pl, err := p.acquire(snap, q, epsilon, selName)
+	if err != nil {
+		return nil, err
+	}
+	pl.candArena, err = snap.Index.AppendOverlapCandidates(q.Bounds, epsilon, pl.candArena[:0])
+	if err != nil {
+		// Dimensionality already validated by acquire; an index probe
+		// failure means the snapshot is malformed.
+		pl.Release()
+		return nil, fmt.Errorf("plan: index probe: %w", err)
+	}
+	slices.Sort(pl.candArena) // tree order -> roster order for the merge walk
+
+	ci := 0
+	for gi := range snap.Nodes {
+		g := &snap.Nodes[gi]
+		if ci < len(pl.candArena) && pl.candArena[ci] == gi {
+			ci++
+			pl.appendKernelRow(g, q, epsilon)
+			continue
+		}
+		pl.rankArena = append(pl.rankArena, selection.NodeRank{
+			NodeID:       g.NodeID,
+			TotalSamples: g.TotalSamples,
+			Sizes:        g.Sizes,
+		})
+	}
+	pl.Rankings = pl.rankArena
+	if p.reg != nil {
+		p.reg.RecordPlanPrune(len(snap.Nodes), len(snap.Nodes)-len(pl.candArena))
+	}
+	return pl, nil
+}
+
+// acquire checks the query against the snapshot, takes a pooled Plan
+// and readies its arenas.
+func (p *Planner) acquire(snap *registry.Snapshot, q query.Query, epsilon float64, selName string) (*Plan, error) {
 	if epsilon <= 0 {
 		return nil, fmt.Errorf("selection: epsilon %v must be > 0", epsilon)
 	}
@@ -336,9 +473,9 @@ func (p *Planner) rank(snap *registry.Snapshot, q query.Query, epsilon float64, 
 	pl.Selector = selName
 	pl.Epsilon = epsilon
 
-	// Pre-grow every arena to the snapshot's totals so the fill loop
-	// below never reallocates (which would leave earlier sub-slices
-	// pointing into dead backing arrays).
+	// Pre-grow every arena to the snapshot's totals so the fill loops
+	// never reallocate (which would leave earlier sub-slices pointing
+	// into dead backing arrays).
 	if cap(pl.overlapArena) < snap.TotalClusters {
 		pl.overlapArena = make([]float64, 0, snap.TotalClusters)
 	}
@@ -354,42 +491,45 @@ func (p *Planner) rank(snap *registry.Snapshot, q query.Query, epsilon float64, 
 	if cap(pl.partArena) < len(snap.Nodes) {
 		pl.partArena = make([]selection.Participant, 0, len(snap.Nodes))
 	}
+	if cap(pl.candArena) < len(snap.Nodes) {
+		pl.candArena = make([]int, 0, len(snap.Nodes))
+	}
 	pl.overlapArena = pl.overlapArena[:0]
 	pl.supportArena = pl.supportArena[:0]
 	pl.rankArena = pl.rankArena[:0]
-
-	qmin, qmax := q.Bounds.Min, q.Bounds.Max
-	for gi := range snap.Nodes {
-		g := &snap.Nodes[gi]
-		oBase := len(pl.overlapArena)
-		pl.overlapArena = geometry.OverlapRatesFlat(pl.overlapArena, qmin, qmax, g.Mins, g.Maxs)
-		overlaps := pl.overlapArena[oBase:len(pl.overlapArena)]
-
-		sBase := len(pl.supportArena)
-		potential := 0.0
-		supportSamples := 0
-		for k, h := range overlaps {
-			if h >= epsilon {
-				pl.supportArena = append(pl.supportArena, k)
-				potential += h
-				supportSamples += g.Sizes[k]
-			}
-		}
-		supporting := pl.supportArena[sBase:len(pl.supportArena)]
-		if len(supporting) == 0 {
-			supporting = nil // mirror RankNodes: no supporting clusters => nil
-		}
-		pl.rankArena = append(pl.rankArena, selection.NodeRank{
-			NodeID:            g.NodeID,
-			Overlaps:          overlaps,
-			Supporting:        supporting,
-			Potential:         potential,
-			Rank:              potential * float64(len(supporting)) / float64(len(overlaps)),
-			SupportingSamples: supportSamples,
-			TotalSamples:      g.TotalSamples,
-			Sizes:             g.Sizes,
-		})
-	}
-	pl.Rankings = pl.rankArena
 	return pl, nil
+}
+
+// appendKernelRow scores one node with the flat overlap kernel and
+// appends its Eq. 2–4 row to the rank arena.
+func (pl *Plan) appendKernelRow(g *registry.NodeGeom, q query.Query, epsilon float64) {
+	qmin, qmax := q.Bounds.Min, q.Bounds.Max
+	oBase := len(pl.overlapArena)
+	pl.overlapArena = geometry.OverlapRatesFlat(pl.overlapArena, qmin, qmax, g.Mins, g.Maxs)
+	overlaps := pl.overlapArena[oBase:len(pl.overlapArena)]
+
+	sBase := len(pl.supportArena)
+	potential := 0.0
+	supportSamples := 0
+	for k, h := range overlaps {
+		if h >= epsilon {
+			pl.supportArena = append(pl.supportArena, k)
+			potential += h
+			supportSamples += g.Sizes[k]
+		}
+	}
+	supporting := pl.supportArena[sBase:len(pl.supportArena)]
+	if len(supporting) == 0 {
+		supporting = nil // mirror RankNodes: no supporting clusters => nil
+	}
+	pl.rankArena = append(pl.rankArena, selection.NodeRank{
+		NodeID:            g.NodeID,
+		Overlaps:          overlaps,
+		Supporting:        supporting,
+		Potential:         potential,
+		Rank:              potential * float64(len(supporting)) / float64(len(overlaps)),
+		SupportingSamples: supportSamples,
+		TotalSamples:      g.TotalSamples,
+		Sizes:             g.Sizes,
+	})
 }

@@ -191,6 +191,118 @@ func TestPlannerGoldenEquivalence(t *testing.T) {
 	}
 }
 
+// TestPlannerIndexedMatchesBruteGolden replays a 200-query golden
+// workload and requires the R-tree fast path (PlanOn over an indexed
+// snapshot) to agree bit-exactly with the brute kernel (ExplainOn)
+// for every stateless selector: identical participant sets, and for
+// the query-driven rankings identical positive rows, with pruned rows
+// surfacing only as explicit zeros.
+func TestPlannerIndexedMatchesBruteGolden(t *testing.T) {
+	summaries := synthSummaries(40, 4, 3, 314)
+	reg := staticRegistry(t, summaries)
+	snap, err := reg.Snapshot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Index == nil {
+		t.Fatal("snapshot carries no spatial index")
+	}
+	planner := NewPlanner(reg)
+
+	caps := map[string]selection.Capabilities{
+		"node-05": {Compute: 2, Bandwidth: 0.5, Battery: 0.9},
+		"node-21": {Compute: 0.5, Bandwidth: 2, Battery: 0.2},
+	}
+	selectors := []selection.Selector{
+		selection.QueryDriven{Epsilon: 0.6, TopL: 3},
+		selection.QueryDriven{Epsilon: 0.9, TopL: 2},
+		selection.QueryDriven{Epsilon: 0.3, Psi: 0.4},
+		selection.AllNodes{},
+		selection.DataCentric{L: 4, Capabilities: caps},
+		selection.Reward{L: 4, Capabilities: caps},
+	}
+
+	qsrc := rng.New(2718)
+	queries := make([]query.Query, 200)
+	for i := range queries {
+		queries[i] = randomQuery(fmt.Sprintf("ib-%03d", i), 3, qsrc)
+	}
+
+	before := reg.Stats()
+	for _, sel := range selectors {
+		t.Run(sel.Name(), func(t *testing.T) {
+			for _, q := range queries {
+				brute, bruteErr := planner.ExplainOn(snap, q, sel, nil)
+				fast, fastErr := planner.PlanOn(snap, q, sel, nil)
+				if (bruteErr == nil) != (fastErr == nil) {
+					t.Fatalf("query %s: brute err %v, indexed err %v", q.ID, bruteErr, fastErr)
+				}
+				if bruteErr != nil {
+					if errors.Is(bruteErr, selection.ErrNoCandidates) != errors.Is(fastErr, selection.ErrNoCandidates) {
+						t.Fatalf("query %s: error class diverged: %v vs %v", q.ID, bruteErr, fastErr)
+					}
+					continue
+				}
+				if err := sameParticipants(brute.Participants, fast.Participants); err != nil {
+					t.Fatalf("query %s: %v", q.ID, err)
+				}
+				fast.Release()
+				brute.Release()
+			}
+		})
+	}
+
+	// The query-driven ranking surface: positive rows bit-exact, pruned
+	// rows explicit zeros with no overlap detail.
+	pruned := 0
+	for _, q := range queries {
+		want, wantEpoch, err := planner.RankOn(snap, q, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotEpoch, err := planner.RankQueryDrivenOn(snap, q, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantEpoch != gotEpoch || len(want) != len(got) {
+			t.Fatalf("query %s: shape %d@e%d vs %d@e%d", q.ID, len(want), wantEpoch, len(got), gotEpoch)
+		}
+		for i := range want {
+			w, g := want[i], got[i]
+			if w.NodeID != g.NodeID || w.TotalSamples != g.TotalSamples {
+				t.Fatalf("query %s row %d: identity %s/%d vs %s/%d", q.ID, i, w.NodeID, w.TotalSamples, g.NodeID, g.TotalSamples)
+			}
+			if g.Overlaps == nil { // pruned row
+				pruned++
+				if w.Rank > 0 || g.Rank != 0 || g.Potential != 0 || g.Supporting != nil {
+					t.Fatalf("query %s row %d: pruned node %s vs brute %+v", q.ID, i, g.NodeID, w)
+				}
+				continue
+			}
+			if w.Rank != g.Rank || w.Potential != g.Potential || w.SupportingSamples != g.SupportingSamples {
+				t.Fatalf("query %s row %d (%s): %+v vs %+v", q.ID, i, w.NodeID, w, g)
+			}
+		}
+	}
+	if pruned == 0 {
+		t.Fatal("workload exercised no pruning; tighten eps or spread the fleet")
+	}
+
+	after := reg.Stats()
+	if after.IndexedPlans <= before.IndexedPlans {
+		t.Fatalf("IndexedPlans did not advance: %d -> %d", before.IndexedPlans, after.IndexedPlans)
+	}
+	if after.BrutePlans <= before.BrutePlans {
+		t.Fatalf("BrutePlans (EXPLAIN surface) did not advance: %d -> %d", before.BrutePlans, after.BrutePlans)
+	}
+	if after.NodesPruned <= before.NodesPruned {
+		t.Fatalf("NodesPruned did not advance: %d -> %d", before.NodesPruned, after.NodesPruned)
+	}
+	if after.NodesRanked-before.NodesRanked <= after.NodesPruned-before.NodesPruned {
+		t.Fatalf("ranked %d <= pruned %d over the workload", after.NodesRanked-before.NodesRanked, after.NodesPruned-before.NodesPruned)
+	}
+}
+
 // TestPlannerRankingsMatchRankNodes checks the EXPLAIN surface too:
 // the arena-backed per-node ranking must be bit-identical to
 // selection.RankNodes (overlaps, supporting sets, potential, rank,

@@ -149,6 +149,93 @@ func TestGoldenShardedMatchesSingleLeader(t *testing.T) {
 	}
 }
 
+// bruteService forces the fan-out back onto the brute kernel by
+// clearing the QueryDriven hint before the RPC reaches the regional
+// leader, exactly what an old root coordinator would send.
+type bruteService struct{ Service }
+
+func (b bruteService) Plan(ctx context.Context, req PlanRequest) (PlanResponse, error) {
+	req.QueryDriven = false
+	return b.Service.Plan(ctx, req)
+}
+
+// TestGoldenRouterIndexedMatchesBrute replays the golden workload
+// through two identical 2-region topologies — one whose fan-out takes
+// the R-tree-pruned shard rankings, one forced onto the brute kernel —
+// and requires bit-exact participants, local parameters and ensemble
+// predictions. This pins the acceptance contract that index pruning is
+// invisible to the router's merge.
+func TestGoldenRouterIndexedMatchesBrute(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		sel  selection.Selector
+	}{
+		{"topl", selection.QueryDriven{Epsilon: 1e-9, TopL: 2}},
+		{"psi", selection.QueryDriven{Epsilon: 1e-9, Psi: 0.4}},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			indexed, idxLeaders, _ := shardedFixture(t, 2, Config{})
+			_, bruteLeaders, _ := shardedFixture(t, 2, Config{})
+			services := make([]Service, len(bruteLeaders))
+			for i, l := range bruteLeaders {
+				services[i] = bruteService{l}
+			}
+			cfg := fedConfig()
+			brute, err := NewRouter(Config{Spec: cfg.Spec, LocalEpochs: cfg.LocalEpochs, Seed: cfg.Seed}, services)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ctx := context.Background()
+			executed := 0
+			for _, q := range goldenWorkload(200) {
+				want, _, wantErr := brute.ExecuteQuery(ctx, q, tc.sel, federation.WeightedAveraging)
+				got, _, gotErr := indexed.ExecuteQuery(ctx, q, tc.sel, federation.WeightedAveraging)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s: brute err %v vs indexed err %v", q.ID, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if !errors.Is(wantErr, selection.ErrNoCandidates) || !errors.Is(gotErr, selection.ErrNoCandidates) {
+						t.Fatalf("%s: errs %v / %v", q.ID, wantErr, gotErr)
+					}
+					continue
+				}
+				executed++
+				sameParticipants(t, q.ID, want.Participants, got.Participants)
+				sameParams(t, q.ID, want.LocalParams, got.LocalParams)
+				for _, p := range [][]float64{{-5}, {12}, {40.5}, {88}} {
+					if a, b := want.Ensemble.Predict(p), got.Ensemble.Predict(p); a != b {
+						t.Fatalf("%s: ensemble(%v) %v vs %v", q.ID, p, a, b)
+					}
+				}
+			}
+			if executed == 0 {
+				t.Fatal("workload produced no executable queries")
+			}
+
+			var idxPlans, brutePlans, forcedIdx int64
+			for _, l := range idxLeaders {
+				st := l.fed.Registry().Stats()
+				idxPlans += st.IndexedPlans
+				brutePlans += st.BrutePlans
+			}
+			for _, l := range bruteLeaders {
+				forcedIdx += l.fed.Registry().Stats().IndexedPlans
+			}
+			if idxPlans == 0 {
+				t.Fatal("indexed topology never took the R-tree fast path")
+			}
+			if brutePlans != 0 {
+				t.Fatalf("indexed topology fell back to brute %d times", brutePlans)
+			}
+			if forcedIdx != 0 {
+				t.Fatalf("forced-brute topology walked the index %d times", forcedIdx)
+			}
+		})
+	}
+}
+
 // TestGoldenRankingsMatchSingleLeader compares the full EXPLAIN-style
 // rankings: the root's cross-region merged rows must be bit-identical,
 // row for row, to the single leader's planner output over the same
@@ -160,7 +247,7 @@ func TestGoldenRankingsMatchSingleLeader(t *testing.T) {
 	sel := selection.QueryDriven{Epsilon: 1e-9, TopL: 2}
 	compared := 0
 	for _, q := range goldenWorkload(60) {
-		pl, errA := single.PlanContext(ctx, q, sel)
+		pl, errA := single.ExplainContext(ctx, q, sel)
 		ex, errB := router.ExplainQuery(ctx, q, sel)
 		if (errA == nil) != (errB == nil) {
 			t.Fatalf("%s: plan err %v vs explain err %v", q.ID, errA, errB)

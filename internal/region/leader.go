@@ -8,6 +8,7 @@ import (
 
 	"qens/internal/federation"
 	"qens/internal/fleet"
+	"qens/internal/selection"
 )
 
 // Leader is a regional leader: the Service implementation that owns
@@ -77,9 +78,20 @@ func (l *Leader) Info(ctx context.Context) (Info, error) {
 
 // Plan implements Service: the shard's Eq. 2–4 ranking at the
 // requested ε, computed by the same planner kernel the single-leader
-// path runs, with rows that own their memory (wire-safe).
+// path runs, with rows that own their memory (wire-safe). Requests
+// flagged QueryDriven take the R-tree-pruned kernel: identical ranks,
+// but provably-zero nodes skip the per-dimension overlap vectors.
 func (l *Leader) Plan(ctx context.Context, req PlanRequest) (PlanResponse, error) {
-	ranks, epoch, err := l.fed.Planner().Rank(ctx, req.Query, req.Epsilon)
+	var (
+		ranks []selection.NodeRank
+		epoch uint64
+		err   error
+	)
+	if req.QueryDriven {
+		ranks, epoch, err = l.fed.Planner().RankQueryDriven(ctx, req.Query, req.Epsilon)
+	} else {
+		ranks, epoch, err = l.fed.Planner().Rank(ctx, req.Query, req.Epsilon)
+	}
 	if err != nil {
 		return PlanResponse{}, fmt.Errorf("region %s: %w", l.id, err)
 	}

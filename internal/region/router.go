@@ -16,6 +16,7 @@ import (
 	"qens/internal/ml"
 	"qens/internal/plan"
 	"qens/internal/query"
+	"qens/internal/registry"
 	"qens/internal/rng"
 	"qens/internal/selection"
 	"qens/internal/telemetry"
@@ -113,11 +114,12 @@ type Router struct {
 
 	cache *reuseCache
 
-	queries   atomic.Int64
-	spanning  atomic.Int64 // fan-outs that hit every region
-	noRoute   atomic.Int64 // queries rejected with zero overlapping regions
-	selectMu  sync.Mutex   // serializes selection RNG draws with the seed draw
-	metricReg *telemetry.Registry
+	queries       atomic.Int64
+	spanning      atomic.Int64 // fan-outs that hit every region
+	noRoute       atomic.Int64 // queries rejected with zero overlapping regions
+	regionsPruned atomic.Int64 // regions skipped by the Eq. 2 routing bound
+	selectMu      sync.Mutex   // serializes selection RNG draws with the seed draw
+	metricReg     *telemetry.Registry
 }
 
 // NewRouter builds a root coordinator over the regional services. No
@@ -346,6 +348,7 @@ func (r *Router) route(t *topology, q query.Query, sel selection.Selector, eps f
 		}
 		routed = append(routed, i)
 	}
+	r.regionsPruned.Add(int64(len(all) - len(routed)))
 	if len(routed) == 0 {
 		r.noRoute.Add(1)
 		return nil, selection.ErrNoCandidates
@@ -399,6 +402,11 @@ func (r *Router) planFanout(ctx context.Context, parent *telemetry.SpanHandle, t
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	// The paper's stateless query-driven policy never reads per-node
+	// overlap vectors, so its fan-out may take the regions'
+	// R-tree-pruned kernel; every other selector needs full-fidelity
+	// rows.
+	_, queryDriven := sel.(selection.QueryDriven)
 	resps := make([]PlanResponse, len(routed))
 	errs := make([]error, len(routed))
 	var wg sync.WaitGroup
@@ -412,7 +420,7 @@ func (r *Router) planFanout(ctx context.Context, parent *telemetry.SpanHandle, t
 				sp = parent.Child("region.plan")
 				sp.SetAttr("region", m.id)
 			}
-			resps[k], errs[k] = m.svc.Plan(ctx, PlanRequest{Query: q, Epsilon: eps})
+			resps[k], errs[k] = m.svc.Plan(ctx, PlanRequest{Query: q, Epsilon: eps, QueryDriven: queryDriven})
 			if sp != nil {
 				sp.End(errs[k])
 			}
@@ -812,43 +820,65 @@ func (r *Router) ExplainQuery(ctx context.Context, q query.Query, sel selection.
 // (it is not QueryDriven) while keeping the caller's ε.
 type allNodesSelector = selection.AllNodes
 
-// RegionStat is one region's routing view in RouterStats.
+// RegionStat is one region's routing view in RouterStats. Registry
+// carries the region's own registry counters (index/prune/delta
+// refresh) when the region answered its Stats RPC in time; it is nil
+// for regions that failed to report — routing stats stay available
+// regardless.
 type RegionStat struct {
-	RegionID string   `json:"region_id"`
-	Nodes    int      `json:"nodes"`
-	Epoch    uint64   `json:"epoch"`
-	Routed   int64    `json:"routed"`
-	NodeIDs  []string `json:"node_ids,omitempty"`
+	RegionID string          `json:"region_id"`
+	Nodes    int             `json:"nodes"`
+	Epoch    uint64          `json:"epoch"`
+	Routed   int64           `json:"routed"`
+	NodeIDs  []string        `json:"node_ids,omitempty"`
+	Registry *registry.Stats `json:"registry,omitempty"`
 }
 
 // RouterStats is the root coordinator's introspection block served
 // under /v1/stats.
 type RouterStats struct {
-	Generation uint64       `json:"generation"`
-	Queries    int64        `json:"queries"`
-	Spanning   int64        `json:"spanning_fanouts"`
-	NoRoute    int64        `json:"no_route_rejects"`
-	Reuse      *ReuseStats  `json:"reuse_cache,omitempty"`
-	Regions    []RegionStat `json:"regions"`
+	Generation    uint64       `json:"generation"`
+	Queries       int64        `json:"queries"`
+	Spanning      int64        `json:"spanning_fanouts"`
+	NoRoute       int64        `json:"no_route_rejects"`
+	RegionsPruned int64        `json:"regions_pruned"`
+	Reuse         *ReuseStats  `json:"reuse_cache,omitempty"`
+	Regions       []RegionStat `json:"regions"`
 }
 
 // Stats resolves the topology and reports per-region shard membership,
-// routing counts and epochs.
+// routing counts, epochs and (best-effort) registry counters.
 func (r *Router) Stats(ctx context.Context) (RouterStats, error) {
 	t, err := r.topology(ctx)
 	if err != nil {
 		return RouterStats{}, err
 	}
 	st := RouterStats{
-		Generation: t.gen,
-		Queries:    r.queries.Load(),
-		Spanning:   r.spanning.Load(),
-		NoRoute:    r.noRoute.Load(),
+		Generation:    t.gen,
+		Queries:       r.queries.Load(),
+		Spanning:      r.spanning.Load(),
+		NoRoute:       r.noRoute.Load(),
+		RegionsPruned: r.regionsPruned.Load(),
 	}
 	if r.cache != nil {
 		rs := r.cache.stats()
 		st.Reuse = &rs
 	}
+	// Best-effort per-region registry counters: a slow or failed region
+	// leaves its Registry block nil instead of failing the whole report.
+	regStats := make([]*registry.Stats, len(r.members))
+	var wg sync.WaitGroup
+	for i, m := range r.members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			if rs, err := m.svc.Stats(ctx); err == nil {
+				cp := rs.Registry
+				regStats[i] = &cp
+			}
+		}(i, m)
+	}
+	wg.Wait()
 	for i, m := range r.members {
 		ids := make([]string, 0, len(t.infos[i].Nodes))
 		for _, n := range t.infos[i].Nodes {
@@ -860,6 +890,7 @@ func (r *Router) Stats(ctx context.Context) (RouterStats, error) {
 			Epoch:    m.epoch.Load(),
 			Routed:   m.routed.Load(),
 			NodeIDs:  ids,
+			Registry: regStats[i],
 		})
 	}
 	return st, nil

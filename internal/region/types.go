@@ -62,9 +62,16 @@ type Info struct {
 }
 
 // PlanRequest asks a region to rank its shard for one query at ε.
+// QueryDriven marks the ranking as feeding a stateless Eq. 2–4
+// selector, which lets the region take the R-tree-pruned fast path:
+// nodes whose covering rectangles provably score zero come back as
+// zero-rank rows without per-dimension overlap vectors. Selectors
+// that inspect Overlaps (or replay at a different ε) must leave it
+// false to get full-fidelity rows.
 type PlanRequest struct {
-	Query   query.Query `json:"query"`
-	Epsilon float64     `json:"epsilon"`
+	Query       query.Query `json:"query"`
+	Epsilon     float64     `json:"epsilon"`
+	QueryDriven bool        `json:"query_driven,omitempty"`
 }
 
 // PlanResponse carries the shard's Eq. 2–4 ranking rows and the

@@ -30,6 +30,30 @@ import (
 // return one summary per node in stable roster order.
 type FetchFunc func(ctx context.Context) ([]cluster.NodeSummary, error)
 
+// NodeEpoch pairs a roster node with the summary epoch the registry
+// already holds for it. A zero Epoch demands a full summary (first
+// fetch for the node, or a forced re-fetch after InvalidateNode).
+type NodeEpoch struct {
+	NodeID string
+	Epoch  uint64
+}
+
+// Delta is one node's answer to an epoch-conditional summary fetch:
+// either Unchanged (the node's advertisement still carries the known
+// epoch, no summary body moved) or a full refreshed Summary.
+type Delta struct {
+	NodeID    string
+	Unchanged bool
+	Summary   cluster.NodeSummary // valid only when !Unchanged
+}
+
+// DeltaFetchFunc collects per-node summary deltas: one Delta per
+// current roster node, in stable roster order. known carries the
+// per-node epochs the registry holds; implementations must answer an
+// entry with Epoch 0 with a full summary. Called with refreshes
+// serialized, like FetchFunc.
+type DeltaFetchFunc func(ctx context.Context, known []NodeEpoch) ([]Delta, error)
+
 // NodeGeom is one node's advertisement re-packed for the batch overlap
 // kernel: all cluster rectangles in flat min/max slices (rect-major,
 // see geometry.FlattenRects) plus the per-cluster sizes the ranking
@@ -97,10 +121,26 @@ func (s *Snapshot) NodeSummaryEpoch(nodeID string) uint64 {
 	return s.epochByNode[nodeID]
 }
 
+// DefaultRebuildChurn is the changed-node fraction above which a delta
+// refresh rebuilds the R-tree from scratch instead of patching it in
+// place (patching preserves the stale leaf layout, which degrades
+// packing quality as rectangles drift).
+const DefaultRebuildChurn = 0.25
+
 // Config parameterizes a Registry.
 type Config struct {
 	// Fetch collects the fleet's advertisements. Required.
 	Fetch FetchFunc
+	// FetchDelta, when set, switches refreshes of an already-populated
+	// registry to per-node epoch-conditional deltas: nodes whose
+	// advertised epoch still matches the snapshot are reused without
+	// moving a summary body, so refresh bytes scale with churn instead
+	// of fleet size. The first refresh (and any refresh after
+	// Invalidate) still goes through Fetch.
+	FetchDelta DeltaFetchFunc
+	// RebuildChurn overrides DefaultRebuildChurn (a value > 1 patches
+	// always, < 0 rebuilds always). Ignored without FetchDelta.
+	RebuildChurn float64
 	// TTL expires a snapshot after this age, forcing the next
 	// Snapshot call to re-fetch (0 = snapshots never expire by age;
 	// only Invalidate or Refresh replace them).
@@ -113,9 +153,11 @@ type Config struct {
 // Snapshot at steady state, Epoch, ReuseEpoch) are lock-free; only
 // refreshes serialize on an internal mutex.
 type Registry struct {
-	fetch FetchFunc
-	ttl   time.Duration
-	now   func() time.Time
+	fetch        FetchFunc
+	fetchDelta   DeltaFetchFunc
+	rebuildChurn float64
+	ttl          time.Duration
+	now          func() time.Time
 
 	cur   atomic.Pointer[Snapshot]
 	stale atomic.Bool
@@ -123,8 +165,33 @@ type Registry struct {
 
 	refreshMu sync.Mutex // serializes fetch+publish
 
+	// forceMu guards the stale-delta escape hatch: nodes listed in
+	// forceFull are re-fetched with a zero known-epoch on the next
+	// delta refresh even when their advertised epoch looks current;
+	// forceAll demotes the next refresh to a full fleet fetch.
+	forceMu   sync.Mutex
+	forceFull map[string]bool
+	forceAll  bool
+
 	refreshes     atomic.Int64
 	invalidations atomic.Int64
+
+	fullRefreshes  atomic.Int64
+	deltaRefreshes atomic.Int64
+	nodesReused    atomic.Int64
+	nodesRefetched atomic.Int64
+	deltaBytes     atomic.Int64
+	fullBytes      atomic.Int64
+	indexPatches   atomic.Int64
+	indexRebuilds  atomic.Int64
+
+	// Planner-side index counters, accumulated through RecordPlanPrune /
+	// RecordPlanBrute so index effectiveness surfaces in Stats next to
+	// the refresh accounting it depends on.
+	indexedPlans atomic.Int64
+	brutePlans   atomic.Int64
+	nodesRanked  atomic.Int64
+	nodesPruned  atomic.Int64
 
 	bgMu   sync.Mutex
 	bgStop chan struct{}
@@ -144,7 +211,15 @@ func New(cfg Config) (*Registry, error) {
 	if now == nil {
 		now = time.Now
 	}
-	return &Registry{fetch: cfg.Fetch, ttl: cfg.TTL, now: now}, nil
+	churn := cfg.RebuildChurn
+	if churn == 0 {
+		churn = DefaultRebuildChurn
+	}
+	r := &Registry{fetch: cfg.Fetch, fetchDelta: cfg.FetchDelta, rebuildChurn: churn, ttl: cfg.TTL, now: now}
+	if r.fetchDelta != nil {
+		r.forceFull = make(map[string]bool)
+	}
+	return r, nil
 }
 
 // Current returns the latest published snapshot without fetching;
@@ -202,11 +277,16 @@ func (r *Registry) Refresh(ctx context.Context) (*Snapshot, error) {
 	if s := r.cur.Load(); s != nil && s.Epoch > before && !r.stale.Load() && !r.expired(s) {
 		return s, nil
 	}
-	summaries, err := r.fetch(ctx)
-	if err != nil {
-		return nil, err
+	prev := r.cur.Load()
+	var (
+		snap *Snapshot
+		err  error
+	)
+	if r.fetchDelta != nil && prev != nil && !r.takeForceAll() {
+		snap, err = r.refreshDelta(ctx, prev)
+	} else {
+		snap, err = r.refreshFull(ctx)
 	}
-	snap, err := buildSnapshot(summaries)
 	if err != nil {
 		return nil, err
 	}
@@ -218,19 +298,183 @@ func (r *Registry) Refresh(ctx context.Context) (*Snapshot, error) {
 	return snap, nil
 }
 
+// refreshFull re-fetches every advertisement and rebuilds the snapshot
+// (and its index) from scratch. On success the per-node force set is
+// cleared — a full fetch supersedes any pending forced re-fetches.
+func (r *Registry) refreshFull(ctx context.Context) (*Snapshot, error) {
+	var pending []string
+	if r.fetchDelta != nil {
+		r.forceMu.Lock()
+		for id := range r.forceFull {
+			pending = append(pending, id)
+		}
+		r.forceMu.Unlock()
+	}
+	summaries, err := r.fetch(ctx)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := buildSnapshot(summaries)
+	if err != nil {
+		return nil, err
+	}
+	var bytes int64
+	for i := range summaries {
+		bytes += summaryWireBytes(&summaries[i])
+	}
+	r.fullBytes.Add(bytes)
+	r.fullRefreshes.Add(1)
+	if r.fetchDelta != nil {
+		r.indexRebuilds.Add(1)
+		// The full fetch satisfied every re-fetch pending when it
+		// started; signals that arrived during it stay forced.
+		r.forceMu.Lock()
+		for _, id := range pending {
+			delete(r.forceFull, id)
+		}
+		r.forceMu.Unlock()
+	}
+	return snap, nil
+}
+
+// takeForceAll consumes the force-all flag (set by Invalidate on a
+// delta-refreshed registry).
+func (r *Registry) takeForceAll() bool {
+	if r.fetchDelta == nil {
+		return false
+	}
+	r.forceMu.Lock()
+	defer r.forceMu.Unlock()
+	all := r.forceAll
+	r.forceAll = false
+	return all
+}
+
+// refreshDelta refreshes via epoch-conditional per-node deltas against
+// the previous snapshot: unchanged nodes reuse their validated summary
+// and re-packed geometry, changed nodes are re-validated, and the
+// R-tree is patched in place below the churn threshold (rebuilt above
+// it, or whenever the roster itself changed).
+func (r *Registry) refreshDelta(ctx context.Context, prev *Snapshot) (*Snapshot, error) {
+	r.forceMu.Lock()
+	forced := make(map[string]bool, len(r.forceFull))
+	for id := range r.forceFull {
+		forced[id] = true
+	}
+	r.forceMu.Unlock()
+
+	known := make([]NodeEpoch, len(prev.Nodes))
+	for i := range prev.Nodes {
+		e := prev.Nodes[i].SummaryEpoch
+		if forced[prev.Nodes[i].NodeID] {
+			e = 0 // stale-delta escape hatch: demand a full summary
+		}
+		known[i] = NodeEpoch{NodeID: prev.Nodes[i].NodeID, Epoch: e}
+	}
+	deltas, err := r.fetchDelta(ctx, known)
+	if err != nil {
+		return nil, err
+	}
+	if len(deltas) == 0 {
+		return nil, errors.New("registry: delta fetch returned no deltas")
+	}
+
+	prevIdx := make(map[string]int, len(prev.Nodes))
+	for i := range prev.Nodes {
+		prevIdx[prev.Nodes[i].NodeID] = i
+	}
+	summaries := make([]cluster.NodeSummary, len(deltas))
+	changed := make([]int, 0, len(deltas))
+	rosterSame := len(deltas) == len(prev.Nodes)
+	var bytes int64
+	for i, d := range deltas {
+		if rosterSame && d.NodeID != prev.Nodes[i].NodeID {
+			rosterSame = false
+		}
+		if d.Unchanged {
+			j, ok := prevIdx[d.NodeID]
+			if !ok {
+				return nil, fmt.Errorf("registry: delta marks unknown node %q unchanged", d.NodeID)
+			}
+			if forced[d.NodeID] {
+				return nil, fmt.Errorf("registry: node %q answered a forced re-fetch with unchanged", d.NodeID)
+			}
+			summaries[i] = prev.Summaries[j]
+			bytes += deltaProbeBytes
+			continue
+		}
+		summaries[i] = d.Summary
+		changed = append(changed, i)
+		bytes += deltaProbeBytes + summaryWireBytes(&summaries[i])
+	}
+
+	var snap *Snapshot
+	churn := float64(len(changed)) / float64(len(deltas))
+	if rosterSame && prev.Index != nil && churn <= r.rebuildChurn {
+		snap, err = buildSnapshotPatched(prev, summaries, changed)
+		if err == nil {
+			r.indexPatches.Add(1)
+		}
+	} else {
+		snap, err = buildSnapshot(summaries)
+		if err == nil {
+			r.indexRebuilds.Add(1)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	r.deltaBytes.Add(bytes)
+	r.deltaRefreshes.Add(1)
+	r.nodesReused.Add(int64(len(deltas) - len(changed)))
+	r.nodesRefetched.Add(int64(len(changed)))
+	// Only now that the snapshot is published-ready may the forced set
+	// shrink; entries signaled during the fetch stay for the next round.
+	r.forceMu.Lock()
+	for id := range forced {
+		delete(r.forceFull, id)
+	}
+	r.forceMu.Unlock()
+	return snap, nil
+}
+
 // Invalidate marks the current snapshot stale: the next Snapshot call
 // (or background refresh tick) re-fetches the fleet and bumps the
-// epoch. Idempotent and lock-free.
+// epoch. On a delta-refreshed registry that next refresh is demoted to
+// a full fleet fetch — an explicit invalidation means the epochs the
+// conditional path would trust are themselves suspect. Idempotent.
 func (r *Registry) Invalidate() {
+	if r.fetchDelta != nil {
+		r.forceMu.Lock()
+		r.forceAll = true
+		r.forceMu.Unlock()
+	}
+	r.stale.Store(true)
+	r.invalidations.Add(1)
+}
+
+// InvalidateNode marks one node's advertisement suspect: the current
+// snapshot goes stale and — on a delta-refreshed registry — the next
+// refresh re-fetches that node with a zero known-epoch, bypassing the
+// "unchanged" fast path even when the node's advertised epoch looks
+// current. This is the stale-delta escape hatch: a node that changed
+// content without (visibly) bumping its epoch would otherwise be
+// served from the reused summary forever.
+func (r *Registry) InvalidateNode(nodeID string) {
+	if r.fetchDelta != nil {
+		r.forceMu.Lock()
+		r.forceFull[nodeID] = true
+		r.forceMu.Unlock()
+	}
 	r.stale.Store(true)
 	r.invalidations.Add(1)
 }
 
 // SignalNodeEpoch reports a node-side advertisement version observed
 // out-of-band (e.g. echoed on a training response). When it is newer
-// than what the current snapshot recorded for that node, the registry
-// is invalidated so the next query re-fetches. It returns true when
-// drift was detected.
+// than what the current snapshot recorded for that node, that node is
+// invalidated (see InvalidateNode) so the next query re-fetches it in
+// full. It returns true when drift was detected.
 func (r *Registry) SignalNodeEpoch(nodeID string, epoch uint64) bool {
 	if epoch == 0 {
 		return false
@@ -243,11 +487,13 @@ func (r *Registry) SignalNodeEpoch(nodeID string, epoch uint64) bool {
 	if !ok || epoch <= known {
 		return false
 	}
-	r.Invalidate()
+	r.InvalidateNode(nodeID)
 	return true
 }
 
-// Stats is a point-in-time account of registry activity.
+// Stats is a point-in-time account of registry activity. The refresh
+// byte counters are wire-size estimates (see summaryWireBytes), kept
+// here rather than in transport so simulated fleets report them too.
 type Stats struct {
 	Epoch         uint64    `json:"epoch"`
 	Stale         bool      `json:"stale"`
@@ -255,21 +501,67 @@ type Stats struct {
 	Invalidations int64     `json:"invalidations"`
 	FetchedAt     time.Time `json:"fetched_at"`
 	Nodes         int       `json:"nodes"`
+
+	// Delta-refresh accounting (all zero on a full-fetch registry).
+	FullRefreshes  int64 `json:"full_refreshes"`
+	DeltaRefreshes int64 `json:"delta_refreshes"`
+	NodesReused    int64 `json:"delta_nodes_reused"`
+	NodesRefetched int64 `json:"delta_nodes_refetched"`
+	DeltaBytes     int64 `json:"delta_refresh_bytes"`
+	FullBytes      int64 `json:"full_refresh_bytes"`
+	IndexPatches   int64 `json:"index_patches"`
+	IndexRebuilds  int64 `json:"index_rebuilds"`
+
+	// Planner index accounting (see RecordPlanPrune): how many
+	// query-driven plans walked the R-tree and how many roster rows the
+	// walk spared the Eq. 2–4 kernel.
+	IndexedPlans int64 `json:"indexed_plans"`
+	BrutePlans   int64 `json:"brute_plans"`
+	NodesRanked  int64 `json:"nodes_ranked"`
+	NodesPruned  int64 `json:"nodes_pruned"`
 }
 
 // Stats snapshots the registry counters.
 func (r *Registry) Stats() Stats {
 	st := Stats{
-		Epoch:         r.epoch.Load(),
-		Stale:         r.stale.Load(),
-		Refreshes:     r.refreshes.Load(),
-		Invalidations: r.invalidations.Load(),
+		Epoch:          r.epoch.Load(),
+		Stale:          r.stale.Load(),
+		Refreshes:      r.refreshes.Load(),
+		Invalidations:  r.invalidations.Load(),
+		FullRefreshes:  r.fullRefreshes.Load(),
+		DeltaRefreshes: r.deltaRefreshes.Load(),
+		NodesReused:    r.nodesReused.Load(),
+		NodesRefetched: r.nodesRefetched.Load(),
+		DeltaBytes:     r.deltaBytes.Load(),
+		FullBytes:      r.fullBytes.Load(),
+		IndexPatches:   r.indexPatches.Load(),
+		IndexRebuilds:  r.indexRebuilds.Load(),
+		IndexedPlans:   r.indexedPlans.Load(),
+		BrutePlans:     r.brutePlans.Load(),
+		NodesRanked:    r.nodesRanked.Load(),
+		NodesPruned:    r.nodesPruned.Load(),
 	}
 	if s := r.cur.Load(); s != nil {
 		st.FetchedAt = s.FetchedAt
 		st.Nodes = len(s.Nodes)
 	}
 	return st
+}
+
+// RecordPlanPrune accumulates one indexed plan's pruning outcome:
+// total roster rows considered and how many the index walk excluded
+// before the overlap kernel. Atomics only — safe on the planner's
+// allocation-free fast path.
+func (r *Registry) RecordPlanPrune(total, pruned int) {
+	r.indexedPlans.Add(1)
+	r.nodesRanked.Add(int64(total))
+	r.nodesPruned.Add(int64(pruned))
+}
+
+// RecordPlanBrute counts one query-driven plan that fell back to the
+// brute kernel (snapshot without an index).
+func (r *Registry) RecordPlanBrute() {
+	r.brutePlans.Add(1)
 }
 
 // StartRefresh launches a background goroutine that re-fetches the
@@ -346,24 +638,7 @@ func buildSnapshot(summaries []cluster.NodeSummary) (*Snapshot, error) {
 		} else if dims != snap.Dims {
 			return nil, fmt.Errorf("registry: node %s advertises %d dims, fleet has %d", s.NodeID, dims, snap.Dims)
 		}
-		g := NodeGeom{
-			NodeID:       s.NodeID,
-			Mins:         make([]float64, 0, len(s.Clusters)*dims),
-			Maxs:         make([]float64, 0, len(s.Clusters)*dims),
-			Sizes:        make([]int, 0, len(s.Clusters)),
-			TotalSamples: s.TotalSamples,
-			SummaryEpoch: s.Epoch,
-		}
-		rects := make([]geometry.Rect, len(s.Clusters))
-		bound := s.Clusters[0].Bounds.Clone()
-		for i, c := range s.Clusters {
-			rects[i] = c.Bounds
-			g.Sizes = append(g.Sizes, c.Size)
-			if i > 0 {
-				bound = bound.Union(c.Bounds)
-			}
-		}
-		g.Mins, g.Maxs = geometry.FlattenRects(g.Mins, g.Maxs, rects)
+		g, bound := buildNodeGeom(s)
 		snap.Nodes = append(snap.Nodes, g)
 		snap.NodeBounds = append(snap.NodeBounds, bound)
 		snap.TotalClusters += len(s.Clusters)
@@ -380,4 +655,89 @@ func buildSnapshot(summaries []cluster.NodeSummary) (*Snapshot, error) {
 	}
 	snap.Index = index
 	return snap, nil
+}
+
+// buildNodeGeom re-packs one validated advertisement into the flat
+// kernel layout and its covering rectangle.
+func buildNodeGeom(s cluster.NodeSummary) (NodeGeom, geometry.Rect) {
+	dims := s.Clusters[0].Bounds.Dims()
+	g := NodeGeom{
+		NodeID:       s.NodeID,
+		Mins:         make([]float64, 0, len(s.Clusters)*dims),
+		Maxs:         make([]float64, 0, len(s.Clusters)*dims),
+		Sizes:        make([]int, 0, len(s.Clusters)),
+		TotalSamples: s.TotalSamples,
+		SummaryEpoch: s.Epoch,
+	}
+	rects := make([]geometry.Rect, len(s.Clusters))
+	bound := s.Clusters[0].Bounds.Clone()
+	for i, c := range s.Clusters {
+		rects[i] = c.Bounds
+		g.Sizes = append(g.Sizes, c.Size)
+		if i > 0 {
+			bound = bound.Union(c.Bounds)
+		}
+	}
+	g.Mins, g.Maxs = geometry.FlattenRects(g.Mins, g.Maxs, rects)
+	return g, bound
+}
+
+// buildSnapshotPatched builds a snapshot sharing the previous one's
+// re-packed geometry for every unchanged node: only the roster indices
+// listed in changed are re-validated and re-packed, and the R-tree is
+// patched (path-copied) rather than rebuilt. The caller guarantees the
+// roster (ids and order) matches prev.
+func buildSnapshotPatched(prev *Snapshot, summaries []cluster.NodeSummary, changed []int) (*Snapshot, error) {
+	snap := &Snapshot{
+		Summaries:   summaries,
+		Nodes:       append([]NodeGeom(nil), prev.Nodes...),
+		Dims:        prev.Dims,
+		NodeBounds:  append([]geometry.Rect(nil), prev.NodeBounds...),
+		epochByNode: make(map[string]uint64, len(summaries)),
+	}
+	updates := make(map[int]geometry.Rect, len(changed))
+	for _, i := range changed {
+		s := summaries[i]
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("registry: node %s: %w", s.NodeID, err)
+		}
+		if s.NodeID != prev.Nodes[i].NodeID {
+			return nil, fmt.Errorf("registry: delta %d renamed node %q to %q", i, prev.Nodes[i].NodeID, s.NodeID)
+		}
+		if dims := s.Clusters[0].Bounds.Dims(); dims != prev.Dims {
+			return nil, fmt.Errorf("registry: node %s advertises %d dims, fleet has %d", s.NodeID, dims, prev.Dims)
+		}
+		g, bound := buildNodeGeom(s)
+		snap.Nodes[i] = g
+		snap.NodeBounds[i] = bound
+		updates[i] = bound
+	}
+	for i := range snap.Nodes {
+		snap.TotalClusters += snap.Nodes[i].K()
+		snap.TotalSamples += snap.Nodes[i].TotalSamples
+		snap.epochByNode[snap.Nodes[i].NodeID] = snap.Nodes[i].SummaryEpoch
+	}
+	index, err := prev.Index.Patch(updates)
+	if err != nil {
+		return nil, fmt.Errorf("registry: node index patch: %w", err)
+	}
+	snap.Index = index
+	return snap, nil
+}
+
+// deltaProbeBytes approximates the wire cost of one epoch-conditional
+// exchange answered "unchanged": the request's known-epoch entry plus
+// the response's envelope epoch stamp.
+const deltaProbeBytes = 24
+
+// summaryWireBytes approximates one advertisement's v2 wire size: id
+// and counters plus, per cluster, the bounds rectangle, centroid and
+// size. Used for the delta-vs-full refresh accounting in Stats.
+func summaryWireBytes(s *cluster.NodeSummary) int64 {
+	n := int64(len(s.NodeID)) + 16
+	for i := range s.Clusters {
+		c := &s.Clusters[i]
+		n += int64(8*(2*c.Bounds.Dims()+len(c.Centroid))) + 8
+	}
+	return n
 }

@@ -53,6 +53,7 @@ type Client struct {
 }
 
 var _ federation.Client = (*Client)(nil)
+var _ federation.DeltaSummaryClient = (*Client)(nil)
 
 // DialOptions configures a client.
 type DialOptions struct {
@@ -290,6 +291,31 @@ func (c *Client) Summary(ctx context.Context) (cluster.NodeSummary, error) {
 		sum.Epoch = resp.SummaryEpoch
 	}
 	return sum, nil
+}
+
+// SummaryIfChanged implements the registry's delta-refresh probe: it
+// advertises the summary epoch the caller already holds and returns
+// unchanged=true (zero summary) when the daemon confirms it is still
+// current, or the fresh summary otherwise. known == 0 always fetches.
+// Daemons predating the epoch-conditional fast path skip the request
+// section by length and answer with the full summary — the probe
+// degrades to Summary, never to an error.
+func (c *Client) SummaryIfChanged(ctx context.Context, known uint64) (cluster.NodeSummary, bool, error) {
+	resp, err := c.roundTrip(ctx, request{Type: typeSummary, KnownSummaryEpoch: known})
+	if err != nil {
+		return cluster.NodeSummary{}, false, err
+	}
+	if resp.SummaryUnchanged {
+		return cluster.NodeSummary{}, true, nil
+	}
+	if resp.Summary == nil {
+		return cluster.NodeSummary{}, false, errors.New("transport: daemon returned no summary")
+	}
+	sum := *resp.Summary
+	if sum.Epoch == 0 {
+		sum.Epoch = resp.SummaryEpoch
+	}
+	return sum, false, nil
 }
 
 // Train implements federation.Client. The request's trace/span IDs

@@ -26,15 +26,20 @@ import (
 // the ping handshake, advertises the highest wire protocol the client
 // speaks (absent/0 means v1-only; see wire.go).
 type request struct {
-	Type           string                   `json:"type"`
-	WireProto      int                      `json:"wire_proto,omitempty"`
-	TraceID        string                   `json:"trace_id,omitempty"`
-	SpanID         string                   `json:"span_id,omitempty"`
-	DeadlineUnixMS int64                    `json:"deadline_unix_ms,omitempty"`
-	Train          *federation.TrainRequest `json:"train,omitempty"`
-	Eval           *federation.EvalRequest  `json:"eval,omitempty"`
-	RegionPlan     *region.PlanRequest      `json:"region_plan,omitempty"`
-	RegionTrain    *region.TrainRequest     `json:"region_train,omitempty"`
+	Type           string `json:"type"`
+	WireProto      int    `json:"wire_proto,omitempty"`
+	TraceID        string `json:"trace_id,omitempty"`
+	SpanID         string `json:"span_id,omitempty"`
+	DeadlineUnixMS int64  `json:"deadline_unix_ms,omitempty"`
+	// KnownSummaryEpoch (summary requests only) advertises the summary
+	// epoch the caller already holds; a node whose advertisement still
+	// carries that epoch answers summary_unchanged instead of the full
+	// body. Zero means "send everything" (the pre-delta behavior).
+	KnownSummaryEpoch uint64                   `json:"known_summary_epoch,omitempty"`
+	Train             *federation.TrainRequest `json:"train,omitempty"`
+	Eval              *federation.EvalRequest  `json:"eval,omitempty"`
+	RegionPlan        *region.PlanRequest      `json:"region_plan,omitempty"`
+	RegionTrain       *region.TrainRequest     `json:"region_train,omitempty"`
 }
 
 // response is the wire envelope returned by a participant. Code
@@ -47,19 +52,22 @@ type request struct {
 // protocol: after a response carrying wire_proto >= 2 both sides
 // switch the connection to the binary v2 codec.
 type response struct {
-	Error        string                    `json:"error,omitempty"`
-	Code         string                    `json:"code,omitempty"`
-	WireProto    int                       `json:"wire_proto,omitempty"`
-	TraceID      string                    `json:"trace_id,omitempty"`
-	NodeID       string                    `json:"node_id,omitempty"`
-	SummaryEpoch uint64                    `json:"summary_epoch,omitempty"`
-	Summary      *cluster.NodeSummary      `json:"summary,omitempty"`
-	Train        *federation.TrainResponse `json:"train,omitempty"`
-	Eval         *federation.EvalResponse  `json:"eval,omitempty"`
-	RegionInfo   *region.Info              `json:"region_info,omitempty"`
-	RegionPlan   *region.PlanResponse      `json:"region_plan,omitempty"`
-	RegionTrain  *region.TrainResponse     `json:"region_train,omitempty"`
-	RegionStats  *region.Stats             `json:"region_stats,omitempty"`
+	Error        string               `json:"error,omitempty"`
+	Code         string               `json:"code,omitempty"`
+	WireProto    int                  `json:"wire_proto,omitempty"`
+	TraceID      string               `json:"trace_id,omitempty"`
+	NodeID       string               `json:"node_id,omitempty"`
+	SummaryEpoch uint64               `json:"summary_epoch,omitempty"`
+	Summary      *cluster.NodeSummary `json:"summary,omitempty"`
+	// SummaryUnchanged confirms the requester's known_summary_epoch is
+	// still current; the summary body is omitted.
+	SummaryUnchanged bool                      `json:"summary_unchanged,omitempty"`
+	Train            *federation.TrainResponse `json:"train,omitempty"`
+	Eval             *federation.EvalResponse  `json:"eval,omitempty"`
+	RegionInfo       *region.Info              `json:"region_info,omitempty"`
+	RegionPlan       *region.PlanResponse      `json:"region_plan,omitempty"`
+	RegionTrain      *region.TrainResponse     `json:"region_train,omitempty"`
+	RegionStats      *region.Stats             `json:"region_stats,omitempty"`
 }
 
 // codec labels for wire metrics.
@@ -632,6 +640,15 @@ func (s *Server) handle(ctx context.Context, req request) response {
 	case typePing:
 		return response{NodeID: s.node.ID()}
 	case typeSummary:
+		// Epoch-conditional fast path for delta refreshes: when the
+		// caller already holds the current advertisement, confirm it in
+		// a summary-free response. The epoch is re-read by dispatch
+		// after this returns; a requantize racing in between flips the
+		// stamped epoch past the confirmed one, which the registry
+		// treats as a drift signal — never as silent staleness.
+		if req.KnownSummaryEpoch != 0 && req.KnownSummaryEpoch == s.node.SummaryEpoch() {
+			return response{NodeID: s.node.ID(), SummaryUnchanged: true}
+		}
 		sum := s.node.Summary()
 		return response{NodeID: s.node.ID(), Summary: &sum}
 	case typeTrain:

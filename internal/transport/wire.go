@@ -81,6 +81,15 @@ const (
 	// decoders skip both tags by length.
 	secRegionReq  byte = 13 // u8 body kind, JSON body
 	secRegionResp byte = 14 // u8 body kind, JSON body
+
+	// Summary-delta refresh (registry delta fetch): a summary request
+	// may advertise the epoch it already holds; a server whose summary
+	// still carries that epoch answers with an "unchanged" marker
+	// instead of the full summary body. Both sections are skipped by
+	// length on pre-delta peers, which degrades to a full summary —
+	// correct, just not byte-proportional to churn.
+	secKnownEpoch       byte = 15 // uvarint known summary epoch (request)
+	secSummaryUnchanged byte = 16 // u8 1 marker (response)
 )
 
 // Body kinds inside secRegionReq/secRegionResp.
@@ -281,6 +290,11 @@ func appendWireRequest(dst []byte, id uint64, req *request) ([]byte, error) {
 		}
 		e.endSection(m)
 	}
+	if req.KnownSummaryEpoch != 0 {
+		m = e.beginSection(secKnownEpoch)
+		e.uvarint(req.KnownSummaryEpoch)
+		e.endSection(m)
+	}
 	if req.RegionPlan != nil {
 		if err := e.regionSection(secRegionReq, regionBodyPlan, req.RegionPlan); err != nil {
 			return e.b[:hdr], err
@@ -329,6 +343,11 @@ func appendWireResponse(dst []byte, id uint64, resp *response) ([]byte, error) {
 	if resp.Summary != nil {
 		m := e.beginSection(secSummary)
 		e.summary(resp.Summary)
+		e.endSection(m)
+	}
+	if resp.SummaryUnchanged {
+		m := e.beginSection(secSummaryUnchanged)
+		e.u8(1)
 		e.endSection(m)
 	}
 	if resp.Train != nil {
@@ -668,6 +687,8 @@ func decodeWireRequest(body []byte, req *request) (id uint64, err error) {
 			req.SpanID = p.str()
 		case secDeadline:
 			req.DeadlineUnixMS = p.varint()
+		case secKnownEpoch:
+			req.KnownSummaryEpoch = p.uvarint()
 		case secTrainReq:
 			if req.Train == nil {
 				req.Train = &federation.TrainRequest{}
@@ -771,6 +792,8 @@ func decodeWireResponse(body []byte) (id uint64, resp response, err error) {
 		case secSummary:
 			resp.Summary = &cluster.NodeSummary{}
 			p.summary(resp.Summary)
+		case secSummaryUnchanged:
+			resp.SummaryUnchanged = p.u8() == 1
 		case secTrainResp:
 			t := &federation.TrainResponse{}
 			p.params(&t.Params)

@@ -7,8 +7,10 @@
 #   sh scripts/bench_plan.sh                   # local, default 1s/op
 #
 # The script exits non-zero if any BenchmarkPlan case reports a nonzero
-# allocs/op: the query-driven plan path is contractually allocation-free
-# at steady state (see TestPlanZeroAlloc).
+# allocs/op (the query-driven plan path is contractually allocation-free
+# at steady state, see TestPlanZeroAlloc), or if the at-scale row
+# BenchmarkPlan/N=10000/d=16 is not sub-millisecond — the R-tree-pruned
+# fast path's headline number.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,6 +29,10 @@ printf '%s\n' "$out" | awk '
     if (name ~ /^BenchmarkPlan\// && $7 + 0 != 0) {
       bad = 1
       printf "\nALLOC REGRESSION: %s reports %s allocs/op, want 0\n", name, $7 > "/dev/stderr"
+    }
+    if (name ~ /^BenchmarkPlan\/N=10000\/d=16/ && $3 + 0 >= 1000000) {
+      bad = 1
+      printf "\nLATENCY REGRESSION: %s reports %s ns/op, want < 1000000 (sub-millisecond)\n", name, $3 > "/dev/stderr"
     }
   }
   END { printf "\n]\n"; exit bad }
