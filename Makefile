@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-wire bench-telemetry bench-shard bench-paper clean
+.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-wire bench-telemetry bench-shard bench-ingest bench-paper clean
 
 all: check
 
@@ -22,6 +22,7 @@ loadsmoke:
 fuzz:
 	$(GO) test -fuzz FuzzReadWorkload -fuzztime 30s ./internal/query/
 	$(GO) test -run '^$$' -fuzz FuzzWireV2 -fuzztime 30s ./internal/transport/
+	$(GO) test -run '^$$' -fuzz FuzzWirePush -fuzztime 30s ./internal/transport/
 	$(GO) test -run '^$$' -fuzz FuzzRTreePrune -fuzztime 30s ./internal/geometry/
 
 fmt:
@@ -78,6 +79,13 @@ bench-telemetry:
 # 1.6x the single-leader throughput.
 bench-shard:
 	sh scripts/bench_shard.sh
+
+# Streaming-ingestion benchmarks (BenchmarkRequantize10k incremental
+# vs full Lloyd at 10k samples / 1% batches; push vs pull wire bytes
+# per epoch bump) rendered as BENCH_ingest.json; fails if incremental
+# requantization is not >=3x faster or push is not below pull.
+bench-ingest:
+	sh scripts/bench_ingest.sh
 
 # Paper-figure macro benchmarks (Tables I-II, Figures 6-9); these
 # train real fleets and take minutes.

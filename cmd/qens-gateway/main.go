@@ -69,6 +69,7 @@ func main() {
 		summaryTTL     = flag.Duration("summary-ttl", 0, "summary registry snapshot TTL; after this age the next query refetches the fleet advertisement (0 caches until invalidated)")
 		summaryDelta   = flag.Bool("summary-delta", false, "refresh fleet summaries via per-node epoch-conditional deltas instead of full re-fetch (bytes proportional to churn)")
 		summaryRefresh = flag.Duration("summary-refresh", 0, "background summary refresh interval; re-fetches fleet advertisements off the query path (0 disables)")
+		summaryPush    = flag.Bool("summary-push", true, "subscribe to server-push summary deltas from push-capable nodes; nodes that decline (v1 or pre-push) stay on TTL pull")
 
 		dialTimeout  = flag.Duration("dial-timeout", 2*time.Minute, "remote client dial/request timeout")
 		wireProto    = flag.Int("wire-proto", transport.WireProtoV2, "maximum wire protocol to negotiate with qensd daemons (1 = JSON, 2 = binary multiplexed)")
@@ -139,6 +140,16 @@ func main() {
 			leader.Registry().StartRefresh(*summaryRefresh)
 			defer leader.Registry().Stop()
 			fmt.Printf("qens-gateway: refreshing fleet summaries every %v\n", *summaryRefresh)
+		}
+		if *summaryPush {
+			subCtx, cancel := context.WithTimeout(context.Background(), *dialTimeout)
+			n, perr := leader.StartPush(subCtx)
+			cancel()
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "qens-gateway: summary push: %v\n", perr)
+			}
+			fmt.Printf("qens-gateway: summary push from %d/%d nodes (rest on TTL pull)\n",
+				n, len(leader.NodeIDs()))
 		}
 		if *reuseIoU > 0 {
 			cache, err := federation.NewReuseCache(*reuseIoU, *reuseCap)

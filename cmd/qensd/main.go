@@ -43,6 +43,11 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown budget before in-flight RPCs are aborted")
 		trainConc    = flag.Int("train-concurrency", 0, "max concurrent training/evaluation jobs (0 = GOMAXPROCS); excess requests queue")
 		wireProto    = flag.Int("wire-proto", transport.WireProtoV2, "maximum wire protocol to negotiate (1 = JSON, 2 = binary multiplexed)")
+
+		ingestRate  = flag.Float64("ingest-rate", 0, "simulated streaming ingestion rate in rows/sec (0 disables); rows flow through the incremental requantization path and push summary deltas to subscribed leaders")
+		ingestBatch = flag.Int("ingest-batch", 0, "ingest mini-batch size (0 = default)")
+		driftAfter  = flag.Duration("ingest-drift-after", 0, "after this delay, simulated rows shift distribution so the drift detector escalates to a full re-quantization (0 = no drift)")
+		driftShift  = flag.Float64("ingest-drift-shift", 0.5, "drift displacement as a fraction of each feature's range (with -ingest-drift-after)")
 	)
 	flag.Parse()
 
@@ -76,6 +81,11 @@ func main() {
 	if err != nil {
 		fatal("build node: %v", err)
 	}
+	if *ingestRate > 0 {
+		if err := node.EnableIngest(federation.IngestConfig{BatchSize: *ingestBatch}); err != nil {
+			fatal("enable ingest: %v", err)
+		}
+	}
 	srv, err := transport.Serve(node, *addr, transport.WithMaxWireProto(*wireProto))
 	if err != nil {
 		fatal("%v", err)
@@ -84,7 +94,7 @@ func main() {
 		nodeID, data.Len(), *k, node.Engine().Parallelism(), srv.MaxWireProto(), srv.Addr())
 
 	if *metricsAddr != "" {
-		obs, err := telemetry.ServeHTTP(*metricsAddr, telemetry.Default(), healthFunc(srv, nodeID, data.Len(), *k))
+		obs, err := telemetry.ServeHTTP(*metricsAddr, telemetry.Default(), healthFunc(srv, node, nodeID, data.Len(), *k))
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -111,6 +121,14 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *ingestRate > 0 {
+		sim := newIngestSim(node, data, *seed, *ingestRate, *driftAfter, *driftShift)
+		go sim.run(ctx)
+		fmt.Printf("qensd: simulated ingest at %.1f rows/s (drift after %v, shift %.2f)\n",
+			*ingestRate, *driftAfter, *driftShift)
+	}
+
 	<-ctx.Done()
 	stop()
 
@@ -124,21 +142,28 @@ func main() {
 }
 
 // healthFunc builds the /healthz document for a running daemon:
-// node identity, shard size, K and the age of the last training round.
-func healthFunc(srv *transport.Server, nodeID string, shardSize, k int) telemetry.HealthFunc {
+// node identity, shard size, K, the age of the last training round,
+// push-mode counters and (when ingestion is enabled) the streaming
+// ingest/drift block.
+func healthFunc(srv *transport.Server, node *federation.Node, nodeID string, shardSize, k int) telemetry.HealthFunc {
 	return func() map[string]any {
 		v1, v2 := srv.WireConns()
 		doc := map[string]any{
-			"node":           nodeID,
-			"addr":           srv.Addr(),
-			"shard_size":     shardSize,
-			"k":              k,
-			"summary_epoch":  srv.SummaryEpoch(),
-			"train_slots":    srv.TrainSlots(),
-			"train_inflight": srv.TrainInflight(),
-			"wire_proto_max": srv.MaxWireProto(),
-			"wire_conns_v1":  v1,
-			"wire_conns_v2":  v2,
+			"node":             nodeID,
+			"addr":             srv.Addr(),
+			"shard_size":       shardSize,
+			"k":                k,
+			"summary_epoch":    srv.SummaryEpoch(),
+			"train_slots":      srv.TrainSlots(),
+			"train_inflight":   srv.TrainInflight(),
+			"wire_proto_max":   srv.MaxWireProto(),
+			"wire_conns_v1":    v1,
+			"wire_conns_v2":    v2,
+			"push_subscribers": srv.PushSubscribers(),
+			"pushes_sent":      srv.PushesSent(),
+		}
+		if st, ok := node.IngestStats(); ok {
+			doc["ingest"] = st
 		}
 		if age, ok := srv.LastTrainAge(); ok {
 			doc["last_round_age_s"] = age.Seconds()

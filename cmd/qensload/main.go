@@ -183,6 +183,13 @@ func main() {
 			fmt.Printf("refresh  delta=%d full=%d  bytes delta=%d vs full=%d (%.1f%%)\n",
 				reg.DeltaRefreshes, reg.FullRefreshes, reg.DeltaBytes, reg.FullBytes, deltaPct)
 		}
+		// Push-mode freshness: applied node pushes vs pull refreshes,
+		// with the stale/unknown drops that the epoch fencing rejected.
+		if reg.PushApplied+reg.PushDroppedStale+reg.PushDroppedUnknown > 0 {
+			pulls := reg.DeltaRefreshes + reg.FullRefreshes
+			fmt.Printf("push     applied=%d (%d bytes)  dropped stale=%d unknown=%d  pull refreshes=%d\n",
+				reg.PushApplied, reg.PushBytes, reg.PushDroppedStale, reg.PushDroppedUnknown, pulls)
+		}
 	}
 	if failed.Load() > 0 {
 		os.Exit(1)
@@ -224,6 +231,11 @@ type registryBlock struct {
 	FullRefreshes  int64 `json:"full_refreshes"`
 	DeltaBytes     int64 `json:"delta_refresh_bytes"`
 	FullBytes      int64 `json:"full_refresh_bytes"`
+
+	PushApplied        int64 `json:"push_applied"`
+	PushDroppedStale   int64 `json:"push_dropped_stale"`
+	PushDroppedUnknown int64 `json:"push_dropped_unknown"`
+	PushBytes          int64 `json:"push_bytes"`
 }
 
 // add folds another registry block in (router mode sums per-region
@@ -237,6 +249,10 @@ func (r *registryBlock) add(o registryBlock) {
 	r.FullRefreshes += o.FullRefreshes
 	r.DeltaBytes += o.DeltaBytes
 	r.FullBytes += o.FullBytes
+	r.PushApplied += o.PushApplied
+	r.PushDroppedStale += o.PushDroppedStale
+	r.PushDroppedUnknown += o.PushDroppedUnknown
+	r.PushBytes += o.PushBytes
 }
 
 // statsDoc is the part of /v1/stats qensload consumes.

@@ -1,88 +1,201 @@
-// Drift scenario: the paper's motivating failure mode, made visible.
+// Drift scenario, streaming edition: autonomous drift response with
+// no operator in the loop.
 //
-// A single model travels node to node, training incrementally (no
-// aggregation). Along the naive path it visits every node — including
-// one whose pollution/temperature relation is sign-flipped relative to
-// the rest. Watch the query-subspace loss: it falls while the model
-// visits compatible nodes and jumps when it reaches the incompatible
-// one ("models are more likely to forget what they have learned from
-// previous participants when they move to new participants with
-// different data distributions", §I). The query-driven path visits
-// only the nodes and clusters the ranking approves and never takes
-// the hit.
+// One node of a simulated fleet ingests a continuous stream of rows.
+// While the stream matches the node's historical distribution, the
+// incremental requantization path absorbs mini-batches quietly: the
+// codebook tracks the data and the advertisement epoch bumps only on
+// material movement. Then the stream's distribution shifts — a regime
+// change the node's EWMA drift detector sees as rising reconstruction
+// error and a skewed assignment distribution. The node escalates to a
+// full re-quantization *on its own* (nobody sends SIGHUP), and the
+// fresh advertisement is *pushed* to the subscribed leader the moment
+// it exists, so the leader's registry — and every ranking computed
+// from it — reflects the new data space without a TTL pull.
+//
+// The example asserts the whole pipeline end to end and exits
+// non-zero if any stage fails to fire.
 //
 // Run: go run ./examples/drift
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"strings"
+	"math"
 
-	"qens/internal/experiments"
+	"qens/internal/dataset"
+	"qens/internal/federation"
+	"qens/internal/ml"
+	"qens/internal/rng"
+)
+
+const (
+	seed      = 5
+	nodes     = 6
+	samples   = 800
+	batchSize = 32
+	// driftShift displaces every feature by this fraction of its range
+	// once the regime changes; 0.75 is far outside the 5% jitter the
+	// stationary stream carries.
+	driftShift = 0.75
 )
 
 func main() {
-	res, err := experiments.Drift(experiments.Options{
-		Seed:           5,
-		Nodes:          8,
-		SamplesPerNode: 800,
-		Queries:        25,
-		Heterogeneity:  1,
-		FlipFraction:   0.25,
-		TopL:           3,
+	data, err := dataset.PaperNodeDatasets(dataset.Config{
+		Nodes: nodes, SamplesPerNode: samples, Seed: seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fleet, err := federation.NewSimulatedFleet(data, federation.Config{
+		Spec: ml.PaperLR(data[0].Dims() - 1), ClusterK: 5, LocalEpochs: 3, Seed: seed,
+	}, federation.FleetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	leader := fleet.Leader
 
-	fmt.Printf("sequential training for query %s\n\n", res.QueryID)
-	fmt.Println("naive path (every node, whole datasets):")
-	prev := 0.0
-	for i, id := range res.NaivePath {
-		marker := ""
-		if i > 0 && res.NaiveLoss[i] > prev*1.5 {
-			marker = "   <-- forgetting jump: incompatible data"
+	// Seed the registry snapshot (the roster pushes land on), then
+	// subscribe: from here on the leader learns about node movement
+	// from the nodes themselves.
+	if _, err := leader.Summaries(); err != nil {
+		log.Fatal(err)
+	}
+	subscribed, err := leader.StartPush(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leader subscribed to summary pushes from %d/%d nodes\n", subscribed, nodes)
+
+	node := fleet.Nodes[0]
+	if err := node.EnableIngest(federation.IngestConfig{BatchSize: batchSize}); err != nil {
+		log.Fatal(err)
+	}
+
+	snap0, ok := leader.Registry().Current()
+	if !ok {
+		log.Fatal("registry has no snapshot after Summaries")
+	}
+	epoch0 := snap0.NodeSummaryEpoch(node.ID())
+	pulls0 := pullRefreshes(leader)
+
+	gen := newStream(data[0].Rows(), rng.New(99))
+
+	// Phase 1 — stationary stream: rows statistically resembling the
+	// node's shard. The detector should stay calm (no escalation).
+	for i := 0; i < 40; i++ {
+		if err := node.Ingest(gen.batch(batchSize, 0)); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("  %-8s %s %.1f%s\n", id, bar(res.NaiveLoss[i], res.NaiveLoss), res.NaiveLoss[i], marker)
-		prev = res.NaiveLoss[i]
 	}
-	fmt.Println("\nquery-driven path (ranked nodes, supporting clusters only):")
-	for i, id := range res.QueryDrivenPath {
-		fmt.Printf("  %-8s %s %.1f\n", id, bar(res.QueryDrivenLoss[i], res.NaiveLoss), res.QueryDrivenLoss[i])
+	st, _ := node.IngestStats()
+	fmt.Printf("stationary phase: %d mini-batches absorbed incrementally, err EWMA %.2f, escalations %d\n",
+		st.Batches, st.ErrEWMA, st.Escalations)
+	if st.Escalations != 0 {
+		log.Fatalf("FAIL: stationary stream escalated %d times (detector too jumpy)", st.Escalations)
+	}
+	if st.IncrementalRequants == 0 {
+		log.Fatal("FAIL: no incremental requantizations ran")
 	}
 
-	fmt.Printf("\nmean loss along the path: query-driven %.1f vs naive %.1f\n",
-		mean(res.QueryDrivenLoss), mean(res.NaiveLoss))
-	fmt.Printf("largest single-visit regression on the naive path: +%.1f\n", res.MaxNaiveRegression())
-	fmt.Println("\nnote the order dependence: the naive trajectory is only ever one")
-	fmt.Println("incompatible visit away from losing what it has learned, while the")
-	fmt.Println("query-driven path never trains on data the ranking did not approve.")
+	// Phase 2 — regime change: every feature shifts by driftShift of
+	// its range. Feed until the detector escalates (bounded).
+	var escalated bool
+	for i := 0; i < 200; i++ {
+		if err := node.Ingest(gen.batch(batchSize, driftShift)); err != nil {
+			log.Fatal(err)
+		}
+		if st, _ = node.IngestStats(); st.Escalations > 0 {
+			escalated = true
+			fmt.Printf("drift phase: detector escalated after %d drifted batches (err EWMA %.2f, assign EWMA %.2f)\n",
+				i+1, st.ErrEWMA, st.AssignEWMA)
+			break
+		}
+	}
+	if !escalated {
+		log.Fatal("FAIL: drift detector never escalated to a full re-quantization")
+	}
+
+	// The escalation bumped the node's epoch, which fired the push
+	// subscription; LocalClient delivery is synchronous, so by the time
+	// Ingest returned the registry has already applied it.
+	regStats := leader.Registry().Stats()
+	snap1, _ := leader.Registry().Current()
+	epoch1 := snap1.NodeSummaryEpoch(node.ID())
+	fmt.Printf("registry: %s advertisement epoch %d -> %d, %d pushes applied (%d bytes), pull refreshes %d -> %d\n",
+		node.ID(), epoch0, epoch1, regStats.PushApplied, regStats.PushBytes, pulls0, pullRefreshes(leader))
+
+	switch {
+	case regStats.PushApplied == 0:
+		log.Fatal("FAIL: no summary push reached the registry")
+	case epoch1 <= epoch0:
+		log.Fatalf("FAIL: registry still holds a stale advertisement (epoch %d)", epoch1)
+	case pullRefreshes(leader) != pulls0:
+		log.Fatal("FAIL: the fresh summary arrived by pull, not push")
+	}
+
+	// The re-quantized codebook should now cover the shifted region:
+	// the advertised bounds moved with the stream.
+	sum := node.Summary()
+	lo := math.Inf(1)
+	for _, c := range sum.Clusters {
+		lo = math.Min(lo, c.Bounds.Min[0])
+	}
+	fmt.Printf("post-drift advertisement: %d clusters, dim-0 lower bound %.2f (stream shifted +%.2f of range)\n",
+		len(sum.Clusters), lo, driftShift)
+
+	fmt.Println("\nOK: drift detected, re-quantized and pushed — no SIGHUP, no TTL pull.")
 }
 
-func mean(v []float64) float64 {
-	s := 0.0
-	for _, x := range v {
-		s += x
-	}
-	return s / float64(len(v))
+// pullRefreshes counts registry refreshes served by the pull path.
+func pullRefreshes(l *federation.Leader) int64 {
+	st := l.Registry().Stats()
+	return st.FullRefreshes + st.DeltaRefreshes
 }
 
-// bar renders a loss as a proportional ASCII bar against the worst
-// naive loss.
-func bar(v float64, reference []float64) string {
-	worst := 0.0
-	for _, r := range reference {
-		if r > worst {
-			worst = r
+// stream draws synthetic rows from seed rows plus per-column Gaussian
+// jitter at 5% of the column range; a non-zero shift displaces every
+// feature by shift×range (the regime change).
+type stream struct {
+	src  *rng.Source
+	rows [][]float64
+	span []float64
+}
+
+func newStream(rows [][]float64, src *rng.Source) *stream {
+	dims := len(rows[0])
+	lo := make([]float64, dims)
+	hi := make([]float64, dims)
+	for d := range lo {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, row := range rows {
+		for d, v := range row {
+			lo[d] = math.Min(lo[d], v)
+			hi[d] = math.Max(hi[d], v)
 		}
 	}
-	if worst <= 0 {
-		return ""
+	span := make([]float64, dims)
+	for d := range span {
+		span[d] = hi[d] - lo[d]
+		if span[d] <= 0 {
+			span[d] = 1e-9
+		}
 	}
-	n := int(40 * v / worst)
-	if n > 40 {
-		n = 40
+	return &stream{src: src, rows: rows, span: span}
+}
+
+func (s *stream) batch(n int, shift float64) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		base := s.rows[s.src.Intn(len(s.rows))]
+		row := make([]float64, len(base))
+		for d, v := range base {
+			row[d] = v + s.src.Normal(0, 0.05*s.span[d]) + shift*s.span[d]
+		}
+		out[i] = row
 	}
-	return strings.Repeat("#", n) + strings.Repeat(".", 40-n)
+	return out
 }

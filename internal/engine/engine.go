@@ -80,6 +80,12 @@ type Engine struct {
 	// takes it.
 	mutateMu sync.Mutex
 
+	// watchMu guards watchers, the epoch-bump callbacks registered via
+	// OnEpochBump (the transport server's push notifier, in-process
+	// leader subscriptions).
+	watchMu  sync.Mutex
+	watchers []func(uint64)
+
 	pool    modelPool
 	buffers sync.Pool // *Buffers
 
@@ -160,17 +166,58 @@ func (e *Engine) Epoch() uint64 { return e.Current().Epoch }
 // cur or any row reachable from it; it builds fresh state (typically
 // via Dataset.CopyAppend and a fresh Quantize) and returns it.
 func (e *Engine) Mutate(fn func(cur *Snapshot) (*dataset.Dataset, *cluster.Quantization, error)) error {
+	return e.MutateEpoch(func(cur *Snapshot) (*dataset.Dataset, *cluster.Quantization, bool, error) {
+		data, quant, err := fn(cur)
+		return data, quant, true, err
+	})
+}
+
+// MutateEpoch is Mutate with control over the advertisement epoch: fn
+// additionally returns bump=false to publish the successor snapshot
+// under the *current* epoch. Readers still pin the fresher data, but
+// nothing downstream (summary deltas, registry invalidation, push
+// notifications) treats the node as changed — the incremental ingest
+// path uses this for immaterial centroid/bound movement so a trickle of
+// samples does not stampede the leader with re-advertisements.
+func (e *Engine) MutateEpoch(fn func(cur *Snapshot) (*dataset.Dataset, *cluster.Quantization, bool, error)) error {
 	e.mutateMu.Lock()
-	defer e.mutateMu.Unlock()
 	cur := e.Current()
-	data, quant, err := fn(cur)
+	data, quant, bump, err := fn(cur)
 	if err != nil {
+		e.mutateMu.Unlock()
 		return err
 	}
-	next := &Snapshot{Data: data, Quant: quant, Epoch: cur.Epoch + 1}
+	epoch := cur.Epoch
+	if bump {
+		epoch++
+	}
+	next := &Snapshot{Data: data, Quant: quant, Epoch: epoch}
 	e.snap.Store(next)
 	e.metrics.epochGauge.Set(float64(next.Epoch))
+	var watchers []func(uint64)
+	if bump {
+		e.watchMu.Lock()
+		watchers = append(watchers, e.watchers...)
+		e.watchMu.Unlock()
+	}
+	e.mutateMu.Unlock()
+	// Notify outside mutateMu so a slow watcher (an in-process registry
+	// patch, a push write) never blocks the next mutation. Watchers that
+	// read state must re-load Current; the epoch argument is a floor.
+	for _, w := range watchers {
+		w(epoch)
+	}
 	return nil
+}
+
+// OnEpochBump registers fn to run after every snapshot publication that
+// bumped the epoch — the seam the transport server's push notifier and
+// in-process leader subscriptions hang off. fn runs on the mutating
+// goroutine after the snapshot is visible; it should hand off quickly.
+func (e *Engine) OnEpochBump(fn func(epoch uint64)) {
+	e.watchMu.Lock()
+	e.watchers = append(e.watchers, fn)
+	e.watchMu.Unlock()
 }
 
 // acquire claims an execution slot, waiting in the admission queue

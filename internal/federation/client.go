@@ -39,6 +39,18 @@ type DeltaSummaryClient interface {
 	SummaryIfChanged(ctx context.Context, known uint64) (cluster.NodeSummary, bool, error)
 }
 
+// PushSummaryClient is an optional Client capability inverting the
+// summary-freshness flow: instead of the leader polling, the node
+// pushes its fresh advertisement whenever its epoch bumps (ingest
+// drift, requantization). SubscribeSummaries registers the handler and
+// returns ok=false (nil error) when the participant cannot push — an
+// old daemon or a v1 connection — in which case the leader keeps
+// pulling on the TTL as before. Handlers may be invoked from the
+// participant's own goroutines and must hand off quickly.
+type PushSummaryClient interface {
+	SubscribeSummaries(ctx context.Context, handler func(cluster.NodeSummary)) (bool, error)
+}
+
 // LocalClient adapts an in-process Node to the Client interface.
 type LocalClient struct {
 	Node *Node
@@ -68,6 +80,19 @@ func (c LocalClient) SummaryIfChanged(ctx context.Context, known uint64) (cluste
 		return cluster.NodeSummary{}, true, nil
 	}
 	return c.Node.Summary(), false, nil
+}
+
+// SubscribeSummaries implements PushSummaryClient for an in-process
+// node: the handler hangs off the node engine's epoch-bump watcher
+// list, so every material advertisement change (incremental ingest or
+// full requantize) is delivered push-style, exactly like a remote
+// daemon's push frame.
+func (c LocalClient) SubscribeSummaries(ctx context.Context, handler func(cluster.NodeSummary)) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	c.Node.OnAdvertise(handler)
+	return true, nil
 }
 
 // Train implements Client. Training is CPU-bound and in-process, so

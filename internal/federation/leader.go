@@ -123,6 +123,8 @@ type Leader struct {
 	tracer  *telemetry.Tracer // nil: fall back to telemetry.DefaultTracer
 	metrics *leaderMetrics
 	health  *fleet.Tracker // per-node round latency/error EWMAs
+
+	push leaderPush // summary push subscriptions (see push.go)
 }
 
 // NewLeader builds a leader over the given participants. leaderData is

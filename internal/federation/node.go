@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"qens/internal/cluster"
@@ -39,6 +40,11 @@ type Node struct {
 	k   int
 	src *rng.Source
 	eng *engine.Engine
+
+	// ingestMu guards ingest, the optional streaming ingestion state
+	// (see ingest.go); nil means the classic full-requantize path.
+	ingestMu sync.Mutex
+	ingest   *ingester
 }
 
 // NodeOption customizes node construction.
@@ -105,7 +111,17 @@ func newNode(id string, data *dataset.Dataset, quant *cluster.Quantization, k in
 // The update is copy-on-write: concurrent Train/Evaluate jobs keep the
 // snapshot they started with and the new state becomes visible — with
 // a bumped epoch — only to jobs admitted after AddSamples returns.
+//
+// With streaming ingestion enabled (EnableIngest) the rows instead
+// enter the bounded ingest buffer and reach the quantization through
+// incremental mini-batch updates; see ingest.go.
 func (n *Node) AddSamples(rows [][]float64) error {
+	n.ingestMu.Lock()
+	ing := n.ingest
+	n.ingestMu.Unlock()
+	if ing != nil {
+		return n.Ingest(rows)
+	}
 	err := n.eng.Mutate(func(cur *engine.Snapshot) (*dataset.Dataset, *cluster.Quantization, error) {
 		data, err := cur.Data.CopyAppend(rows)
 		if err != nil {
@@ -127,7 +143,17 @@ func (n *Node) AddSamples(rows [][]float64) error {
 // current local dataset and bumps the advertisement epoch, so leaders
 // that see the new epoch echoed on later RPCs know their cached
 // summaries drifted.
+// With streaming ingestion enabled this is the forced full re-run
+// (the SIGHUP path): it drains the ingest buffer and re-anchors the
+// drift detector through the same machinery autonomous escalation
+// uses.
 func (n *Node) Requantize() error {
+	n.ingestMu.Lock()
+	ing := n.ingest
+	n.ingestMu.Unlock()
+	if ing != nil {
+		return n.forceFullRequantize(ing)
+	}
 	err := n.eng.Mutate(func(cur *engine.Snapshot) (*dataset.Dataset, *cluster.Quantization, error) {
 		quant, err := cluster.Quantize(cur.Data, cluster.Config{K: n.k}, n.src.Split())
 		if err != nil {
@@ -154,6 +180,17 @@ func (n *Node) Engine() *engine.Engine { return n.eng }
 
 // SummaryEpoch returns the node's current advertisement version.
 func (n *Node) SummaryEpoch() uint64 { return n.eng.Epoch() }
+
+// OnAdvertise registers fn to run after every mutation that bumps the
+// advertisement epoch — the node-push seam. Immaterial incremental
+// batches (published under the current epoch) do not fire it. fn runs
+// on the mutating goroutine and should hand off quickly; it receives
+// the freshly advertised summary.
+func (n *Node) OnAdvertise(fn func(cluster.NodeSummary)) {
+	n.eng.OnEpochBump(func(uint64) {
+		fn(n.Summary())
+	})
+}
 
 // Summary returns the cluster advertisement sent to the leader,
 // stamped with the node's current epoch. The quantization and epoch

@@ -1,0 +1,87 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qens/internal/cluster"
+)
+
+// Push subscription state hangs off the Leader but lives in its own
+// file: it is the node-push half of the summary-freshness refactor
+// (registry.ApplyPush is the other half). StartPush walks the roster
+// and subscribes every PushSummaryClient; from then on material
+// advertisement changes arrive push-style and the TTL pull demotes to
+// anti-entropy. StopPush gates delivery off again (gateway Drain) —
+// late frames from participants are dropped at the leader, not
+// applied mid-teardown.
+type leaderPush struct {
+	mu         sync.Mutex
+	active     atomic.Bool
+	subscribed int
+}
+
+// StartPush subscribes the leader to summary pushes from every
+// push-capable participant, feeding each pushed advertisement through
+// the registry's fenced ApplyPush path. It returns how many
+// participants accepted a subscription; participants without the
+// capability (or on connections that cannot push) are skipped and
+// keep being pulled. Subscription errors are joined but do not stop
+// the walk — a partly-push fleet is still strictly fresher than a
+// pull-only one. Idempotent: a second call re-arms subscriptions
+// (client implementations tolerate duplicate subscribes).
+func (l *Leader) StartPush(ctx context.Context) (int, error) {
+	l.push.mu.Lock()
+	defer l.push.mu.Unlock()
+	l.push.active.Store(true)
+	var errs []error
+	n := 0
+	for _, c := range l.clients {
+		pc, ok := c.(PushSummaryClient)
+		if !ok {
+			continue
+		}
+		accepted, err := pc.SubscribeSummaries(ctx, l.handlePush)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("federation: subscribe %s: %w", c.ID(), err))
+			continue
+		}
+		if accepted {
+			n++
+		}
+	}
+	l.push.subscribed = n
+	return n, errors.Join(errs...)
+}
+
+// StopPush gates push delivery off: frames still in flight are
+// dropped at the leader instead of mutating the registry during
+// drain. Subscriptions on the wire are left to die with their
+// connections. Idempotent.
+func (l *Leader) StopPush() {
+	l.push.active.Store(false)
+}
+
+// PushSubscribed reports how many participants accepted a summary
+// push subscription on the last StartPush.
+func (l *Leader) PushSubscribed() int {
+	l.push.mu.Lock()
+	defer l.push.mu.Unlock()
+	return l.push.subscribed
+}
+
+// handlePush is the shared subscription handler: every pushed
+// advertisement lands in the registry via the epoch-fenced ApplyPush
+// (stale or duplicate pushes are dropped there, counted in registry
+// Stats). Validation failures are swallowed — a malformed push must
+// not take down the participant's reader goroutine, and the
+// anti-entropy pull re-validates the node on its next pass.
+func (l *Leader) handlePush(sum cluster.NodeSummary) {
+	if !l.push.active.Load() {
+		return
+	}
+	_, _ = l.reg.ApplyPush(sum)
+}

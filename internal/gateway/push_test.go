@@ -1,0 +1,66 @@
+package gateway
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestGatewayDrainStopsPush is the gateway half of the push-drain
+// satellite: Drain gates summary-push delivery off before the
+// scheduler drains, so frames from still-connected participants cannot
+// mutate the registry mid-teardown.
+func TestGatewayDrainStopsPush(t *testing.T) {
+	fleet := testFleet(t)
+	leader := fleet.Leader
+	if _, err := leader.Summaries(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := leader.StartPush(context.Background())
+	if err != nil || n != 3 {
+		t.Fatalf("StartPush: n=%d err=%v", n, err)
+	}
+
+	gw, ts := newGatewayServer(t, ServerConfig{
+		Leader: leader, Workers: 2, QueueDepth: 8,
+	})
+
+	// Push mode live: a node-side requantization lands in the registry
+	// synchronously (in-process subscription), no pull involved.
+	if err := fleet.Nodes[1].Requantize(); err != nil {
+		t.Fatal(err)
+	}
+	if st := leader.Registry().Stats(); st.PushApplied == 0 {
+		t.Fatalf("requantize did not push: %+v", st)
+	}
+
+	// /healthz surfaces the freshness mode and push accounting.
+	var doc map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &doc); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	if doc["summary_mode"] != "push" {
+		t.Fatalf("summary_mode = %v", doc["summary_mode"])
+	}
+	if got, _ := doc["push_subscribed"].(float64); int(got) != 3 {
+		t.Fatalf("push_subscribed = %v", doc["push_subscribed"])
+	}
+	if got, _ := doc["push_applied"].(float64); got < 1 {
+		t.Fatalf("push_applied = %v", doc["push_applied"])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := gw.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Post-drain pushes are dropped at the leader, not applied.
+	before := leader.Registry().Stats().PushApplied
+	if err := fleet.Nodes[1].Requantize(); err != nil {
+		t.Fatal(err)
+	}
+	if after := leader.Registry().Stats().PushApplied; after != before {
+		t.Fatalf("push applied during drain: %d -> %d", before, after)
+	}
+}

@@ -187,11 +187,23 @@ func (s *Server) Scheduler() *Scheduler { return s.sched }
 
 // Drain stops admission and waits for in-flight queries (bounded by
 // ctx). Call before shutting the HTTP listener down so waiting
-// handlers can still deliver their responses.
-func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+// handlers can still deliver their responses. Summary push delivery is
+// gated off first, so late frames from the fleet cannot mutate the
+// registry mid-teardown.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.cfg.Leader != nil {
+		s.cfg.Leader.StopPush()
+	}
+	return s.sched.Drain(ctx)
+}
 
 // Close force-drains the scheduler.
-func (s *Server) Close() { s.sched.Close() }
+func (s *Server) Close() {
+	if s.cfg.Leader != nil {
+		s.cfg.Leader.StopPush()
+	}
+	s.sched.Close()
+}
 
 // health feeds the /healthz document.
 func (s *Server) health() map[string]any {
@@ -203,6 +215,21 @@ func (s *Server) health() map[string]any {
 	}
 	if s.cfg.Leader != nil {
 		doc["nodes"] = len(s.cfg.Leader.NodeIDs())
+		// Summary freshness mode: how many participants push their
+		// advertisements (vs being pulled on the TTL), with the
+		// registry's applied/dropped push accounting alongside.
+		subscribed := s.cfg.Leader.PushSubscribed()
+		doc["push_subscribed"] = subscribed
+		if subscribed > 0 {
+			doc["summary_mode"] = "push"
+		} else {
+			doc["summary_mode"] = "pull"
+		}
+		if reg := s.cfg.Leader.Registry(); reg != nil {
+			st := reg.Stats()
+			doc["push_applied"] = st.PushApplied
+			doc["push_dropped_stale"] = st.PushDroppedStale
+		}
 	} else {
 		nodes, _ := s.cfg.Router.NodeIDs(context.Background())
 		doc["nodes"] = len(nodes)

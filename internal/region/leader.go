@@ -8,6 +8,7 @@ import (
 
 	"qens/internal/federation"
 	"qens/internal/fleet"
+	"qens/internal/registry"
 	"qens/internal/selection"
 )
 
@@ -58,6 +59,11 @@ func (l *Leader) Info(ctx context.Context) (Info, error) {
 	if err != nil {
 		return Info{}, fmt.Errorf("region %s: %w", l.id, err)
 	}
+	return l.infoFromSnapshot(snap), nil
+}
+
+// infoFromSnapshot derives the shard Info from one registry snapshot.
+func (l *Leader) infoFromSnapshot(snap *registry.Snapshot) Info {
 	info := Info{
 		RegionID:     l.id,
 		Epoch:        snap.Epoch,
@@ -73,8 +79,40 @@ func (l *Leader) Info(ctx context.Context) (Info, error) {
 		}
 	}
 	info.Bounds = bound
-	return info, nil
+	return info
 }
+
+// OnInfoChange registers fn to receive the shard's fresh Info after
+// every registry publication — refreshes and node pushes alike. This
+// is the upward half of the push pipeline: the root router hangs its
+// ApplyRegionInfo here so shard covering-rect movement reaches the
+// routing R-tree without an Info re-fetch fan-out. The handler runs
+// on the publishing goroutine (a node's reader goroutine or a refresh
+// caller) and must hand off quickly; delivery may be out of order
+// under rapid publications, which ApplyRegionInfo tolerates by epoch
+// fencing.
+func (l *Leader) OnInfoChange(fn func(Info)) {
+	l.fed.Registry().OnPublish(func(uint64) {
+		snap, ok := l.fed.Registry().Current()
+		if !ok {
+			return
+		}
+		fn(l.infoFromSnapshot(snap))
+	})
+}
+
+// StartPush subscribes the shard leader to summary pushes from its
+// push-capable members (see federation.Leader.StartPush): a member
+// that detects drift re-quantizes, pushes its advertisement into the
+// shard registry, and — through OnInfoChange — the movement propagates
+// upward to the root in the same beat. Returns how many members
+// accepted a subscription.
+func (l *Leader) StartPush(ctx context.Context) (int, error) {
+	return l.fed.StartPush(ctx)
+}
+
+// StopPush gates member push delivery off (daemon drain).
+func (l *Leader) StopPush() { l.fed.StopPush() }
 
 // Plan implements Service: the shard's Eq. 2–4 ranking at the
 // requested ε, computed by the same planner kernel the single-leader

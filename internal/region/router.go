@@ -118,6 +118,7 @@ type Router struct {
 	spanning      atomic.Int64 // fan-outs that hit every region
 	noRoute       atomic.Int64 // queries rejected with zero overlapping regions
 	regionsPruned atomic.Int64 // regions skipped by the Eq. 2 routing bound
+	topoPatches   atomic.Int64 // pushed Infos folded in without a rebuild
 	selectMu      sync.Mutex   // serializes selection RNG draws with the seed draw
 	metricReg     *telemetry.Registry
 }
@@ -281,6 +282,90 @@ func (r *Router) topology(ctx context.Context) (*topology, error) {
 	r.topo.Store(t)
 	return t, nil
 }
+
+// ApplyRegionInfo folds one region's pushed Info into the routing view
+// without the full Info re-fetch fan-out that a topology rebuild costs:
+// the region's covering rect, epoch and sample count are patched into a
+// fresh immutable topology and the region R-tree is rebuilt locally
+// (over R region rects — cheap — not over the fleet). Epoch-fenced and
+// idempotent: an Info no newer than the built basis is dropped, so
+// out-of-order delivery from rapid shard publications cannot regress
+// the view. A membership change (nodes joined/left the shard) falls
+// back to invalidation — the next query re-fetches every region's Info,
+// since cross-region rosters must stay consistent. Reports whether the
+// routing view was patched in place.
+func (r *Router) ApplyRegionInfo(info Info) bool {
+	mi := -1
+	for i, m := range r.members {
+		if m.id == info.RegionID {
+			mi = i
+			break
+		}
+	}
+	if mi == -1 || info.Epoch == 0 {
+		return false
+	}
+	r.topoMu.Lock()
+	defer r.topoMu.Unlock()
+	t := r.topo.Load()
+	if t == nil {
+		// Nothing built yet: record the epoch so the first topology()
+		// includes at least this state.
+		r.members[mi].observe(info.Epoch)
+		return false
+	}
+	if info.Epoch <= t.epochs[mi] {
+		return false // stale or duplicate push
+	}
+	if len(info.Nodes) != len(t.infos[mi].Nodes) || info.Dims != t.dims {
+		r.members[mi].observe(info.Epoch) // invalidate: full rebuild
+		return false
+	}
+	prevNodes := t.infos[mi].Nodes
+	for i, n := range info.Nodes {
+		if n.NodeID != prevNodes[i].NodeID || n.RosterIndex != prevNodes[i].RosterIndex {
+			r.members[mi].observe(info.Epoch)
+			return false
+		}
+	}
+
+	nt := &topology{
+		infos:   append([]Info(nil), t.infos...),
+		epochs:  append([]uint64(nil), t.epochs...),
+		roster:  t.roster, // membership unchanged: share the roster
+		nodeIDs: t.nodeIDs,
+		byNode:  t.byNode,
+		dims:    t.dims,
+	}
+	nt.infos[mi] = info
+	nt.epochs[mi] = info.Epoch
+	entries := make([]geometry.Entry, len(nt.infos))
+	for i, ri := range nt.infos {
+		if i == 0 {
+			nt.space = ri.Bounds.Clone()
+		} else {
+			nt.space = nt.space.Union(ri.Bounds)
+		}
+		nt.total += ri.TotalSamples
+		entries[i] = geometry.Entry{Rect: ri.Bounds, ID: i}
+	}
+	index, err := geometry.BuildRTree(entries, 0)
+	if err != nil {
+		// Malformed pushed bounds: invalidate instead of patching.
+		r.members[mi].observe(info.Epoch)
+		return false
+	}
+	nt.index = index
+	nt.gen = r.gen.Add(1)
+	r.members[mi].observe(info.Epoch)
+	r.topo.Store(nt)
+	r.topoPatches.Add(1)
+	return true
+}
+
+// TopologyPatches reports how many pushed region Infos were folded
+// into the routing view in place (vs full rebuilds).
+func (r *Router) TopologyPatches() int64 { return r.topoPatches.Load() }
 
 // NodeIDs returns the global fleet roster in roster order, resolving
 // the topology if needed.
@@ -842,6 +927,7 @@ type RouterStats struct {
 	Spanning      int64        `json:"spanning_fanouts"`
 	NoRoute       int64        `json:"no_route_rejects"`
 	RegionsPruned int64        `json:"regions_pruned"`
+	TopoPatches   int64        `json:"topology_patches"`
 	Reuse         *ReuseStats  `json:"reuse_cache,omitempty"`
 	Regions       []RegionStat `json:"regions"`
 }
@@ -859,6 +945,7 @@ func (r *Router) Stats(ctx context.Context) (RouterStats, error) {
 		Spanning:      r.spanning.Load(),
 		NoRoute:       r.noRoute.Load(),
 		RegionsPruned: r.regionsPruned.Load(),
+		TopoPatches:   r.topoPatches.Load(),
 	}
 	if r.cache != nil {
 		rs := r.cache.stats()

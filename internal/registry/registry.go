@@ -185,6 +185,12 @@ type Registry struct {
 	indexPatches   atomic.Int64
 	indexRebuilds  atomic.Int64
 
+	// Push-ingestion accounting (see ApplyPush in push.go).
+	pushApplied        atomic.Int64
+	pushDroppedStale   atomic.Int64
+	pushDroppedUnknown atomic.Int64
+	pushBytes          atomic.Int64
+
 	// Planner-side index counters, accumulated through RecordPlanPrune /
 	// RecordPlanBrute so index effectiveness surfaces in Stats next to
 	// the refresh accounting it depends on.
@@ -196,6 +202,10 @@ type Registry struct {
 	bgMu   sync.Mutex
 	bgStop chan struct{}
 	bgDone chan struct{}
+
+	// pubMu guards the publish watcher list (see OnPublish).
+	pubMu    sync.Mutex
+	pubHooks []func(epoch uint64)
 }
 
 // New builds a registry over the given fetcher. No fetch happens until
@@ -264,18 +274,55 @@ func (r *Registry) Snapshot(ctx context.Context) (*Snapshot, error) {
 	return r.Refresh(ctx)
 }
 
+// OnPublish registers fn to run after every snapshot publication —
+// refreshes and applied pushes alike. Hooks run outside the refresh
+// lock on the publishing goroutine; rapid publications may deliver
+// epochs out of order, so treat the epoch as a floor and re-read
+// Current. Watchers cannot be removed — gate delivery with your own
+// flag. This is the upward-propagation seam: a regional leader hangs
+// its covering-rect notifier here so the root router learns about
+// shard movement without a full Info re-fetch.
+func (r *Registry) OnPublish(fn func(epoch uint64)) {
+	r.pubMu.Lock()
+	r.pubHooks = append(r.pubHooks, fn)
+	r.pubMu.Unlock()
+}
+
+// notifyPublish invokes the publish watchers. Must be called without
+// refreshMu held.
+func (r *Registry) notifyPublish(epoch uint64) {
+	r.pubMu.Lock()
+	hooks := make([]func(uint64), len(r.pubHooks))
+	copy(hooks, r.pubHooks)
+	r.pubMu.Unlock()
+	for _, fn := range hooks {
+		fn(epoch)
+	}
+}
+
 // Refresh force-fetches the fleet and publishes a new snapshot with
 // the next epoch. Concurrent refreshes are serialized; a caller that
 // lost the race returns the winner's snapshot instead of re-polling
 // the fleet.
 func (r *Registry) Refresh(ctx context.Context) (*Snapshot, error) {
+	snap, published, err := r.refresh(ctx)
+	if published {
+		r.notifyPublish(snap.Epoch)
+	}
+	return snap, err
+}
+
+// refresh is Refresh's body under the refresh lock; published reports
+// whether this call stored a new snapshot (vs returning a racing
+// winner's).
+func (r *Registry) refresh(ctx context.Context) (*Snapshot, bool, error) {
 	before := r.epoch.Load()
 	r.refreshMu.Lock()
 	defer r.refreshMu.Unlock()
 	// Someone else published while we waited for the lock: if the
 	// result is fresh, use it.
 	if s := r.cur.Load(); s != nil && s.Epoch > before && !r.stale.Load() && !r.expired(s) {
-		return s, nil
+		return s, false, nil
 	}
 	prev := r.cur.Load()
 	var (
@@ -288,14 +335,14 @@ func (r *Registry) Refresh(ctx context.Context) (*Snapshot, error) {
 		snap, err = r.refreshFull(ctx)
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	snap.FetchedAt = r.now()
 	snap.Epoch = r.epoch.Add(1)
 	r.cur.Store(snap)
 	r.stale.Store(false)
 	r.refreshes.Add(1)
-	return snap, nil
+	return snap, true, nil
 }
 
 // refreshFull re-fetches every advertisement and rebuilds the snapshot
@@ -399,6 +446,18 @@ func (r *Registry) refreshDelta(ctx context.Context, prev *Snapshot) (*Snapshot,
 			if forced[d.NodeID] {
 				return nil, fmt.Errorf("registry: node %q answered a forced re-fetch with unchanged", d.NodeID)
 			}
+			summaries[i] = prev.Summaries[j]
+			bytes += deltaProbeBytes
+			continue
+		}
+		// Epoch fencing against the push path: a delta fetch issued
+		// before a push landed can deliver an advertisement older than
+		// the one the snapshot already holds. Keeping the recorded
+		// summary (instead of regressing to the fetched one) makes
+		// push/pull interleaving commutative. Forced nodes are exempt —
+		// InvalidateNode means the recorded epoch itself is suspect.
+		if j, ok := prevIdx[d.NodeID]; ok && !forced[d.NodeID] &&
+			d.Summary.Epoch != 0 && d.Summary.Epoch < prev.Nodes[j].SummaryEpoch {
 			summaries[i] = prev.Summaries[j]
 			bytes += deltaProbeBytes
 			continue
@@ -512,6 +571,12 @@ type Stats struct {
 	IndexPatches   int64 `json:"index_patches"`
 	IndexRebuilds  int64 `json:"index_rebuilds"`
 
+	// Push-ingestion accounting (all zero on a pull-only registry).
+	PushApplied        int64 `json:"push_applied"`
+	PushDroppedStale   int64 `json:"push_dropped_stale"`
+	PushDroppedUnknown int64 `json:"push_dropped_unknown"`
+	PushBytes          int64 `json:"push_bytes"`
+
 	// Planner index accounting (see RecordPlanPrune): how many
 	// query-driven plans walked the R-tree and how many roster rows the
 	// walk spared the Eq. 2–4 kernel.
@@ -536,10 +601,15 @@ func (r *Registry) Stats() Stats {
 		FullBytes:      r.fullBytes.Load(),
 		IndexPatches:   r.indexPatches.Load(),
 		IndexRebuilds:  r.indexRebuilds.Load(),
-		IndexedPlans:   r.indexedPlans.Load(),
-		BrutePlans:     r.brutePlans.Load(),
-		NodesRanked:    r.nodesRanked.Load(),
-		NodesPruned:    r.nodesPruned.Load(),
+
+		PushApplied:        r.pushApplied.Load(),
+		PushDroppedStale:   r.pushDroppedStale.Load(),
+		PushDroppedUnknown: r.pushDroppedUnknown.Load(),
+		PushBytes:          r.pushBytes.Load(),
+		IndexedPlans:       r.indexedPlans.Load(),
+		BrutePlans:         r.brutePlans.Load(),
+		NodesRanked:        r.nodesRanked.Load(),
+		NodesPruned:        r.nodesPruned.Load(),
 	}
 	if s := r.cur.Load(); s != nil {
 		st.FetchedAt = s.FetchedAt

@@ -50,6 +50,13 @@ type Client struct {
 	inflight atomic.Int64
 
 	inflightGauge *telemetry.Gauge
+
+	// Push subscription state: the handler survives reconnects — every
+	// fresh handshake against a push-capable daemon re-arms the
+	// server-side subscription (see ensureConnLocked).
+	pushMu         sync.Mutex
+	pushHandler    func(cluster.NodeSummary)
+	pushesReceived atomic.Int64
 }
 
 var _ federation.Client = (*Client)(nil)
@@ -153,8 +160,83 @@ func (c *Client) ensureConnLocked(ctx context.Context) (*wireConn, error) {
 		return nil, err
 	}
 	c.conn = conn
+	// A registered push handler survives reconnects: re-arm the
+	// server-side subscription on the fresh connection. Failure is
+	// non-fatal — the caller's pull path still works and the next
+	// redial retries (conn.do never takes c.mu, so no deadlock here).
+	if conn.pushOK && c.hasPushHandler() {
+		if _, err := conn.do(ctx, c, &request{Type: typeSubscribe}); err != nil {
+			c.pushesDroppedNote()
+		}
+	}
 	return conn, nil
 }
+
+// hasPushHandler reports whether SubscribeSummaries registered a
+// handler.
+func (c *Client) hasPushHandler() bool {
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	return c.pushHandler != nil
+}
+
+// pushesDroppedNote exists so a failed re-subscription is visible in
+// byte counters at least; the TTL pull remains the safety net.
+func (c *Client) pushesDroppedNote() {}
+
+// dispatchPush routes one unsolicited summary push to the registered
+// handler (dropped when none is registered — the server only pushes to
+// subscribed connections, but a handler swap can race a frame).
+func (c *Client) dispatchPush(s cluster.NodeSummary) {
+	c.pushMu.Lock()
+	h := c.pushHandler
+	c.pushMu.Unlock()
+	c.pushesReceived.Add(1)
+	if h != nil {
+		h(s)
+	}
+}
+
+// SubscribeSummaries registers handler for server-pushed summary
+// deltas and arms the subscription on the daemon. It returns ok=true
+// when the peer accepted the subscription; ok=false (with nil error)
+// when the peer cannot push — a v1 connection, or a pre-push daemon —
+// in which case the caller keeps pulling forever. The handler runs on
+// the connection's reader goroutine and must hand off quickly.
+func (c *Client) SubscribeSummaries(ctx context.Context, handler func(cluster.NodeSummary)) (bool, error) {
+	c.pushMu.Lock()
+	c.pushHandler = handler
+	c.pushMu.Unlock()
+	c.mu.Lock()
+	conn, err := c.ensureConnLocked(ctx)
+	c.mu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	if conn.proto < WireProtoV2 || !conn.pushOK {
+		return false, nil
+	}
+	// ensureConnLocked only arms fresh connections; arm the current one
+	// explicitly. Subscribing twice is idempotent server-side.
+	resp, err := conn.do(ctx, c, &request{Type: typeSubscribe})
+	if err != nil {
+		if errors.Is(err, ErrUnknownType) {
+			return false, nil
+		}
+		return false, err
+	}
+	if resp.Error != "" {
+		if resp.Code == CodeUnknownType {
+			return false, nil
+		}
+		return false, errors.New(resp.Error)
+	}
+	return true, nil
+}
+
+// PushesReceived reports how many summary push frames this client has
+// dispatched (across all connections in its lifetime).
+func (c *Client) PushesReceived() int64 { return c.pushesReceived.Load() }
 
 // dropConn discards conn if it is still the client's current
 // connection, so the next call redials.
@@ -373,6 +455,12 @@ type wireConn struct {
 	pendMu  sync.Mutex
 	pending map[uint64]chan response
 
+	// pushOK records the handshake's summary-push capability; onPush
+	// (armed before the readLoop starts, immutable afterwards) receives
+	// unsolicited push frames instead of the pending-call map.
+	pushOK bool
+	onPush func(cluster.NodeSummary)
+
 	closeOnce sync.Once
 	closed    chan struct{}
 	closeErr  atomic.Pointer[error]
@@ -416,6 +504,9 @@ func handshake(ctx context.Context, nc net.Conn, c *Client) (*wireConn, error) {
 	hello := request{Type: typePing}
 	if c.maxProto >= WireProtoV2 {
 		hello.WireProto = c.maxProto
+		// Advertise push support; pre-push daemons ignore the unknown
+		// JSON field and leave the response's flag unset.
+		hello.SummaryPush = true
 	}
 	_ = nc.SetDeadline(c.deadlineFor(ctx))
 	if err := writeFrame(counted, hello); err != nil {
@@ -433,6 +524,8 @@ func handshake(ctx context.Context, nc net.Conn, c *Client) (*wireConn, error) {
 	if resp.WireProto >= WireProtoV2 && c.maxProto >= WireProtoV2 {
 		conn.proto = WireProtoV2
 		conn.pending = make(map[uint64]chan response)
+		conn.pushOK = resp.SummaryPush
+		conn.onPush = c.dispatchPush
 		go conn.readLoop()
 	}
 	return conn, nil
@@ -582,14 +675,28 @@ func (w *wireConn) forget(id uint64) {
 
 // readLoop is the single reader goroutine of a v2 connection: it
 // decodes tagged response frames and routes each to its pending
-// caller. Any read or decode error tears the connection down,
-// failing all in-flight calls.
+// caller. Unsolicited push frames (their own frame kind and request-id
+// space) are dispatched to the subscriber instead of erroring. Any
+// read or decode error tears the connection down, failing all
+// in-flight calls.
 func (w *wireConn) readLoop() {
 	for {
 		buf, err := readFrameBody(w.ncIO)
 		if err != nil {
 			w.closeWithErr(connError{fmt.Errorf("transport: read frame: %w", err)})
 			return
+		}
+		if len(*buf) >= 2 && (*buf)[0] == wireMagic && (*buf)[1] == framePush {
+			_, sum, perr := decodeWirePush(*buf)
+			putFrameBuf(buf)
+			if perr != nil {
+				w.closeWithErr(connError{perr})
+				return
+			}
+			if w.onPush != nil {
+				w.onPush(sum)
+			}
+			continue
 		}
 		id, resp, err := decodeWireResponse(*buf)
 		putFrameBuf(buf)

@@ -117,6 +117,11 @@ const (
 	typeRegionPlan  = "region.plan"
 	typeRegionTrain = "region.train"
 	typeRegionStats = "region.stats"
+	// typeSubscribe registers the connection for server-push summary
+	// deltas (v2 connections against push-capable daemons only; see
+	// server.go). Pre-push servers answer CodeUnknownType and the
+	// client degrades to pull.
+	typeSubscribe = "summary.subscribe"
 )
 
 // Structured error codes carried in the response envelope so clients

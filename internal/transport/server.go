@@ -35,11 +35,15 @@ type request struct {
 	// epoch the caller already holds; a node whose advertisement still
 	// carries that epoch answers summary_unchanged instead of the full
 	// body. Zero means "send everything" (the pre-delta behavior).
-	KnownSummaryEpoch uint64                   `json:"known_summary_epoch,omitempty"`
-	Train             *federation.TrainRequest `json:"train,omitempty"`
-	Eval              *federation.EvalRequest  `json:"eval,omitempty"`
-	RegionPlan        *region.PlanRequest      `json:"region_plan,omitempty"`
-	RegionTrain       *region.TrainRequest     `json:"region_train,omitempty"`
+	KnownSummaryEpoch uint64 `json:"known_summary_epoch,omitempty"`
+	// SummaryPush, stamped only on the ping handshake, advertises that
+	// the client can accept unsolicited summary-push frames once it
+	// subscribes (see typeSubscribe). Pre-push peers ignore the field.
+	SummaryPush bool                     `json:"summary_push,omitempty"`
+	Train       *federation.TrainRequest `json:"train,omitempty"`
+	Eval        *federation.EvalRequest  `json:"eval,omitempty"`
+	RegionPlan  *region.PlanRequest      `json:"region_plan,omitempty"`
+	RegionTrain *region.TrainRequest     `json:"region_train,omitempty"`
 }
 
 // response is the wire envelope returned by a participant. Code
@@ -61,13 +65,18 @@ type response struct {
 	Summary      *cluster.NodeSummary `json:"summary,omitempty"`
 	// SummaryUnchanged confirms the requester's known_summary_epoch is
 	// still current; the summary body is omitted.
-	SummaryUnchanged bool                      `json:"summary_unchanged,omitempty"`
-	Train            *federation.TrainResponse `json:"train,omitempty"`
-	Eval             *federation.EvalResponse  `json:"eval,omitempty"`
-	RegionInfo       *region.Info              `json:"region_info,omitempty"`
-	RegionPlan       *region.PlanResponse      `json:"region_plan,omitempty"`
-	RegionTrain      *region.TrainResponse     `json:"region_train,omitempty"`
-	RegionStats      *region.Stats             `json:"region_stats,omitempty"`
+	SummaryUnchanged bool `json:"summary_unchanged,omitempty"`
+	// SummaryPush, stamped only on the ping-handshake response,
+	// confirms the server will honor summary-push subscriptions on this
+	// connection (v2 participant daemons answering a push-capable
+	// hello). Absent on pre-push servers, so old peers degrade to pull.
+	SummaryPush bool                      `json:"summary_push,omitempty"`
+	Train       *federation.TrainResponse `json:"train,omitempty"`
+	Eval        *federation.EvalResponse  `json:"eval,omitempty"`
+	RegionInfo  *region.Info              `json:"region_info,omitempty"`
+	RegionPlan  *region.PlanResponse      `json:"region_plan,omitempty"`
+	RegionTrain *region.TrainResponse     `json:"region_train,omitempty"`
+	RegionStats *region.Stats             `json:"region_stats,omitempty"`
 }
 
 // codec labels for wire metrics.
@@ -110,7 +119,7 @@ func newServerMetrics(reg *telemetry.Registry, nodeID string) *serverMetrics {
 		wireBytesOut: map[int]*telemetry.Counter{},
 		encodeUS:     map[int]*telemetry.Histogram{},
 	}
-	for _, t := range []string{typePing, typeSummary, typeTrain, typeEvaluate,
+	for _, t := range []string{typePing, typeSummary, typeTrain, typeEvaluate, typeSubscribe,
 		typeRegionInfo, typeRegionPlan, typeRegionTrain, typeRegionStats, "unknown"} {
 		m.rpcTotal[t] = reg.Counter("qens_rpc_total",
 			telemetry.Label{Key: "node", Value: nodeID}, telemetry.Label{Key: "type", Value: t})
@@ -230,7 +239,36 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]int // live connections → negotiated proto
+
+	// Push subscriptions: one pusher per subscribed v2 connection.
+	// Node epoch bumps mark every pusher dirty; each pusher goroutine
+	// coalesces marks and writes the freshest summary under its
+	// connection's write lock. Pushers stop at the first drain signal
+	// (s.closed) and are awaited by s.wg, so Shutdown/Close leave no
+	// goroutine behind.
+	pushMu   sync.Mutex
+	pushers  map[*pusher]struct{}
+	pushID   atomic.Uint64 // server-minted push-frame id space
+	pushSent atomic.Int64
 }
+
+// pusher is one connection's push subscription.
+type pusher struct {
+	cc       *countingConn
+	writeMu  *sync.Mutex
+	dirty    chan struct{} // cap 1: coalesced "summary may have moved"
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func (p *pusher) notify() {
+	select {
+	case p.dirty <- struct{}{}:
+	default:
+	}
+}
+
+func (p *pusher) stop() { p.stopOnce.Do(func() { close(p.done) }) }
 
 // Serve starts a participant daemon for node on addr (e.g.
 // "127.0.0.1:0") and begins accepting connections in the background.
@@ -275,15 +313,97 @@ func serve(node *federation.Node, svc region.Service, id, addr string, opts []Se
 		cancel:   cancel,
 		closed:   make(chan struct{}),
 		conns:    make(map[net.Conn]int),
+		pushers:  make(map[*pusher]struct{}),
 	}
 	s.SetLogger(log.Printf)
 	for _, opt := range opts {
 		opt(s)
 	}
+	if node != nil {
+		// Ingest-driven freshness: every advertisement-epoch bump marks
+		// all subscribed connections dirty; the pushers read the summary
+		// themselves, so this callback stays cheap on the mutating path.
+		node.Engine().OnEpochBump(func(uint64) { s.notifyPushers() })
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// notifyPushers marks every push subscription dirty.
+func (s *Server) notifyPushers() {
+	s.pushMu.Lock()
+	for p := range s.pushers {
+		p.notify()
+	}
+	s.pushMu.Unlock()
+}
+
+// addPusher registers a subscription and starts its goroutine, priming
+// it so the subscriber converges on the current summary immediately.
+func (s *Server) addPusher(cc *countingConn, writeMu *sync.Mutex) *pusher {
+	p := &pusher{cc: cc, writeMu: writeMu, dirty: make(chan struct{}, 1), done: make(chan struct{})}
+	s.pushMu.Lock()
+	s.pushers[p] = struct{}{}
+	s.pushMu.Unlock()
+	s.wg.Add(1)
+	go s.runPusher(p)
+	p.notify()
+	return p
+}
+
+// removePusher tears a subscription down (connection teardown).
+func (s *Server) removePusher(p *pusher) {
+	s.pushMu.Lock()
+	delete(s.pushers, p)
+	s.pushMu.Unlock()
+	p.stop()
+}
+
+// runPusher drains one subscription's dirty marks, writing a push
+// frame per observed epoch step. It exits on connection teardown, on
+// the server's drain signal, or on the first write error (the serve
+// loop notices the broken conn on its own).
+func (s *Server) runPusher(p *pusher) {
+	defer s.wg.Done()
+	var lastEpoch uint64
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-s.closed:
+			return
+		case <-p.dirty:
+		}
+		sum := s.node.Summary()
+		if sum.Epoch == lastEpoch {
+			continue
+		}
+		lastEpoch = sum.Epoch
+		id := s.pushID.Add(1)
+		p.writeMu.Lock()
+		_, err := writeWirePush(p.cc, id, &sum)
+		p.writeMu.Unlock()
+		s.metrics.addBytes(WireProtoV2, p.cc.takeRead(), p.cc.takeWritten())
+		if err != nil {
+			s.logkv("event", "push_write_error", "err", err)
+			return
+		}
+		s.pushSent.Add(1)
+	}
+}
+
+// PushSubscribers reports how many connections hold live push
+// subscriptions (surfaced by qensd /healthz).
+func (s *Server) PushSubscribers() int {
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	return len(s.pushers)
+}
+
+// PushesSent reports how many summary push frames this server has
+// written (surfaced by qensd /healthz).
+func (s *Server) PushesSent() int64 { return s.pushSent.Load() }
 
 // SetLogger replaces the server's log function (tests use a silent
 // one). Safe to call while the server is accepting traffic.
@@ -475,6 +595,12 @@ func (s *Server) handleConn(conn net.Conn) {
 		resp := s.dispatch(req)
 		if upgrade && resp.Error == "" {
 			resp.WireProto = WireProtoV2
+			// Negotiate the server-push capability alongside the codec:
+			// only participant daemons push, and only to peers that
+			// advertised they can receive unsolicited frames.
+			if req.SummaryPush && s.node != nil {
+				resp.SummaryPush = true
+			}
 		}
 		start := time.Now()
 		err := writeFrame(cc, resp)
@@ -504,8 +630,14 @@ func (s *Server) serveV2(cc *countingConn) {
 	var (
 		writeMu sync.Mutex
 		wg      sync.WaitGroup
+		push    *pusher
 	)
 	defer wg.Wait()
+	defer func() {
+		if push != nil {
+			s.removePusher(push)
+		}
+	}()
 	for {
 		buf, err := readFrameBody(cc)
 		if err != nil {
@@ -519,6 +651,37 @@ func (s *Server) serveV2(cc *countingConn) {
 			s.logkv("event", "decode_error", "proto", 2, "err", err)
 			s.metrics.addBytes(WireProtoV2, cc.takeRead(), cc.takeWritten())
 			return
+		}
+		if req.Type == typeSubscribe {
+			// Handled inline rather than in dispatch: the subscription is
+			// per-connection state, so it needs this loop's write lock and
+			// teardown scope. Region servers have no node summary to push.
+			resp := response{NodeID: s.id}
+			if s.node == nil {
+				resp = response{Error: "push subscription on a region server", Code: CodeUnknownType}
+			} else {
+				if push == nil {
+					push = s.addPusher(cc, &writeMu)
+				}
+				resp.SummaryPush = true
+				resp.SummaryEpoch = s.node.SummaryEpoch()
+			}
+			s.metrics.observeRPC(req.Type, 0, resp.Error != "")
+			buf := getFrameBuf()
+			frame, err := appendWireResponse((*buf)[:0], id, &resp)
+			if err == nil {
+				*buf = frame
+				writeMu.Lock()
+				_, err = cc.Write(frame)
+				writeMu.Unlock()
+			}
+			putFrameBuf(buf)
+			s.metrics.addBytes(WireProtoV2, cc.takeRead(), cc.takeWritten())
+			if err != nil {
+				s.logkv("event", "write_error", "type", req.Type, "err", err)
+				return
+			}
+			continue
 		}
 		s.active.Add(1)
 		wg.Add(1)

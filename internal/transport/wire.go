@@ -51,10 +51,14 @@ const (
 // against a v1 peer (JSON bodies start with '{' = 0x7B) or garbage.
 const wireMagic = 0xC2
 
-// Frame kinds.
+// Frame kinds. framePush is server-initiated: it carries no pending
+// request id from the client's space — push ids live in their own
+// monotonically increasing server-minted space, so a push can never be
+// mistaken for (or collide with) an RPC response.
 const (
 	frameRequest  = 0
 	frameResponse = 1
+	framePush     = 2
 )
 
 // Section tags. Request-side and response-side tags share one
@@ -90,6 +94,20 @@ const (
 	// correct, just not byte-proportional to churn.
 	secKnownEpoch       byte = 15 // uvarint known summary epoch (request)
 	secSummaryUnchanged byte = 16 // u8 1 marker (response)
+
+	// Summary-delta push (server→client, inside a framePush frame): the
+	// node's fresh advertisement, self-delimiting like every section so
+	// decoders predating it skip it by length. Peers that never
+	// subscribe (v1, or old v2) simply never receive push frames and
+	// keep pulling forever.
+	secPushSummary byte = 17 // node summary (push)
+
+	// Push capability marker: on a request it advertises the client can
+	// receive push frames, on a response it confirms the server will
+	// emit them. Negotiation normally rides the v1 JSON handshake, but
+	// the marker keeps the binary codec lossless for both envelopes
+	// (and pre-push decoders skip it by length).
+	secSummaryPush byte = 18 // u8 1 marker (request and response)
 )
 
 // Body kinds inside secRegionReq/secRegionResp.
@@ -120,6 +138,7 @@ var internTable = map[string]string{
 	typeSummary:     typeSummary,
 	typeTrain:       typeTrain,
 	typeEvaluate:    typeEvaluate,
+	typeSubscribe:   typeSubscribe,
 	typeRegionInfo:  typeRegionInfo,
 	typeRegionPlan:  typeRegionPlan,
 	typeRegionTrain: typeRegionTrain,
@@ -295,6 +314,11 @@ func appendWireRequest(dst []byte, id uint64, req *request) ([]byte, error) {
 		e.uvarint(req.KnownSummaryEpoch)
 		e.endSection(m)
 	}
+	if req.SummaryPush {
+		m = e.beginSection(secSummaryPush)
+		e.u8(1)
+		e.endSection(m)
+	}
 	if req.RegionPlan != nil {
 		if err := e.regionSection(secRegionReq, regionBodyPlan, req.RegionPlan); err != nil {
 			return e.b[:hdr], err
@@ -350,6 +374,11 @@ func appendWireResponse(dst []byte, id uint64, resp *response) ([]byte, error) {
 		e.u8(1)
 		e.endSection(m)
 	}
+	if resp.SummaryPush {
+		m := e.beginSection(secSummaryPush)
+		e.u8(1)
+		e.endSection(m)
+	}
 	if resp.Train != nil {
 		m := e.beginSection(secTrainResp)
 		e.params(resp.Train.Params)
@@ -393,6 +422,63 @@ func appendWireResponse(dst []byte, id uint64, resp *response) ([]byte, error) {
 		}
 	}
 	return finishWireFrame(e.b, hdr)
+}
+
+// appendWirePush appends one complete v2 push frame: the server's
+// unsolicited summary-delta advertisement tagged with a server-minted
+// push id.
+func appendWirePush(dst []byte, pushID uint64, s *cluster.NodeSummary) ([]byte, error) {
+	e := wireEnc{b: dst}
+	hdr := len(e.b)
+	e.b = append(e.b, 0, 0, 0, 0)
+	e.u8(wireMagic)
+	e.u8(framePush)
+	e.u64(pushID)
+	m := e.beginSection(secPushSummary)
+	e.summary(s)
+	e.endSection(m)
+	return finishWireFrame(e.b, hdr)
+}
+
+// decodeWirePush parses a v2 push frame body. A push without a summary
+// section (truncation or forgery) is malformed: unlike requests and
+// responses, the summary is the frame's entire reason to exist.
+func decodeWirePush(body []byte) (pushID uint64, s cluster.NodeSummary, err error) {
+	d := wireDec{b: body}
+	pushID = decodeWireHeader(&d, framePush)
+	saw := false
+	for {
+		tag, p, ok := d.section()
+		if !ok {
+			break
+		}
+		if tag == secPushSummary {
+			p.summary(&s)
+			saw = true
+		}
+		if p.err != nil {
+			return pushID, cluster.NodeSummary{}, p.err
+		}
+	}
+	if d.err != nil {
+		return pushID, cluster.NodeSummary{}, d.err
+	}
+	if !saw {
+		return pushID, cluster.NodeSummary{}, fmt.Errorf("%w: push frame without summary section", ErrMalformedFrame)
+	}
+	return pushID, s, nil
+}
+
+// writeWirePush encodes one push frame through a pooled buffer.
+func writeWirePush(w io.Writer, pushID uint64, s *cluster.NodeSummary) (int, error) {
+	buf := getFrameBuf()
+	defer putFrameBuf(buf)
+	b, err := appendWirePush((*buf)[:0], pushID, s)
+	if err != nil {
+		return 0, err
+	}
+	*buf = b
+	return w.Write(b)
 }
 
 // anyOrNil collapses a typed nil pointer into an untyped nil so the
@@ -689,6 +775,8 @@ func decodeWireRequest(body []byte, req *request) (id uint64, err error) {
 			req.DeadlineUnixMS = p.varint()
 		case secKnownEpoch:
 			req.KnownSummaryEpoch = p.uvarint()
+		case secSummaryPush:
+			req.SummaryPush = p.u8() == 1
 		case secTrainReq:
 			if req.Train == nil {
 				req.Train = &federation.TrainRequest{}
@@ -794,6 +882,8 @@ func decodeWireResponse(body []byte) (id uint64, resp response, err error) {
 			p.summary(resp.Summary)
 		case secSummaryUnchanged:
 			resp.SummaryUnchanged = p.u8() == 1
+		case secSummaryPush:
+			resp.SummaryPush = p.u8() == 1
 		case secTrainResp:
 			t := &federation.TrainResponse{}
 			p.params(&t.Params)

@@ -343,8 +343,8 @@ func TestWireCodecFieldDriftGuard(t *testing.T) {
 		{reflect.TypeOf(federation.TrainResponse{}), 6},
 		{reflect.TypeOf(federation.EvalRequest{}), 5},
 		{reflect.TypeOf(federation.EvalResponse{}), 4},
-		{reflect.TypeOf(request{}), 10},
-		{reflect.TypeOf(response{}), 14},
+		{reflect.TypeOf(request{}), 11},
+		{reflect.TypeOf(response{}), 15},
 	}
 	for _, w := range want {
 		if got := w.typ.NumField(); got != w.n {

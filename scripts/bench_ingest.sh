@@ -1,0 +1,73 @@
+#!/bin/sh
+# Runs the streaming-ingestion benchmarks and renders the results as
+# BENCH_ingest.json at the repo root.
+#
+#   BENCHTIME=100ms sh scripts/bench_ingest.sh   # CI smoke
+#   sh scripts/bench_ingest.sh                   # local, default 1s/op
+#
+# Two contracts, both enforced (the script exits non-zero on either):
+#   - BenchmarkRequantize10k: at 10k samples and 1%-sized mini-batches,
+#     one incremental requantization step (absorb + single assignment
+#     pass) must be >=3x faster than a full Lloyd re-run. This is the
+#     whole premise of ingest-driven freshness: if the incremental path
+#     is not materially cheaper, nodes may as well re-quantize fully.
+#   - BenchmarkSummaryFreshnessBytes: propagating one epoch bump by
+#     server push must cost strictly fewer wire bytes than the
+#     request+response of a TTL pull landing at the same staleness.
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${BENCHTIME:-1s}"
+
+out=$(
+	go test -run '^$' -bench '^BenchmarkRequantize10k$' -benchmem -benchtime "$benchtime" ./internal/cluster/
+	go test -run '^$' -bench '^BenchmarkSummaryFreshnessBytes$' -benchmem -benchtime "$benchtime" ./internal/transport/
+)
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+  BEGIN { printf "[\n"; bad = 0 }
+  $1 ~ /^Benchmark(Requantize10k|SummaryFreshnessBytes)\// {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns_op = ""; wb = ""; bytes_op = ""; allocs_op = ""
+    for (i = 3; i <= NF; i++) {
+      if ($i == "ns/op")      ns_op = $(i-1)
+      if ($i == "wire_bytes") wb = $(i-1)
+      if ($i == "B/op")       bytes_op = $(i-1)
+      if ($i == "allocs/op")  allocs_op = $(i-1)
+    }
+    if (ns_op == "") next
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns_op
+    if (wb != "")        printf ", \"wire_bytes\": %s", wb
+    if (bytes_op != "")  printf ", \"bytes_per_op\": %s", bytes_op
+    if (allocs_op != "") printf ", \"allocs_per_op\": %s", allocs_op
+    printf "}"
+    ns[name] = ns_op; bytes[name] = wb
+  }
+  END {
+    printf "\n]\n"
+    full = "BenchmarkRequantize10k/mode=full"
+    incr = "BenchmarkRequantize10k/mode=incremental"
+    push = "BenchmarkSummaryFreshnessBytes/mode=push"
+    pull = "BenchmarkSummaryFreshnessBytes/mode=pull"
+    if (!(full in ns) || !(incr in ns) || !(push in ns) || !(pull in ns)) {
+      printf "MISSING CASES: ingest benchmarks did not all run\n" > "/dev/stderr"
+      exit 1
+    }
+    if (ns[incr] * 3 > ns[full] + 0) {
+      bad = 1
+      printf "INGEST REGRESSION: incremental requantize (%s ns/op) is not >=3x faster than full Lloyd (%s ns/op)\n", \
+        ns[incr], ns[full] > "/dev/stderr"
+    }
+    if (bytes[push] + 0 >= bytes[pull] + 0) {
+      bad = 1
+      printf "WIRE REGRESSION: push refresh (%s B) is not below the pull request+response (%s B)\n", \
+        bytes[push], bytes[pull] > "/dev/stderr"
+    }
+    exit bad
+  }
+' > BENCH_ingest.json
+
+count=$(grep -c '"name"' BENCH_ingest.json)
+echo "bench_ingest: wrote BENCH_ingest.json ($count results, benchtime $benchtime)"

@@ -4,7 +4,10 @@
 # closed-loop load run, then SIGTERM the gateway and assert it drains
 # cleanly; then repeat against a sharded topology (two qens-region
 # daemons under a root gateway) and assert the per-region routing
-# surface. Used by `make loadsmoke` / `make ci`.
+# surface; then a sustained-ingest soak (one qensd streaming with a
+# drift schedule, one on wire v1, under closed-loop load) asserting
+# autonomous escalation, push-mode freshness with a v1 pull fallback,
+# and a flat p99. Used by `make loadsmoke` / `make ci`.
 set -eu
 
 ADDR="${QENS_SMOKE_ADDR:-127.0.0.1:18080}"
@@ -13,14 +16,23 @@ SHARD_ADDR="${QENS_SMOKE_SHARD_ADDR:-127.0.0.1:18081}"
 SHARD_URL="http://${SHARD_ADDR}"
 R0_ADDR="${QENS_SMOKE_R0_ADDR:-127.0.0.1:17101}"
 R1_ADDR="${QENS_SMOKE_R1_ADDR:-127.0.0.1:17102}"
+QD0_ADDR="${QENS_SMOKE_QD0_ADDR:-127.0.0.1:17201}"
+QD0_OBS="${QENS_SMOKE_QD0_OBS:-127.0.0.1:19201}"
+QD1_ADDR="${QENS_SMOKE_QD1_ADDR:-127.0.0.1:17202}"
+QD2_ADDR="${QENS_SMOKE_QD2_ADDR:-127.0.0.1:17203}"
+INGEST_ADDR="${QENS_SMOKE_INGEST_ADDR:-127.0.0.1:18082}"
+INGEST_URL="http://${INGEST_ADDR}"
 BIN="$(mktemp -d)"
 GW_PID=""
 R0_PID=""
 R1_PID=""
+QD0_PID=""
+QD1_PID=""
+QD2_PID=""
 
 cleanup() {
     status=$?
-    for pid in "$GW_PID" "$R0_PID" "$R1_PID"; do
+    for pid in "$GW_PID" "$R0_PID" "$R1_PID" "$QD0_PID" "$QD1_PID" "$QD2_PID"; do
         if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
             kill -KILL "$pid" 2>/dev/null || true
         fi
@@ -34,6 +46,7 @@ echo "loadsmoke: building binaries"
 go build -o "$BIN/qens-gateway" ./cmd/qens-gateway
 go build -o "$BIN/qens-region" ./cmd/qens-region
 go build -o "$BIN/qensload" ./cmd/qensload
+go build -o "$BIN/qensd" ./cmd/qensd
 
 echo "loadsmoke: starting gateway on $ADDR (3 nodes x 200 samples)"
 "$BIN/qens-gateway" -addr "$ADDR" -nodes 3 -samples 200 -k 4 -epochs 3 \
@@ -193,3 +206,121 @@ for pid in "$GW_PID" "$R0_PID" "$R1_PID"; do
 done
 GW_PID=""; R0_PID=""; R1_PID=""
 echo "loadsmoke: OK (sharded topology served, reported per-region stats, drained cleanly)"
+
+# --- Sustained-ingest soak: live drift + push under closed-loop load --
+
+echo "loadsmoke: starting 3 qensd daemons (node-0 streaming with drift, node-2 wire v1)"
+"$BIN/qensd" -addr "$QD0_ADDR" -synthetic 0 -nodes 3 -samples 200 -k 4 \
+    -ingest-rate 400 -ingest-batch 32 -ingest-drift-after 2s -ingest-drift-shift 0.75 \
+    -metrics-addr "$QD0_OBS" >"$BIN/qensd0.log" 2>&1 &
+QD0_PID=$!
+"$BIN/qensd" -addr "$QD1_ADDR" -synthetic 1 -nodes 3 -samples 200 -k 4 \
+    >"$BIN/qensd1.log" 2>&1 &
+QD1_PID=$!
+"$BIN/qensd" -addr "$QD2_ADDR" -synthetic 2 -nodes 3 -samples 200 -k 4 \
+    -wire-proto 1 >"$BIN/qensd2.log" 2>&1 &
+QD2_PID=$!
+i=0
+until grep -q "serving" "$BIN/qensd0.log" 2>/dev/null \
+    && grep -q "serving" "$BIN/qensd1.log" 2>/dev/null \
+    && grep -q "serving" "$BIN/qensd2.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 300 ]; then
+        echo "loadsmoke: FAIL qensd daemons not up within 30s" >&2
+        cat "$BIN"/qensd*.log >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "loadsmoke: starting gateway on $INGEST_ADDR over the remote fleet"
+"$BIN/qens-gateway" -addr "$INGEST_ADDR" -addrs "$QD0_ADDR,$QD1_ADDR,$QD2_ADDR" \
+    -k 4 -epochs 2 -workers 4 -queue 32 >"$BIN/ingest-gw.log" 2>&1 &
+GW_PID=$!
+
+echo "loadsmoke: running pre-drift load burst"
+"$BIN/qensload" -url "$INGEST_URL" -clients 4 -requests 32 -distinct 6 \
+    -topl 2 -timeout-ms 30000 -wait 15s
+p99_pre=$(curl -sf "$INGEST_URL/v1/stats" | sed -n 's/.*"p99_ms":\([0-9.]*\).*/\1/p')
+
+# The v1 daemon must have declined the subscription: 2 of 3 on push.
+if ! grep -q "summary push from 2/3 nodes" "$BIN/ingest-gw.log"; then
+    echo "loadsmoke: FAIL gateway did not report 2/3 push subscriptions (v1 fallback)" >&2
+    cat "$BIN/ingest-gw.log" >&2 || true
+    exit 1
+fi
+
+echo "loadsmoke: waiting for node-0's drift detector to escalate"
+i=0
+until curl -sf "http://$QD0_OBS/healthz" | grep -q '"escalations":[1-9]'; do
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+        echo "loadsmoke: FAIL drift never escalated to a full re-quantization" >&2
+        curl -sf "http://$QD0_OBS/healthz" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "loadsmoke: node-0 escalated autonomously"
+
+echo "loadsmoke: running post-drift load burst"
+"$BIN/qensload" -url "$INGEST_URL" -clients 4 -requests 32 -distinct 6 \
+    -topl 2 -timeout-ms 30000 -wait 15s
+p99_post=$(curl -sf "$INGEST_URL/v1/stats" | sed -n 's/.*"p99_ms":\([0-9.]*\).*/\1/p')
+
+health_json=$(curl -sf "$INGEST_URL/healthz")
+case "$health_json" in
+    *'"summary_mode":"push"'*) ;;
+    *)
+        echo "loadsmoke: FAIL gateway not in push mode: $health_json" >&2
+        exit 1
+        ;;
+esac
+case "$health_json" in
+    *'"push_applied":0'*)
+        echo "loadsmoke: FAIL drifted advertisement never arrived by push: $health_json" >&2
+        exit 1
+        ;;
+    *'"push_applied":'*) ;;
+    *)
+        echo "loadsmoke: FAIL /healthz carries no push counters: $health_json" >&2
+        exit 1
+        ;;
+esac
+
+# p99 must stay flat through drift + requantization + pushes: allow a
+# generous CI-noise envelope (5x + 250ms) — a refresh stampede or a
+# blocked query path blows far past that.
+if [ -n "$p99_pre" ] && [ -n "$p99_post" ]; then
+    if ! awk -v pre="$p99_pre" -v post="$p99_post" \
+        'BEGIN { exit !(post <= pre * 5 + 250) }'; then
+        echo "loadsmoke: FAIL p99 not flat through drift: ${p99_pre}ms -> ${p99_post}ms" >&2
+        exit 1
+    fi
+    echo "loadsmoke: p99 flat through drift (${p99_pre}ms -> ${p99_post}ms)"
+else
+    echo "loadsmoke: FAIL /v1/stats reported no p99 latency" >&2
+    exit 1
+fi
+
+echo "loadsmoke: draining ingest topology (SIGTERM)"
+for pid in "$GW_PID" "$QD0_PID" "$QD1_PID" "$QD2_PID"; do
+    kill -TERM "$pid"
+done
+i=0
+for pid in "$GW_PID" "$QD0_PID" "$QD1_PID" "$QD2_PID"; do
+    while kill -0 "$pid" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 300 ]; then
+            echo "loadsmoke: FAIL ingest topology did not exit within 30s of SIGTERM" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if ! wait "$pid"; then
+        echo "loadsmoke: FAIL pid $pid exited non-zero after SIGTERM" >&2
+        exit 1
+    fi
+done
+GW_PID=""; QD0_PID=""; QD1_PID=""; QD2_PID=""
+echo "loadsmoke: OK (sustained ingest: autonomous escalation, push freshness with v1 pull fallback, p99 flat)"
