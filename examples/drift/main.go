@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"time"
 
 	"qens/internal/dataset"
 	"qens/internal/federation"
@@ -67,6 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer leader.StopPush()
 	fmt.Printf("leader subscribed to summary pushes from %d/%d nodes\n", subscribed, nodes)
 
 	node := fleet.Nodes[0]
@@ -119,11 +121,20 @@ func main() {
 	}
 
 	// The escalation bumped the node's epoch, which fired the push
-	// subscription; LocalClient delivery is synchronous, so by the time
-	// Ingest returned the registry has already applied it.
+	// subscription. Delivery is asynchronous — the handler hands the
+	// summary off to the leader's applier goroutine so it can never
+	// block a connection reader — so wait (bounded) for the registry to
+	// apply it. No TTL pull is involved either way.
+	deadline := time.Now().Add(10 * time.Second)
 	regStats := leader.Registry().Stats()
 	snap1, _ := leader.Registry().Current()
 	epoch1 := snap1.NodeSummaryEpoch(node.ID())
+	for (regStats.PushApplied == 0 || epoch1 <= epoch0) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		regStats = leader.Registry().Stats()
+		snap1, _ = leader.Registry().Current()
+		epoch1 = snap1.NodeSummaryEpoch(node.ID())
+	}
 	fmt.Printf("registry: %s advertisement epoch %d -> %d, %d pushes applied (%d bytes), pull refreshes %d -> %d\n",
 		node.ID(), epoch0, epoch1, regStats.PushApplied, regStats.PushBytes, pulls0, pullRefreshes(leader))
 

@@ -84,7 +84,8 @@ type Engine struct {
 	// OnEpochBump (the transport server's push notifier, in-process
 	// leader subscriptions).
 	watchMu  sync.Mutex
-	watchers []func(uint64)
+	watchers []epochWatcher
+	watchSeq uint64
 
 	pool    modelPool
 	buffers sync.Pool // *Buffers
@@ -194,7 +195,7 @@ func (e *Engine) MutateEpoch(fn func(cur *Snapshot) (*dataset.Dataset, *cluster.
 	next := &Snapshot{Data: data, Quant: quant, Epoch: epoch}
 	e.snap.Store(next)
 	e.metrics.epochGauge.Set(float64(next.Epoch))
-	var watchers []func(uint64)
+	var watchers []epochWatcher
 	if bump {
 		e.watchMu.Lock()
 		watchers = append(watchers, e.watchers...)
@@ -205,19 +206,41 @@ func (e *Engine) MutateEpoch(fn func(cur *Snapshot) (*dataset.Dataset, *cluster.
 	// patch, a push write) never blocks the next mutation. Watchers that
 	// read state must re-load Current; the epoch argument is a floor.
 	for _, w := range watchers {
-		w(epoch)
+		w.fn(epoch)
 	}
 	return nil
+}
+
+// epochWatcher is one registered epoch-bump callback, identity-tagged
+// so OnEpochBump's unsubscribe can remove exactly this registration.
+type epochWatcher struct {
+	id uint64
+	fn func(uint64)
 }
 
 // OnEpochBump registers fn to run after every snapshot publication that
 // bumped the epoch — the seam the transport server's push notifier and
 // in-process leader subscriptions hang off. fn runs on the mutating
 // goroutine after the snapshot is visible; it should hand off quickly.
-func (e *Engine) OnEpochBump(fn func(epoch uint64)) {
+// The returned func removes the registration (idempotent) — callers
+// with a lifetime shorter than the engine (a transport server cycling
+// through Serve/Shutdown) must call it or their closure keeps firing.
+func (e *Engine) OnEpochBump(fn func(epoch uint64)) (unsubscribe func()) {
 	e.watchMu.Lock()
-	e.watchers = append(e.watchers, fn)
+	e.watchSeq++
+	id := e.watchSeq
+	e.watchers = append(e.watchers, epochWatcher{id: id, fn: fn})
 	e.watchMu.Unlock()
+	return func() {
+		e.watchMu.Lock()
+		for i := range e.watchers {
+			if e.watchers[i].id == id {
+				e.watchers = append(e.watchers[:i], e.watchers[i+1:]...)
+				break
+			}
+		}
+		e.watchMu.Unlock()
+	}
 }
 
 // acquire claims an execution slot, waiting in the admission queue

@@ -145,6 +145,7 @@ func TestIngestDisabledGoldenStatelessSelectors(t *testing.T) {
 	if n, err := pushy.Leader.StartPush(context.Background()); err != nil || n != 4 {
 		t.Fatalf("StartPush: n=%d err=%v", n, err)
 	}
+	t.Cleanup(pushy.Leader.StopPush)
 
 	selectors := []selection.Selector{
 		selection.QueryDriven{Epsilon: 0.6, TopL: 2},

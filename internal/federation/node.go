@@ -185,9 +185,10 @@ func (n *Node) SummaryEpoch() uint64 { return n.eng.Epoch() }
 // advertisement epoch — the node-push seam. Immaterial incremental
 // batches (published under the current epoch) do not fire it. fn runs
 // on the mutating goroutine and should hand off quickly; it receives
-// the freshly advertised summary.
-func (n *Node) OnAdvertise(fn func(cluster.NodeSummary)) {
-	n.eng.OnEpochBump(func(uint64) {
+// the freshly advertised summary. The returned func removes the
+// registration (see engine.OnEpochBump).
+func (n *Node) OnAdvertise(fn func(cluster.NodeSummary)) (unsubscribe func()) {
+	return n.eng.OnEpochBump(func(uint64) {
 		fn(n.Summary())
 	})
 }

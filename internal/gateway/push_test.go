@@ -26,12 +26,17 @@ func TestGatewayDrainStopsPush(t *testing.T) {
 	})
 
 	// Push mode live: a node-side requantization lands in the registry
-	// synchronously (in-process subscription), no pull involved.
+	// with no pull involved. Delivery is asynchronous (the handler hands
+	// off to the leader's applier goroutine), so wait bounded.
 	if err := fleet.Nodes[1].Requantize(); err != nil {
 		t.Fatal(err)
 	}
-	if st := leader.Registry().Stats(); st.PushApplied == 0 {
-		t.Fatalf("requantize did not push: %+v", st)
+	deadline := time.Now().Add(5 * time.Second)
+	for leader.Registry().Stats().PushApplied == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("requantize did not push: %+v", leader.Registry().Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 
 	// /healthz surfaces the freshness mode and push accounting.

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"fmt"
+	"time"
 
 	"qens/internal/cluster"
 )
@@ -9,10 +10,12 @@ import (
 // ApplyPush ingests one node-pushed advertisement: the node detected
 // material drift (or re-quantized) and sent its fresh summary instead
 // of waiting to be pulled. The summary goes through the same
-// validation and R-tree patch machinery as a delta refresh, and a
-// successful apply re-stamps FetchedAt — so on a push-fed registry the
-// TTL pull demotes to anti-entropy, firing only when pushes stop
-// arriving.
+// validation and R-tree patch machinery as a delta refresh. Freshness
+// is tracked per node: a successful apply renews only the pushing
+// node's entry, and the snapshot's TTL clock (FetchedAt) is the
+// roster-wide minimum — so one frequently-pushing node can never
+// starve the anti-entropy pull that covers non-push members, and the
+// TTL demotes to pure fallback only when every roster node pushes.
 //
 // Epoch fencing makes the path safe against reordering and replay: a
 // push whose node epoch is not strictly newer than what the current
@@ -88,11 +91,32 @@ func (r *Registry) applyPush(sum cluster.NodeSummary) (uint64, bool, error) {
 	if err != nil {
 		return 0, false, fmt.Errorf("registry: push from %s: %w", sum.NodeID, err)
 	}
-	// Publish like a refresh: fresh FetchedAt (the node just told us
-	// its state — the TTL clock restarts) and the next registry epoch.
-	// The stale flag is deliberately left alone: an Invalidate pending
-	// when the push lands still forces the full re-fetch it asked for.
-	snap.FetchedAt = r.now()
+	// Per-node freshness: only the pushing node's clock renews; every
+	// other member keeps its last verified time (prev.FetchedAt when a
+	// pre-freshness snapshot has no entry). FetchedAt becomes the
+	// roster minimum, so the TTL pull still fires for the stalest
+	// non-push member. The stale flag is deliberately left alone: an
+	// Invalidate pending when the push lands still forces the full
+	// re-fetch it asked for.
+	now := r.now()
+	fresh := make(map[string]time.Time, len(snap.Nodes))
+	oldest := now
+	for i := range snap.Nodes {
+		id := snap.Nodes[i].NodeID
+		ft, ok := prev.freshByNode[id]
+		if !ok {
+			ft = prev.FetchedAt
+		}
+		if id == sum.NodeID {
+			ft = now
+		}
+		fresh[id] = ft
+		if ft.Before(oldest) {
+			oldest = ft
+		}
+	}
+	snap.freshByNode = fresh
+	snap.FetchedAt = oldest
 	snap.Epoch = r.epoch.Add(1)
 	r.cur.Store(snap)
 	r.pushApplied.Add(1)

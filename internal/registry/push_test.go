@@ -2,6 +2,7 @@ package registry
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -112,22 +113,52 @@ func TestRegistryApplyPush(t *testing.T) {
 		t.Fatalf("push rebuilt the index instead of patching: %+v", st)
 	}
 
-	// Anti-entropy demotion: the push renewed FetchedAt, so a TTL that
-	// would have expired the pulled snapshot is measured from the last
-	// push instead — no pull happens.
-	advance(45 * time.Second) // 1045s: 45s after seed, but FetchedAt is 1000+0s...
+	// Per-node freshness: node-1's push renewed only node-1's clock, so
+	// the fleet TTL keeps running from the seed fetch — the anti-entropy
+	// pull must still cover the non-push members on schedule.
+	advance(45 * time.Second) // t=1045: snapshot 45s old, TTL 60s
 	if _, err := r.Snapshot(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if fetches != 1 {
-		t.Fatalf("TTL pull ran despite fresh push: %d fetches", fetches)
+		t.Fatalf("TTL pull ran before expiry: %d fetches", fetches)
 	}
-	advance(30 * time.Second) // 75s past the push: expired again
+	// Keep node-1 pushing furiously: that must NOT starve the TTL pull
+	// that the other roster members depend on.
+	if applied, err := r.ApplyPush(pushSummary("node-1", 6, 100)); err != nil || !applied {
+		t.Fatalf("second push: applied=%v err=%v", applied, err)
+	}
+	advance(30 * time.Second) // t=1075: 75s past the seed fetch — expired
 	if _, err := r.Snapshot(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if fetches != 2 {
-		t.Fatalf("anti-entropy pull did not run after TTL: %d fetches", fetches)
+		t.Fatalf("anti-entropy pull starved by a single pushing node: %d fetches", fetches)
+	}
+
+	// Only when EVERY roster member is push-fresh does the TTL clock
+	// advance: after pushes from all three nodes the snapshot's age is
+	// measured from the oldest push, not the last pull.
+	advance(10 * time.Second) // t=1085
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("node-%d", i)
+		if applied, err := r.ApplyPush(pushSummary(id, 6, 100+float64(i))); err != nil || !applied {
+			t.Fatalf("fleet push %s: applied=%v err=%v", id, applied, err)
+		}
+	}
+	advance(55 * time.Second) // t=1140: 65s past the pull, 55s past the pushes
+	if _, err := r.Snapshot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if fetches != 2 {
+		t.Fatalf("TTL ignored an all-push-fresh fleet: %d fetches", fetches)
+	}
+	advance(10 * time.Second) // t=1150: 65s past the pushes — expired again
+	if _, err := r.Snapshot(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if fetches != 3 {
+		t.Fatalf("anti-entropy pull did not resume after the push TTL: %d fetches", fetches)
 	}
 }
 

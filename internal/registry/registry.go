@@ -89,7 +89,14 @@ type Snapshot struct {
 	// Epoch is the monotonically increasing publish counter (first
 	// snapshot has epoch 1).
 	Epoch uint64
-	// FetchedAt is when the advertisements were collected.
+	// FetchedAt is when the stalest advertisement in the snapshot was
+	// last verified — the TTL clock. A pull refresh verifies the whole
+	// roster, so it stamps the fetch time; an applied push renews only
+	// the pushing node's entry in freshByNode, so FetchedAt (the
+	// roster-wide minimum) advances only once every node is push-fresh.
+	// That keeps the anti-entropy TTL pull firing on schedule for
+	// non-push members (v1 peers, dead subscriptions) no matter how
+	// frequently one node pushes.
 	FetchedAt time.Time
 	// Summaries are the validated advertisements in roster order.
 	Summaries []cluster.NodeSummary
@@ -113,6 +120,11 @@ type Snapshot struct {
 	Index *geometry.RTree
 
 	epochByNode map[string]uint64
+
+	// freshByNode records when each node's advertisement was last
+	// verified (fetched, probed unchanged, or pushed). FetchedAt is the
+	// minimum over the roster; see its comment.
+	freshByNode map[string]time.Time
 }
 
 // NodeSummaryEpoch returns the node-reported advertisement version
@@ -337,7 +349,13 @@ func (r *Registry) refresh(ctx context.Context) (*Snapshot, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	// A refresh verified every roster member (full fetch or per-node
+	// delta probe), so the whole fleet's freshness restarts here.
 	snap.FetchedAt = r.now()
+	snap.freshByNode = make(map[string]time.Time, len(snap.Nodes))
+	for i := range snap.Nodes {
+		snap.freshByNode[snap.Nodes[i].NodeID] = snap.FetchedAt
+	}
 	snap.Epoch = r.epoch.Add(1)
 	r.cur.Store(snap)
 	r.stale.Store(false)

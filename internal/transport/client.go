@@ -161,13 +161,20 @@ func (c *Client) ensureConnLocked(ctx context.Context) (*wireConn, error) {
 	}
 	c.conn = conn
 	// A registered push handler survives reconnects: re-arm the
-	// server-side subscription on the fresh connection. Failure is
-	// non-fatal — the caller's pull path still works and the next
-	// redial retries (conn.do never takes c.mu, so no deadlock here).
+	// server-side subscription on the fresh connection. The subscribe
+	// round-trip runs on its own goroutine, off c.mu — a slow peer must
+	// not block every other client call behind the connection lock for
+	// the RPC's duration. Failure is non-fatal: the caller's pull path
+	// still works and the next redial retries. Duplicate subscribes are
+	// idempotent server-side, so racing SubscribeSummaries is harmless.
 	if conn.pushOK && c.hasPushHandler() {
-		if _, err := conn.do(ctx, c, &request{Type: typeSubscribe}); err != nil {
-			c.pushesDroppedNote()
-		}
+		go func() {
+			subCtx, cancel := context.WithTimeout(context.Background(), c.timeout)
+			defer cancel()
+			if _, err := conn.do(subCtx, c, &request{Type: typeSubscribe}); err != nil {
+				c.pushesDroppedNote()
+			}
+		}()
 	}
 	return conn, nil
 }

@@ -250,7 +250,18 @@ type Server struct {
 	pushers  map[*pusher]struct{}
 	pushID   atomic.Uint64 // server-minted push-frame id space
 	pushSent atomic.Int64
+
+	// unwatch removes the engine epoch-bump watcher registered at Serve
+	// time; called on stop so a Serve/Shutdown cycle on a long-lived
+	// node does not leave a dead server's notifier firing forever.
+	unwatch func()
 }
+
+// pushWriteTimeout bounds one push-frame write. The frame is small, so
+// hitting the deadline means the subscriber stopped reading; erroring
+// the pusher out releases the connection's write lock instead of
+// wedging every RPC response multiplexed on it.
+const pushWriteTimeout = 10 * time.Second
 
 // pusher is one connection's push subscription.
 type pusher struct {
@@ -323,7 +334,8 @@ func serve(node *federation.Node, svc region.Service, id, addr string, opts []Se
 		// Ingest-driven freshness: every advertisement-epoch bump marks
 		// all subscribed connections dirty; the pushers read the summary
 		// themselves, so this callback stays cheap on the mutating path.
-		node.Engine().OnEpochBump(func(uint64) { s.notifyPushers() })
+		// The registration is removed on stop (see stopAccepting).
+		s.unwatch = node.Engine().OnEpochBump(func(uint64) { s.notifyPushers() })
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -382,7 +394,12 @@ func (s *Server) runPusher(p *pusher) {
 		lastEpoch = sum.Epoch
 		id := s.pushID.Add(1)
 		p.writeMu.Lock()
+		// Deadline-bound write: a subscriber that stopped reading must
+		// error this pusher out, not hold writeMu (and with it every RPC
+		// response on the connection) until the conn is force-closed.
+		_ = p.cc.SetWriteDeadline(time.Now().Add(pushWriteTimeout))
 		_, err := writeWirePush(p.cc, id, &sum)
+		_ = p.cc.SetWriteDeadline(time.Time{})
 		p.writeMu.Unlock()
 		s.metrics.addBytes(WireProtoV2, p.cc.takeRead(), p.cc.takeWritten())
 		if err != nil {
@@ -500,11 +517,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // stopAccepting marks the server closed and shuts the listener so no
-// new connections land. Safe to call more than once.
+// new connections land; it also detaches the engine epoch-bump watcher
+// so mutations on the node stop notifying this server. Safe to call
+// more than once.
 func (s *Server) stopAccepting() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		if s.unwatch != nil {
+			s.unwatch()
+		}
 		err = s.ln.Close()
 	})
 	return err
