@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-wire bench-telemetry bench-shard bench-ingest bench-paper clean
+.PHONY: all check ci loadsmoke fuzz fmt fmt-check vet build test race bench bench-train bench-wire bench-telemetry bench-shard bench-ingest bench-reuse bench-paper clean
 
 all: check
 
@@ -86,6 +86,14 @@ bench-shard:
 # requantization is not >=3x faster or push is not below pull.
 bench-ingest:
 	sh scripts/bench_ingest.sh
+
+# Adaptive-serving replay benchmark (BenchmarkReuseReplay, exact-only
+# reuse cache vs the approximate model-answer tier over the same
+# contained-heavy workload) rendered as BENCH_reuse.json; fails if the
+# approx tier cuts federated training executions by less than 30% or
+# lets served-answer MSE past 2x the exact-only replay.
+bench-reuse:
+	sh scripts/bench_reuse.sh
 
 # Paper-figure macro benchmarks (Tables I-II, Figures 6-9); these
 # train real fleets and take minutes.

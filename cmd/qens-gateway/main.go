@@ -41,6 +41,7 @@ import (
 	"qens/internal/gateway"
 	"qens/internal/ml"
 	"qens/internal/region"
+	"qens/internal/selection"
 	"qens/internal/telemetry"
 	"qens/internal/transport"
 )
@@ -65,6 +66,12 @@ func main() {
 		reuseCap    = flag.Int("reuse-cap", 32, "reuse cache capacity")
 		epsilon     = flag.Float64("epsilon", 0.6, "default query-driven support threshold")
 		topL        = flag.Int("topl", 3, "default query-driven top-l")
+
+		approxErr      = flag.Float64("approx-err", 0, "approximate answering: max predicted error for serving a query from the model cache (0 disables the tier in both topologies; requires -reuse-iou)")
+		approxCoverage = flag.Float64("approx-coverage", 0.25, "minimum cached-rectangle coverage of the query before an approximate answer is considered (training rectangles single-leader, root cache entries sharded)")
+		approxProbe    = flag.Int("approx-probe", 8, "ground-truth probe cadence: every Nth cache-servable query still trains fresh to score the cached answer")
+		banditOn       = flag.Bool("bandit", false, "enable the selector-config bandit behind selector \"auto\"")
+		banditExplore  = flag.Float64("bandit-explore", 0.1, "bandit epsilon-greedy exploration rate")
 
 		summaryTTL     = flag.Duration("summary-ttl", 0, "summary registry snapshot TTL; after this age the next query refetches the fleet advertisement (0 caches until invalidated)")
 		summaryDelta   = flag.Bool("summary-delta", false, "refresh fleet summaries via per-node epoch-conditional deltas instead of full re-fetch (bytes proportional to churn)")
@@ -115,9 +122,26 @@ func main() {
 		DefaultTopL:    *topL,
 		Tracer:         tracer,
 	}
+	if *banditOn {
+		bandit, err := selection.NewConfigBandit(selection.DefaultConfigArms(*epsilon),
+			selection.BanditConfig{Explore: *banditExplore, Seed: *seed})
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg.Bandit = bandit
+		fmt.Printf("qens-gateway: config bandit on (%d arms, explore %.2f); submit with selector \"auto\"\n",
+			len(selection.DefaultConfigArms(*epsilon)), *banditExplore)
+	}
 	var fleetSize int
 	if *regionAddrs != "" {
-		router, transportStats, cleanup, err := buildRouter(*regionAddrs, *epochs, *seed, *model, *dialTimeout, *wireProto, *reuseIoU, *reuseCap)
+		// The root's approximate tier reuses -approx-err as the master
+		// switch but is driven purely by coverage: the root never sees
+		// training rectangles, so cached query bounds stand in.
+		rootCoverage := 0.0
+		if *approxErr > 0 {
+			rootCoverage = *approxCoverage
+		}
+		router, transportStats, cleanup, err := buildRouter(*regionAddrs, *epochs, *seed, *model, *dialTimeout, *wireProto, *reuseIoU, *reuseCap, rootCoverage)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -151,12 +175,23 @@ func main() {
 			fmt.Printf("qens-gateway: summary push from %d/%d nodes (rest on TTL pull)\n",
 				n, len(leader.NodeIDs()))
 		}
+		if *approxErr > 0 && *reuseIoU <= 0 {
+			fatal("-approx-err requires the reuse cache (-reuse-iou > 0)")
+		}
 		if *reuseIoU > 0 {
-			cache, err := federation.NewReuseCache(*reuseIoU, *reuseCap)
+			cache, err := federation.NewAdaptiveCache(*reuseIoU, *reuseCap, federation.ApproxConfig{
+				MaxPredictedError: *approxErr,
+				MinCoverage:       *approxCoverage,
+				ProbeEvery:        *approxProbe,
+			})
 			if err != nil {
 				fatal("%v", err)
 			}
 			cfg.Cache = cache
+			if *approxErr > 0 {
+				fmt.Printf("qens-gateway: approximate answering on (err<=%.2f, coverage>=%.2f, probe 1/%d)\n",
+					*approxErr, *approxCoverage, *approxProbe)
+			}
 		}
 		cfg.Leader = leader
 		cfg.TransportStats = transportStats
@@ -205,7 +240,7 @@ func main() {
 // coordinator over them. Result reuse lives in the router itself
 // (epoch-fenced per region), not in the gateway's single-leader
 // cache, so -reuse-iou/-reuse-cap feed the router config here.
-func buildRouter(regionAddrs string, epochs int, seed uint64, model string, dialTimeout time.Duration, wireProto int, reuseIoU float64, reuseCap int) (*region.Router, func() any, func(), error) {
+func buildRouter(regionAddrs string, epochs int, seed uint64, model string, dialTimeout time.Duration, wireProto int, reuseIoU float64, reuseCap int, approxCoverage float64) (*region.Router, func() any, func(), error) {
 	var remotes []*transport.RegionClient
 	var services []region.Service
 	closeAll := func() {
@@ -231,7 +266,7 @@ func buildRouter(regionAddrs string, epochs int, seed uint64, model string, dial
 	}
 	router, err := region.NewRouter(region.Config{
 		Spec: specFor(model, 1), LocalEpochs: epochs, Seed: seed,
-		ReuseIoU: reuseIoU, ReuseCap: reuseCap,
+		ReuseIoU: reuseIoU, ReuseCap: reuseCap, ApproxCoverage: approxCoverage,
 	}, services)
 	if err != nil {
 		closeAll()

@@ -126,6 +126,14 @@ func main() {
 		}
 		fmt.Printf("server   admitted=%v coalesced=%v rejected=%v reuse_hits=%v\n",
 			doc.Scheduler.Admitted, doc.Scheduler.Coalesced, doc.Scheduler.RejectedFull, reuseHits)
+		if doc.Reuse != nil {
+			fmt.Printf("cache    misses=%d evictions=%d size=%d\n",
+				doc.Reuse.Misses, doc.Reuse.Evictions, doc.Reuse.Size)
+			if doc.Reuse.ApproxOn {
+				fmt.Printf("approx   hits=%d probes=%d (queries answered without training RPCs)\n",
+					doc.Reuse.ApproxHits, doc.Reuse.Probes)
+			}
+		}
 		// The server-side rolling window covers only the last minute, so
 		// it reflects this run (server-observed, excludes queue-admission
 		// shaping and client overhead) next to our closed-loop numbers.
@@ -263,7 +271,13 @@ type statsDoc struct {
 		RejectedFull int64 `json:"rejected_queue_full"`
 	} `json:"scheduler"`
 	Reuse *struct {
-		Hits int `json:"hits"`
+		Hits       int   `json:"hits"`
+		Misses     int   `json:"misses"`
+		Evictions  int64 `json:"evictions"`
+		Size       int   `json:"size"`
+		ApproxOn   bool  `json:"approx_enabled"`
+		ApproxHits int64 `json:"approx_hits"`
+		Probes     int64 `json:"probes"`
 	} `json:"reuse_cache"`
 	Registry *registryBlock `json:"registry"`
 	Router   *struct {

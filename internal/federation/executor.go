@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"qens/internal/plan"
+	"qens/internal/registry"
+	"qens/internal/selection"
 	"qens/internal/telemetry"
 )
 
@@ -87,6 +89,7 @@ func (e *Executor) run(ctx context.Context, qspan *telemetry.SpanHandle, pl *pla
 	}
 	if snap := pl.Snapshot(); snap != nil {
 		res.Stats.SamplesAllNodes = snap.TotalSamples
+		captureTrainingBounds(res, snap, participants)
 	}
 
 	type trainOut struct {
@@ -197,6 +200,45 @@ func (e *Executor) run(ctx context.Context, qspan *telemetry.SpanHandle, pl *pla
 	}
 	res.Ensemble = ensemble
 	return res, nil
+}
+
+// captureTrainingBounds copies the supporting-cluster rectangles of
+// every participant out of the plan snapshot into the Result, before
+// the plan (and its snapshot reference) is released. A participant
+// with a nil cluster directive trains on its whole dataset, so all of
+// its advertised cluster rectangles count. The copy is a few hundred
+// floats at most and never touches the RNG, so seeded replays are
+// unaffected.
+func captureTrainingBounds(res *Result, snap *registry.Snapshot, participants []selection.Participant) {
+	d := snap.Dims
+	if d <= 0 {
+		return
+	}
+	byID := make(map[string]*registry.NodeGeom, len(snap.Nodes))
+	for i := range snap.Nodes {
+		byID[snap.Nodes[i].NodeID] = &snap.Nodes[i]
+	}
+	for _, p := range participants {
+		g, ok := byID[p.NodeID]
+		if !ok {
+			continue
+		}
+		if p.Clusters == nil {
+			res.TrainMins = append(res.TrainMins, g.Mins...)
+			res.TrainMaxs = append(res.TrainMaxs, g.Maxs...)
+			continue
+		}
+		for _, k := range p.Clusters {
+			if k < 0 || (k+1)*d > len(g.Mins) {
+				continue
+			}
+			res.TrainMins = append(res.TrainMins, g.Mins[k*d:(k+1)*d]...)
+			res.TrainMaxs = append(res.TrainMaxs, g.Maxs[k*d:(k+1)*d]...)
+		}
+	}
+	if len(res.TrainMins) > 0 {
+		res.TrainDims = d
+	}
 }
 
 // participantRef is the copy handed to training goroutines (avoids

@@ -432,7 +432,17 @@ type Result struct {
 	// strings — the per-query attribution behind the
 	// qens_leader_train_round_ms metric family.
 	NodeRounds []NodeRound
-	Stats      Stats
+	// TrainMins/TrainMaxs pack the cluster rectangles the ensemble
+	// was actually trained on (every supporting cluster of every
+	// participant), rect-major with TrainDims values per rectangle —
+	// the same flat layout registry.NodeGeom uses. The model-answer
+	// cache scores coverage of future queries against these to bound
+	// the expected extrapolation error. Empty for results built
+	// before capture existed (wire-decoded, legacy callers).
+	TrainMins []float64
+	TrainMaxs []float64
+	TrainDims int
+	Stats     Stats
 }
 
 // Execute runs the full §IV-B loop for one query: select participants,

@@ -47,6 +47,16 @@ type Executor interface {
 	ExecuteQuery(ctx context.Context, q query.Query, sel selection.Selector, agg federation.Aggregation) (res *federation.Result, reused bool, err error)
 }
 
+// KindExecutor is the optional richer seam: executors that can say
+// WHICH serving tier answered (fresh training, exact reuse,
+// approximate model-answer, ground-truth probe) implement it alongside
+// Executor. The scheduler type-asserts for it so third-party Executor
+// stubs keep working unchanged. LeaderExecutor and *region.Router both
+// implement it.
+type KindExecutor interface {
+	ExecuteQueryKind(ctx context.Context, q query.Query, sel selection.Selector, agg federation.Aggregation) (*federation.Result, federation.ServeKind, error)
+}
+
 // Request is one unit of work offered to the scheduler.
 type Request struct {
 	Query       query.Query
@@ -115,6 +125,7 @@ type task struct {
 	done      chan struct{}
 	res       *federation.Result
 	reused    bool
+	kind      federation.ServeKind
 	err       error
 	queueWait time.Duration
 	elapsed   time.Duration
@@ -133,6 +144,10 @@ type Outcome struct {
 	Result *federation.Result
 	// Reused reports a reuse-cache hit inside the executor.
 	Reused bool
+	// Kind is the serving tier that answered (fresh/exact/approx/
+	// probe) when the executor implements KindExecutor; ServeFresh
+	// otherwise.
+	Kind federation.ServeKind
 	// Coalesced reports that the waiter shared another query's task.
 	Coalesced bool
 	// QueueWait is the time the task spent in the admission queue.
@@ -156,6 +171,7 @@ func (tk *Ticket) Wait(ctx context.Context) (*Outcome, error) {
 	return &Outcome{
 		Result:    tk.t.res,
 		Reused:    tk.t.reused,
+		Kind:      tk.t.kind,
 		Coalesced: tk.Coalesced,
 		QueueWait: tk.t.queueWait,
 		Elapsed:   tk.t.elapsed,
@@ -362,7 +378,15 @@ func (s *Scheduler) run(t *task) {
 	// individual submitter: coalesced peers (and the reuse cache)
 	// depend on the task even when its originator walks away.
 	ctx, cancel := context.WithTimeout(s.rootCtx, timeout)
-	t.res, t.reused, t.err = s.cfg.Executor.ExecuteQuery(ctx, t.req.Query, t.req.Selector, t.req.Aggregation)
+	if ke, ok := s.cfg.Executor.(KindExecutor); ok {
+		t.res, t.kind, t.err = ke.ExecuteQueryKind(ctx, t.req.Query, t.req.Selector, t.req.Aggregation)
+		t.reused = t.kind.Reused()
+	} else {
+		t.res, t.reused, t.err = s.cfg.Executor.ExecuteQuery(ctx, t.req.Query, t.req.Selector, t.req.Aggregation)
+		if t.reused {
+			t.kind = federation.ServeExact
+		}
+	}
 	cancel()
 	t.elapsed = time.Since(t.enqueued)
 
@@ -492,9 +516,17 @@ type LeaderExecutor struct {
 
 // ExecuteQuery implements Executor.
 func (e LeaderExecutor) ExecuteQuery(ctx context.Context, q query.Query, sel selection.Selector, agg federation.Aggregation) (*federation.Result, bool, error) {
+	res, kind, err := e.ExecuteQueryKind(ctx, q, sel, agg)
+	return res, kind.Reused(), err
+}
+
+// ExecuteQueryKind implements KindExecutor: the full adaptive pipeline
+// (exact reuse → approximate model-answer → probe → fresh training)
+// when a cache is installed, plain execution otherwise.
+func (e LeaderExecutor) ExecuteQueryKind(ctx context.Context, q query.Query, sel selection.Selector, agg federation.Aggregation) (*federation.Result, federation.ServeKind, error) {
 	if e.Cache != nil {
-		return e.Leader.ExecuteWithReuseContext(ctx, e.Cache, q, sel, agg)
+		return e.Leader.ExecuteAdaptiveContext(ctx, e.Cache, q, sel, agg)
 	}
 	res, err := e.Leader.ExecuteContext(ctx, q, sel, agg)
-	return res, false, err
+	return res, federation.ServeFresh, err
 }

@@ -55,6 +55,15 @@ type ServerConfig struct {
 	DefaultEpsilon float64
 	DefaultTopL    int
 
+	// Bandit, when non-nil, serves selector "auto": each auto query
+	// plays one (ℓ, ψ, selector) arm, and the realized reward —
+	// success fraction and data coverage discounted by the slowest
+	// node round — is folded back into that arm once the query
+	// finishes fresh (reused and coalesced outcomes trained nothing,
+	// so they teach the bandit nothing). EXPLAIN uses the side-effect
+	// free greedy arm.
+	Bandit *selection.ConfigBandit
+
 	// RecordCapacity bounds the finished-query store backing
 	// GET /v1/query/{id} (default 256; oldest evicted).
 	RecordCapacity int
@@ -295,11 +304,15 @@ type queryResponse struct {
 	Participants []participantJSON `json:"participants"`
 	Failed       []string          `json:"failed,omitempty"`
 	Reused       bool              `json:"reused"`
-	Coalesced    bool              `json:"coalesced"`
-	QueueWaitMS  float64           `json:"queue_wait_ms"`
-	ElapsedMS    float64           `json:"elapsed_ms"`
-	Stats        execStatsJSON     `json:"stats"`
-	LocalParams  [][]float64       `json:"local_params,omitempty"`
+	// Approx reports the answer came from the model cache under the
+	// predicted-error bound rather than an exact-IoU match: the
+	// ensemble was trained on a nearby subspace, not this query's.
+	Approx      bool          `json:"approx,omitempty"`
+	Coalesced   bool          `json:"coalesced"`
+	QueueWaitMS float64       `json:"queue_wait_ms"`
+	ElapsedMS   float64       `json:"elapsed_ms"`
+	Stats       execStatsJSON `json:"stats"`
+	LocalParams [][]float64   `json:"local_params,omitempty"`
 }
 
 // execStatsJSON mirrors federation.Stats for the wire.
@@ -347,6 +360,8 @@ func (s *Server) buildSelector(req queryRequest) (selection.Selector, error) {
 		l = s.cfg.DefaultTopL
 	}
 	switch strings.ToLower(req.Selector) {
+	case "auto", "bandit":
+		return nil, fmt.Errorf("selector %q needs the gateway bandit enabled", req.Selector)
 	case "", "query-driven":
 		if req.Psi > 0 {
 			return selection.QueryDriven{Epsilon: eps, Psi: req.Psi}, nil
@@ -373,6 +388,29 @@ func (s *Server) buildSelector(req queryRequest) (selection.Selector, error) {
 	default:
 		return nil, fmt.Errorf("unknown selector %q", req.Selector)
 	}
+}
+
+// resolveSelector maps the request to a selector, routing "auto" /
+// "bandit" through the config bandit. It returns the bandit arm index
+// played (-1 when the bandit was not involved) so the submit path can
+// credit the arm with the realized reward. EXPLAIN passes explain=true
+// to use the side-effect-free greedy arm — planning must not advance
+// the bandit's RNG or play counts.
+func (s *Server) resolveSelector(req queryRequest, explain bool) (selection.Selector, int, error) {
+	switch strings.ToLower(req.Selector) {
+	case "auto", "bandit":
+		if s.cfg.Bandit == nil {
+			return nil, -1, fmt.Errorf("selector %q needs the gateway bandit enabled", req.Selector)
+		}
+		if explain {
+			arm, sel := s.cfg.Bandit.Best()
+			return sel, arm, nil
+		}
+		arm, sel := s.cfg.Bandit.Pick()
+		return sel, arm, nil
+	}
+	sel, err := s.buildSelector(req)
+	return sel, -1, err
 }
 
 // statefulSelector returns the server's persistent selector instance
@@ -488,7 +526,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sel, err := s.buildSelector(req)
+	sel, banditArm, err := s.resolveSelector(req, false)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -512,8 +550,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	planKey, err := s.planAheadKey(r.Context(), q, sel)
 	if err != nil {
-		// A property of the query, not a server fault: no edge node's
-		// cluster space supports the requested bounds — rejected before
+		// No edge node's cluster space supports the requested bounds.
+		// Before rejecting, ask the model cache: an ensemble trained on
+		// a nearby subspace can still answer within the predicted-error
+		// bound even when nobody can train this exact rectangle.
+		if resp, ok := s.answerFromCache(id, q); ok {
+			now := time.Now()
+			s.records.put(id, &record{ID: id, Status: recordDone, Submitted: now, Finished: &now, Result: resp})
+			if req.Async {
+				writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(recordDone)})
+				return
+			}
+			writeJSON(w, http.StatusOK, *resp)
+			return
+		}
+		// A property of the query, not a server fault — rejected before
 		// it can occupy a queue slot.
 		writeError(w, http.StatusUnprocessableEntity, "query %s: %v", id, err)
 		return
@@ -547,7 +598,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The record tracker outlives the HTTP request: async clients and
 	// sync clients whose connection died both find the outcome under
 	// GET /v1/query/{id}.
-	go s.trackRecord(id, req.IncludeParams, tk)
+	go s.trackRecord(id, req.IncludeParams, banditArm, tk)
 
 	if req.Async {
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "status": string(recordPending)})
@@ -572,8 +623,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // trackRecord waits for the task (detached from any HTTP context) and
-// finalizes the stored record.
-func (s *Server) trackRecord(id string, includeParams bool, tk *Ticket) {
+// finalizes the stored record. It is also where a bandit-played arm is
+// credited: the tracker runs exactly once per admitted query, whether
+// or not the submitting client stayed connected.
+func (s *Server) trackRecord(id string, includeParams bool, banditArm int, tk *Ticket) {
 	out, err := tk.Wait(context.Background())
 	now := time.Now()
 	if err != nil {
@@ -584,12 +637,62 @@ func (s *Server) trackRecord(id string, includeParams bool, tk *Ticket) {
 		})
 		return
 	}
+	if banditArm >= 0 && s.cfg.Bandit != nil && !out.Reused && !out.Coalesced {
+		// Only fresh executions carry a signal about the arm's config —
+		// cache hits and coalesced waits trained nothing.
+		s.cfg.Bandit.Observe(banditArm, banditReward(out))
+	}
 	resp := buildResponse(id, out, includeParams)
 	s.records.update(id, func(rec *record) {
 		rec.Status = recordDone
 		rec.Result = &resp
 		rec.Finished = &now
 	})
+}
+
+// answerFromCache tries to serve a query that cannot be planned (no
+// supporting candidates) straight from the model cache: exact-IoU
+// match first, then the approximate tier under its predicted-error
+// bound. Single-leader gateways with a cache only.
+func (s *Server) answerFromCache(id string, q query.Query) (*queryResponse, bool) {
+	if s.cfg.Cache == nil || s.cfg.Leader == nil {
+		return nil, false
+	}
+	var epoch uint64
+	if reg := s.cfg.Leader.Registry(); reg != nil {
+		epoch = reg.ReuseEpoch()
+	}
+	res, kind, ok := s.cfg.Cache.Answer(q, epoch)
+	if !ok {
+		return nil, false
+	}
+	resp := buildResponse(id, &Outcome{Result: res, Reused: true, Kind: kind}, false)
+	return &resp, true
+}
+
+// banditReward scores one fresh execution for the config bandit:
+// round success fraction times a data-coverage quality proxy (the
+// Fig. 9 selectivity — how much of the fleet's relevant data the arm's
+// config actually trained on), discounted by the slowest node round's
+// wall time so expensive configs must earn their latency.
+func banditReward(out *Outcome) float64 {
+	res := out.Result
+	var worst time.Duration
+	failed := 0
+	for _, nr := range res.NodeRounds {
+		if nr.Failed() {
+			failed++
+		}
+		if nr.Elapsed > worst {
+			worst = nr.Elapsed
+		}
+	}
+	success := 1.0
+	if n := len(res.NodeRounds); n > 0 {
+		success = 1 - float64(failed)/float64(n)
+	}
+	quality := 0.3 + 0.7*res.Stats.DataFraction()
+	return success * quality / (1 + worst.Seconds())
 }
 
 // buildResponse shapes one outcome for the wire.
@@ -600,6 +703,7 @@ func buildResponse(id string, out *Outcome, includeParams bool) queryResponse {
 		Selector:    res.Selector,
 		Aggregation: res.Aggregation.String(),
 		Reused:      out.Reused,
+		Approx:      out.Kind == federation.ServeApprox,
 		Coalesced:   out.Coalesced,
 		QueueWaitMS: float64(out.QueueWait) / float64(time.Millisecond),
 		ElapsedMS:   float64(out.Elapsed) / float64(time.Millisecond),
@@ -681,7 +785,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sel, err := s.buildSelector(req)
+	sel, _, err := s.resolveSelector(req, true)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -805,11 +909,13 @@ type windowJSON struct {
 type statsResponse struct {
 	UptimeS   float64 `json:"uptime_s"`
 	Scheduler Stats   `json:"scheduler"`
-	Reuse     *struct {
-		Hits   int `json:"hits"`
-		Misses int `json:"misses"`
-		Size   int `json:"size"`
-	} `json:"reuse_cache,omitempty"`
+	// Reuse is the single-leader cache's full scoreboard: exact-tier
+	// hit/miss/eviction counts plus the approximate tier's hits,
+	// ground-truth probes and fallbacks when it is enabled.
+	Reuse *federation.ReuseCacheStats `json:"reuse_cache,omitempty"`
+	// Bandit is the config bandit's per-arm scoreboard (selector
+	// "auto" enabled only).
+	Bandit  []selection.ArmStats `json:"bandit,omitempty"`
 	Latency struct {
 		Count  int64   `json:"count"`
 		MeanMS float64 `json:"mean_ms"`
@@ -840,12 +946,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Scheduler = s.sched.SchedStats()
 	resp.Nodes = s.nodeIDs(r.Context())
 	if s.cfg.Cache != nil {
-		hits, misses := s.cfg.Cache.Stats()
-		resp.Reuse = &struct {
-			Hits   int `json:"hits"`
-			Misses int `json:"misses"`
-			Size   int `json:"size"`
-		}{Hits: hits, Misses: misses, Size: s.cfg.Cache.Len()}
+		st := s.cfg.Cache.CacheStats()
+		resp.Reuse = &st
+	}
+	if s.cfg.Bandit != nil {
+		resp.Bandit = s.cfg.Bandit.Stats()
 	}
 	snap := s.sched.LatencySnapshot()
 	resp.Latency.Count = snap.Count

@@ -1,0 +1,103 @@
+package geometry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// QueryCoverageFlat measures how much of the query rectangle
+// [qmin,qmax] is covered by the union of a set of rectangles packed
+// rect-major into mins/maxs (rect k occupies [k*d, (k+1)*d), the same
+// layout registry.NodeGeom and OverlapRatesFlat use). The score is the
+// mean over dimensions of the fraction of the query interval covered
+// by the union of the rectangles' intervals along that dimension —
+// overlapping rectangles are merged, never double-counted, so the
+// result is always in [0,1].
+//
+// The model-answer cache uses this as its error predictor: a cached
+// ensemble whose training rectangles blanket the query rectangle is
+// expected to extrapolate little, so 1-coverage bounds the surprise.
+// A per-dimension union is deliberately optimistic relative to the
+// d-dimensional union volume (which is exponential to compute); the
+// online residual estimate learned from probe rounds absorbs the gap.
+//
+// Degenerate query intervals (width 0) count as covered when any
+// rectangle's interval contains the point. Panics if the slices
+// disagree on dimensionality, mirroring OverlapRatesFlat.
+func QueryCoverageFlat(qmin, qmax, mins, maxs []float64) float64 {
+	d := len(qmin)
+	if len(qmax) != d {
+		panic(fmt.Sprintf("geometry: query min/max dims %d vs %d", d, len(qmax)))
+	}
+	if len(mins) != len(maxs) {
+		panic(fmt.Sprintf("geometry: mins/maxs length %d vs %d", len(mins), len(maxs)))
+	}
+	if d == 0 || len(mins) == 0 {
+		return 0
+	}
+	if len(mins)%d != 0 {
+		panic(fmt.Sprintf("geometry: flat rects length %d not a multiple of dims %d", len(mins), d))
+	}
+	n := len(mins) / d
+
+	// Scratch for one dimension's clamped intervals; n is the number
+	// of training rectangles backing one cache entry, so it is small.
+	spans := make([]span1d, 0, n)
+
+	total := 0.0
+	for dim := 0; dim < d; dim++ {
+		qlo, qhi := qmin[dim], qmax[dim]
+		spans = spans[:0]
+		for k := 0; k < n; k++ {
+			lo, hi := mins[k*d+dim], maxs[k*d+dim]
+			if hi < qlo || lo > qhi {
+				continue
+			}
+			if lo < qlo {
+				lo = qlo
+			}
+			if hi > qhi {
+				hi = qhi
+			}
+			spans = append(spans, span1d{lo, hi})
+		}
+		if qhi <= qlo {
+			// Point (or inverted) query interval: covered iff any
+			// rectangle interval touches it.
+			if len(spans) > 0 {
+				total += 1
+			}
+			continue
+		}
+		if len(spans) == 0 {
+			continue
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		covered := 0.0
+		curLo, curHi := spans[0].lo, spans[0].hi
+		for _, s := range spans[1:] {
+			if s.lo <= curHi {
+				if s.hi > curHi {
+					curHi = s.hi
+				}
+				continue
+			}
+			covered += curHi - curLo
+			curLo, curHi = s.lo, s.hi
+		}
+		covered += curHi - curLo
+		total += clamp01(covered / (qhi - qlo))
+	}
+	return total / float64(d)
+}
+
+type span1d struct{ lo, hi float64 }
+
+// QueryCoverage is the Rect convenience wrapper over QueryCoverageFlat.
+func QueryCoverage(q Rect, rects []Rect) float64 {
+	if len(rects) == 0 {
+		return 0
+	}
+	mins, maxs := FlattenRects(nil, nil, rects)
+	return QueryCoverageFlat(q.Min, q.Max, mins, maxs)
+}

@@ -137,8 +137,9 @@ func BenchmarkPlan(b *testing.B) {
 }
 
 // BenchmarkPlanKey isolates the fingerprint used by the gateway's
-// coalescing and reuse caches (allocates one string per call by
-// design — it escapes into cache keys).
+// coalescing and reuse caches. The first call per plan renders and
+// memoizes (one string copy, since keys outlive Release); steady-state
+// calls — what this measures — must be allocation-free.
 func BenchmarkPlanKey(b *testing.B) {
 	summaries := synthSummaries(100, 5, 4, 77)
 	reg := staticRegistry(b, summaries)

@@ -80,6 +80,13 @@ type Plan struct {
 	partArena    []selection.Participant
 	ranked       []selection.NodeRank
 	candArena    []int
+
+	// keyBuf is the persistent fingerprint arena Key() renders into;
+	// key memoizes the rendered string for the plan's lifetime so
+	// repeated Key() calls (coalescing probes, reuse lookups) cost
+	// zero allocations. Cleared on Release, kept across pooling.
+	keyBuf []byte
+	key    string
 }
 
 // Snapshot returns the registry snapshot the plan was derived from.
@@ -96,27 +103,36 @@ func (pl *Plan) NumCandidates() int { return len(pl.Rankings) }
 // caches want to key on. (Rank values are intentionally excluded: they
 // only weight aggregation, and equal participant sets at one epoch
 // imply equal ranks for deterministic selectors.)
+//
+// The first call renders into the plan's persistent key arena and pays
+// one string copy (the key must outlive Release — schedulers retain it
+// past the plan's lifetime, so it cannot alias pooled memory); every
+// later call returns the memoized string for free.
 func (pl *Plan) Key() string {
-	var b strings.Builder
-	b.Grow(16 + 16*len(pl.Participants))
-	b.WriteByte('e')
-	b.WriteString(strconv.FormatUint(pl.Epoch, 10))
-	b.WriteByte('|')
-	b.WriteString(pl.Selector)
+	if pl.key != "" {
+		return pl.key
+	}
+	b := pl.keyBuf[:0]
+	b = append(b, 'e')
+	b = strconv.AppendUint(b, pl.Epoch, 10)
+	b = append(b, '|')
+	b = append(b, pl.Selector...)
 	for _, p := range pl.Participants {
-		b.WriteByte('|')
-		b.WriteString(p.NodeID)
+		b = append(b, '|')
+		b = append(b, p.NodeID...)
 		if p.Clusters != nil {
-			b.WriteByte(':')
+			b = append(b, ':')
 			for j, c := range p.Clusters {
 				if j > 0 {
-					b.WriteByte(',')
+					b = append(b, ',')
 				}
-				b.WriteString(strconv.Itoa(c))
+				b = strconv.AppendInt(b, int64(c), 10)
 			}
 		}
 	}
-	return b.String()
+	pl.keyBuf = b
+	pl.key = string(b)
+	return pl.key
 }
 
 // CopyParticipants returns a deep copy of the participant list that
@@ -145,6 +161,7 @@ func (pl *Plan) Release() {
 	pl.Query = query.Query{}
 	pl.Participants = nil
 	pl.Rankings = nil
+	pl.key = ""
 	p.pool.Put(pl)
 }
 
@@ -497,6 +514,7 @@ func (p *Planner) acquire(snap *registry.Snapshot, q query.Query, epsilon float6
 	pl.overlapArena = pl.overlapArena[:0]
 	pl.supportArena = pl.supportArena[:0]
 	pl.rankArena = pl.rankArena[:0]
+	pl.key = ""
 	return pl, nil
 }
 

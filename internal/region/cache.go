@@ -27,6 +27,12 @@ type ReuseStats struct {
 	Evictions    int64 `json:"evictions"`
 	Size         int   `json:"size"`
 	ThresholdPct int   `json:"threshold_pct"`
+	// ApproxHits counts queries served approximately: no exact-IoU
+	// match, but a valid cached entry covered at least the configured
+	// fraction of the query rectangle. 0 when the tier is off.
+	ApproxHits int64 `json:"approx_hits"`
+	// ApproxPct is the coverage threshold (percent); 0 = tier off.
+	ApproxPct int `json:"approx_pct,omitempty"`
 }
 
 type reuseEntry struct {
@@ -47,31 +53,47 @@ type reuseCache struct {
 	entries   []*reuseEntry // most recent last
 	threshold float64
 	cap       int
+	// approxCoverage enables the root's approximate answering tier:
+	// after an exact-IoU miss, a valid entry whose rectangle covers
+	// at least this fraction of the query's volume still serves it.
+	// The root sees no training rectangles (they stay leader-side),
+	// so entry query bounds stand in for the trained subspace. 0
+	// disables the tier, keeping lookups bit-exact with the seed.
+	approxCoverage float64
 
-	hits      int64
-	misses    int64
-	fenced    int64
-	evictions int64
+	hits       int64
+	misses     int64
+	fenced     int64
+	evictions  int64
+	approxHits int64
 }
 
-func newReuseCache(threshold float64, capacity int) (*reuseCache, error) {
+func newReuseCache(threshold float64, capacity int, approxCoverage float64) (*reuseCache, error) {
 	if threshold <= 0 || threshold > 1 {
 		return nil, fmt.Errorf("region: reuse IoU threshold %v outside (0,1]", threshold)
 	}
 	if capacity < 1 {
 		return nil, fmt.Errorf("region: reuse cache capacity %d < 1", capacity)
 	}
-	return &reuseCache{threshold: threshold, cap: capacity}, nil
+	if approxCoverage < 0 || approxCoverage > 1 {
+		return nil, fmt.Errorf("region: approx coverage %v outside [0,1]", approxCoverage)
+	}
+	return &reuseCache{threshold: threshold, cap: capacity, approxCoverage: approxCoverage}, nil
 }
 
 // lookup returns a cached result whose query rectangle matches q at or
-// above the IoU threshold with an intact epoch basis. Entries whose
-// basis drifted are dropped eagerly (fenced), whether or not they
-// matched the probe.
-func (c *reuseCache) lookup(q query.Query, selector, agg string, epochOf func(int) uint64) *federation.Result {
+// above the IoU threshold with an intact epoch basis; with the approx
+// tier on, an exact miss falls back to the valid entry (same selector,
+// aggregation and dims) with the highest query coverage above the
+// configured floor. Entries whose basis drifted are dropped eagerly
+// (fenced), whether or not they matched the probe. approx reports
+// which tier answered.
+func (c *reuseCache) lookup(q query.Query, selector, agg string, epochOf func(int) uint64) (res *federation.Result, approx bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var hit *federation.Result
+	var approxHit *federation.Result
+	bestCov := 0.0
 	kept := c.entries[:0]
 	for _, e := range c.entries {
 		valid := true
@@ -86,18 +108,31 @@ func (c *reuseCache) lookup(q query.Query, selector, agg string, epochOf func(in
 			continue
 		}
 		kept = append(kept, e)
-		if hit == nil && e.selector == selector && e.agg == agg &&
-			e.bounds.Dims() == q.Bounds.Dims() && geometry.IoU(e.bounds, q.Bounds) >= c.threshold {
+		if e.selector != selector || e.agg != agg || e.bounds.Dims() != q.Bounds.Dims() {
+			continue
+		}
+		if hit == nil && geometry.IoU(e.bounds, q.Bounds) >= c.threshold {
 			hit = e.res
+		}
+		if c.approxCoverage > 0 {
+			// |q ∩ e| / |q|: how much of the new query the cached
+			// rectangle blankets.
+			if cov := geometry.CoveredFraction(e.bounds, q.Bounds); cov >= c.approxCoverage && cov > bestCov {
+				approxHit, bestCov = e.res, cov
+			}
 		}
 	}
 	c.entries = kept
 	if hit != nil {
 		c.hits++
-	} else {
-		c.misses++
+		return hit, false
 	}
-	return hit
+	if approxHit != nil {
+		c.approxHits++
+		return approxHit, true
+	}
+	c.misses++
+	return nil, false
 }
 
 // store records a freshly executed result with its epoch basis.
@@ -128,5 +163,7 @@ func (c *reuseCache) stats() ReuseStats {
 		Evictions:    c.evictions,
 		Size:         len(c.entries),
 		ThresholdPct: int(c.threshold * 100),
+		ApproxHits:   c.approxHits,
+		ApproxPct:    int(c.approxCoverage * 100),
 	}
 }

@@ -44,6 +44,12 @@ type Config struct {
 	ReuseIoU float64
 	// ReuseCap bounds the reuse cache (default 32 when enabled).
 	ReuseCap int
+	// ApproxCoverage enables the root's approximate answering tier:
+	// after an exact-IoU miss, a basis-valid cached entry covering at
+	// least this fraction of the query rectangle's volume still
+	// serves it — zero regional fan-out, zero training RPCs. Requires
+	// ReuseIoU != 0; 0 disables (bit-exact with the plain cache).
+	ApproxCoverage float64
 }
 
 func (c Config) withDefaults() Config {
@@ -150,11 +156,13 @@ func NewRouter(cfg Config, services []Service) (*Router, error) {
 		r.members = append(r.members, &member{svc: svc, id: svc.ID()})
 	}
 	if cfg.ReuseIoU != 0 {
-		c, err := newReuseCache(cfg.ReuseIoU, cfg.ReuseCap)
+		c, err := newReuseCache(cfg.ReuseIoU, cfg.ReuseCap, cfg.ApproxCoverage)
 		if err != nil {
 			return nil, err
 		}
 		r.cache = c
+	} else if cfg.ApproxCoverage != 0 {
+		return nil, errors.New("region: approx coverage requires the reuse cache (ReuseIoU != 0)")
 	}
 	r.metricReg.SetHelp("qens_region_routed_total", "Queries fanned out to each region by the root coordinator.")
 	return r, nil
@@ -563,26 +571,38 @@ func selectErr(sel selection.Selector, q query.Query, err error) error {
 // routed regions, select globally, train across the shards, aggregate.
 // reused reports a root-side reuse-cache hit.
 func (r *Router) ExecuteQuery(ctx context.Context, q query.Query, sel selection.Selector, agg federation.Aggregation) (*federation.Result, bool, error) {
+	res, kind, err := r.ExecuteQueryKind(ctx, q, sel, agg)
+	return res, kind.Reused(), err
+}
+
+// ExecuteQueryKind is ExecuteQuery with the serving tier surfaced:
+// exact root-cache hit, approximate coverage-based serve, or a fresh
+// regional fan-out. The gateway's scheduler uses it to label responses
+// and stats.
+func (r *Router) ExecuteQueryKind(ctx context.Context, q query.Query, sel selection.Selector, agg federation.Aggregation) (*federation.Result, federation.ServeKind, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, false, err
+		return nil, federation.ServeFresh, err
 	}
 	// Only deterministic stateless policies are reusable: a random
 	// draw must stay in lock-step with the RNG stream, and stateful
 	// selectors advance per invocation.
 	cacheable := r.cache != nil && reusableSelector(sel)
 	if cacheable {
-		if res := r.cache.lookup(q, sel.Name(), agg.String(), r.memberEpoch); res != nil {
-			return res, true, nil
+		if res, approx := r.cache.lookup(q, sel.Name(), agg.String(), r.memberEpoch); res != nil {
+			if approx {
+				return res, federation.ServeApprox, nil
+			}
+			return res, federation.ServeExact, nil
 		}
 	}
 	res, basis, err := r.execute(ctx, q, sel, agg)
 	if err != nil {
-		return nil, false, err
+		return nil, federation.ServeFresh, err
 	}
 	if cacheable {
 		r.cache.store(q, sel.Name(), agg.String(), res, basis)
 	}
-	return res, false, nil
+	return res, federation.ServeFresh, nil
 }
 
 // memberEpoch is the cache's validation hook: the latest epoch

@@ -1,0 +1,217 @@
+package selection
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"qens/internal/rng"
+)
+
+// ConfigBandit learns which selector configuration — the (ℓ, ψ,
+// selector) tuple — pays off for the live workload, instead of pinning
+// one static config per deployment. It is a stochastic multi-armed
+// bandit: each arm is a concrete selector configuration; after a query
+// executes, the caller folds the realized reward (an accuracy-vs-cost
+// score derived from the result's node rounds) back into the arm that
+// chose it. Arm choice is epsilon-greedy over UCB1 values, so the
+// bandit keeps exploring arms whose confidence intervals still overlap
+// the leader while exploiting the best known config. This follows the
+// edge-centric query-allocation line of work in PAPERS.md (predict
+// per-query utility from history rather than using one fixed policy).
+//
+// The bandit never mutates selection state itself — Pick returns a
+// stateless selector value, so the plan/execute pipeline (coalescing,
+// reuse keys, zero-alloc fast path) is untouched.
+
+// ConfigArm is one selector configuration the bandit can play.
+// Exactly one of TopL/Psi must be set for query-driven arms; AllNodes
+// arms ignore both.
+type ConfigArm struct {
+	// Selector names the mechanism: "query-driven" (default) or
+	// "all-nodes" (the train-everyone reference arm).
+	Selector string `json:"selector"`
+	// Epsilon is the support threshold for query-driven arms.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// TopL caps the participant count (policy ℓ).
+	TopL int `json:"top_l,omitempty"`
+	// Psi is the mean-rank threshold (policy ψ).
+	Psi float64 `json:"psi,omitempty"`
+}
+
+// Build returns the concrete stateless selector for this arm.
+func (a ConfigArm) Build() (Selector, error) {
+	switch a.Selector {
+	case "", "query-driven":
+		if (a.TopL > 0) == (a.Psi > 0) {
+			return nil, fmt.Errorf("selection: bandit arm needs exactly one of top-l/psi, got l=%d psi=%v", a.TopL, a.Psi)
+		}
+		return QueryDriven{Epsilon: a.Epsilon, TopL: a.TopL, Psi: a.Psi}, nil
+	case "all-nodes":
+		return AllNodes{}, nil
+	default:
+		return nil, fmt.Errorf("selection: bandit arm selector %q not bandit-playable", a.Selector)
+	}
+}
+
+// String renders the arm for stats and logs, e.g. "query-driven/l=2".
+func (a ConfigArm) String() string {
+	switch a.Selector {
+	case "", "query-driven":
+		if a.TopL > 0 {
+			return fmt.Sprintf("query-driven/l=%d", a.TopL)
+		}
+		return fmt.Sprintf("query-driven/psi=%g", a.Psi)
+	default:
+		return a.Selector
+	}
+}
+
+// BanditConfig tunes the explore/exploit balance.
+type BanditConfig struct {
+	// Explore is the epsilon-greedy exploration rate: the fraction of
+	// picks routed to a uniformly random arm. Default 0.1.
+	Explore float64
+	// UCBWeight scales the UCB1 confidence bonus added to each arm's
+	// mean reward during greedy picks. Default 0.5; 0 keeps it.
+	UCBWeight float64
+	// Seed drives the bandit's private RNG stream.
+	Seed uint64
+}
+
+// ConfigBandit is safe for concurrent use.
+type ConfigBandit struct {
+	mu      sync.Mutex
+	arms    []ConfigArm
+	built   []Selector
+	counts  []int64
+	means   []float64
+	plays   int64
+	explore float64
+	ucbW    float64
+	src     *rng.Source
+}
+
+// DefaultConfigArms is the stock arm set: query-driven with a range of
+// participant budgets ℓ and one rank-threshold ψ policy, plus the
+// all-nodes reference arm, all at the given support epsilon.
+func DefaultConfigArms(epsilon float64) []ConfigArm {
+	return []ConfigArm{
+		{Selector: "query-driven", Epsilon: epsilon, TopL: 1},
+		{Selector: "query-driven", Epsilon: epsilon, TopL: 2},
+		{Selector: "query-driven", Epsilon: epsilon, TopL: 3},
+		{Selector: "query-driven", Epsilon: epsilon, Psi: 1},
+		{Selector: "all-nodes"},
+	}
+}
+
+// NewConfigBandit validates and builds every arm up front so Pick can
+// never fail at serving time.
+func NewConfigBandit(arms []ConfigArm, cfg BanditConfig) (*ConfigBandit, error) {
+	if len(arms) == 0 {
+		return nil, fmt.Errorf("selection: bandit needs at least one arm")
+	}
+	if cfg.Explore < 0 || cfg.Explore > 1 {
+		return nil, fmt.Errorf("selection: bandit explore rate %v outside [0,1]", cfg.Explore)
+	}
+	if cfg.Explore == 0 {
+		cfg.Explore = 0.1
+	}
+	if cfg.UCBWeight == 0 {
+		cfg.UCBWeight = 0.5
+	}
+	if cfg.UCBWeight < 0 {
+		return nil, fmt.Errorf("selection: bandit ucb weight %v < 0", cfg.UCBWeight)
+	}
+	built := make([]Selector, len(arms))
+	for i, a := range arms {
+		sel, err := a.Build()
+		if err != nil {
+			return nil, fmt.Errorf("arm %d: %w", i, err)
+		}
+		built[i] = sel
+	}
+	return &ConfigBandit{
+		arms:    append([]ConfigArm(nil), arms...),
+		built:   built,
+		counts:  make([]int64, len(arms)),
+		means:   make([]float64, len(arms)),
+		explore: cfg.Explore,
+		ucbW:    cfg.UCBWeight,
+		src:     rng.New(cfg.Seed),
+	}, nil
+}
+
+// Pick chooses the arm to play next: unplayed arms first (round-robin
+// initialization), then epsilon-greedy over UCB1 scores. It returns
+// the arm index (for Observe) and the ready-built selector.
+func (b *ConfigBandit) Pick() (int, Selector) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, n := range b.counts {
+		if n == 0 {
+			return i, b.built[i]
+		}
+	}
+	if b.src.Float64() < b.explore {
+		i := b.src.Intn(len(b.arms))
+		return i, b.built[i]
+	}
+	return b.bestLocked(true)
+}
+
+// Best returns the current greedy choice without advancing the RNG or
+// any other bandit state — the side-effect-free view EXPLAIN uses.
+func (b *ConfigBandit) Best() (int, Selector) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.bestLocked(false)
+}
+
+func (b *ConfigBandit) bestLocked(ucb bool) (int, Selector) {
+	best, bestScore := 0, math.Inf(-1)
+	logN := math.Log(float64(b.plays + 1))
+	for i := range b.arms {
+		score := b.means[i]
+		if ucb && b.counts[i] > 0 {
+			score += b.ucbW * math.Sqrt(logN/float64(b.counts[i]))
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best, b.built[best]
+}
+
+// Observe folds one realized reward into the played arm's running
+// mean. Rewards should be roughly in [0,1]; the scale only matters
+// relative to the UCB weight.
+func (b *ConfigBandit) Observe(arm int, reward float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if arm < 0 || arm >= len(b.arms) {
+		return
+	}
+	b.counts[arm]++
+	b.plays++
+	b.means[arm] += (reward - b.means[arm]) / float64(b.counts[arm])
+}
+
+// ArmStats is one row of the bandit scoreboard.
+type ArmStats struct {
+	Arm        ConfigArm `json:"arm"`
+	Label      string    `json:"label"`
+	Plays      int64     `json:"plays"`
+	MeanReward float64   `json:"mean_reward"`
+}
+
+// Stats snapshots every arm's play count and mean reward.
+func (b *ConfigBandit) Stats() []ArmStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]ArmStats, len(b.arms))
+	for i, a := range b.arms {
+		out[i] = ArmStats{Arm: a, Label: a.String(), Plays: b.counts[i], MeanReward: b.means[i]}
+	}
+	return out
+}

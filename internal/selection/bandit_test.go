@@ -1,0 +1,125 @@
+package selection
+
+import (
+	"testing"
+)
+
+func TestConfigArmBuild(t *testing.T) {
+	if _, err := (ConfigArm{Selector: "query-driven", Epsilon: 0.1, TopL: 2}).Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (ConfigArm{Selector: "query-driven", Epsilon: 0.1, Psi: 1}).Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (ConfigArm{Selector: "all-nodes"}).Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (ConfigArm{Selector: "query-driven", Epsilon: 0.1}).Build(); err == nil {
+		t.Fatal("accepted arm with neither top-l nor psi")
+	}
+	if _, err := (ConfigArm{Selector: "query-driven", Epsilon: 0.1, TopL: 2, Psi: 1}).Build(); err == nil {
+		t.Fatal("accepted arm with both top-l and psi")
+	}
+	if _, err := (ConfigArm{Selector: "fairness"}).Build(); err == nil {
+		t.Fatal("accepted stateful selector as bandit arm")
+	}
+}
+
+func TestConfigBanditValidation(t *testing.T) {
+	if _, err := NewConfigBandit(nil, BanditConfig{}); err == nil {
+		t.Fatal("accepted empty arm set")
+	}
+	bad := []ConfigArm{{Selector: "query-driven"}}
+	if _, err := NewConfigBandit(bad, BanditConfig{}); err == nil {
+		t.Fatal("accepted unbuildable arm")
+	}
+	arms := DefaultConfigArms(0.1)
+	if _, err := NewConfigBandit(arms, BanditConfig{Explore: 2}); err == nil {
+		t.Fatal("accepted explore rate > 1")
+	}
+}
+
+func TestConfigBanditPlaysEveryArmFirst(t *testing.T) {
+	arms := DefaultConfigArms(0.1)
+	b, err := NewConfigBandit(arms, BanditConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for range arms {
+		i, sel := b.Pick()
+		if sel == nil {
+			t.Fatal("nil selector from Pick")
+		}
+		if seen[i] {
+			t.Fatalf("arm %d replayed before all arms initialized", i)
+		}
+		seen[i] = true
+		b.Observe(i, 0.5)
+	}
+	if len(seen) != len(arms) {
+		t.Fatalf("initialized %d arms, want %d", len(seen), len(arms))
+	}
+}
+
+func TestConfigBanditConvergesToBestArm(t *testing.T) {
+	arms := DefaultConfigArms(0.1)
+	b, err := NewConfigBandit(arms, BanditConfig{Seed: 7, Explore: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm 2 pays double everyone else; after enough plays the greedy
+	// choice must settle on it.
+	reward := func(i int) float64 {
+		if i == 2 {
+			return 0.9
+		}
+		return 0.4
+	}
+	for n := 0; n < 500; n++ {
+		i, _ := b.Pick()
+		b.Observe(i, reward(i))
+	}
+	best, _ := b.Best()
+	if best != 2 {
+		t.Fatalf("converged to arm %d, want 2; stats: %+v", best, b.Stats())
+	}
+	stats := b.Stats()
+	var total int64
+	for _, s := range stats {
+		total += s.Plays
+	}
+	if total != 500+int64(0) {
+		t.Fatalf("plays %d, want 500", total)
+	}
+	if stats[2].Plays < total/2 {
+		t.Fatalf("best arm only played %d/%d times", stats[2].Plays, total)
+	}
+}
+
+func TestConfigBanditBestIsSideEffectFree(t *testing.T) {
+	arms := DefaultConfigArms(0.1)
+	b, err := NewConfigBandit(arms, BanditConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range arms {
+		b.Observe(i, float64(i)*0.1)
+	}
+	i1, _ := b.Best()
+	i2, _ := b.Best()
+	if i1 != i2 {
+		t.Fatalf("Best changed across calls: %d then %d", i1, i2)
+	}
+	// A Pick after Bests must behave as if Bests never happened: same
+	// seed, fresh bandit, same observations → same pick sequence.
+	fresh, _ := NewConfigBandit(arms, BanditConfig{Seed: 3})
+	for i := range arms {
+		fresh.Observe(i, float64(i)*0.1)
+	}
+	p1, _ := b.Pick()
+	p2, _ := fresh.Pick()
+	if p1 != p2 {
+		t.Fatalf("Best leaked state into Pick: %d vs %d", p1, p2)
+	}
+}

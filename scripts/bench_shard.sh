@@ -25,13 +25,18 @@ printf '%s\n' "$out" | awk '
   BEGIN { printf "[\n"; bad = 0 }
   $1 ~ /^BenchmarkShardServe/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns_op = ""
+    ns_op = ""; bytes_op = ""; allocs_op = ""
     for (i = 3; i <= NF; i++) {
-      if ($i == "ns/op") ns_op = $(i-1)
+      if ($i == "ns/op")     ns_op = $(i-1)
+      if ($i == "B/op")      bytes_op = $(i-1)
+      if ($i == "allocs/op") allocs_op = $(i-1)
     }
     if (ns_op == "") next
     if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, ns_op
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns_op
+    if (bytes_op != "")  printf ", \"bytes_per_op\": %s", bytes_op
+    if (allocs_op != "") printf ", \"allocs_per_op\": %s", allocs_op
+    printf "}"
     ns[name] = ns_op
   }
   END {
